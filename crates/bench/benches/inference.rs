@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks: projector inference latency (the static
+//! analysis the paper reports as "always negligible").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xproj_core::StaticAnalyzer;
+use xproj_xmark::{auction_dtd, xmark_queries, xpathmark_queries};
+
+fn bench_inference(c: &mut Criterion) {
+    let dtd = auction_dtd();
+
+    // Representative queries spanning the rule space: a long child path,
+    // descendant recursion, a predicate-heavy one, backward axes, and an
+    // XQuery with joins.
+    let xpath_cases = [
+        ("long-path", "/site/closed_auctions/closed_auction/annotation/description/text/keyword"),
+        ("descendant", "//closed_auction//keyword"),
+        ("predicates", "/site/people/person[address and (phone or homepage) and (creditcard or profile)]/name"),
+        ("backward", "//increase/ancestor::open_auction/seller"),
+        ("siblings", "/site/open_auctions/open_auction/bidder[following-sibling::bidder]"),
+    ];
+
+    let mut g = c.benchmark_group("infer_xpath");
+    for (label, q) in xpath_cases {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &q, |b, q| {
+            b.iter(|| {
+                let mut sa = StaticAnalyzer::new(&dtd);
+                sa.project_query(q).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+
+    let join = xmark_queries()
+        .into_iter()
+        .find(|q| q.id == "QM09")
+        .unwrap();
+    c.bench_function("infer_xquery_join", |b| {
+        let parsed = xproj_xquery::parse_xquery(join.text).unwrap();
+        b.iter(|| {
+            let mut sa = StaticAnalyzer::new(&dtd);
+            xproj_xquery::project_xquery(&mut sa, &parsed).len()
+        })
+    });
+
+    c.bench_function("infer_whole_workload", |b| {
+        let all: Vec<&str> = xmark_queries()
+            .iter()
+            .map(|q| q.text)
+            .chain(xpathmark_queries().iter().map(|q| q.text))
+            .collect();
+        b.iter(|| {
+            let mut sa = StaticAnalyzer::new(&dtd);
+            let mut total = 0usize;
+            for q in &all {
+                total += xproj_xquery::project_xquery_str(&mut sa, q).unwrap().len();
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,429 @@
+//! The analysis context: the DTD's name universe extended with a
+//! synthetic *document name*, plus the normalised path representation the
+//! type system and projector inference operate on.
+//!
+//! **Document name.** XPath absolute paths start at the document node,
+//! which no DTD name generates. We extend `DN(E)` with a fresh name
+//! `DOC` (id = `|DN(E)|`) whose single child is the DTD root `X`; the
+//! analysis of an absolute path then starts from the uniform environment
+//! `({DOC}, {DOC})`, and `DOC` is stripped from the final projector.
+//!
+//! **Normalisation.** Figure 1 and Figure 2 work on three primitive step
+//! shapes — `self::Test`, `self::node()[Cond]` and `Axis::node()` — with
+//! all other steps encoded into them (the "encoded rules"). [`NormPaths`]
+//! performs that encoding once, arena-allocating every path (the main one
+//! and every condition disjunct) so that a path suffix is identified by a
+//! `(PathId, index)` pair — the key that makes memoisation of the
+//! inference O(names × suffixes).
+
+use xproj_dtd::{Dtd, NameId, NameSet};
+use xproj_xpath::xpathl::{LAxis, LPath, LStep, LTest, SimplePath};
+
+/// Identifier of a normalised path in the arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PathId(pub u32);
+
+/// Primitive analysis steps (the shapes of Figure 1 / Figure 2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PStep {
+    /// `Axis::node()` for a non-self axis.
+    AxisNode(LAxis),
+    /// `self::Test`.
+    SelfTest(LTest),
+    /// `self::node()[P₁ or … or Pₙ]` — the disjuncts are arena paths.
+    Cond(Vec<PathId>),
+}
+
+/// Arena of normalised paths. `arena[0]` is the main path.
+#[derive(Clone, Debug, Default)]
+pub struct NormPaths {
+    arena: Vec<Vec<PStep>>,
+}
+
+impl NormPaths {
+    /// Normalises an XPathℓ path into primitive steps.
+    pub fn new(path: &LPath) -> Self {
+        let mut np = NormPaths { arena: vec![Vec::new()] };
+        let main = np.norm_steps(&path.steps);
+        np.arena[0] = main;
+        np
+    }
+
+    /// The main path id.
+    pub fn main(&self) -> PathId {
+        PathId(0)
+    }
+
+    /// The steps of a path.
+    pub fn steps(&self, id: PathId) -> &[PStep] {
+        &self.arena[id.0 as usize]
+    }
+
+    /// Number of paths in the arena (diagnostics).
+    pub fn path_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn norm_steps(&mut self, steps: &[LStep]) -> Vec<PStep> {
+        let mut out = Vec::with_capacity(steps.len() * 2);
+        for ls in steps {
+            self.norm_step(ls, &mut out);
+        }
+        out
+    }
+
+    fn norm_step(&mut self, ls: &LStep, out: &mut Vec<PStep>) {
+        let axis = ls.step.axis;
+        let test = &ls.step.test;
+        match axis {
+            LAxis::SelfAxis => {
+                // self::Test — keep even self::node() so a bare path has
+                // at least one primitive step.
+                out.push(PStep::SelfTest(test.clone()));
+            }
+            _ => {
+                out.push(PStep::AxisNode(axis));
+                if *test != LTest::Node {
+                    out.push(PStep::SelfTest(test.clone()));
+                }
+            }
+        }
+        if !ls.cond.is_empty() {
+            let ids = ls
+                .cond
+                .iter()
+                .map(|p| self.add_simple(p))
+                .collect::<Vec<_>>();
+            out.push(PStep::Cond(ids));
+        }
+    }
+
+    fn add_simple(&mut self, p: &SimplePath) -> PathId {
+        let steps: Vec<PStep> = {
+            let mut out = Vec::with_capacity(p.len() * 2);
+            for s in p {
+                self.norm_step(&LStep::plain(s.clone()), &mut out);
+            }
+            out
+        };
+        let id = PathId(self.arena.len() as u32);
+        self.arena.push(steps);
+        id
+    }
+}
+
+/// The DTD wrapped with the synthetic document name and extended
+/// reachability rows; owns the primitive set operations `A_E` / `T_E`
+/// (Def. 4.1) over the extended universe.
+pub struct Analyzer<'d> {
+    /// The underlying DTD.
+    pub dtd: &'d Dtd,
+    universe: usize,
+    doc_name: NameId,
+    children: Vec<NameSet>,
+    parents: Vec<NameSet>,
+    descendants: Vec<NameSet>,
+    ancestors: Vec<NameSet>,
+    /// Ablation switch: when `false`, contexts are not intersected
+    /// (upward axes use raw `A_E` and `restrict_context` is the
+    /// identity). Used to quantify what the κ component of Fig. 1 buys;
+    /// the analysis stays sound, only less precise.
+    pub use_contexts: bool,
+}
+
+impl<'d> Analyzer<'d> {
+    /// Builds the extended tables for a DTD.
+    pub fn new(dtd: &'d Dtd) -> Self {
+        let n = dtd.name_count();
+        let universe = n + 1;
+        let doc_name = NameId(n as u32);
+        let extend = |s: &NameSet| -> NameSet {
+            NameSet::from_iter(universe, s.iter())
+        };
+        let mut children: Vec<NameSet> = (0..n)
+            .map(|i| extend(dtd.children_of(NameId(i as u32))))
+            .collect();
+        let mut parents: Vec<NameSet> = (0..n)
+            .map(|i| extend(dtd.parents_of(NameId(i as u32))))
+            .collect();
+        let mut descendants: Vec<NameSet> = (0..n)
+            .map(|i| extend(dtd.descendants_of(NameId(i as u32))))
+            .collect();
+        let mut ancestors: Vec<NameSet> = (0..n)
+            .map(|i| extend(dtd.ancestors_of(NameId(i as u32))))
+            .collect();
+        // DOC → root; every name reachable from the root gains DOC as an
+        // ancestor.
+        let root = dtd.root();
+        children.push(NameSet::singleton(universe, root));
+        parents.push(NameSet::empty(universe));
+        let mut doc_desc = extend(dtd.descendants_of(root));
+        doc_desc.insert(root);
+        descendants.push(doc_desc.clone());
+        ancestors.push(NameSet::empty(universe));
+        parents[root.index()].insert(doc_name);
+        for m in &doc_desc {
+            ancestors[m.index()].insert(doc_name);
+        }
+        Analyzer {
+            dtd,
+            universe,
+            doc_name,
+            children,
+            parents,
+            descendants,
+            ancestors,
+            use_contexts: true,
+        }
+    }
+
+    /// Universe size (names + DOC).
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The synthetic document name.
+    pub fn doc_name(&self) -> NameId {
+        self.doc_name
+    }
+
+    /// Empty set over the extended universe.
+    pub fn empty(&self) -> NameSet {
+        NameSet::empty(self.universe)
+    }
+
+    /// Singleton over the extended universe.
+    pub fn singleton(&self, n: NameId) -> NameSet {
+        NameSet::singleton(self.universe, n)
+    }
+
+    /// The starting environment for absolute paths: `({DOC}, {DOC})`.
+    pub fn doc_env(&self) -> (NameSet, NameSet) {
+        (self.singleton(self.doc_name), self.singleton(self.doc_name))
+    }
+
+    /// The starting environment for relative paths: `({X}, {X})` with `X`
+    /// the DTD root (the paper's Theorem 4.4/4.5 set-up).
+    pub fn root_env(&self) -> (NameSet, NameSet) {
+        let x = self.dtd.root();
+        (self.singleton(x), self.singleton(x))
+    }
+
+    fn select(&self, tau: &NameSet, rows: &[NameSet]) -> NameSet {
+        let mut out = self.empty();
+        for n in tau {
+            out.union_with(&rows[n.index()]);
+        }
+        out
+    }
+
+    /// `A_E(τ, Axis)` over the extended universe (Def. 4.1). `-or-self`
+    /// axes include τ itself.
+    pub fn axis(&self, tau: &NameSet, axis: LAxis) -> NameSet {
+        match axis {
+            LAxis::SelfAxis => tau.clone(),
+            LAxis::Child => self.select(tau, &self.children),
+            LAxis::Parent => self.select(tau, &self.parents),
+            LAxis::Descendant => self.select(tau, &self.descendants),
+            LAxis::Ancestor => self.select(tau, &self.ancestors),
+            LAxis::DescendantOrSelf => {
+                let mut s = self.select(tau, &self.descendants);
+                s.union_with(tau);
+                s
+            }
+            LAxis::AncestorOrSelf => {
+                let mut s = self.select(tau, &self.ancestors);
+                s.union_with(tau);
+                s
+            }
+        }
+    }
+
+    /// `T_E(τ, Test)` over the extended universe (Def. 4.1, extended with
+    /// the §6 `element()` wildcard and attribute tests).
+    pub fn test(&self, tau: &NameSet, test: &LTest) -> NameSet {
+        match test {
+            LTest::Node => tau.clone(),
+            LTest::Text => NameSet::from_iter(
+                self.universe,
+                tau.iter()
+                    .filter(|&n| n != self.doc_name && self.dtd.is_text_name(n)),
+            ),
+            LTest::Element => NameSet::from_iter(
+                self.universe,
+                tau.iter()
+                    .filter(|&n| n != self.doc_name && !self.dtd.is_text_name(n)),
+            ),
+            LTest::Tag(t) => match self.dtd.name_of_tag_str(t) {
+                Some(n) if tau.contains(n) => self.singleton(n),
+                _ => self.empty(),
+            },
+            LTest::HasAttribute(att) => NameSet::from_iter(
+                self.universe,
+                tau.iter().filter(|&n| {
+                    if n == self.doc_name || self.dtd.is_text_name(n) {
+                        return false;
+                    }
+                    let attrs = &self.dtd.info(n).attributes;
+                    match att {
+                        None => !attrs.is_empty(),
+                        Some(a) => self
+                            .dtd
+                            .tags
+                            .get(a)
+                            .map(|t| attrs.contains(&t))
+                            .unwrap_or(false),
+                    }
+                }),
+            ),
+        }
+    }
+
+    /// Restricts a context to ancestors-or-self of `tau`, preserving the
+    /// environment well-formedness invariant κ ⊆ τ ∪ A_E(τ, ancestor).
+    ///
+    /// In the no-context ablation the traversal history is forgotten: the
+    /// context is always the *maximal* well-formed one,
+    /// τ ∪ A_E(τ, ancestor) — so upward axes fall back to raw
+    /// reachability.
+    pub fn restrict_context(&self, kappa: &NameSet, tau: &NameSet) -> NameSet {
+        let mut bound = self.axis(tau, LAxis::Ancestor);
+        bound.union_with(tau);
+        if !self.use_contexts {
+            return bound;
+        }
+        kappa.intersection(&bound)
+    }
+
+    /// Projects an extended-universe set back onto the DTD universe,
+    /// dropping the document name.
+    pub fn to_dtd_set(&self, s: &NameSet) -> NameSet {
+        NameSet::from_iter(
+            self.dtd.name_count(),
+            s.iter().filter(|&n| n != self.doc_name),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xproj_dtd::parse_dtd;
+    use xproj_xpath::xpathl::SimpleStep;
+
+    fn dtd() -> Dtd {
+        parse_dtd(
+            "<!ELEMENT c (a, b)>\
+             <!ELEMENT a (d?, #PCDATA)>\
+             <!ELEMENT b (#PCDATA)>\
+             <!ELEMENT d (a?)>",
+            "c",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn doc_name_wiring() {
+        let d = dtd();
+        let an = Analyzer::new(&d);
+        let (tau, kappa) = an.doc_env();
+        assert_eq!(tau, kappa);
+        let kids = an.axis(&tau, LAxis::Child);
+        assert_eq!(kids, an.singleton(d.root()));
+        // DOC is an ancestor of everything
+        let a = d.name_of_tag_str("a").unwrap();
+        assert!(an.axis(&an.singleton(a), LAxis::Ancestor).contains(an.doc_name()));
+        // and has no ancestors itself
+        assert!(an
+            .axis(&an.singleton(an.doc_name()), LAxis::Ancestor)
+            .is_empty());
+    }
+
+    #[test]
+    fn axis_selection() {
+        let d = dtd();
+        let an = Analyzer::new(&d);
+        let a = d.name_of_tag_str("a").unwrap();
+        let dd = d.name_of_tag_str("d").unwrap();
+        // a ⇒ d and d ⇒ a (mutual recursion)
+        assert!(an.axis(&an.singleton(a), LAxis::Child).contains(dd));
+        assert!(an.axis(&an.singleton(a), LAxis::Descendant).contains(a));
+        let parents_of_a = an.axis(&an.singleton(a), LAxis::Parent);
+        assert!(parents_of_a.contains(d.root()) && parents_of_a.contains(dd));
+    }
+
+    #[test]
+    fn tests_filter() {
+        let d = dtd();
+        let an = Analyzer::new(&d);
+        let all = {
+            let mut s = an.empty();
+            for n in d.all_names() {
+                s.insert(n);
+            }
+            s.insert(an.doc_name());
+            s
+        };
+        let texts = an.test(&all, &LTest::Text);
+        assert_eq!(texts.len(), 2); // a#text, b#text
+        let elems = an.test(&all, &LTest::Element);
+        assert_eq!(elems.len(), 4);
+        let tag_b = an.test(&all, &LTest::Tag("b".into()));
+        assert_eq!(tag_b.len(), 1);
+        // doc name only passes node()
+        assert!(an.test(&all, &LTest::Node).contains(an.doc_name()));
+        assert!(!elems.contains(an.doc_name()));
+    }
+
+    #[test]
+    fn restrict_context_wf() {
+        let d = dtd();
+        let an = Analyzer::new(&d);
+        let a = d.name_of_tag_str("a").unwrap();
+        let b = d.name_of_tag_str("b").unwrap();
+        let mut kappa = an.empty();
+        kappa.insert(a);
+        kappa.insert(b);
+        kappa.insert(d.root());
+        let tau = an.singleton(a);
+        let k2 = an.restrict_context(&kappa, &tau);
+        assert!(k2.contains(a) && k2.contains(d.root()));
+        assert!(!k2.contains(b)); // b is not an ancestor of a
+    }
+
+    #[test]
+    fn normalisation_shapes() {
+        use xproj_xpath::xpathl::{LPath, LStep, LTest};
+        // child::a[child::b]/self::text()
+        let p = LPath {
+            steps: vec![
+                LStep {
+                    step: SimpleStep::new(LAxis::Child, LTest::Tag("a".into())),
+                    cond: vec![vec![SimpleStep::new(LAxis::Child, LTest::Tag("b".into()))]],
+                },
+                LStep::plain(SimpleStep::new(LAxis::SelfAxis, LTest::Text)),
+            ],
+        };
+        let np = NormPaths::new(&p);
+        let main = np.steps(np.main());
+        assert_eq!(main.len(), 4); // AxisNode(child), SelfTest(a), Cond, SelfTest(text)
+        assert!(matches!(main[0], PStep::AxisNode(LAxis::Child)));
+        assert!(matches!(main[1], PStep::SelfTest(LTest::Tag(_))));
+        assert!(matches!(main[2], PStep::Cond(_)));
+        assert_eq!(np.path_count(), 2);
+        // the condition path: AxisNode(child), SelfTest(b)
+        if let PStep::Cond(ids) = &main[2] {
+            assert_eq!(np.steps(ids[0]).len(), 2);
+        }
+    }
+
+    #[test]
+    fn axis_node_steps_skip_redundant_test() {
+        use xproj_xpath::xpathl::LPath;
+        let p = LPath {
+            steps: vec![LStep::plain(SimpleStep::new(LAxis::Descendant, LTest::Node))],
+        };
+        let np = NormPaths::new(&p);
+        assert_eq!(np.steps(np.main()).len(), 1);
+    }
+}

@@ -1,0 +1,502 @@
+//! Projector inference — the rules of Figure 2.
+//!
+//! The inference works one name at a time (the union rule), memoised on
+//! `(name, context, path, suffix index)`. The recursive `descendant` /
+//! `ancestor` rules follow the paper's unrolled-fixpoint formulation:
+//! a descendant name is *useful* iff the remainder of the path can select
+//! something strictly below it (checked with the type system), and the
+//! data needs at the actual match points are collected by re-entering the
+//! inference through a synthesised `child::node()` (resp. `parent`) step.
+
+use crate::analysis::{Analyzer, NormPaths, PStep, PathId};
+use crate::projector::Projector;
+use crate::typeinf::{type_axis, type_path, Env};
+use std::collections::HashMap;
+use xproj_dtd::{Dtd, NameId, NameSet};
+use xproj_xpath::approx::{approximate_query, Approximation};
+use xproj_xpath::ast::Expr;
+use xproj_xpath::parse_xpath;
+use xproj_xpath::xpathl::{LAxis, LPath};
+
+/// Error raised by the high-level query entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The query string did not parse.
+    Parse(String),
+    /// The query is an expression, not a location path.
+    NotAPath(String),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Parse(m) => write!(f, "cannot parse query: {m}"),
+            AnalyzeError::NotAPath(q) => write!(f, "not a location path: {q}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+type MemoKey = (u32, u32, usize, NameSet);
+
+/// The static analyser: owns the extended-universe tables and the
+/// inference memo. One instance can analyse any number of queries against
+/// the same DTD; projectors for a workload are unioned.
+pub struct StaticAnalyzer<'d> {
+    an: Analyzer<'d>,
+    memo: HashMap<MemoKey, NameSet>,
+}
+
+impl<'d> StaticAnalyzer<'d> {
+    /// Builds an analyser for a DTD.
+    pub fn new(dtd: &'d Dtd) -> Self {
+        StaticAnalyzer {
+            an: Analyzer::new(dtd),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The underlying analysis context.
+    pub fn analyzer(&self) -> &Analyzer<'d> {
+        &self.an
+    }
+
+    /// Toggles the context component of the type system (ablation; see
+    /// [`Analyzer::use_contexts`]). Turning contexts off keeps the
+    /// analysis sound but loses the precision the paper's κ machinery
+    /// provides for upward axes.
+    pub fn set_use_contexts(&mut self, on: bool) {
+        self.an.use_contexts = on;
+        self.memo.clear();
+    }
+
+    /// The DTD being analysed.
+    pub fn dtd(&self) -> &'d Dtd {
+        self.an.dtd
+    }
+
+    /// Infers the *materialised* projector for an XPath query string: the
+    /// exact projector of Thm. 4.5 extended with all descendants of the
+    /// result type (τ′ ∪ A_E(τ″, descendant), end of §4.2), so that
+    /// serialising the selected nodes is also preserved. This is the
+    /// practical default.
+    pub fn project_query(&mut self, query: &str) -> Result<Projector, AnalyzeError> {
+        let a = self.parse_and_approximate(query)?;
+        Ok(self.project_approximation_materialized(&a))
+    }
+
+    /// Infers the exact (non-materialised) projector of Thm. 4.5 for an
+    /// XPath query string: result *identity* is preserved, result subtrees
+    /// may be pruned.
+    pub fn project_query_exact(&mut self, query: &str) -> Result<Projector, AnalyzeError> {
+        let a = self.parse_and_approximate(query)?;
+        Ok(self.project_approximation(&a))
+    }
+
+    /// Materialised projector for a whole workload (union, §5).
+    pub fn project_queries<I, S>(&mut self, queries: I) -> Result<Projector, AnalyzeError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut acc = Projector::empty(self.an.dtd);
+        for q in queries {
+            acc = acc.union(&self.project_query(q.as_ref())?);
+        }
+        Ok(acc)
+    }
+
+    fn parse_and_approximate(&self, query: &str) -> Result<Approximation, AnalyzeError> {
+        let expr = parse_xpath(query).map_err(|e| AnalyzeError::Parse(e.to_string()))?;
+        match expr {
+            Expr::Path(p) => Ok(approximate_query(&p)),
+            other => Err(AnalyzeError::NotAPath(other.to_string())),
+        }
+    }
+
+    /// Projector for an already-approximated query.
+    pub fn project_approximation(&mut self, a: &Approximation) -> Projector {
+        let mut raw = self.infer_lpath(&a.path, a.absolute);
+        for aux in &a.auxiliary {
+            raw.union_with(&self.infer_lpath(aux, true));
+        }
+        Projector::normalized(self.an.dtd, self.an.to_dtd_set(&raw))
+    }
+
+    /// Materialised projector for an approximation (§4.2 end).
+    pub fn project_approximation_materialized(&mut self, a: &Approximation) -> Projector {
+        let mut raw = self.infer_lpath(&a.path, a.absolute);
+        for aux in &a.auxiliary {
+            raw.union_with(&self.infer_lpath(aux, true));
+        }
+        // τ″: the result type of the main path.
+        let tau = self.type_of_lpath(&a.path, a.absolute);
+        raw.union_with(&self.an.axis(&tau, LAxis::Descendant));
+        Projector::normalized(self.an.dtd, self.an.to_dtd_set(&raw))
+    }
+
+    /// Result type of an XPathℓ path (the ⊢ judgement from the start
+    /// environment), over the extended universe.
+    pub fn type_of_lpath(&self, path: &LPath, absolute: bool) -> NameSet {
+        let np = NormPaths::new(path);
+        let (tau, kappa) = if absolute {
+            self.an.doc_env()
+        } else {
+            self.an.root_env()
+        };
+        type_path(&self.an, &np, Env::new(tau, kappa), np.main(), 0).tau
+    }
+
+    /// Raw inferred name-set (⊩ judgement) for an XPathℓ path, over the
+    /// extended universe (includes the synthetic document name).
+    pub fn infer_lpath(&mut self, path: &LPath, absolute: bool) -> NameSet {
+        // Memo entries are keyed by (PathId, index) pairs which are only
+        // meaningful within one NormPaths arena.
+        self.memo.clear();
+        let np = NormPaths::new(path);
+        let (tau, kappa) = if absolute {
+            self.an.doc_env()
+        } else {
+            self.an.root_env()
+        };
+        let start = tau.iter().next().expect("start environment is a singleton");
+        self.proj(&np, start, &kappa, np.main(), 0)
+    }
+
+    /// `({Y}, κ) ⊩ steps[idx..] : result` (Figure 2), memoised.
+    fn proj(
+        &mut self,
+        np: &NormPaths,
+        y: NameId,
+        kappa: &NameSet,
+        pid: PathId,
+        idx: usize,
+    ) -> NameSet {
+        let steps = np.steps(pid);
+        if idx >= steps.len() {
+            // Base: the final environment's type and context are all kept
+            // (rule Σ ⊩ Step : τ ∪ κ, decomposed).
+            let mut out = kappa.clone();
+            out.insert(y);
+            return out;
+        }
+        let key: MemoKey = (y.0, pid.0, idx, kappa.clone());
+        if let Some(hit) = self.memo.get(&key) {
+            return hit.clone();
+        }
+        let result = self.proj_uncached(np, y, kappa, pid, idx);
+        self.memo.insert(key, result.clone());
+        result
+    }
+
+    fn proj_uncached(
+        &mut self,
+        np: &NormPaths,
+        y: NameId,
+        kappa: &NameSet,
+        pid: PathId,
+        idx: usize,
+    ) -> NameSet {
+        let an_singleton = self.an.singleton(y);
+        match &np.steps(pid)[idx] {
+            PStep::SelfTest(test) => {
+                // ({Y},κ) ⊢ self::Test : Σ    Σ ⊩ P : τ
+                // ──────────────────────────────────────
+                //      ({Y},κ) ⊩ self::Test/P : {Y} ∪ τ
+                let tau = self.an.test(&an_singleton, test);
+                let mut out = self.an.singleton(y);
+                if !tau.is_empty() {
+                    let kappa2 = self.an.restrict_context(kappa, &tau);
+                    out.union_with(&self.proj(np, y, &kappa2, pid, idx + 1));
+                }
+                out
+            }
+            PStep::Cond(paths) => {
+                // ({Y},κ) ⊢ self::node[P₁ or … or Pₙ] : Σ
+                // Σ ⊩ P : τ    Σ ⊩ Pᵢ : τᵢ
+                // ⊩ … : {Y} ∪ τ ∪ τ₁ ∪ … ∪ τₙ
+                let paths = paths.clone();
+                let holds = crate::typeinf::cond_may_hold(&self.an, np, y, kappa, &paths);
+                let mut out = self.an.singleton(y);
+                if holds {
+                    let kappa2 = self.an.restrict_context(kappa, &an_singleton);
+                    out.union_with(&self.proj(np, y, &kappa2, pid, idx + 1));
+                    for cpid in paths {
+                        out.union_with(&self.proj(np, y, &kappa2, cpid, 0));
+                    }
+                }
+                out
+            }
+            PStep::AxisNode(axis) => {
+                let axis = *axis;
+                match axis {
+                    LAxis::Child | LAxis::Parent => {
+                        self.proj_single_level(np, y, kappa, axis, pid, idx + 1, true)
+                    }
+                    LAxis::Descendant => {
+                        self.proj_recursive(np, y, kappa, LAxis::Descendant, pid, idx + 1)
+                    }
+                    LAxis::Ancestor => {
+                        self.proj_recursive(np, y, kappa, LAxis::Ancestor, pid, idx + 1)
+                    }
+                    LAxis::DescendantOrSelf => {
+                        // dos::node/P  ≡  self::node/P  ∪  descendant::node/P
+                        let mut out = self.an.singleton(y);
+                        out.union_with(&self.proj(np, y, kappa, pid, idx + 1));
+                        out.union_with(&self.proj_recursive(
+                            np,
+                            y,
+                            kappa,
+                            LAxis::Descendant,
+                            pid,
+                            idx + 1,
+                        ));
+                        out
+                    }
+                    LAxis::AncestorOrSelf => {
+                        let mut out = self.an.singleton(y);
+                        out.union_with(&self.proj(np, y, kappa, pid, idx + 1));
+                        out.union_with(&self.proj_recursive(
+                            np,
+                            y,
+                            kappa,
+                            LAxis::Ancestor,
+                            pid,
+                            idx + 1,
+                        ));
+                        out
+                    }
+                    LAxis::SelfAxis => {
+                        // normalisation never emits AxisNode(self)
+                        unreachable!("self axis is normalised to SelfTest")
+                    }
+                }
+            }
+        }
+    }
+
+    /// The child/parent rule:
+    ///
+    /// ```text
+    /// ({Y},κ) ⊢ Axis::node : ({X₁…Xₙ}, κ′)   ({Xᵢ},κ′) ⊢ P : Σⁱ
+    /// (τ,κ′) ⊩ P : τ′       τ = {Xᵢ | Σⁱ_τ ≠ ∅}
+    /// ─────────────────────────────────────────  Axis ∈ {parent, child}
+    /// ({Y},κ) ⊩ Axis::node/P : {Y} ∪ τ ∪ τ′
+    /// ```
+    ///
+    /// With `include_y = false` this computes `(…) ⊩ Axis::node/P` without
+    /// adding `Y` (used as the synthesised step of the recursive rules,
+    /// which add their own names).
+    #[allow(clippy::too_many_arguments)] // mirrors the rule's premises
+    fn proj_single_level(
+        &mut self,
+        np: &NormPaths,
+        y: NameId,
+        kappa: &NameSet,
+        axis: LAxis,
+        pid: PathId,
+        rest_idx: usize,
+        include_y: bool,
+    ) -> NameSet {
+        let env = type_axis(
+            &self.an,
+            Env::new(self.an.singleton(y), kappa.clone()),
+            axis,
+        );
+        let mut useful = self.an.empty();
+        for xi in &env.tau {
+            let sub = Env::new(
+                self.an.singleton(xi),
+                self.an
+                    .restrict_context(&env.kappa, &self.an.singleton(xi)),
+            );
+            if !type_path(&self.an, np, sub, pid, rest_idx).is_empty() {
+                useful.insert(xi);
+            }
+        }
+        let mut out = if include_y {
+            self.an.singleton(y)
+        } else {
+            self.an.empty()
+        };
+        out.union_with(&useful);
+        for xi in &useful {
+            let kx = self
+                .an
+                .restrict_context(&env.kappa, &self.an.singleton(xi));
+            out.union_with(&self.proj(np, xi, &kx, pid, rest_idx));
+        }
+        out
+    }
+
+    /// The descendant/ancestor rule (desc shown; ancs is the mirror):
+    ///
+    /// ```text
+    /// ({Y},κ) ⊢ desc::node : ({X₁…Xₙ}, κ′)
+    /// ({Xᵢ},κ′) ⊢ desc::node/P : Σⁱ      τ = {Xᵢ | Σⁱ_τ ≠ ∅} ∪ {Y}
+    /// (τ,κ′) ⊩ child::node/P : τ′
+    /// ─────────────────────────────────────────
+    /// ({Y},κ) ⊩ desc::node/P : τ ∪ τ′
+    /// ```
+    fn proj_recursive(
+        &mut self,
+        np: &NormPaths,
+        y: NameId,
+        kappa: &NameSet,
+        axis: LAxis,
+        pid: PathId,
+        rest_idx: usize,
+    ) -> NameSet {
+        let single = if axis == LAxis::Descendant {
+            LAxis::Child
+        } else {
+            LAxis::Parent
+        };
+        let env = type_axis(
+            &self.an,
+            Env::new(self.an.singleton(y), kappa.clone()),
+            axis,
+        );
+        // τ: Y plus the axis-names from which the rest of the path can
+        // still select something strictly further along the axis.
+        let mut tau = self.an.singleton(y);
+        for xi in &env.tau {
+            let kx = self
+                .an
+                .restrict_context(&env.kappa, &self.an.singleton(xi));
+            let after_axis = type_axis(&self.an, Env::new(self.an.singleton(xi), kx), axis);
+            if !after_axis.tau.is_empty()
+                && !type_path(&self.an, np, after_axis, pid, rest_idx).is_empty()
+            {
+                tau.insert(xi);
+            }
+        }
+        // τ′ = (τ, κ′) ⊩ single::node/P — re-enter through one level.
+        let mut out = tau.clone();
+        for z in &tau {
+            let kz = self
+                .an
+                .restrict_context(&env.kappa, &self.an.singleton(z));
+            out.union_with(&self.proj_single_level(np, z, &kz, single, pid, rest_idx, false));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xproj_dtd::parse_dtd;
+    use xproj_dtd::Dtd;
+
+    fn labels(dtd: &Dtd, p: &Projector) -> Vec<String> {
+        p.labels(dtd).iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Paper §4.1 running example.
+    fn paper_dtd() -> Dtd {
+        parse_dtd(
+            "<!ELEMENT c (a, b)>\
+             <!ELEMENT a (d, #PCDATA)>\
+             <!ELEMENT b (#PCDATA)>\
+             <!ELEMENT d (a?)>",
+            "c",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn child_path_keeps_spine_only() {
+        let d = paper_dtd();
+        let mut sa = StaticAnalyzer::new(&d);
+        let p = sa.project_query_exact("/c/a").unwrap();
+        assert_eq!(labels(&d, &p), vec!["a", "c"]);
+    }
+
+    #[test]
+    fn materialisation_adds_result_subtrees() {
+        let d = paper_dtd();
+        let mut sa = StaticAnalyzer::new(&d);
+        let p = sa.project_query("/c/a").unwrap();
+        // a's subtree: d, a#text (recursively a again)
+        assert_eq!(labels(&d, &p), vec!["a", "a#text", "c", "d"]);
+    }
+
+    #[test]
+    fn impossible_query_prunes_everything_but_nothing_breaks() {
+        let d = paper_dtd();
+        let mut sa = StaticAnalyzer::new(&d);
+        let p = sa.project_query_exact("/zzz/child::a").unwrap();
+        // The root name is kept (the base environment) but nothing below.
+        assert!(labels(&d, &p).len() <= 1);
+    }
+
+    #[test]
+    fn descendant_rule_prunes_useless_subtrees() {
+        let d = paper_dtd();
+        let mut sa = StaticAnalyzer::new(&d);
+        // //d : b and the text names are useless
+        let p = sa.project_query_exact("//d").unwrap();
+        let l = labels(&d, &p);
+        assert!(l.contains(&"c".to_string()));
+        assert!(l.contains(&"a".to_string()));
+        assert!(l.contains(&"d".to_string()));
+        assert!(!l.contains(&"b".to_string()), "{l:?}");
+        assert!(!l.contains(&"a#text".to_string()), "{l:?}");
+    }
+
+    #[test]
+    fn condition_data_needs_are_kept() {
+        let d = paper_dtd();
+        let mut sa = StaticAnalyzer::new(&d);
+        let p = sa.project_query_exact("/c/a[child::d]").unwrap();
+        let l = labels(&d, &p);
+        assert!(l.contains(&"d".to_string()), "{l:?}");
+        assert!(!l.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn upward_axis_projector() {
+        let d = paper_dtd();
+        let mut sa = StaticAnalyzer::new(&d);
+        let p = sa.project_query_exact("/c/a/parent::node()").unwrap();
+        let l = labels(&d, &p);
+        assert_eq!(l, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn union_of_queries() {
+        let d = paper_dtd();
+        let mut sa = StaticAnalyzer::new(&d);
+        let p = sa
+            .project_queries(["/c/a[child::d]", "/c/b"])
+            .unwrap();
+        let l = labels(&d, &p);
+        assert!(l.contains(&"b".to_string()));
+        assert!(l.contains(&"d".to_string()));
+    }
+
+    #[test]
+    fn memoisation_consistency() {
+        let d = paper_dtd();
+        let mut sa = StaticAnalyzer::new(&d);
+        let p1 = sa.project_query_exact("//a[child::d]/child::text()").unwrap();
+        let p2 = sa.project_query_exact("//a[child::d]/child::text()").unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn expression_query_is_rejected() {
+        let d = paper_dtd();
+        let mut sa = StaticAnalyzer::new(&d);
+        assert!(matches!(
+            sa.project_query("count(//a)"),
+            Err(AnalyzeError::NotAPath(_))
+        ));
+        assert!(matches!(
+            sa.project_query("//a["),
+            Err(AnalyzeError::Parse(_))
+        ));
+    }
+}

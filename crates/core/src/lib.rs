@@ -1,0 +1,51 @@
+//! Type-based XML projection — the primary contribution of
+//! *"Type-Based XML Projection"* (Benzaken, Castagna, Colazzo, Nguyên,
+//! VLDB 2006).
+//!
+//! Given a DTD `(X, E)` and an XPath/XQuery workload, the [`analysis`] /
+//! [`typeinf`] / [`infer`] modules statically compute a **type projector**
+//! π ⊆ DN(E) (Def. 2.6): a chain-closed set of DTD names such that pruning
+//! every node whose name is outside π (Def. 2.7) provably preserves the
+//! result of every query in the workload (Thm. 4.5). On well-behaved DTDs
+//! (\*-guarded, non-recursive, parent-unambiguous) and strongly-specified
+//! queries the projector is furthermore optimal (Thm. 4.7).
+//!
+//! Pruning itself ([`prune`] in memory, [`stream`] over SAX events) is a
+//! single bufferless pass: because element tags determine names in a local
+//! tree grammar, the keep/discard decision per element is one bitset probe.
+//!
+//! ```
+//! use xproj_core::StaticAnalyzer;
+//! use xproj_dtd::parse_dtd;
+//!
+//! let dtd = parse_dtd(
+//!     "<!ELEMENT bib (book*)> <!ELEMENT book (title, author*)>\
+//!      <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>",
+//!     "bib",
+//! ).unwrap();
+//! let mut analyzer = StaticAnalyzer::new(&dtd);
+//! let projector = analyzer.project_query("/bib/book/title").unwrap();
+//! // `author` is pruned away, `title` (and its text) survive:
+//! let pruned = xproj_core::stream::prune_str(
+//!     "<bib><book><title>T</title><author>A</author></book></bib>",
+//!     &dtd,
+//!     &projector,
+//! ).unwrap();
+//! assert_eq!(pruned.output, "<bib><book><title>T</title></book></bib>");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod infer;
+pub mod projector;
+pub mod prune;
+pub mod stream;
+pub mod typeinf;
+
+pub use analysis::{Analyzer, NormPaths, PStep, PathId};
+pub use infer::StaticAnalyzer;
+pub use projector::Projector;
+pub use infer::AnalyzeError;
+pub use prune::prune_document;
+pub use stream::{prune_str, prune_validate_str, StreamPruneResult};

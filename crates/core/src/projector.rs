@@ -1,0 +1,232 @@
+//! Type projectors (paper Def. 2.6): chain-closed sets of DTD names used
+//! to prune documents.
+
+use std::fmt;
+use xproj_dtd::{Dtd, NameId, NameSet};
+
+/// A type projector π for a DTD `(X, E)`.
+///
+/// Projectors produced by [`crate::StaticAnalyzer`] are *normalised*: every
+/// member name lies on a chain from the root all contained in π, which is
+/// exactly Def. 2.6 (π = ⋃ Names(c) for a set of chains C rooted at X).
+/// Projectors are closed under union (§5: multi-query workloads use the
+/// union of the per-query projectors).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Projector {
+    names: NameSet,
+}
+
+impl Projector {
+    /// Wraps a name-set (over the DTD universe) as a projector,
+    /// normalising it: names not reachable from the root *inside* the set
+    /// are dropped. Dropping them never changes the pruning semantics —
+    /// a node whose ancestors are pruned disappears with them — it only
+    /// restores the chain property of Def. 2.6.
+    pub fn normalized(dtd: &Dtd, names: NameSet) -> Self {
+        let mut keep = NameSet::empty(dtd.name_count());
+        if names.contains(dtd.root()) {
+            // BFS from the root through edges staying inside `names`.
+            let mut stack = vec![dtd.root()];
+            keep.insert(dtd.root());
+            while let Some(x) = stack.pop() {
+                for y in dtd.children_of(x) {
+                    if names.contains(y) && keep.insert(y) {
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+        Projector { names: keep }
+    }
+
+    /// The empty projector (prunes everything).
+    pub fn empty(dtd: &Dtd) -> Self {
+        Projector {
+            names: NameSet::empty(dtd.name_count()),
+        }
+    }
+
+    /// The full projector (prunes nothing reachable).
+    pub fn full(dtd: &Dtd) -> Self {
+        Projector::normalized(dtd, dtd.full_set())
+    }
+
+    /// Membership.
+    pub fn contains(&self, n: NameId) -> bool {
+        self.names.contains(n)
+    }
+
+    /// The underlying name-set.
+    pub fn names(&self) -> &NameSet {
+        &self.names
+    }
+
+    /// Number of names kept.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the projector prunes everything.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Union with another projector (both must come from the same DTD).
+    /// Projectors are closed under union, so no re-normalisation is
+    /// needed: chains of both operands remain chains of the union.
+    pub fn union(&self, other: &Projector) -> Projector {
+        Projector {
+            names: self.names.union(&other.names),
+        }
+    }
+
+    /// Human-readable member labels, sorted.
+    pub fn labels<'d>(&self, dtd: &'d Dtd) -> Vec<&'d str> {
+        let mut v: Vec<&str> = self.names.iter().map(|n| dtd.label(n)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Serialises the projector as one label per line — a portable format
+    /// for the CLI ("analyse once, prune many documents later").
+    pub fn to_text(&self, dtd: &Dtd) -> String {
+        let mut s = String::new();
+        for l in self.labels(dtd) {
+            s.push_str(l);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses the [`Self::to_text`] format against a DTD. Unknown labels
+    /// are reported; the result is normalised.
+    pub fn from_text(dtd: &Dtd, text: &str) -> Result<Projector, String> {
+        let mut names = NameSet::empty(dtd.name_count());
+        let mut by_label: std::collections::HashMap<&str, NameId> =
+            std::collections::HashMap::new();
+        for n in dtd.all_names() {
+            by_label.insert(dtd.label(n), n);
+        }
+        for line in text.lines() {
+            let l = line.trim();
+            if l.is_empty() || l.starts_with('#') {
+                continue;
+            }
+            match by_label.get(l) {
+                Some(&n) => {
+                    names.insert(n);
+                }
+                None => return Err(format!("unknown name '{l}' for this DTD")),
+            }
+        }
+        Ok(Projector::normalized(dtd, names))
+    }
+}
+
+impl fmt::Debug for Projector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Projector({} names)", self.names.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xproj_dtd::parse_dtd;
+
+    fn dtd() -> Dtd {
+        parse_dtd(
+            "<!ELEMENT a (b, c)> <!ELEMENT b (d?)> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>",
+            "a",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn normalisation_drops_unrooted_names() {
+        let d = dtd();
+        let b = d.name_of_tag_str("b").unwrap();
+        let dd = d.name_of_tag_str("d").unwrap();
+        // {b, d} without the root: nothing survives
+        let p = Projector::normalized(&d, NameSet::from_iter(d.name_count(), [b, dd]));
+        assert!(p.is_empty());
+        // {a, d} without b: d is unreachable inside the set
+        let a = d.name_of_tag_str("a").unwrap();
+        let p2 = Projector::normalized(&d, NameSet::from_iter(d.name_count(), [a, dd]));
+        assert_eq!(p2.labels(&d), vec!["a"]);
+    }
+
+    #[test]
+    fn chain_property_holds_after_normalisation() {
+        let d = dtd();
+        let p = Projector::full(&d);
+        for n in p.names().iter() {
+            // every member has a parent in the projector (or is the root)
+            assert!(
+                n == d.root() || d.parents_of(n).iter().any(|q| p.contains(q)),
+                "{} breaks the chain property",
+                d.label(n)
+            );
+        }
+    }
+
+    #[test]
+    fn union_is_monotone() {
+        let d = dtd();
+        let a = d.name_of_tag_str("a").unwrap();
+        let b = d.name_of_tag_str("b").unwrap();
+        let c = d.name_of_tag_str("c").unwrap();
+        let p1 = Projector::normalized(&d, NameSet::from_iter(d.name_count(), [a, b]));
+        let p2 = Projector::normalized(&d, NameSet::from_iter(d.name_count(), [a, c]));
+        let u = p1.union(&p2);
+        assert_eq!(u.labels(&d), vec!["a", "b", "c"]);
+        assert!(u.contains(b) && u.contains(c));
+    }
+
+    #[test]
+    fn full_excludes_unreachable() {
+        let d = parse_dtd("<!ELEMENT a EMPTY> <!ELEMENT junk EMPTY>", "a").unwrap();
+        let p = Projector::full(&d);
+        assert_eq!(p.labels(&d), vec!["a"]);
+    }
+}
+
+#[cfg(test)]
+mod text_format_tests {
+    use super::*;
+    use xproj_dtd::parse_dtd;
+
+    #[test]
+    fn text_round_trip() {
+        let d = parse_dtd(
+            "<!ELEMENT a (b, c)> <!ELEMENT b (#PCDATA)> <!ELEMENT c EMPTY>",
+            "a",
+        )
+        .unwrap();
+        let p = Projector::full(&d);
+        let text = p.to_text(&d);
+        let back = Projector::from_text(&d, &text).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let d = parse_dtd("<!ELEMENT a (b)> <!ELEMENT b EMPTY>", "a").unwrap();
+        let p = Projector::from_text(&d, "# keep these\na\n\nb\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unknown_label_errors() {
+        let d = parse_dtd("<!ELEMENT a EMPTY>", "a").unwrap();
+        assert!(Projector::from_text(&d, "zzz\n").is_err());
+    }
+
+    #[test]
+    fn loaded_projector_is_normalised() {
+        let d = parse_dtd("<!ELEMENT a (b)> <!ELEMENT b EMPTY>", "a").unwrap();
+        // b without a: normalisation drops it
+        let p = Projector::from_text(&d, "b\n").unwrap();
+        assert!(p.is_empty());
+    }
+}

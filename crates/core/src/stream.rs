@@ -1,0 +1,525 @@
+//! Streaming π-projection: a single bufferless pass over SAX events.
+//!
+//! This is the deployment mode the paper's §6 measures: pruning time is
+//! linear in the document size, memory is bounded by the element-nesting
+//! depth (one name per open element, one skip counter), and the pass can
+//! be fused with parsing/validation. Because a DTD is a *local* tree
+//! grammar the decision per start-tag is one hash lookup plus one bitset
+//! probe; a discarded element just bumps a depth counter until its end
+//! tag.
+
+use crate::projector::Projector;
+use std::fmt::Write as _;
+use xproj_dtd::{Dtd, NameId};
+use xproj_xmltree::document::{escape_attr, escape_text};
+use xproj_xmltree::events::{Event, XmlReader};
+
+/// Outcome of a streaming prune.
+#[derive(Debug, Clone)]
+pub struct StreamPruneResult {
+    /// The pruned serialized document.
+    pub output: String,
+    /// Elements written.
+    pub elements_kept: usize,
+    /// Elements discarded (with their whole subtrees).
+    pub elements_pruned: usize,
+    /// Text nodes written.
+    pub text_kept: usize,
+    /// Text nodes discarded.
+    pub text_pruned: usize,
+    /// Maximum element nesting depth seen (the memory bound).
+    pub max_depth: usize,
+}
+
+impl StreamPruneResult {
+    /// Fraction of the input retained, in bytes, against `input_len`.
+    pub fn retention(&self, input_len: usize) -> f64 {
+        if input_len == 0 {
+            return 1.0;
+        }
+        self.output.len() as f64 / input_len as f64
+    }
+}
+
+/// Errors from streaming pruning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamPruneError {
+    /// The input is not well-formed XML.
+    Xml(String),
+    /// An element is not declared by the DTD (the document cannot be
+    /// valid, so the projector gives no guarantee).
+    UndeclaredElement(String),
+}
+
+impl std::fmt::Display for StreamPruneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamPruneError::Xml(m) => write!(f, "streaming prune: {m}"),
+            StreamPruneError::UndeclaredElement(t) => {
+                write!(f, "streaming prune: element '{t}' not declared in DTD")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamPruneError {}
+
+/// Prunes a serialized document in one pass.
+///
+/// Only the open-element name stack is retained (O(depth) memory); kept
+/// events are appended to the output as they arrive.
+pub fn prune_str(
+    input: &str,
+    dtd: &Dtd,
+    projector: &Projector,
+) -> Result<StreamPruneResult, StreamPruneError> {
+    let mut reader = XmlReader::new(input);
+    let mut out = String::with_capacity(input.len() / 2);
+    // Names of open *kept* elements (for text decisions).
+    let mut stack: Vec<NameId> = Vec::with_capacity(32);
+    // When > 0 we are inside a pruned subtree.
+    let mut skip_depth: usize = 0;
+    // A start tag whose '>' is not yet written (lets us emit `<x/>` for
+    // kept elements that end up empty, matching the tree serializer).
+    let mut open_pending = false;
+    let mut stats = StreamPruneResult {
+        output: String::new(),
+        elements_kept: 0,
+        elements_pruned: 0,
+        text_kept: 0,
+        text_pruned: 0,
+        max_depth: 0,
+    };
+    loop {
+        match reader.next_event().map_err(|e| StreamPruneError::Xml(e.to_string()))? {
+            Event::StartElement { name, attrs, .. } => {
+                if skip_depth > 0 {
+                    skip_depth += 1;
+                    continue;
+                }
+                let nm = dtd
+                    .name_of_tag_str(name)
+                    .ok_or_else(|| StreamPruneError::UndeclaredElement(name.to_string()))?;
+                if projector.contains(nm) {
+                    if open_pending {
+                        out.push('>');
+                    }
+                    stack.push(nm);
+                    stats.max_depth = stats.max_depth.max(stack.len());
+                    stats.elements_kept += 1;
+                    out.push('<');
+                    out.push_str(name);
+                    for a in &attrs {
+                        let _ = write!(out, " {}=\"", a.name);
+                        escape_attr(&a.value, &mut out);
+                        out.push('"');
+                    }
+                    open_pending = true;
+                } else {
+                    stats.elements_pruned += 1;
+                    skip_depth = 1;
+                }
+            }
+            Event::EndElement { name } => {
+                if skip_depth > 0 {
+                    skip_depth -= 1;
+                    continue;
+                }
+                stack.pop();
+                if open_pending {
+                    out.push_str("/>");
+                    open_pending = false;
+                } else {
+                    out.push_str("</");
+                    out.push_str(name);
+                    out.push('>');
+                }
+            }
+            Event::Text(t) => {
+                if skip_depth > 0 {
+                    stats.text_pruned += 1;
+                    continue;
+                }
+                let Some(&parent) = stack.last() else {
+                    continue;
+                };
+                // Keep text iff some String-name of the parent's content
+                // model is in π (unique under the splitting heuristic).
+                let keep = dtd
+                    .text_children_of(parent)
+                    .iter()
+                    .any(|tn| projector.contains(tn));
+                if keep {
+                    if open_pending {
+                        out.push('>');
+                        open_pending = false;
+                    }
+                    stats.text_kept += 1;
+                    escape_text(&t, &mut out);
+                } else {
+                    stats.text_pruned += 1;
+                }
+            }
+            Event::Comment(_) | Event::ProcessingInstruction(_) | Event::Doctype { .. } => {}
+            Event::Eof => break,
+        }
+    }
+    stats.output = out;
+    Ok(stats)
+}
+
+/// Prunes and *validates* in the same single pass (§6: "an optional
+/// validation option … makes it possible to prune the document while
+/// validating it. Programs that use an external validator can therefore
+/// prune their document without any overhead").
+///
+/// Memory stays O(depth): one `(name, NFA state-set)` pair per open
+/// element — including pruned ones, which must still be validated.
+pub fn prune_validate_str(
+    input: &str,
+    dtd: &Dtd,
+    projector: &Projector,
+) -> Result<StreamPruneResult, StreamPruneError> {
+    let mut reader = XmlReader::new(input);
+    let mut out = String::with_capacity(input.len() / 2);
+    struct Open {
+        name: NameId,
+        states: Vec<u32>,
+        kept: bool,
+    }
+    let mut stack: Vec<Open> = Vec::with_capacity(32);
+    let mut stats = StreamPruneResult {
+        output: String::new(),
+        elements_kept: 0,
+        elements_pruned: 0,
+        text_kept: 0,
+        text_pruned: 0,
+        max_depth: 0,
+    };
+    let mut open_pending = false;
+    let invalid = |m: String| StreamPruneError::Xml(format!("validation: {m}"));
+    loop {
+        match reader
+            .next_event()
+            .map_err(|e| StreamPruneError::Xml(e.to_string()))?
+        {
+            Event::StartElement { name, attrs, .. } => {
+                let nm = dtd
+                    .name_of_tag_str(name)
+                    .ok_or_else(|| StreamPruneError::UndeclaredElement(name.to_string()))?;
+                // validate: the root must match; children advance the
+                // parent's automaton.
+                match stack.last_mut() {
+                    None => {
+                        if nm != dtd.root() {
+                            return Err(invalid(format!(
+                                "root element '{name}' does not match DTD root '{}'",
+                                dtd.label(dtd.root())
+                            )));
+                        }
+                    }
+                    Some(parent) => {
+                        let auto = dtd
+                            .automaton(parent.name)
+                            .expect("open elements have content models");
+                        if !auto.step(&mut parent.states, nm) {
+                            return Err(invalid(format!(
+                                "element '{name}' not allowed here inside '{}'",
+                                dtd.label(parent.name)
+                            )));
+                        }
+                    }
+                }
+                let kept = projector.contains(nm)
+                    && stack.last().map(|p| p.kept).unwrap_or(true);
+                if kept {
+                    if open_pending {
+                        out.push('>');
+                    }
+                    stats.elements_kept += 1;
+                    out.push('<');
+                    out.push_str(name);
+                    for a in &attrs {
+                        let _ = write!(out, " {}=\"", a.name);
+                        escape_attr(&a.value, &mut out);
+                        out.push('"');
+                    }
+                    open_pending = true;
+                } else if stack.last().map(|p| p.kept).unwrap_or(true) {
+                    // root of a pruned subtree
+                    stats.elements_pruned += 1;
+                }
+                let states = dtd
+                    .automaton(nm)
+                    .expect("element names have content models")
+                    .start();
+                stack.push(Open {
+                    name: nm,
+                    states,
+                    kept,
+                });
+                stats.max_depth = stats.max_depth.max(stack.len());
+            }
+            Event::EndElement { name } => {
+                let open = stack.pop().expect("reader guarantees balance");
+                let auto = dtd.automaton(open.name).expect("content model");
+                if !auto.accepts(&open.states) {
+                    return Err(invalid(format!(
+                        "content of '{name}' does not match its model"
+                    )));
+                }
+                if open.kept {
+                    if open_pending {
+                        out.push_str("/>");
+                        open_pending = false;
+                    } else {
+                        out.push_str("</");
+                        out.push_str(name);
+                        out.push('>');
+                    }
+                }
+            }
+            Event::Text(t) => {
+                let Some(parent) = stack.last_mut() else {
+                    continue;
+                };
+                let text_name = dtd.text_children_of(parent.name).iter().next();
+                let Some(tn) = text_name else {
+                    return Err(invalid(format!(
+                        "text not allowed inside '{}'",
+                        dtd.label(parent.name)
+                    )));
+                };
+                let auto = dtd.automaton(parent.name).expect("content model");
+                if !auto.step(&mut parent.states, tn) {
+                    return Err(invalid(format!(
+                        "text not allowed at this position inside '{}'",
+                        dtd.label(parent.name)
+                    )));
+                }
+                if parent.kept && projector.contains(tn) {
+                    if open_pending {
+                        out.push('>');
+                        open_pending = false;
+                    }
+                    stats.text_kept += 1;
+                    escape_text(&t, &mut out);
+                } else {
+                    stats.text_pruned += 1;
+                }
+            }
+            Event::Comment(_) | Event::ProcessingInstruction(_) | Event::Doctype { .. } => {}
+            Event::Eof => break,
+        }
+    }
+    stats.output = out;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::StaticAnalyzer;
+    use xproj_dtd::parse_dtd;
+
+    const DTD: &str = "\
+        <!ELEMENT bib (book*)>\
+        <!ELEMENT book (title, author*, price?)>\
+        <!ATTLIST book id CDATA #IMPLIED>\
+        <!ELEMENT title (#PCDATA)>\
+        <!ELEMENT author (#PCDATA)>\
+        <!ELEMENT price (#PCDATA)>";
+
+    const DOC: &str = "<bib>\
+        <book id=\"b1\"><title>T1</title><author>A</author><price>10</price></book>\
+        <book id=\"b2\"><title>T2</title></book>\
+        </bib>";
+
+    #[test]
+    fn stream_matches_in_memory_prune() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let mut sa = StaticAnalyzer::new(&dtd);
+        for q in ["/bib/book/title", "/bib/book[price]/author", "//price"] {
+            let p = sa.project_query(q).unwrap();
+            let streamed = prune_str(DOC, &dtd, &p).unwrap();
+            // reparse + in-memory prune must agree
+            let doc = xproj_xmltree::parser::parse_with_options(
+                DOC,
+                xproj_xmltree::parser::ParseOptions {
+                    ignore_whitespace_text: true,
+                    interner: Some(dtd.tags.clone()),
+                },
+            )
+            .unwrap();
+            let interp = xproj_dtd::validate(&doc, &dtd).unwrap();
+            let in_mem = crate::prune::prune_document(&doc, &dtd, &interp, &p);
+            assert_eq!(streamed.output, in_mem.to_xml(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn stats_reflect_pruning() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let mut sa = StaticAnalyzer::new(&dtd);
+        let p = sa.project_query("/bib/book/title").unwrap();
+        let r = prune_str(DOC, &dtd, &p).unwrap();
+        assert_eq!(r.elements_kept, 5); // bib, 2×book, 2×title
+        assert_eq!(r.elements_pruned, 2); // author, price
+        assert_eq!(r.text_kept, 2); // the two titles
+        assert!(r.retention(DOC.len()) < 1.0);
+        assert_eq!(r.max_depth, 3);
+    }
+
+    #[test]
+    fn whitespace_outside_kept_regions() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let mut sa = StaticAnalyzer::new(&dtd);
+        let p = sa.project_query("/bib/book/title").unwrap();
+        let r = prune_str(
+            "<bib>\n  <book><title>T</title><author>A</author></book>\n</bib>",
+            &dtd,
+            &p,
+        )
+        .unwrap();
+        // bib allows no text: whitespace dropped
+        assert_eq!(r.output, "<bib><book><title>T</title></book></bib>");
+    }
+
+    #[test]
+    fn undeclared_element_is_an_error() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let p = Projector::full(&dtd);
+        let err = prune_str("<bib><pamphlet/></bib>", &dtd, &p).unwrap_err();
+        assert!(matches!(err, StreamPruneError::UndeclaredElement(_)));
+    }
+
+    #[test]
+    fn malformed_xml_is_an_error() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let p = Projector::full(&dtd);
+        assert!(matches!(
+            prune_str("<bib><book>", &dtd, &p),
+            Err(StreamPruneError::Xml(_))
+        ));
+    }
+
+    #[test]
+    fn empty_projector_streams_to_empty() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let p = Projector::empty(&dtd);
+        let r = prune_str(DOC, &dtd, &p).unwrap();
+        assert_eq!(r.output, "");
+        assert_eq!(r.elements_kept, 0);
+    }
+
+    #[test]
+    fn doctype_and_comments_are_dropped() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let p = Projector::full(&dtd);
+        let r = prune_str(
+            "<!DOCTYPE bib SYSTEM \"b.dtd\"><!-- hi --><bib/>",
+            &dtd,
+            &p,
+        )
+        .unwrap();
+        assert_eq!(r.output, "<bib/>");
+    }
+}
+
+#[cfg(test)]
+mod validate_tests {
+    use super::*;
+    use crate::infer::StaticAnalyzer;
+    use xproj_dtd::parse_dtd;
+
+    const DTD: &str = "\
+        <!ELEMENT bib (book*)>\
+        <!ELEMENT book (title, author*, price?)>\
+        <!ELEMENT title (#PCDATA)>\
+        <!ELEMENT author (#PCDATA)>\
+        <!ELEMENT price (#PCDATA)>";
+
+    #[test]
+    fn valid_document_prunes_identically() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let mut sa = StaticAnalyzer::new(&dtd);
+        let p = sa.project_query("/bib/book/title").unwrap();
+        let doc = "<bib><book><title>T</title><author>A</author></book></bib>";
+        let plain = prune_str(doc, &dtd, &p).unwrap();
+        let validated = prune_validate_str(doc, &dtd, &p).unwrap();
+        assert_eq!(plain.output, validated.output);
+        assert_eq!(plain.elements_kept, validated.elements_kept);
+    }
+
+    #[test]
+    fn invalid_content_detected_even_inside_pruned_subtrees() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let mut sa = StaticAnalyzer::new(&dtd);
+        let p = sa.project_query("/bib/book/title").unwrap();
+        // author before title: invalid, although author is pruned anyway
+        let doc = "<bib><book><author>A</author><title>T</title></book></bib>";
+        assert!(prune_str(doc, &dtd, &p).is_ok()); // plain pruner ignores it
+        let err = prune_validate_str(doc, &dtd, &p).unwrap_err();
+        assert!(matches!(err, StreamPruneError::Xml(m) if m.contains("not allowed")));
+    }
+
+    #[test]
+    fn missing_required_child_detected() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let p = Projector::full(&dtd);
+        let err = prune_validate_str("<bib><book><author>A</author></book></bib>", &dtd, &p)
+            .unwrap_err();
+        assert!(matches!(err, StreamPruneError::Xml(_)));
+    }
+
+    #[test]
+    fn wrong_root_detected() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let p = Projector::full(&dtd);
+        assert!(prune_validate_str("<book/>", &dtd, &p).is_err());
+    }
+
+    #[test]
+    fn stray_text_detected() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let p = Projector::full(&dtd);
+        assert!(prune_validate_str("<bib>oops</bib>", &dtd, &p).is_err());
+    }
+
+    #[test]
+    fn agrees_with_tree_validation_on_xmark() {
+        let dtd = xproj_xmark_stub::auction_dtd();
+        let doc = xproj_xmark_stub::generate(&dtd, 0.05);
+        let xml = doc.to_xml();
+        let mut sa = StaticAnalyzer::new(&dtd);
+        let p = sa.project_query("//keyword").unwrap();
+        let r = prune_validate_str(&xml, &dtd, &p).unwrap();
+        let plain = prune_str(&xml, &dtd, &p).unwrap();
+        assert_eq!(r.output, plain.output);
+    }
+
+    /// Tiny local stand-ins to avoid a dev-dependency cycle with the
+    /// xmark crate: a miniature auction-like recursive DTD and generator.
+    mod xproj_xmark_stub {
+        use xproj_dtd::generate::{generate as gen, GenConfig};
+        use xproj_dtd::{parse_dtd, Dtd};
+        use xproj_xmltree::Document;
+
+        pub fn auction_dtd() -> Dtd {
+            parse_dtd(
+                "<!ELEMENT site (item*)>\
+                 <!ELEMENT item (name, description)>\
+                 <!ELEMENT name (#PCDATA)>\
+                 <!ELEMENT description (#PCDATA | keyword | bold)*>\
+                 <!ELEMENT keyword (#PCDATA)>\
+                 <!ELEMENT bold (#PCDATA | keyword)*>",
+                "site",
+            )
+            .unwrap()
+        }
+
+        pub fn generate(dtd: &Dtd, _scale: f64) -> Document {
+            gen(dtd, 7, &GenConfig::default())
+        }
+    }
+}

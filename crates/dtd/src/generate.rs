@@ -1,0 +1,281 @@
+//! Random generation of valid documents from a DTD.
+//!
+//! Used by property-based tests (generate a document, prune it with an
+//! inferred projector, check query results are unchanged) and by the
+//! completeness experiments. The generator walks content models
+//! producing matching child words; unbounded constructs (`*`, `+`,
+//! recursion) are damped by a depth budget so generation terminates on
+//! recursive DTDs.
+
+use crate::grammar::{Content, Dtd};
+use crate::nameset::NameId;
+use crate::regex::Regex;
+use xproj_xmltree::{Document, NodeId};
+
+/// Knobs for the generator.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Expected repetitions for `*`/`+` at depth 0 (halves as depth grows).
+    pub fanout: f64,
+    /// Depth beyond which optional content is dropped whenever possible.
+    pub max_depth: usize,
+    /// Words per generated text node.
+    pub text_words: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            fanout: 2.0,
+            max_depth: 12,
+            text_words: 3,
+        }
+    }
+}
+
+/// A tiny deterministic PRNG (xorshift64*), so the dtd crate does not
+/// depend on `rand` and generation is reproducible from a seed.
+#[derive(Clone, Debug)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+const WORDS: &[&str] = &[
+    "gold", "silver", "auction", "lorem", "ipsum", "dolor", "amet", "offer", "price", "rare",
+    "vintage", "mint", "original", "shipping", "reserve",
+];
+
+/// Generates a random valid document (shares the DTD's interner, so tag
+/// ids line up for validation).
+pub fn generate(dtd: &Dtd, seed: u64, config: &GenConfig) -> Document {
+    let mut doc = Document::with_interner(dtd.tags.clone());
+    let mut rng = SplitMix::new(seed);
+    emit(dtd, dtd.root(), NodeId::DOCUMENT, &mut doc, &mut rng, 0, config);
+    doc
+}
+
+fn emit(
+    dtd: &Dtd,
+    name: NameId,
+    parent: NodeId,
+    doc: &mut Document,
+    rng: &mut SplitMix,
+    depth: usize,
+    cfg: &GenConfig,
+) {
+    match &dtd.info(name).content {
+        Content::Text => {
+            let n = 1 + rng.below(cfg.text_words);
+            let words: Vec<&str> = (0..n).map(|_| WORDS[rng.below(WORDS.len())]).collect();
+            doc.push_text(parent, &words.join(" "));
+        }
+        Content::Element(re) => {
+            let tag = dtd.info(name).tag.expect("element name has a tag");
+            // Give some elements their declared attributes.
+            let attrs: Vec<xproj_xmltree::document::Attribute> = dtd
+                .info(name)
+                .attributes
+                .iter()
+                .map(|&a| xproj_xmltree::document::Attribute {
+                    name: a,
+                    value: format!("v{}", rng.below(1000)).into_boxed_str(),
+                })
+                .collect();
+            let me = doc.push_element_with_attrs(parent, tag, attrs);
+            let word = sample_word(re, rng, depth, cfg);
+            for child in word {
+                emit(dtd, child, me, doc, rng, depth + 1, cfg);
+            }
+        }
+    }
+}
+
+/// Samples a word of names from the language of `re`.
+fn sample_word(re: &Regex, rng: &mut SplitMix, depth: usize, cfg: &GenConfig) -> Vec<NameId> {
+    let mut out = Vec::new();
+    sample_into(re, rng, depth, cfg, &mut out);
+    out
+}
+
+fn sample_into(
+    re: &Regex,
+    rng: &mut SplitMix,
+    depth: usize,
+    cfg: &GenConfig,
+    out: &mut Vec<NameId>,
+) {
+    let deep = depth >= cfg.max_depth;
+    match re {
+        Regex::Epsilon => {}
+        Regex::Name(n) => out.push(*n),
+        Regex::Seq(rs) => {
+            for r in rs {
+                sample_into(r, rng, depth, cfg, out);
+            }
+        }
+        Regex::Alt(rs) => {
+            let pick = if deep {
+                // Prefer the shallowest alternative when deep: approximate
+                // by choosing a nullable branch if one exists.
+                rs.iter()
+                    .position(Regex::nullable)
+                    .unwrap_or_else(|| rng.below(rs.len()))
+            } else {
+                rng.below(rs.len())
+            };
+            sample_into(&rs[pick], rng, depth, cfg, out);
+        }
+        Regex::Star(r) => {
+            let reps = repetitions(rng, depth, cfg, 0);
+            for _ in 0..reps {
+                sample_into(r, rng, depth, cfg, out);
+            }
+        }
+        Regex::Plus(r) => {
+            let reps = repetitions(rng, depth, cfg, 1);
+            for _ in 0..reps {
+                sample_into(r, rng, depth, cfg, out);
+            }
+        }
+        Regex::Opt(r) => {
+            if !deep && rng.unit() < 0.5 {
+                sample_into(r, rng, depth, cfg, out);
+            }
+        }
+    }
+}
+
+fn repetitions(rng: &mut SplitMix, depth: usize, cfg: &GenConfig, min: usize) -> usize {
+    let damp = cfg.fanout / (1.0 + depth as f64 / 4.0);
+    let mut n = min;
+    let mut p = damp / (1.0 + damp);
+    if depth >= cfg.max_depth {
+        return min;
+    }
+    while rng.unit() < p && n < min + 8 {
+        n += 1;
+        p *= 0.7;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dtd;
+    use crate::validate::validate;
+
+    const BOOKS: &str = "\
+        <!ELEMENT bib (book*)>\
+        <!ELEMENT book (title, author+, year?)>\
+        <!ATTLIST book isbn CDATA #REQUIRED>\
+        <!ELEMENT title (#PCDATA)>\
+        <!ELEMENT author (#PCDATA)>\
+        <!ELEMENT year (#PCDATA)>";
+
+    #[test]
+    fn generated_documents_validate() {
+        let dtd = parse_dtd(BOOKS, "bib").unwrap();
+        for seed in 0..50 {
+            let doc = generate(&dtd, seed, &GenConfig::default());
+            assert!(
+                validate(&doc, &dtd).is_ok(),
+                "seed {seed} produced an invalid document:\n{}",
+                doc.to_xml()
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_dtds_terminate() {
+        let dtd = parse_dtd(
+            "<!ELEMENT a (a*, b?)> <!ELEMENT b (#PCDATA)>",
+            "a",
+        )
+        .unwrap();
+        for seed in 0..30 {
+            let doc = generate(&dtd, seed, &GenConfig::default());
+            assert!(validate(&doc, &dtd).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deep_recursion_is_damped() {
+        let dtd = parse_dtd("<!ELEMENT a (a?)>", "a").unwrap();
+        let cfg = GenConfig {
+            max_depth: 5,
+            ..Default::default()
+        };
+        for seed in 0..20 {
+            let doc = generate(&dtd, seed, &cfg);
+            let root = doc.root_element().unwrap();
+            let depth = doc
+                .descendants(root)
+                .map(|n| doc.depth(n))
+                .max()
+                .unwrap_or(1);
+            assert!(depth <= 8, "depth {depth} too large");
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let dtd = parse_dtd(BOOKS, "bib").unwrap();
+        let a = generate(&dtd, 42, &GenConfig::default()).to_xml();
+        let b = generate(&dtd, 42, &GenConfig::default()).to_xml();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let dtd = parse_dtd(BOOKS, "bib").unwrap();
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..20 {
+            distinct.insert(generate(&dtd, seed, &GenConfig::default()).to_xml());
+        }
+        assert!(distinct.len() > 5);
+    }
+
+    #[test]
+    fn attributes_generated() {
+        let dtd = parse_dtd(BOOKS, "bib").unwrap();
+        // find a seed that generates at least one book
+        for seed in 0..50 {
+            let doc = generate(&dtd, seed, &GenConfig::default());
+            let book = doc.all_nodes().find(|&n| doc.tag_name(n) == Some("book"));
+            if let Some(book) = book {
+                assert_eq!(doc.attributes(book).len(), 1);
+                return;
+            }
+        }
+        panic!("no seed generated a book");
+    }
+}

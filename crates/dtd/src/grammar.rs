@@ -1,0 +1,563 @@
+//! DTDs as local tree grammars (paper §2.2) and the reachability
+//! machinery of Def. 2.5.
+//!
+//! A [`Dtd`] owns:
+//!
+//! * a table of *names* (non-terminals). An element name `X → a[r]`
+//!   carries its tag `a`, content model `r` and declared attributes; a
+//!   text name `Y → String` generates text nodes. Following the
+//!   implementation heuristic of §6, the DTD parser introduces one text
+//!   name *per element that allows `#PCDATA`*, so every `Y → String`
+//!   occurs in exactly one right-hand side — this is what makes pruning
+//!   precise on leaves;
+//! * the forward-reachability relation `⇒E` (children), its inverse
+//!   (parents) and both transitive closures, all as [`NameSet`] rows, so
+//!   the single-step typing functions `A_E` of Fig. 1 are unions of
+//!   bitset rows.
+
+use crate::nameset::{NameId, NameSet};
+use crate::regex::{ContentAutomaton, Regex};
+use std::collections::HashMap;
+use xproj_xmltree::{Interner, TagId};
+
+/// Right-hand side of a production.
+#[derive(Clone, Debug)]
+pub enum Content {
+    /// `X → String`: the name generates text nodes.
+    Text,
+    /// `X → a[r]`: the name generates elements tagged `a` with content `r`.
+    Element(Regex),
+}
+
+/// Everything known about one name.
+#[derive(Clone, Debug)]
+pub struct NameInfo {
+    /// Display label: the element tag, or `tag#text` for text names.
+    pub label: String,
+    /// The element tag for element names; `None` for text names.
+    pub tag: Option<TagId>,
+    /// Production right-hand side.
+    pub content: Content,
+    /// Declared attribute names (from `<!ATTLIST>`).
+    pub attributes: Vec<TagId>,
+}
+
+/// Errors arising when assembling a DTD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarError {
+    /// Two element names declared for the same tag (violates locality).
+    DuplicateTag(String),
+    /// A content model references an undeclared name.
+    UndeclaredName(String),
+    /// The root name is not an element name.
+    BadRoot,
+}
+
+impl std::fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GrammarError::DuplicateTag(t) => write!(f, "element '{t}' declared twice"),
+            GrammarError::UndeclaredName(t) => write!(f, "reference to undeclared element '{t}'"),
+            GrammarError::BadRoot => write!(f, "root must be an element name"),
+        }
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+/// A DTD `(X, E)` with precomputed reachability tables.
+pub struct Dtd {
+    /// Interner for element tags and attribute names; share it with
+    /// documents (via `ParseOptions::interner`) so tag ids line up.
+    pub tags: Interner,
+    names: Vec<NameInfo>,
+    root: NameId,
+    tag_to_name: HashMap<TagId, NameId>,
+    /// Compiled content automata, indexed by name.
+    automata: Vec<Option<ContentAutomaton>>,
+    /// `children[X] = {Y | X ⇒E Y}`.
+    children: Vec<NameSet>,
+    parents: Vec<NameSet>,
+    /// `descendants[X] = {Y | X ⇒E⁺ Y}`.
+    descendants: Vec<NameSet>,
+    ancestors: Vec<NameSet>,
+    /// Text names appearing in each element's content model.
+    text_children: Vec<NameSet>,
+}
+
+impl Dtd {
+    /// Starts building a DTD.
+    pub fn builder() -> DtdBuilder {
+        DtdBuilder::default()
+    }
+
+    /// Number of names (`|DN(E)|`).
+    pub fn name_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The root name `X`.
+    pub fn root(&self) -> NameId {
+        self.root
+    }
+
+    /// Information about a name.
+    pub fn info(&self, n: NameId) -> &NameInfo {
+        &self.names[n.index()]
+    }
+
+    /// Display label of a name.
+    pub fn label(&self, n: NameId) -> &str {
+        &self.names[n.index()].label
+    }
+
+    /// True if `n` is a text name (`n → String`).
+    pub fn is_text_name(&self, n: NameId) -> bool {
+        matches!(self.names[n.index()].content, Content::Text)
+    }
+
+    /// The name for an element tag, if declared.
+    pub fn name_of_tag(&self, tag: TagId) -> Option<NameId> {
+        self.tag_to_name.get(&tag).copied()
+    }
+
+    /// The name for an element tag given as a string.
+    pub fn name_of_tag_str(&self, tag: &str) -> Option<NameId> {
+        self.tags.get(tag).and_then(|t| self.name_of_tag(t))
+    }
+
+    /// Compiled content automaton of an element name.
+    pub fn automaton(&self, n: NameId) -> Option<&ContentAutomaton> {
+        self.automata[n.index()].as_ref()
+    }
+
+    /// Iterates over all name ids.
+    pub fn all_names(&self) -> impl Iterator<Item = NameId> {
+        (0..self.names.len() as u32).map(NameId)
+    }
+
+    /// An empty set over this DTD's name universe.
+    pub fn empty_set(&self) -> NameSet {
+        NameSet::empty(self.names.len())
+    }
+
+    /// The full set over this DTD's name universe.
+    pub fn full_set(&self) -> NameSet {
+        NameSet::full(self.names.len())
+    }
+
+    /// A singleton set over this DTD's name universe.
+    pub fn singleton(&self, n: NameId) -> NameSet {
+        NameSet::singleton(self.names.len(), n)
+    }
+
+    /// Direct children of one name: `{Y | X ⇒E Y}`.
+    pub fn children_of(&self, n: NameId) -> &NameSet {
+        &self.children[n.index()]
+    }
+
+    /// Direct parents of one name.
+    pub fn parents_of(&self, n: NameId) -> &NameSet {
+        &self.parents[n.index()]
+    }
+
+    /// Strict descendants of one name (`⇒E⁺`).
+    pub fn descendants_of(&self, n: NameId) -> &NameSet {
+        &self.descendants[n.index()]
+    }
+
+    /// Strict ancestors of one name.
+    pub fn ancestors_of(&self, n: NameId) -> &NameSet {
+        &self.ancestors[n.index()]
+    }
+
+    /// Text names occurring in the content model of element name `n`.
+    pub fn text_children_of(&self, n: NameId) -> &NameSet {
+        &self.text_children[n.index()]
+    }
+
+    /// `A_E(τ, child)` — union of children rows.
+    pub fn select_children(&self, tau: &NameSet) -> NameSet {
+        self.select(tau, &self.children)
+    }
+
+    /// `A_E(τ, parent)`.
+    pub fn select_parents(&self, tau: &NameSet) -> NameSet {
+        self.select(tau, &self.parents)
+    }
+
+    /// `A_E(τ, descendant)`.
+    pub fn select_descendants(&self, tau: &NameSet) -> NameSet {
+        self.select(tau, &self.descendants)
+    }
+
+    /// `A_E(τ, ancestor)`.
+    pub fn select_ancestors(&self, tau: &NameSet) -> NameSet {
+        self.select(tau, &self.ancestors)
+    }
+
+    fn select(&self, tau: &NameSet, rows: &[NameSet]) -> NameSet {
+        let mut out = self.empty_set();
+        for n in tau {
+            out.union_with(&rows[n.index()]);
+        }
+        out
+    }
+
+    /// Names reachable from the root, root included (`⇒E*` from `X`).
+    pub fn reachable_from_root(&self) -> NameSet {
+        let mut s = self.descendants[self.root.index()].clone();
+        s.insert(self.root);
+        s
+    }
+
+    /// `T_E(τ, tag)` — keep element names with this tag.
+    pub fn filter_tag(&self, tau: &NameSet, tag: TagId) -> NameSet {
+        match self.name_of_tag(tag) {
+            Some(n) if tau.contains(n) => self.singleton(n),
+            _ => self.empty_set(),
+        }
+    }
+
+    /// `T_E(τ, text)` — keep text names.
+    pub fn filter_text(&self, tau: &NameSet) -> NameSet {
+        NameSet::from_iter(
+            self.names.len(),
+            tau.iter().filter(|&n| self.is_text_name(n)),
+        )
+    }
+
+    /// Keep element names (the `element()` wildcard test of §6).
+    pub fn filter_element(&self, tau: &NameSet) -> NameSet {
+        NameSet::from_iter(
+            self.names.len(),
+            tau.iter().filter(|&n| !self.is_text_name(n)),
+        )
+    }
+
+    /// Keep names declaring attribute `att`.
+    pub fn filter_has_attribute(&self, tau: &NameSet, att: TagId) -> NameSet {
+        NameSet::from_iter(
+            self.names.len(),
+            tau.iter()
+                .filter(|&n| self.names[n.index()].attributes.contains(&att)),
+        )
+    }
+
+    /// Renders the whole DTD in `<!ELEMENT …>` syntax (text names are
+    /// folded back into `#PCDATA`).
+    pub fn to_dtd_syntax(&self) -> String {
+        let mut out = String::new();
+        for (i, info) in self.names.iter().enumerate() {
+            let Some(tag) = info.tag else { continue };
+            let resolve = |n: NameId| -> String {
+                let ni = &self.names[n.index()];
+                if ni.tag.is_none() {
+                    "#PCDATA".to_string()
+                } else {
+                    ni.label.clone()
+                }
+            };
+            let Content::Element(re) = &info.content else {
+                continue;
+            };
+            // DTD syntax requires the content model to be EMPTY or a
+            // parenthesised group; pure-text models print as (#PCDATA).
+            let body = match re {
+                Regex::Epsilon => "EMPTY".to_string(),
+                Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner)
+                    if matches!(inner.as_ref(), Regex::Name(n)
+                        if self.names[n.index()].tag.is_none()) =>
+                {
+                    "(#PCDATA)".to_string()
+                }
+                other => {
+                    let s = format!("{}", other.display(&resolve));
+                    if s.starts_with('(') {
+                        s
+                    } else {
+                        format!("({s})")
+                    }
+                }
+            };
+            out.push_str(&format!("<!ELEMENT {} {}>\n", self.tags.resolve(tag), body));
+            if !info.attributes.is_empty() {
+                out.push_str(&format!("<!ATTLIST {}", self.tags.resolve(tag)));
+                for a in &info.attributes {
+                    out.push_str(&format!(" {} CDATA #IMPLIED", self.tags.resolve(*a)));
+                }
+                out.push_str(">\n");
+            }
+            let _ = i;
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Dtd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Dtd({} names, root {})",
+            self.names.len(),
+            self.label(self.root)
+        )
+    }
+}
+
+/// Incremental DTD construction: declare names, then set content models.
+#[derive(Default)]
+pub struct DtdBuilder {
+    tags: Interner,
+    names: Vec<NameInfo>,
+    tag_to_name: HashMap<TagId, NameId>,
+    errors: Vec<GrammarError>,
+}
+
+impl DtdBuilder {
+    /// Declares an element name for `tag`. Errors at `finish` if the tag
+    /// is already declared (locality).
+    pub fn element(&mut self, tag: &str) -> NameId {
+        let t = self.tags.intern(tag);
+        if let Some(&existing) = self.tag_to_name.get(&t) {
+            self.errors.push(GrammarError::DuplicateTag(tag.to_string()));
+            return existing;
+        }
+        let id = NameId(self.names.len() as u32);
+        self.names.push(NameInfo {
+            label: tag.to_string(),
+            tag: Some(t),
+            content: Content::Element(Regex::Epsilon),
+            attributes: Vec::new(),
+        });
+        self.tag_to_name.insert(t, id);
+        id
+    }
+
+    /// Declares a text name (`Y → String`); `label` is for display only.
+    pub fn text(&mut self, label: &str) -> NameId {
+        let id = NameId(self.names.len() as u32);
+        self.names.push(NameInfo {
+            label: label.to_string(),
+            tag: None,
+            content: Content::Text,
+            attributes: Vec::new(),
+        });
+        id
+    }
+
+    /// Sets the content model of an element name.
+    pub fn content(&mut self, name: NameId, re: Regex) {
+        self.names[name.index()].content = Content::Element(re);
+    }
+
+    /// Declares attributes for an element name.
+    pub fn attributes(&mut self, name: NameId, atts: &[&str]) {
+        let ids: Vec<TagId> = atts.iter().map(|a| self.tags.intern(a)).collect();
+        self.names[name.index()].attributes.extend(ids);
+    }
+
+    /// Looks up an already-declared element name by tag.
+    pub fn lookup(&self, tag: &str) -> Option<NameId> {
+        self.tags.get(tag).and_then(|t| self.tag_to_name.get(&t)).copied()
+    }
+
+    /// Finalizes the DTD with root `root`, computing reachability tables.
+    pub fn finish(mut self, root: NameId) -> Result<Dtd, GrammarError> {
+        if let Some(e) = self.errors.pop() {
+            return Err(e);
+        }
+        if self.names.get(root.index()).map(|i| i.tag.is_none()) != Some(false) {
+            return Err(GrammarError::BadRoot);
+        }
+        let n = self.names.len();
+        // Validate references and build children rows.
+        let mut children = Vec::with_capacity(n);
+        let mut text_children = Vec::with_capacity(n);
+        let mut automata = Vec::with_capacity(n);
+        for info in &self.names {
+            match &info.content {
+                Content::Text => {
+                    children.push(NameSet::empty(n));
+                    text_children.push(NameSet::empty(n));
+                    automata.push(None);
+                }
+                Content::Element(re) => {
+                    let ns = re.names(n);
+                    for m in &ns {
+                        if m.index() >= n {
+                            return Err(GrammarError::UndeclaredName(format!("{m:?}")));
+                        }
+                    }
+                    let texts = NameSet::from_iter(
+                        n,
+                        ns.iter()
+                            .filter(|&m| matches!(self.names[m.index()].content, Content::Text)),
+                    );
+                    children.push(ns);
+                    text_children.push(texts);
+                    automata.push(Some(re.compile()));
+                }
+            }
+        }
+        // Parents = transpose.
+        let mut parents = vec![NameSet::empty(n); n];
+        for (x, row) in children.iter().enumerate() {
+            for y in row {
+                parents[y.index()].insert(NameId(x as u32));
+            }
+        }
+        // Transitive closures by iterated squaring-ish fixpoint (n is small:
+        // tens of names for realistic DTDs).
+        let descendants = transitive_closure(&children);
+        let ancestors = transitive_closure(&parents);
+        Ok(Dtd {
+            tags: self.tags,
+            names: self.names,
+            root,
+            tag_to_name: self.tag_to_name,
+            automata,
+            children,
+            parents,
+            descendants,
+            ancestors,
+            text_children,
+        })
+    }
+}
+
+/// Computes `⇒⁺` rows from `⇒` rows by worklist propagation.
+fn transitive_closure(direct: &[NameSet]) -> Vec<NameSet> {
+    let n = direct.len();
+    let mut closure: Vec<NameSet> = direct.to_vec();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            let row = closure[i].clone();
+            let mut acc = row.clone();
+            for j in &row {
+                acc.union_with(&closure[j.index()]);
+            }
+            if acc != closure[i] {
+                closure[i] = acc;
+                changed = true;
+            }
+        }
+    }
+    closure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example (§4.1):
+    /// `{X → c[Y,Z], Y → a[W,String], Z → b[String], W → d[Y?]}`
+    pub fn paper_dtd() -> (Dtd, NameId, NameId, NameId, NameId) {
+        let mut b = Dtd::builder();
+        let x = b.element("c");
+        let y = b.element("a");
+        let z = b.element("b");
+        let w = b.element("d");
+        let sy = b.text("a#text");
+        let sz = b.text("b#text");
+        b.content(x, Regex::Seq(vec![Regex::Name(y), Regex::Name(z)]));
+        b.content(y, Regex::Seq(vec![Regex::Name(w), Regex::Name(sy)]));
+        b.content(z, Regex::Name(sz));
+        b.content(w, Regex::Opt(Box::new(Regex::Name(y))));
+        let dtd = b.finish(x).unwrap();
+        (dtd, x, y, z, w)
+    }
+
+    #[test]
+    fn children_and_parents() {
+        let (d, x, y, z, w) = paper_dtd();
+        assert!(d.children_of(x).contains(y));
+        assert!(d.children_of(x).contains(z));
+        assert!(d.parents_of(y).contains(x));
+        assert!(d.parents_of(y).contains(w));
+        assert_eq!(d.parents_of(x).len(), 0);
+    }
+
+    #[test]
+    fn closures_handle_recursion() {
+        let (d, x, y, _, w) = paper_dtd();
+        // Y ⇒ W ⇒ Y? is recursive through W
+        assert!(d.descendants_of(y).contains(y));
+        assert!(d.descendants_of(x).contains(w));
+        assert!(d.ancestors_of(y).contains(x));
+        assert!(d.ancestors_of(y).contains(w));
+        assert!(d.ancestors_of(y).contains(y));
+    }
+
+    #[test]
+    fn tag_lookup() {
+        let (d, x, _, _, _) = paper_dtd();
+        assert_eq!(d.name_of_tag_str("c"), Some(x));
+        assert_eq!(d.name_of_tag_str("zzz"), None);
+    }
+
+    #[test]
+    fn select_axes() {
+        let (d, x, y, z, w) = paper_dtd();
+        let t = d.singleton(x);
+        let kids = d.select_children(&t);
+        assert!(kids.contains(y) && kids.contains(z) && !kids.contains(w));
+        let desc = d.select_descendants(&t);
+        assert!(desc.contains(w));
+        let par = d.select_parents(&d.singleton(y));
+        assert_eq!(par.len(), 2);
+    }
+
+    #[test]
+    fn filters() {
+        let (d, x, y, _, _) = paper_dtd();
+        let all = d.full_set();
+        let texts = d.filter_text(&all);
+        assert_eq!(texts.len(), 2);
+        let elems = d.filter_element(&all);
+        assert_eq!(elems.len(), 4);
+        let a_tag = d.tags.get("a").unwrap();
+        assert_eq!(d.filter_tag(&all, a_tag), d.singleton(y));
+        let _ = x;
+    }
+
+    #[test]
+    fn duplicate_tag_rejected() {
+        let mut b = Dtd::builder();
+        let a = b.element("a");
+        b.element("a");
+        b.content(a, Regex::Epsilon);
+        assert!(matches!(b.finish(a), Err(GrammarError::DuplicateTag(_))));
+    }
+
+    #[test]
+    fn text_root_rejected() {
+        let mut b = Dtd::builder();
+        let t = b.text("t");
+        assert!(matches!(b.finish(t), Err(GrammarError::BadRoot)));
+    }
+
+    #[test]
+    fn reachable_from_root() {
+        let mut b = Dtd::builder();
+        let a = b.element("a");
+        let c = b.element("b");
+        let orphan = b.element("orphan");
+        b.content(a, Regex::Name(c));
+        b.content(c, Regex::Epsilon);
+        b.content(orphan, Regex::Epsilon);
+        let d = b.finish(a).unwrap();
+        let r = d.reachable_from_root();
+        assert!(r.contains(a) && r.contains(c) && !r.contains(orphan));
+    }
+
+    #[test]
+    fn dtd_syntax_rendering() {
+        let (d, _, _, _, _) = paper_dtd();
+        let s = d.to_dtd_syntax();
+        assert!(s.contains("<!ELEMENT c (a, b)>"));
+        assert!(s.contains("#PCDATA"));
+    }
+}

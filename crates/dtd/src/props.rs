@@ -1,0 +1,209 @@
+//! The three structural DTD properties of Def. 4.3 that govern
+//! completeness of the static analysis:
+//!
+//! 1. **\*-guardedness** — every union in a content model is guarded by
+//!    `*` or `+`;
+//! 2. **non-recursivity** — no name reaches itself (`Y ⇒E⁺ Y` never
+//!    holds), bounding document depth;
+//! 3. **parent-unambiguity** — no name types both the parent and a strict
+//!    ancestor of the parent of another name.
+//!
+//! For parent-unambiguity we implement a *conservative* (sound for
+//! claiming the property, may reject some DTDs that technically enjoy it)
+//! check: for every root-reachable pair `Y ⇒E Z`, no intermediate chain
+//! `Y ⇒E⁺ W ⇒E Z` of length ≥ 2 may exist. The paper's definition
+//! quantifies over common chain prefixes `c`; ignoring the prefix can only
+//! flag *more* DTDs as ambiguous, never fewer, so a `true` answer is
+//! always trustworthy.
+
+use crate::grammar::{Content, Dtd};
+use crate::nameset::NameId;
+
+/// Summary of the Def. 4.3 properties for a DTD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DtdProperties {
+    /// Def. 4.3(1).
+    pub star_guarded: bool,
+    /// Def. 4.3(2).
+    pub non_recursive: bool,
+    /// Def. 4.3(3) (conservative check).
+    pub parent_unambiguous: bool,
+}
+
+impl DtdProperties {
+    /// True when the completeness theorem (Thm. 4.7) preconditions on the
+    /// DTD side all hold.
+    pub fn completeness_ready(&self) -> bool {
+        self.star_guarded && self.non_recursive && self.parent_unambiguous
+    }
+}
+
+/// Computes all three properties.
+pub fn properties(dtd: &Dtd) -> DtdProperties {
+    DtdProperties {
+        star_guarded: is_star_guarded(dtd),
+        non_recursive: is_non_recursive(dtd),
+        parent_unambiguous: is_parent_unambiguous(dtd),
+    }
+}
+
+/// Def. 4.3(1): every root-reachable content model is \*-guarded.
+pub fn is_star_guarded(dtd: &Dtd) -> bool {
+    let reachable = dtd.reachable_from_root();
+    dtd.all_names()
+        .filter(|&n| reachable.contains(n))
+        .all(|n| match &dtd.info(n).content {
+            Content::Text => true,
+            Content::Element(re) => re.is_star_guarded(),
+        })
+}
+
+/// Def. 4.3(2): no root-reachable name reaches itself.
+pub fn is_non_recursive(dtd: &Dtd) -> bool {
+    let reachable = dtd.reachable_from_root();
+    dtd.all_names()
+        .filter(|&n| reachable.contains(n))
+        .all(|n| !dtd.descendants_of(n).contains(n))
+}
+
+/// Def. 4.3(3), conservative: for root-reachable `Y` with `Y ⇒E Z`,
+/// reject if `Z` is also reachable from `Y` through at least one
+/// intermediate name.
+pub fn is_parent_unambiguous(dtd: &Dtd) -> bool {
+    let reachable = dtd.reachable_from_root();
+    for y in dtd.all_names() {
+        if !reachable.contains(y) {
+            continue;
+        }
+        for z in dtd.children_of(y) {
+            // Is there W with Y ⇒ ⋯ ⇒ W ⇒ Z and W ≠ Y on a longer path?
+            for w in dtd.parents_of(z) {
+                if w != y && dtd.descendants_of(y).contains(w) {
+                    return false;
+                }
+            }
+            // Self-loop through recursion: Y ⇒+ Y ⇒ Z also makes the
+            // parent of Z ambiguous in depth.
+            if dtd.descendants_of(y).contains(y) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Maximum document depth for non-recursive DTDs (root element at depth 1),
+/// counting text levels. Returns `None` for recursive DTDs.
+pub fn max_depth(dtd: &Dtd) -> Option<usize> {
+    if !is_non_recursive(dtd) {
+        return None;
+    }
+    fn depth_of(dtd: &Dtd, n: NameId, memo: &mut Vec<Option<usize>>) -> usize {
+        if let Some(d) = memo[n.index()] {
+            return d;
+        }
+        let d = 1 + dtd
+            .children_of(n)
+            .iter()
+            .map(|c| depth_of(dtd, c, memo))
+            .max()
+            .unwrap_or(0);
+        memo[n.index()] = Some(d);
+        d
+    }
+    let mut memo = vec![None; dtd.name_count()];
+    Some(depth_of(dtd, dtd.root(), &mut memo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dtd;
+
+    #[test]
+    fn books_is_well_behaved() {
+        let d = parse_dtd(
+            "<!ELEMENT bib (book*)>\
+             <!ELEMENT book (title, author+)>\
+             <!ELEMENT title (#PCDATA)>\
+             <!ELEMENT author (#PCDATA)>",
+            "bib",
+        )
+        .unwrap();
+        let p = properties(&d);
+        assert!(p.star_guarded);
+        assert!(p.non_recursive);
+        assert!(p.parent_unambiguous);
+        assert!(p.completeness_ready());
+        assert_eq!(max_depth(&d), Some(4)); // bib > book > title > text
+    }
+
+    #[test]
+    fn unguarded_union_detected() {
+        // The paper's incompleteness example: X → c[Y | Z]
+        let d = parse_dtd(
+            "<!ELEMENT c (a | b)>\
+             <!ELEMENT a (#PCDATA)>\
+             <!ELEMENT b (#PCDATA)>",
+            "c",
+        )
+        .unwrap();
+        let p = properties(&d);
+        assert!(!p.star_guarded);
+        assert!(p.non_recursive);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        // Y → a[Y*, String]
+        let d = parse_dtd(
+            "<!ELEMENT c (a)> <!ELEMENT a (a*, b)> <!ELEMENT b EMPTY>",
+            "c",
+        )
+        .unwrap();
+        let p = properties(&d);
+        assert!(!p.non_recursive);
+        assert_eq!(max_depth(&d), None);
+        assert!(!p.parent_unambiguous); // a is its own ancestor-parent
+    }
+
+    #[test]
+    fn parent_ambiguity_detected() {
+        // Paper §4.1 example: {X → a[Y,Z], Y → b[Z], Z → c[]} — Z's parent
+        // can be X (depth 1) or Y (depth 2) along the same chain prefix.
+        let d = parse_dtd(
+            "<!ELEMENT a (b, c)> <!ELEMENT b (c)> <!ELEMENT c EMPTY>",
+            "a",
+        )
+        .unwrap();
+        let p = properties(&d);
+        assert!(!p.parent_unambiguous);
+        assert!(p.star_guarded && p.non_recursive);
+    }
+
+    #[test]
+    fn running_example_properties() {
+        // {X → c[Y,Z], Y → a[W,String], Z → b[String], W → d[Y?]} — recursive
+        let d = parse_dtd(
+            "<!ELEMENT c (a, b)>\
+             <!ELEMENT a (d, #PCDATA)>\
+             <!ELEMENT b (#PCDATA)>\
+             <!ELEMENT d (a?)>",
+            "c",
+        )
+        .unwrap();
+        let p = properties(&d);
+        assert!(!p.non_recursive);
+    }
+
+    #[test]
+    fn unreachable_names_ignored() {
+        let d = parse_dtd(
+            "<!ELEMENT a EMPTY> <!ELEMENT junk (junk)>",
+            "a",
+        )
+        .unwrap();
+        // junk is recursive but unreachable from the root
+        assert!(is_non_recursive(&d));
+    }
+}

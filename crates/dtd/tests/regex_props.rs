@@ -1,0 +1,117 @@
+//! Property tests for the content-model automata: the Glushkov
+//! construction must agree with an independently-implemented
+//! Brzozowski-derivative matcher on random regexes and random words.
+
+use proptest::prelude::*;
+use xproj_dtd::{NameId, Regex};
+
+/// Reference matcher: Brzozowski derivatives.
+fn matches_ref(re: &Regex, word: &[NameId]) -> bool {
+    fn nullable(re: &Regex) -> bool {
+        re.nullable()
+    }
+    fn deriv(re: &Regex, a: NameId) -> Regex {
+        match re {
+            Regex::Epsilon => Regex::Alt(vec![]), // ∅
+            Regex::Name(n) => {
+                if *n == a {
+                    Regex::Epsilon
+                } else {
+                    Regex::Alt(vec![])
+                }
+            }
+            Regex::Seq(rs) => {
+                // d(r1 r2…) = d(r1)·rest  |  (if r1 nullable) d(rest)
+                match rs.split_first() {
+                    None => Regex::Alt(vec![]),
+                    Some((r1, rest)) => {
+                        let mut branches = Vec::new();
+                        let mut first = vec![deriv(r1, a)];
+                        first.extend(rest.iter().cloned());
+                        branches.push(Regex::Seq(first));
+                        if nullable(r1) {
+                            branches.push(deriv(&Regex::Seq(rest.to_vec()), a));
+                        }
+                        Regex::Alt(branches)
+                    }
+                }
+            }
+            Regex::Alt(rs) => Regex::Alt(rs.iter().map(|r| deriv(r, a)).collect()),
+            Regex::Star(r) => Regex::Seq(vec![deriv(r, a), Regex::Star(r.clone())]),
+            Regex::Plus(r) => Regex::Seq(vec![deriv(r, a), Regex::Star(r.clone())]),
+            Regex::Opt(r) => deriv(r, a),
+        }
+    }
+    let mut cur = re.clone();
+    for &c in word {
+        cur = deriv(&cur, c);
+    }
+    fn nullable_full(re: &Regex) -> bool {
+        match re {
+            Regex::Alt(rs) if rs.is_empty() => false,
+            Regex::Alt(rs) => rs.iter().any(nullable_full),
+            Regex::Seq(rs) => rs.iter().all(nullable_full),
+            Regex::Epsilon => true,
+            Regex::Name(_) => false,
+            Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Plus(r) => nullable_full(r),
+        }
+    }
+    nullable_full(&cur)
+}
+
+const SIGMA: u32 = 4;
+
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        (0..SIGMA).prop_map(|i| Regex::Name(NameId(i))),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Regex::Seq),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Regex::Alt),
+            inner.clone().prop_map(|r| Regex::Star(Box::new(r))),
+            inner.clone().prop_map(|r| Regex::Plus(Box::new(r))),
+            inner.prop_map(|r| Regex::Opt(Box::new(r))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn glushkov_agrees_with_derivatives(
+        re in regex_strategy(),
+        word in proptest::collection::vec(0..SIGMA, 0..8),
+    ) {
+        let word: Vec<NameId> = word.into_iter().map(NameId).collect();
+        let auto = re.compile();
+        prop_assert_eq!(
+            auto.matches(word.iter().copied()),
+            matches_ref(&re, &word),
+            "regex {:?} word {:?}", re, word
+        );
+    }
+
+    #[test]
+    fn nullable_agrees_with_empty_word(re in regex_strategy()) {
+        let auto = re.compile();
+        prop_assert_eq!(re.nullable(), auto.matches(std::iter::empty()));
+    }
+
+    #[test]
+    fn names_is_support(
+        re in regex_strategy(),
+        word in proptest::collection::vec(0..SIGMA, 1..6),
+    ) {
+        // a word containing a name outside Names(re) never matches
+        let names = re.names(SIGMA as usize + 1);
+        let word: Vec<NameId> = word.into_iter().map(NameId).collect();
+        if word.iter().any(|n| !names.contains(*n)) {
+            let auto = re.compile();
+            prop_assert!(!auto.matches(word.iter().copied()));
+        }
+    }
+}

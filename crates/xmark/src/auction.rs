@@ -1,0 +1,164 @@
+//! The XMark auction DTD.
+//!
+//! A faithful reconstruction of the benchmark's `auction.dtd` [Schmidt et
+//! al., VLDB'02] in the declaration subset covered by `xproj-dtd`. Note
+//! the properties the paper discusses: the DTD is *recursive* (through
+//! `parlist`/`listitem` and the mixed-content markup elements) and not
+//! \*-guarded everywhere (`description ::= (text | parlist)`), so the
+//! completeness theorem does not apply to every XMark query — soundness
+//! always does.
+
+use xproj_dtd::{parse_dtd, Dtd};
+
+/// The auction DTD source text.
+pub const AUCTION_DTD: &str = r#"
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name, description)>
+<!ATTLIST category id CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+
+<!ELEMENT description (text | parlist)>
+<!ELEMENT text (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT keyword (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT emph (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT parlist (listitem)*>
+<!ELEMENT listitem (text | parlist)*>
+
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge EMPTY>
+<!ATTLIST edge from CDATA #REQUIRED to CDATA #REQUIRED>
+
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox)>
+<!ATTLIST item id CDATA #REQUIRED featured CDATA #IMPLIED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category CDATA #REQUIRED>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ATTLIST person id CDATA #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, province?, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT province (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ATTLIST profile income CDATA #IMPLIED>
+<!ELEMENT interest EMPTY>
+<!ATTLIST interest category CDATA #REQUIRED>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch EMPTY>
+<!ATTLIST watch open_auction CDATA #REQUIRED>
+
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>
+<!ATTLIST open_auction id CDATA #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT personref EMPTY>
+<!ATTLIST personref person CDATA #REQUIRED>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT privacy (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item CDATA #REQUIRED>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person CDATA #REQUIRED>
+<!ELEMENT annotation (author, description?, happiness)>
+<!ELEMENT author EMPTY>
+<!ATTLIST author person CDATA #REQUIRED>
+<!ELEMENT happiness (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation?)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person CDATA #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+"#;
+
+/// Parses the auction DTD (root `site`).
+pub fn auction_dtd() -> Dtd {
+    parse_dtd(AUCTION_DTD, "site").expect("the embedded auction DTD parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xproj_dtd::props;
+
+    #[test]
+    fn dtd_parses() {
+        let d = auction_dtd();
+        assert_eq!(d.label(d.root()), "site");
+        // 50 elements + per-element text names
+        assert!(d.name_count() > 60, "{}", d.name_count());
+    }
+
+    #[test]
+    fn expected_structure() {
+        let d = auction_dtd();
+        let site = d.root();
+        let regions = d.name_of_tag_str("regions").unwrap();
+        let item = d.name_of_tag_str("item").unwrap();
+        assert!(d.children_of(site).contains(regions));
+        assert!(d.descendants_of(site).contains(item));
+        let person = d.name_of_tag_str("person").unwrap();
+        let id = d.tags.get("id").unwrap();
+        assert!(d.info(person).attributes.contains(&id));
+    }
+
+    #[test]
+    fn paper_discussed_properties() {
+        let d = auction_dtd();
+        let p = props::properties(&d);
+        // XMark is recursive (parlist/listitem, markup elements) …
+        assert!(!p.non_recursive);
+        // … and not *-guarded everywhere (description = (text | parlist))
+        assert!(!p.star_guarded);
+    }
+
+    #[test]
+    fn mixed_content_text_names() {
+        let d = auction_dtd();
+        let text = d.name_of_tag_str("text").unwrap();
+        assert_eq!(d.text_children_of(text).len(), 1);
+        let bold = d.name_of_tag_str("bold").unwrap();
+        assert!(d.children_of(text).contains(bold));
+        // recursion through markup
+        assert!(d.descendants_of(bold).contains(bold));
+    }
+}

@@ -1,0 +1,25 @@
+//! XMark / XPathMark benchmark substrate (paper §6).
+//!
+//! * [`auction`] — the XMark auction DTD (a faithful reconstruction of
+//!   `auction.dtd` in the subset our DTD parser covers) and its parsed
+//!   [`xproj_dtd::Dtd`];
+//! * [`gen`] — a scale-factor-driven synthetic document generator
+//!   producing valid auction documents whose byte distribution mirrors
+//!   the original `xmlgen` (mixed-content `description` elements dominate
+//!   the size, which is what makes XMark pruning results interesting);
+//! * [`queries`] — the XMark XQuery workload QM01–QM20 and the
+//!   XPathMark XPath workload QP01–QP23 (exercising every axis),
+//!   transcribed into the dialect of `xproj-xquery`/`xproj-xpath`
+//!   (deviations from the published texts are documented per query).
+
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod gen;
+pub mod queries;
+pub mod usecases;
+
+pub use auction::{auction_dtd, AUCTION_DTD};
+pub use gen::{generate_auction, XMarkConfig};
+pub use queries::{xmark_queries, xpathmark_queries, BenchQuery, QueryKind};
+pub use usecases::{parse_use_case, use_case_dtds, UseCaseDtd};

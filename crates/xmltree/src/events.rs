@@ -1,0 +1,536 @@
+//! Pull-based SAX-style XML event reader.
+//!
+//! This is the substrate for the paper's *streaming* pruning (§6): the
+//! pruner consumes events from [`XmlReader`] in a single pass, writing out
+//! kept events, with memory bounded by the element-nesting depth. It is
+//! also what the tree parser in [`crate::parser`] is built on.
+//!
+//! The reader handles the XML subset relevant to data-centric documents:
+//! elements, attributes, character data, CDATA sections, comments,
+//! processing instructions, an optional XML declaration, and a DOCTYPE
+//! declaration whose internal subset is captured verbatim (so the DTD
+//! crate can parse it). The five predefined entities and numeric character
+//! references are decoded.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// A parse error with byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One attribute as read from the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawAttribute<'a> {
+    /// Attribute name (borrowed from the input).
+    pub name: &'a str,
+    /// Decoded attribute value.
+    pub value: Cow<'a, str>,
+}
+
+/// A SAX event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<'a> {
+    /// `<name attr="v" …>` or `<name …/>`; a self-closing tag is followed
+    /// by a matching [`Event::EndElement`] emitted by the reader itself.
+    StartElement {
+        /// Element name.
+        name: &'a str,
+        /// Attributes in document order.
+        attrs: Vec<RawAttribute<'a>>,
+        /// Whether this came from a `<…/>` empty-element tag.
+        self_closing: bool,
+    },
+    /// `</name>` (or synthesized after a self-closing start tag).
+    EndElement {
+        /// Element name.
+        name: &'a str,
+    },
+    /// Character data (entities decoded) or a CDATA section.
+    Text(Cow<'a, str>),
+    /// `<!-- … -->` (content without the delimiters).
+    Comment(&'a str),
+    /// `<?target data?>` — excludes the XML declaration, which is skipped.
+    ProcessingInstruction(&'a str),
+    /// `<!DOCTYPE name … [internal subset]>`.
+    Doctype {
+        /// Document type name.
+        name: &'a str,
+        /// Raw internal subset between `[` and `]`, if present.
+        internal_subset: Option<&'a str>,
+    },
+    /// End of input.
+    Eof,
+}
+
+/// A pull parser over a complete in-memory XML string.
+pub struct XmlReader<'a> {
+    input: &'a str,
+    pos: usize,
+    /// Name to auto-close after a self-closing start tag.
+    pending_end: Option<&'a str>,
+    /// Open-element stack, used for well-formedness checking.
+    stack: Vec<&'a str>,
+    seen_root: bool,
+}
+
+impl<'a> XmlReader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a str) -> Self {
+        XmlReader {
+            input,
+            pos: 0,
+            pending_end: None,
+            stack: Vec::with_capacity(16),
+            seen_root: false,
+        }
+    }
+
+    /// Current byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    /// Pulls the next event.
+    pub fn next_event(&mut self) -> Result<Event<'a>, ParseError> {
+        if let Some(name) = self.pending_end.take() {
+            self.stack.pop();
+            return Ok(Event::EndElement { name });
+        }
+        if self.pos >= self.input.len() {
+            if let Some(open) = self.stack.last() {
+                return self.err(format!("unexpected end of input, <{open}> not closed"));
+            }
+            return Ok(Event::Eof);
+        }
+        if self.starts_with("<") {
+            self.read_markup()
+        } else {
+            self.read_text()
+        }
+    }
+
+    fn read_text(&mut self) -> Result<Event<'a>, ParseError> {
+        let start = self.pos;
+        let end = self.rest().find('<').map(|i| start + i).unwrap_or(self.input.len());
+        let raw = &self.input[start..end];
+        self.pos = end;
+        if self.stack.is_empty() && raw.trim().is_empty() {
+            // Whitespace outside the root element: skip.
+            return self.next_event();
+        }
+        let decoded = decode_entities(raw).map_err(|m| ParseError {
+            offset: start,
+            message: m,
+        })?;
+        Ok(Event::Text(decoded))
+    }
+
+    fn read_markup(&mut self) -> Result<Event<'a>, ParseError> {
+        if self.starts_with("<?xml") {
+            let end = match self.rest().find("?>") {
+                Some(i) => self.pos + i + 2,
+                None => return self.err("unterminated XML declaration"),
+            };
+            self.pos = end;
+            return self.next_event();
+        }
+        if self.starts_with("<?") {
+            let start = self.pos + 2;
+            let end = match self.rest().find("?>") {
+                Some(i) => self.pos + i,
+                None => return self.err("unterminated processing instruction"),
+            };
+            self.pos = end + 2;
+            return Ok(Event::ProcessingInstruction(&self.input[start..end]));
+        }
+        if self.starts_with("<!--") {
+            let start = self.pos + 4;
+            let end = match self.input[start..].find("-->") {
+                Some(i) => start + i,
+                None => return self.err("unterminated comment"),
+            };
+            self.pos = end + 3;
+            return Ok(Event::Comment(&self.input[start..end]));
+        }
+        if self.starts_with("<![CDATA[") {
+            let start = self.pos + 9;
+            let end = match self.input[start..].find("]]>") {
+                Some(i) => start + i,
+                None => return self.err("unterminated CDATA section"),
+            };
+            self.pos = end + 3;
+            if self.stack.is_empty() {
+                return self.err("CDATA outside the root element");
+            }
+            return Ok(Event::Text(Cow::Borrowed(&self.input[start..end])));
+        }
+        if self.starts_with("<!DOCTYPE") {
+            return self.read_doctype();
+        }
+        if self.starts_with("</") {
+            self.bump(2);
+            let name = self.read_name()?;
+            self.skip_ws();
+            if !self.starts_with(">") {
+                return self.err("expected '>' in end tag");
+            }
+            self.bump(1);
+            match self.stack.pop() {
+                Some(open) if open == name => Ok(Event::EndElement { name }),
+                Some(open) => self.err(format!("mismatched end tag </{name}>, expected </{open}>")),
+                None => self.err(format!("end tag </{name}> with no open element")),
+            }
+        } else {
+            self.bump(1); // consume '<'
+            if self.stack.is_empty() && self.seen_root {
+                return self.err("content after the root element");
+            }
+            let name = self.read_name()?;
+            let mut attrs = Vec::new();
+            loop {
+                self.skip_ws();
+                if self.starts_with("/>") {
+                    self.bump(2);
+                    self.seen_root = true;
+                    self.stack.push(name);
+                    self.pending_end = Some(name);
+                    return Ok(Event::StartElement {
+                        name,
+                        attrs,
+                        self_closing: true,
+                    });
+                }
+                if self.starts_with(">") {
+                    self.bump(1);
+                    self.seen_root = true;
+                    self.stack.push(name);
+                    return Ok(Event::StartElement {
+                        name,
+                        attrs,
+                        self_closing: false,
+                    });
+                }
+                if self.pos >= self.input.len() {
+                    return self.err("unterminated start tag");
+                }
+                attrs.push(self.read_attribute()?);
+            }
+        }
+    }
+
+    fn read_doctype(&mut self) -> Result<Event<'a>, ParseError> {
+        self.bump("<!DOCTYPE".len());
+        self.skip_ws();
+        let name = self.read_name()?;
+        // Scan to the closing '>', capturing an internal subset if present.
+        let mut internal = None;
+        loop {
+            self.skip_ws();
+            if self.starts_with("[") {
+                let start = self.pos + 1;
+                let end = match self.input[start..].find(']') {
+                    Some(i) => start + i,
+                    None => return self.err("unterminated DOCTYPE internal subset"),
+                };
+                internal = Some(&self.input[start..end]);
+                self.pos = end + 1;
+            } else if self.starts_with(">") {
+                self.bump(1);
+                return Ok(Event::Doctype {
+                    name,
+                    internal_subset: internal,
+                });
+            } else if self.pos >= self.input.len() {
+                return self.err("unterminated DOCTYPE");
+            } else {
+                // External id keywords, system literals, etc.: skip a token.
+                let c = self.rest().chars().next().unwrap();
+                if c == '"' || c == '\'' {
+                    self.bump(c.len_utf8());
+                    match self.rest().find(c) {
+                        Some(i) => self.bump(i + 1),
+                        None => return self.err("unterminated literal in DOCTYPE"),
+                    }
+                } else {
+                    self.bump(c.len_utf8());
+                }
+            }
+        }
+    }
+
+    fn read_attribute(&mut self) -> Result<RawAttribute<'a>, ParseError> {
+        let name = self.read_name()?;
+        self.skip_ws();
+        if !self.starts_with("=") {
+            return self.err(format!("expected '=' after attribute name '{name}'"));
+        }
+        self.bump(1);
+        self.skip_ws();
+        let quote = match self.rest().chars().next() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return self.err("expected quoted attribute value"),
+        };
+        self.bump(1);
+        let start = self.pos;
+        let end = match self.rest().find(quote) {
+            Some(i) => start + i,
+            None => return self.err("unterminated attribute value"),
+        };
+        self.pos = end + 1;
+        let value = decode_entities(&self.input[start..end]).map_err(|m| ParseError {
+            offset: start,
+            message: m,
+        })?;
+        Ok(RawAttribute { name, value })
+    }
+
+    fn read_name(&mut self) -> Result<&'a str, ParseError> {
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_' || c == ':'
+            } else {
+                c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.')
+            };
+            if !ok {
+                end = i;
+                break;
+            }
+            end = i + c.len_utf8();
+        }
+        if end == 0 {
+            return self.err("expected a name");
+        }
+        let name = &rest[..end];
+        self.bump(end);
+        Ok(name)
+    }
+
+    fn skip_ws(&mut self) {
+        let n = self
+            .rest()
+            .find(|c: char| !c.is_ascii_whitespace())
+            .unwrap_or(self.rest().len());
+        self.bump(n);
+    }
+}
+
+/// Decodes the five predefined entities and numeric character references.
+/// Returns `Cow::Borrowed` when no entity occurs.
+pub fn decode_entities(raw: &str) -> Result<Cow<'_, str>, String> {
+    let Some(first) = raw.find('&') else {
+        return Ok(Cow::Borrowed(raw));
+    };
+    let mut out = String::with_capacity(raw.len());
+    out.push_str(&raw[..first]);
+    let mut rest = &raw[first..];
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity reference".to_string())?;
+        let ent = &rest[1..semi];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let code = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| format!("bad character reference &{ent};"))?;
+                out.push(
+                    char::from_u32(code).ok_or_else(|| format!("invalid code point {code}"))?,
+                );
+            }
+            _ if ent.starts_with('#') => {
+                let code: u32 = ent[1..]
+                    .parse()
+                    .map_err(|_| format!("bad character reference &{ent};"))?;
+                out.push(
+                    char::from_u32(code).ok_or_else(|| format!("invalid code point {code}"))?,
+                );
+            }
+            _ => return Err(format!("unknown entity &{ent};")),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(input: &str) -> Vec<Event<'_>> {
+        let mut r = XmlReader::new(input);
+        let mut out = Vec::new();
+        loop {
+            let e = r.next_event().expect("parse ok");
+            let eof = e == Event::Eof;
+            out.push(e);
+            if eof {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn simple_element_stream() {
+        let ev = collect("<a><b>hi</b></a>");
+        assert_eq!(ev.len(), 6);
+        assert!(matches!(ev[0], Event::StartElement { name: "a", .. }));
+        assert!(matches!(ev[1], Event::StartElement { name: "b", .. }));
+        assert_eq!(ev[2], Event::Text(Cow::Borrowed("hi")));
+        assert!(matches!(ev[3], Event::EndElement { name: "b" }));
+        assert!(matches!(ev[4], Event::EndElement { name: "a" }));
+        assert_eq!(ev[5], Event::Eof);
+    }
+
+    #[test]
+    fn self_closing_emits_end() {
+        let ev = collect("<a><b/></a>");
+        assert!(matches!(
+            ev[1],
+            Event::StartElement {
+                name: "b",
+                self_closing: true,
+                ..
+            }
+        ));
+        assert!(matches!(ev[2], Event::EndElement { name: "b" }));
+    }
+
+    #[test]
+    fn attributes_are_decoded() {
+        let ev = collect(r#"<a x="1 &lt; 2" y='z'/>"#);
+        match &ev[0] {
+            Event::StartElement { attrs, .. } => {
+                assert_eq!(attrs[0].name, "x");
+                assert_eq!(attrs[0].value, "1 < 2");
+                assert_eq!(attrs[1].name, "y");
+                assert_eq!(attrs[1].value, "z");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let ev = collect("<!DOCTYPE site [<!ELEMENT site (a)>]><site><a/></site>");
+        match ev[0] {
+            Event::Doctype {
+                name,
+                internal_subset,
+            } => {
+                assert_eq!(name, "site");
+                assert_eq!(internal_subset, Some("<!ELEMENT site (a)>"));
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn doctype_with_system_id() {
+        let ev = collect(r#"<!DOCTYPE site SYSTEM "auction.dtd"><site/>"#);
+        assert!(matches!(
+            ev[0],
+            Event::Doctype {
+                name: "site",
+                internal_subset: None
+            }
+        ));
+    }
+
+    #[test]
+    fn comments_pis_cdata() {
+        let ev = collect("<a><!-- note --><?p d?><![CDATA[1 < 2]]></a>");
+        assert_eq!(ev[1], Event::Comment(" note "));
+        assert_eq!(ev[2], Event::ProcessingInstruction("p d"));
+        assert_eq!(ev[3], Event::Text(Cow::Borrowed("1 < 2")));
+    }
+
+    #[test]
+    fn xml_declaration_is_skipped() {
+        let ev = collect("<?xml version=\"1.0\"?><a/>");
+        assert!(matches!(ev[0], Event::StartElement { name: "a", .. }));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let mut r = XmlReader::new("<a></b>");
+        r.next_event().unwrap();
+        assert!(r.next_event().is_err());
+    }
+
+    #[test]
+    fn unclosed_root_errors() {
+        let mut r = XmlReader::new("<a>");
+        r.next_event().unwrap();
+        assert!(r.next_event().is_err());
+    }
+
+    #[test]
+    fn text_entities() {
+        let ev = collect("<a>&amp;&#65;&#x42;</a>");
+        assert_eq!(ev[1], Event::Text(Cow::Owned("&AB".to_string())));
+    }
+
+    #[test]
+    fn decode_borrowed_when_clean() {
+        assert!(matches!(
+            decode_entities("hello").unwrap(),
+            Cow::Borrowed("hello")
+        ));
+    }
+
+    #[test]
+    fn content_after_root_rejected() {
+        let mut r = XmlReader::new("<a/><b/>");
+        r.next_event().unwrap(); // <a>
+        r.next_event().unwrap(); // </a>
+        assert!(r.next_event().is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Arena-based XML data model for the type-based projection system.
+//!
+//! This crate implements the paper's data model (§2.1): ordered forests of
+//! labelled ordered trees whose nodes carry unique identifiers, with text
+//! strings at the leaves. Concretely a [`Document`] is a flat arena of
+//! [`Node`]s linked by parent / first-child / next-sibling indices, so a
+//! [`NodeId`] is a dense `u32` and document order coincides with arena
+//! order for freshly-parsed or freshly-built documents.
+//!
+//! The crate also provides:
+//!
+//! * a tag [`Interner`] mapping element names to dense [`TagId`]s,
+//! * a from-scratch XML 1.0 [`parser`] (elements, attributes, text, CDATA,
+//!   comments, processing instructions, DOCTYPE capture, the five
+//!   predefined entities and numeric character references),
+//! * a [`serializer`](Document::to_xml) producing well-formed XML,
+//! * a pull-based SAX-style event reader ([`events::XmlReader`]) used by
+//!   the streaming pruner in `xproj-core`.
+
+#![warn(missing_docs)]
+
+pub mod document;
+pub mod events;
+pub mod interner;
+pub mod parser;
+
+pub use document::{Attribute, Document, Node, NodeId, NodeKind};
+pub use events::{Event, XmlReader};
+pub use interner::{Interner, TagId};
+pub use parser::{parse, parse_with_options, ParseError, ParseOptions};

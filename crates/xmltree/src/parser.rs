@@ -1,0 +1,163 @@
+//! Tree parser: builds a [`Document`] from an XML string using the event
+//! reader of [`crate::events`].
+
+use crate::document::{Attribute, Document, NodeId};
+use crate::events::{Event, XmlReader};
+use crate::interner::Interner;
+
+pub use crate::events::ParseError;
+
+/// Parser configuration.
+#[derive(Clone, Debug)]
+pub struct ParseOptions {
+    /// Drop text nodes consisting only of whitespace (useful for
+    /// data-centric documents with pretty-printing). Default: `true`.
+    pub ignore_whitespace_text: bool,
+    /// Reuse an existing interner so the document shares tag ids with,
+    /// e.g., a DTD.
+    pub interner: Option<Interner>,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            ignore_whitespace_text: true,
+            interner: None,
+        }
+    }
+}
+
+/// Parses `input` with default options.
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    parse_with_options(input, ParseOptions::default())
+}
+
+/// Parses `input` into a [`Document`].
+pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document, ParseError> {
+    let mut doc = match options.interner {
+        Some(i) => Document::with_interner(i),
+        None => Document::new(),
+    };
+    let mut reader = XmlReader::new(input);
+    let mut stack: Vec<NodeId> = vec![NodeId::DOCUMENT];
+    loop {
+        match reader.next_event()? {
+            Event::StartElement { name, attrs, .. } => {
+                let tag = doc.tags.intern(name);
+                let attrs: Vec<Attribute> = attrs
+                    .into_iter()
+                    .map(|a| Attribute {
+                        name: doc.tags.intern(a.name),
+                        value: a.value.into_owned().into_boxed_str(),
+                    })
+                    .collect();
+                let parent = *stack.last().expect("stack never empty");
+                let id = doc.push_element_with_attrs(parent, tag, attrs);
+                stack.push(id);
+            }
+            Event::EndElement { .. } => {
+                stack.pop();
+            }
+            Event::Text(t) => {
+                if options.ignore_whitespace_text && t.trim().is_empty() {
+                    continue;
+                }
+                let parent = *stack.last().expect("stack never empty");
+                if parent == NodeId::DOCUMENT {
+                    continue; // no text directly under the document node
+                }
+                doc.push_text(parent, &t);
+            }
+            Event::Comment(_) | Event::ProcessingInstruction(_) | Event::Doctype { .. } => {}
+            Event::Eof => break,
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::NodeKind;
+
+    #[test]
+    fn parse_round_trip() {
+        let src = "<site><people><person id=\"p0\"><name>Alice</name></person></people></site>";
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.to_xml(), src);
+    }
+
+    #[test]
+    fn whitespace_skipped_by_default() {
+        let doc = parse("<a>\n  <b/>\n</a>").unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.children(a).count(), 1);
+    }
+
+    #[test]
+    fn whitespace_kept_when_requested() {
+        let doc = parse_with_options(
+            "<a> <b/> </a>",
+            ParseOptions {
+                ignore_whitespace_text: false,
+                interner: None,
+            },
+        )
+        .unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.children(a).count(), 3);
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let doc = parse("<d>text <b>bold</b> tail</d>").unwrap();
+        let d = doc.root_element().unwrap();
+        let kinds: Vec<bool> = doc.children(d).map(|c| doc.is_text(c)).collect();
+        assert_eq!(kinds, vec![true, false, true]);
+        assert_eq!(doc.string_value(d), "text bold tail");
+    }
+
+    #[test]
+    fn attributes_parsed() {
+        let doc = parse(r#"<item featured="yes" id="i1"/>"#).unwrap();
+        let item = doc.root_element().unwrap();
+        let id = doc.tags.get("id").unwrap();
+        assert_eq!(doc.attribute(item, id), Some("i1"));
+        assert_eq!(doc.attributes(item).len(), 2);
+    }
+
+    #[test]
+    fn doctype_ignored_in_tree() {
+        let doc = parse("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>").unwrap();
+        assert!(doc.root_element().is_some());
+    }
+
+    #[test]
+    fn entities_decoded_in_text() {
+        let doc = parse("<a>fish &amp; chips</a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let t = doc.first_child(a).unwrap();
+        assert_eq!(doc.kind(t), &NodeKind::Text("fish & chips".into()));
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        assert!(parse("<a><b></a>").is_err());
+        assert!(parse("").is_err() || parse("").unwrap().root_element().is_none());
+    }
+
+    #[test]
+    fn interner_sharing() {
+        let mut i = Interner::new();
+        let pre = i.intern("site");
+        let doc = parse_with_options(
+            "<site/>",
+            ParseOptions {
+                ignore_whitespace_text: true,
+                interner: Some(i),
+            },
+        )
+        .unwrap();
+        assert_eq!(doc.tag(doc.root_element().unwrap()), Some(pre));
+    }
+}

@@ -1,0 +1,146 @@
+//! Robustness and round-trip properties of the XML layer.
+
+use proptest::prelude::*;
+use xproj_xmltree::{parse, Document, NodeId};
+
+/// Arbitrary (tag, text, attr) content assembled into a tree, serialized
+/// and reparsed — the escaping logic must make this a perfect round trip.
+fn tag_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_-]{0,8}".prop_map(|s| s)
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // includes XML-hostile characters, but not all-whitespace strings
+    // (the default parser drops whitespace-only text nodes)
+    "[ -~]{1,20}"
+        .prop_filter("not whitespace-only", |s| !s.trim().is_empty())
+        .prop_map(|s| s)
+}
+
+#[derive(Debug, Clone)]
+enum GenNode {
+    Text(String),
+    Elem(String, Vec<(String, String)>, Vec<GenNode>),
+}
+
+fn node_strategy() -> impl Strategy<Value = GenNode> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(GenNode::Text),
+        (tag_strategy(), proptest::collection::vec((tag_strategy(), text_strategy()), 0..3))
+            .prop_map(|(t, a)| GenNode::Elem(t, dedup_attrs(a), vec![])),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        (
+            tag_strategy(),
+            proptest::collection::vec((tag_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(t, a, c)| GenNode::Elem(t, dedup_attrs(a), c))
+    })
+}
+
+fn dedup_attrs(mut attrs: Vec<(String, String)>) -> Vec<(String, String)> {
+    attrs.sort_by(|a, b| a.0.cmp(&b.0));
+    attrs.dedup_by(|a, b| a.0 == b.0);
+    attrs
+}
+
+fn build(doc: &mut Document, parent: NodeId, n: &GenNode) {
+    match n {
+        GenNode::Text(s) => {
+            doc.push_text(parent, s);
+        }
+        GenNode::Elem(tag, attrs, children) => {
+            let t = doc.tags.intern(tag);
+            let attrs = attrs
+                .iter()
+                .map(|(k, v)| xproj_xmltree::Attribute {
+                    name: doc.tags.intern(k),
+                    value: v.clone().into_boxed_str(),
+                })
+                .collect();
+            let e = doc.push_element_with_attrs(parent, t, attrs);
+            for c in children {
+                build(doc, e, c);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Serialise → parse → serialise is the identity for arbitrary
+    /// escaped content.
+    #[test]
+    fn round_trip_arbitrary_trees(
+        tag in tag_strategy(),
+        children in proptest::collection::vec(node_strategy(), 0..5),
+    ) {
+        let mut doc = Document::new();
+        let root = doc.push_named_element(NodeId::DOCUMENT, &tag);
+        // adjacent text nodes merge on reparse: interleave with elements
+        let mut last_was_text = false;
+        for c in &children {
+            if matches!(c, GenNode::Text(_)) {
+                if last_was_text {
+                    continue;
+                }
+                last_was_text = true;
+            } else {
+                last_was_text = false;
+            }
+            build(&mut doc, root, c);
+        }
+        let xml = doc.to_xml();
+        let reparsed = parse(&xml).unwrap();
+        prop_assert_eq!(xml, reparsed.to_xml());
+    }
+
+    /// The parser never panics on arbitrary input — it returns Ok or Err.
+    #[test]
+    fn parser_never_panics(input in "[ -~<>&'\"\\]\\[!?/=-]{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// Nor on arbitrary mutations of well-formed documents.
+    #[test]
+    fn parser_survives_mutations(
+        flip in 0usize..200,
+        byte in 0u8..128,
+    ) {
+        let base = "<site><people><person id=\"p0\"><name>A&amp;B</name>\
+                    </person></people><!-- c --><![CDATA[x]]></site>";
+        // CDATA outside root etc. will just error — must not panic
+        let mut bytes = base.as_bytes().to_vec();
+        let pos = flip % bytes.len();
+        bytes[pos] = byte;
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = parse(s);
+        }
+    }
+
+    /// Events reader agrees with the tree parser on element counts.
+    #[test]
+    fn reader_and_parser_agree(
+        tag in tag_strategy(),
+        children in proptest::collection::vec(node_strategy(), 0..4),
+    ) {
+        let mut doc = Document::new();
+        let root = doc.push_named_element(NodeId::DOCUMENT, &tag);
+        for c in &children {
+            build(&mut doc, root, c);
+        }
+        let xml = doc.to_xml();
+        let mut reader = xproj_xmltree::XmlReader::new(&xml);
+        let mut starts = 0usize;
+        loop {
+            match reader.next_event().unwrap() {
+                xproj_xmltree::Event::StartElement { .. } => starts += 1,
+                xproj_xmltree::Event::Eof => break,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(starts, doc.element_count());
+    }
+}

@@ -1,0 +1,907 @@
+//! In-memory XPath 1.0 evaluator.
+//!
+//! Implements the W3C semantics that Definitions 3.1–3.3 of the paper
+//! formalise, extended with attributes, all axes, general predicates
+//! (with `position()`/`last()` counted along the axis direction), the
+//! XPath 1.0 core function library and the handful of XQuery functions
+//! the XMark workload uses (`empty`, `exists`, `zero-or-one`, `data`).
+//!
+//! In the experiments this evaluator plays the role of the Galax engine:
+//! queries are run against the original and the pruned document and the
+//! results — related through [`Document::src_id`] — must coincide
+//! (Theorem 4.5).
+
+use crate::ast::{ArithOp, Axis, CmpOp, Expr, LocationPath, NodeTest, Step};
+use std::collections::HashMap;
+use xproj_xmltree::{Document, NodeId};
+
+/// A node as seen by XPath: a tree node or an attribute of one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum XNode {
+    /// Element, text or document node.
+    Tree(NodeId),
+    /// Attribute `idx` of an element.
+    Attr(NodeId, u32),
+}
+
+impl XNode {
+    /// Document-order sort key: attributes come right after their
+    /// element, before its children would (sufficient for result sets).
+    pub fn order_key(self) -> (u32, u8, u32) {
+        match self {
+            XNode::Tree(n) => (n.0, 0, 0),
+            XNode::Attr(n, i) => (n.0, 1, i),
+        }
+    }
+
+    /// The underlying tree node (owner element for attributes).
+    pub fn tree_node(self) -> NodeId {
+        match self {
+            XNode::Tree(n) | XNode::Attr(n, _) => n,
+        }
+    }
+}
+
+/// An XPath 1.0 value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A node-set in document order without duplicates.
+    Nodes(Vec<XNode>),
+    /// Boolean.
+    Bool(bool),
+    /// Double.
+    Num(f64),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// The empty node-set.
+    pub fn empty() -> Value {
+        Value::Nodes(Vec::new())
+    }
+
+    /// Effective boolean value.
+    pub fn to_bool(&self) -> bool {
+        match self {
+            Value::Nodes(ns) => !ns.is_empty(),
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Conversion to number (`number()`).
+    pub fn to_num(&self, doc: &Document) -> f64 {
+        match self {
+            Value::Num(n) => *n,
+            Value::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::Str(s) => str_to_num(s),
+            Value::Nodes(_) => str_to_num(&self.to_str(doc)),
+        }
+    }
+
+    /// Conversion to string (`string()`): first node's string-value for
+    /// node-sets.
+    pub fn to_str(&self, doc: &Document) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+            Value::Num(n) => num_to_str(*n),
+            Value::Nodes(ns) => ns
+                .first()
+                .map(|&n| string_value(doc, n))
+                .unwrap_or_default(),
+        }
+    }
+
+    /// The node-set, or an error string naming the offending construct.
+    pub fn into_nodes(self) -> Result<Vec<XNode>, String> {
+        match self {
+            Value::Nodes(ns) => Ok(ns),
+            other => Err(format!("expected a node-set, got {other:?}")),
+        }
+    }
+}
+
+/// XPath string-value of a node.
+pub fn string_value(doc: &Document, n: XNode) -> String {
+    match n {
+        XNode::Tree(id) => doc.string_value(id),
+        XNode::Attr(id, i) => doc.attributes(id)[i as usize].value.to_string(),
+    }
+}
+
+fn str_to_num(s: &str) -> f64 {
+    s.trim().parse::<f64>().unwrap_or(f64::NAN)
+}
+
+fn num_to_str(n: f64) -> String {
+    if n.is_nan() {
+        "NaN".to_string()
+    } else if n.is_infinite() {
+        if n > 0.0 { "Infinity" } else { "-Infinity" }.to_string()
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Variable bindings for expression evaluation (populated by XQuery).
+pub type Vars = HashMap<String, Value>;
+
+/// Evaluation error (unknown function, unbound variable, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XPath evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates an absolute location path from the document node and returns
+/// the resulting node-set in document order.
+pub fn evaluate(doc: &Document, path: &LocationPath) -> Result<Vec<XNode>, EvalError> {
+    let vars = Vars::new();
+    let ev = Evaluator { doc, vars: &vars };
+    ev.eval_path(&[XNode::Tree(NodeId::DOCUMENT)], path)
+}
+
+/// Evaluates an arbitrary expression with `ctx` as the context node.
+pub fn evaluate_expr(
+    doc: &Document,
+    expr: &Expr,
+    ctx: XNode,
+    vars: &Vars,
+) -> Result<Value, EvalError> {
+    let ev = Evaluator { doc, vars };
+    ev.eval_expr(
+        expr,
+        &Ctx {
+            node: ctx,
+            position: 1,
+            size: 1,
+        },
+    )
+}
+
+struct Ctx {
+    node: XNode,
+    position: usize,
+    size: usize,
+}
+
+struct Evaluator<'d> {
+    doc: &'d Document,
+    vars: &'d Vars,
+}
+
+impl<'d> Evaluator<'d> {
+    fn eval_path(&self, start: &[XNode], path: &LocationPath) -> Result<Vec<XNode>, EvalError> {
+        let mut current: Vec<XNode> = if path.absolute {
+            vec![XNode::Tree(NodeId::DOCUMENT)]
+        } else {
+            start.to_vec()
+        };
+        for step in &path.steps {
+            current = self.eval_step(&current, step)?;
+        }
+        Ok(current)
+    }
+
+    /// Applies one step to a node-set; the result is sorted in document
+    /// order and duplicate-free.
+    fn eval_step(&self, context: &[XNode], step: &Step) -> Result<Vec<XNode>, EvalError> {
+        let mut out: Vec<XNode> = Vec::new();
+        for &ctx in context {
+            // Candidates in axis order (position() counts this way).
+            let mut cands: Vec<XNode> = self
+                .axis_nodes(ctx, step.axis)
+                .into_iter()
+                .filter(|&n| self.test_matches(n, step.axis, &step.test))
+                .collect();
+            for pred in &step.predicates {
+                cands = self.filter_predicate(cands, pred)?;
+            }
+            out.extend(cands);
+        }
+        out.sort_by_key(|n| n.order_key());
+        out.dedup();
+        Ok(out)
+    }
+
+    fn filter_predicate(
+        &self,
+        cands: Vec<XNode>,
+        pred: &Expr,
+    ) -> Result<Vec<XNode>, EvalError> {
+        let size = cands.len();
+        let mut kept = Vec::with_capacity(size);
+        for (i, n) in cands.into_iter().enumerate() {
+            let ctx = Ctx {
+                node: n,
+                position: i + 1,
+                size,
+            };
+            let v = self.eval_expr(pred, &ctx)?;
+            let keep = match v {
+                // Numeric predicate: position shorthand.
+                Value::Num(p) => (ctx.position as f64) == p,
+                other => other.to_bool(),
+            };
+            if keep {
+                kept.push(n);
+            }
+        }
+        Ok(kept)
+    }
+
+    /// Nodes on `axis` from `ctx`, in axis order.
+    fn axis_nodes(&self, ctx: XNode, axis: Axis) -> Vec<XNode> {
+        let doc = self.doc;
+        match (ctx, axis) {
+            (XNode::Attr(owner, _), Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf) => {
+                let mut v = Vec::new();
+                if axis == Axis::AncestorOrSelf {
+                    v.push(ctx);
+                }
+                if axis == Axis::Parent {
+                    v.push(XNode::Tree(owner));
+                } else {
+                    v.push(XNode::Tree(owner));
+                    v.extend(doc.ancestors(owner).map(XNode::Tree));
+                }
+                v
+            }
+            (XNode::Attr(_, _), Axis::SelfAxis) => vec![ctx],
+            (XNode::Attr(_, _), _) => Vec::new(),
+            (XNode::Tree(n), axis) => match axis {
+                Axis::SelfAxis => vec![ctx],
+                Axis::Child => doc.children(n).map(XNode::Tree).collect(),
+                Axis::Descendant => doc.descendants(n).map(XNode::Tree).collect(),
+                Axis::DescendantOrSelf => std::iter::once(ctx)
+                    .chain(doc.descendants(n).map(XNode::Tree))
+                    .collect(),
+                Axis::Parent => doc.parent(n).map(XNode::Tree).into_iter().collect(),
+                Axis::Ancestor => doc.ancestors(n).map(XNode::Tree).collect(),
+                Axis::AncestorOrSelf => std::iter::once(ctx)
+                    .chain(doc.ancestors(n).map(XNode::Tree))
+                    .collect(),
+                Axis::FollowingSibling => {
+                    let mut v = Vec::new();
+                    let mut cur = doc.next_sibling(n);
+                    while let Some(s) = cur {
+                        v.push(XNode::Tree(s));
+                        cur = doc.next_sibling(s);
+                    }
+                    v
+                }
+                Axis::PrecedingSibling => {
+                    let mut v = Vec::new();
+                    let mut cur = doc.prev_sibling(n);
+                    while let Some(s) = cur {
+                        v.push(XNode::Tree(s)); // reverse document order
+                        cur = doc.prev_sibling(s);
+                    }
+                    v
+                }
+                Axis::Following => {
+                    // Everything after the subtree of n, in document order.
+                    let end = subtree_end(doc, n);
+                    ((end + 1)..doc.len() as u32)
+                        .map(|i| XNode::Tree(NodeId(i)))
+                        .collect()
+                }
+                Axis::Preceding => {
+                    // Everything before n excluding ancestors, reverse order.
+                    let mut anc: Vec<NodeId> = doc.ancestors(n).collect();
+                    anc.push(n);
+                    (1..n.0)
+                        .rev()
+                        .map(NodeId)
+                        .filter(|i| !anc.contains(i))
+                        .map(XNode::Tree)
+                        .collect()
+                }
+                Axis::Attribute => (0..doc.attributes(n).len() as u32)
+                    .map(|i| XNode::Attr(n, i))
+                    .collect(),
+            },
+        }
+    }
+
+    fn test_matches(&self, n: XNode, axis: Axis, test: &NodeTest) -> bool {
+        let doc = self.doc;
+        match n {
+            XNode::Attr(owner, i) => match test {
+                NodeTest::Node => true,
+                NodeTest::Tag(t) => {
+                    let name = doc.attributes(owner)[i as usize].name;
+                    doc.tags.resolve(name) == t.as_str()
+                }
+                NodeTest::Text | NodeTest::Element => false,
+            },
+            XNode::Tree(id) => match test {
+                NodeTest::Node => {
+                    // On non-attribute axes node() matches elements and text;
+                    // the document node too (only reachable via ancestors).
+                    let _ = axis;
+                    true
+                }
+                NodeTest::Text => doc.is_text(id),
+                NodeTest::Element => doc.is_element(id),
+                NodeTest::Tag(t) => doc.tag_name(id) == Some(t.as_str()),
+            },
+        }
+    }
+
+    fn eval_expr(&self, expr: &Expr, ctx: &Ctx) -> Result<Value, EvalError> {
+        match expr {
+            Expr::Path(p) => Ok(Value::Nodes(self.eval_path(&[ctx.node], p)?)),
+            Expr::RootedPath(base, p) => {
+                let v = self.eval_expr(base, ctx)?;
+                let nodes = v
+                    .into_nodes()
+                    .map_err(EvalError)?;
+                Ok(Value::Nodes(self.eval_path(&nodes, p)?))
+            }
+            Expr::Literal(s) => Ok(Value::Str(s.clone())),
+            Expr::Number(n) => Ok(Value::Num(*n)),
+            Expr::Or(a, b) => Ok(Value::Bool(
+                self.eval_expr(a, ctx)?.to_bool() || self.eval_expr(b, ctx)?.to_bool(),
+            )),
+            Expr::And(a, b) => Ok(Value::Bool(
+                self.eval_expr(a, ctx)?.to_bool() && self.eval_expr(b, ctx)?.to_bool(),
+            )),
+            Expr::Compare(op, a, b) => {
+                let va = self.eval_expr(a, ctx)?;
+                let vb = self.eval_expr(b, ctx)?;
+                Ok(Value::Bool(self.compare(*op, &va, &vb)))
+            }
+            Expr::Arith(op, a, b) => {
+                let x = self.eval_expr(a, ctx)?.to_num(self.doc);
+                let y = self.eval_expr(b, ctx)?.to_num(self.doc);
+                Ok(Value::Num(match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => x / y,
+                    ArithOp::Mod => x % y,
+                }))
+            }
+            Expr::Neg(e) => Ok(Value::Num(-self.eval_expr(e, ctx)?.to_num(self.doc))),
+            Expr::Union(a, b) => {
+                let mut na = self.eval_expr(a, ctx)?.into_nodes().map_err(EvalError)?;
+                let nb = self.eval_expr(b, ctx)?.into_nodes().map_err(EvalError)?;
+                na.extend(nb);
+                na.sort_by_key(|n| n.order_key());
+                na.dedup();
+                Ok(Value::Nodes(na))
+            }
+            Expr::Var(name) => self
+                .vars
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EvalError(format!("unbound variable ${name}"))),
+            Expr::Call(name, args) => self.eval_call(name, args, ctx),
+        }
+    }
+
+    /// XPath 1.0 comparison semantics (existential over node-sets).
+    fn compare(&self, op: CmpOp, a: &Value, b: &Value) -> bool {
+        use Value::*;
+        match (a, b) {
+            (Nodes(na), Nodes(nb)) => na.iter().any(|&x| {
+                let sx = string_value(self.doc, x);
+                nb.iter().any(|&y| {
+                    let sy = string_value(self.doc, y);
+                    match op {
+                        CmpOp::Eq => sx == sy,
+                        CmpOp::Ne => sx != sy,
+                        _ => cmp_num(op, str_to_num(&sx), str_to_num(&sy)),
+                    }
+                })
+            }),
+            // node-set vs boolean: the node-set converts to its effective
+            // boolean value first (XPath 1.0 §3.4) — not existential.
+            (Nodes(_), Bool(_)) | (Bool(_), Nodes(_))
+                if matches!(op, CmpOp::Eq | CmpOp::Ne) =>
+            {
+                let same = a.to_bool() == b.to_bool();
+                if op == CmpOp::Eq {
+                    same
+                } else {
+                    !same
+                }
+            }
+            (Nodes(ns), other) | (other, Nodes(ns)) => {
+                let flipped = matches!(b, Nodes(_)) && !matches!(a, Nodes(_));
+                ns.iter().any(|&x| {
+                    let sv = string_value(self.doc, x);
+                    let (l, r): (Value, &Value) = (Str(sv), other);
+                    let res = match (op, r) {
+                        (CmpOp::Eq, Str(s)) => l.to_str(self.doc) == *s,
+                        (CmpOp::Ne, Str(s)) => l.to_str(self.doc) != *s,
+                        (CmpOp::Eq, Bool(bv)) => l.to_bool() == *bv,
+                        (CmpOp::Ne, Bool(bv)) => l.to_bool() != *bv,
+                        _ => cmp_num(op, l.to_num(self.doc), r.to_num(self.doc)),
+                    };
+                    if flipped {
+                        flip(op, res, &l, r, self.doc)
+                    } else {
+                        res
+                    }
+                })
+            }
+            _ => match op {
+                CmpOp::Eq | CmpOp::Ne => {
+                    let eq = match (a, b) {
+                        (Bool(_), _) | (_, Bool(_)) => a.to_bool() == b.to_bool(),
+                        (Num(_), _) | (_, Num(_)) => a.to_num(self.doc) == b.to_num(self.doc),
+                        _ => a.to_str(self.doc) == b.to_str(self.doc),
+                    };
+                    if op == CmpOp::Eq {
+                        eq
+                    } else {
+                        !eq
+                    }
+                }
+                _ => cmp_num(op, a.to_num(self.doc), b.to_num(self.doc)),
+            },
+        }
+    }
+
+    fn eval_call(&self, name: &str, args: &[Expr], ctx: &Ctx) -> Result<Value, EvalError> {
+        let plain = name.strip_prefix("fn:").unwrap_or(name);
+        let arg = |i: usize| -> Result<Value, EvalError> {
+            args.get(i)
+                .map(|e| self.eval_expr(e, ctx))
+                .transpose()?
+                .ok_or_else(|| EvalError(format!("{plain}: missing argument {i}")))
+        };
+        let opt_or_ctx = |i: usize| -> Result<Value, EvalError> {
+            match args.get(i) {
+                Some(e) => self.eval_expr(e, ctx),
+                None => Ok(Value::Nodes(vec![ctx.node])),
+            }
+        };
+        match plain {
+            "position" => Ok(Value::Num(ctx.position as f64)),
+            "last" => Ok(Value::Num(ctx.size as f64)),
+            "count" => Ok(Value::Num(
+                arg(0)?.into_nodes().map_err(EvalError)?.len() as f64,
+            )),
+            "not" => Ok(Value::Bool(!arg(0)?.to_bool())),
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            "boolean" => Ok(Value::Bool(arg(0)?.to_bool())),
+            "string" | "data" | "text" => Ok(Value::Str(opt_or_ctx(0)?.to_str(self.doc))),
+            "number" => Ok(Value::Num(opt_or_ctx(0)?.to_num(self.doc))),
+            "contains" => Ok(Value::Bool(
+                arg(0)?
+                    .to_str(self.doc)
+                    .contains(&arg(1)?.to_str(self.doc)),
+            )),
+            "starts-with" => Ok(Value::Bool(
+                arg(0)?
+                    .to_str(self.doc)
+                    .starts_with(&arg(1)?.to_str(self.doc)),
+            )),
+            "string-length" => Ok(Value::Num(
+                opt_or_ctx(0)?.to_str(self.doc).chars().count() as f64,
+            )),
+            "normalize-space" => Ok(Value::Str(
+                opt_or_ctx(0)?
+                    .to_str(self.doc)
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            )),
+            "concat" => {
+                let mut s = String::new();
+                for (i, _) in args.iter().enumerate() {
+                    s.push_str(&arg(i)?.to_str(self.doc));
+                }
+                Ok(Value::Str(s))
+            }
+            "substring" => {
+                let s = arg(0)?.to_str(self.doc);
+                let start = arg(1)?.to_num(self.doc).round() as i64;
+                let len = match args.get(2) {
+                    Some(_) => arg(2)?.to_num(self.doc).round() as i64,
+                    None => i64::MAX,
+                };
+                let chars: Vec<char> = s.chars().collect();
+                let from = (start - 1).clamp(0, chars.len() as i64) as usize;
+                let to = (start.saturating_sub(1).saturating_add(len))
+                    .clamp(0, chars.len() as i64) as usize;
+                Ok(Value::Str(chars[from..to.max(from)].iter().collect()))
+            }
+            "substring-before" => {
+                let s = arg(0)?.to_str(self.doc);
+                let pat = arg(1)?.to_str(self.doc);
+                Ok(Value::Str(
+                    s.find(&pat).map(|i| s[..i].to_string()).unwrap_or_default(),
+                ))
+            }
+            "substring-after" => {
+                let s = arg(0)?.to_str(self.doc);
+                let pat = arg(1)?.to_str(self.doc);
+                Ok(Value::Str(
+                    s.find(&pat)
+                        .map(|i| s[i + pat.len()..].to_string())
+                        .unwrap_or_default(),
+                ))
+            }
+            "translate" => {
+                let s = arg(0)?.to_str(self.doc);
+                let from: Vec<char> = arg(1)?.to_str(self.doc).chars().collect();
+                let to: Vec<char> = arg(2)?.to_str(self.doc).chars().collect();
+                let mut out = String::with_capacity(s.len());
+                for c in s.chars() {
+                    match from.iter().position(|&f| f == c) {
+                        Some(i) => {
+                            if let Some(&r) = to.get(i) {
+                                out.push(r);
+                            } // else: removed
+                        }
+                        None => out.push(c),
+                    }
+                }
+                Ok(Value::Str(out))
+            }
+            "sum" => {
+                let ns = arg(0)?.into_nodes().map_err(EvalError)?;
+                Ok(Value::Num(
+                    ns.iter()
+                        .map(|&n| str_to_num(&string_value(self.doc, n)))
+                        .sum(),
+                ))
+            }
+            "floor" => Ok(Value::Num(arg(0)?.to_num(self.doc).floor())),
+            "ceiling" => Ok(Value::Num(arg(0)?.to_num(self.doc).ceil())),
+            "round" => Ok(Value::Num(arg(0)?.to_num(self.doc).round())),
+            "name" | "local-name" => {
+                let ns = opt_or_ctx(0)?.into_nodes().map_err(EvalError)?;
+                Ok(Value::Str(match ns.first() {
+                    Some(XNode::Tree(id)) => {
+                        self.doc.tag_name(*id).unwrap_or("").to_string()
+                    }
+                    Some(XNode::Attr(id, i)) => self
+                        .doc
+                        .tags
+                        .resolve(self.doc.attributes(*id)[*i as usize].name)
+                        .to_string(),
+                    None => String::new(),
+                }))
+            }
+            "empty" => Ok(Value::Bool(
+                arg(0)?.into_nodes().map_err(EvalError)?.is_empty(),
+            )),
+            "exists" => Ok(Value::Bool(
+                !arg(0)?.into_nodes().map_err(EvalError)?.is_empty(),
+            )),
+            // XQuery cardinality assertion: identity on singleton-or-empty.
+            "zero-or-one" | "exactly-one" | "one-or-more" => arg(0),
+            other => Err(EvalError(format!("unknown function {other}()"))),
+        }
+    }
+}
+
+fn flip(op: CmpOp, res: bool, l: &Value, r: &Value, doc: &Document) -> bool {
+    // For symmetric ops the result stands; for relational ops the operands
+    // were evaluated as (node, value) but the syntax was (value, node).
+    match op {
+        CmpOp::Eq | CmpOp::Ne => res,
+        CmpOp::Lt => cmp_num(CmpOp::Lt, r.to_num(doc), l.to_num(doc)),
+        CmpOp::Le => cmp_num(CmpOp::Le, r.to_num(doc), l.to_num(doc)),
+        CmpOp::Gt => cmp_num(CmpOp::Gt, r.to_num(doc), l.to_num(doc)),
+        CmpOp::Ge => cmp_num(CmpOp::Ge, r.to_num(doc), l.to_num(doc)),
+    }
+}
+
+fn cmp_num(op: CmpOp, x: f64, y: f64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+/// Index of the last node in the subtree of `n` (or `n` itself when it is
+/// a leaf). Valid because arena order is document order.
+fn subtree_end(doc: &Document, n: NodeId) -> u32 {
+    let mut end = n;
+    for d in doc.descendants(n) {
+        end = d;
+    }
+    end.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+    use xproj_xmltree::parse;
+
+    const AUCTION: &str = "\
+<site><people>\
+<person id=\"p0\"><name>Alice</name><phone>1</phone></person>\
+<person id=\"p1\"><name>Bob</name><homepage>h</homepage></person>\
+<person id=\"p2\"><name>Carol</name></person>\
+</people>\
+<open_auctions>\
+<open_auction id=\"a0\"><bidder><increase>10</increase></bidder>\
+<bidder><increase>20</increase></bidder><current>30</current></open_auction>\
+<open_auction id=\"a1\"><current>5</current></open_auction>\
+</open_auctions></site>";
+
+    fn run(doc: &Document, q: &str) -> Vec<XNode> {
+        let e = parse_xpath(q).unwrap();
+        match e {
+            Expr::Path(p) => evaluate(doc, &p).unwrap(),
+            other => panic!("expected path query, got {other:?}"),
+        }
+    }
+
+    fn names(doc: &Document, ns: &[XNode]) -> Vec<String> {
+        ns.iter()
+            .map(|n| match n {
+                XNode::Tree(id) => doc
+                    .tag_name(*id)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("text:{}", doc.text(*id).unwrap_or(""))),
+                XNode::Attr(id, i) => format!(
+                    "@{}",
+                    doc.tags.resolve(doc.attributes(*id)[*i as usize].name)
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_child_path() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "/site/people/person");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn descendant_or_self() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "//name");
+        assert_eq!(r.len(), 3);
+        let r2 = run(&doc, "//bidder/increase");
+        assert_eq!(r2.len(), 2);
+    }
+
+    #[test]
+    fn predicates_filter() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "/site/people/person[phone]/name");
+        assert_eq!(names(&doc, &r), vec!["name"]);
+        let r2 = run(&doc, "/site/people/person[phone or homepage]");
+        assert_eq!(r2.len(), 2);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "/site/people/person[2]/name/text()");
+        assert_eq!(
+            r.iter()
+                .map(|&n| string_value(&doc, n))
+                .collect::<Vec<_>>(),
+            vec!["Bob"]
+        );
+        let r2 = run(&doc, "/site/people/person[position() = last()]");
+        assert_eq!(r2.len(), 1);
+    }
+
+    #[test]
+    fn attribute_axis() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "//person/@id");
+        assert_eq!(r.len(), 3);
+        assert!(matches!(r[0], XNode::Attr(_, _)));
+        let r2 = run(&doc, "//person[@id = \"p1\"]/name");
+        assert_eq!(r2.len(), 1);
+    }
+
+    #[test]
+    fn parent_and_ancestor() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "//increase/parent::bidder");
+        assert_eq!(r.len(), 2);
+        let r2 = run(&doc, "//increase/ancestor::open_auction");
+        assert_eq!(r2.len(), 1);
+        let r3 = run(&doc, "//name/..");
+        assert_eq!(r3.len(), 3);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "//bidder[following-sibling::bidder]");
+        assert_eq!(r.len(), 1); // only the first bidder has a following one
+        let r2 = run(&doc, "//bidder[preceding-sibling::bidder]");
+        assert_eq!(r2.len(), 1);
+        let r3 = run(&doc, "//current/preceding-sibling::bidder");
+        assert_eq!(r3.len(), 2);
+    }
+
+    #[test]
+    fn following_preceding() {
+        let doc = parse(AUCTION).unwrap();
+        // 'people' precedes the auctions: every open_auction follows it
+        let r = run(&doc, "/site/people/following::open_auction");
+        assert_eq!(r.len(), 2);
+        let r2 = run(&doc, "//open_auctions/preceding::person");
+        assert_eq!(r2.len(), 3);
+        // preceding excludes ancestors
+        let r3 = run(&doc, "//increase/preceding::site");
+        assert!(r3.is_empty());
+    }
+
+    #[test]
+    fn wildcard_and_tests() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "/site/*");
+        assert_eq!(names(&doc, &r), vec!["people", "open_auctions"]);
+        let r2 = run(&doc, "//person/node()");
+        assert_eq!(r2.len(), 5);
+    }
+
+    #[test]
+    fn results_in_document_order_no_dups() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "//bidder/ancestor::*/descendant::increase");
+        // both bidders' ancestors reach the same increases; dedup applies
+        assert_eq!(r.len(), 2);
+        let keys: Vec<_> = r.iter().map(|n| n.order_key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn comparisons() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "//open_auction[current > 10]");
+        assert_eq!(r.len(), 1);
+        let r2 = run(&doc, "//open_auction[current = 5]");
+        assert_eq!(r2.len(), 1);
+        let r3 = run(&doc, "//person[name = \"Alice\"]");
+        assert_eq!(r3.len(), 1);
+        let r4 = run(&doc, "//open_auction[10 < current]");
+        assert_eq!(r4.len(), 1);
+    }
+
+    #[test]
+    fn functions() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "//open_auction[count(bidder) >= 2]");
+        assert_eq!(r.len(), 1);
+        let r2 = run(&doc, "//person[not(phone)]");
+        assert_eq!(r2.len(), 2);
+        let r3 = run(&doc, "//person[contains(name, \"li\")]");
+        assert_eq!(r3.len(), 1); // Alice
+        let r4 = run(&doc, "//person[starts-with(name, \"B\")]");
+        assert_eq!(r4.len(), 1);
+    }
+
+    #[test]
+    fn expr_values() {
+        let doc = parse(AUCTION).unwrap();
+        let v = evaluate_expr(
+            &doc,
+            &parse_xpath("count(//person) * 2 + 1").unwrap(),
+            XNode::Tree(NodeId::DOCUMENT),
+            &Vars::new(),
+        )
+        .unwrap();
+        assert_eq!(v, Value::Num(7.0));
+        let v2 = evaluate_expr(
+            &doc,
+            &parse_xpath("sum(//increase)").unwrap(),
+            XNode::Tree(NodeId::DOCUMENT),
+            &Vars::new(),
+        )
+        .unwrap();
+        assert_eq!(v2, Value::Num(30.0));
+        let v3 = evaluate_expr(
+            &doc,
+            &parse_xpath("string(//name)").unwrap(),
+            XNode::Tree(NodeId::DOCUMENT),
+            &Vars::new(),
+        )
+        .unwrap();
+        assert_eq!(v3, Value::Str("Alice".to_string()));
+    }
+
+    #[test]
+    fn string_functions() {
+        let doc = parse("<a>hello</a>").unwrap();
+        let ctx = XNode::Tree(NodeId::DOCUMENT);
+        let vars = Vars::new();
+        let ev = |q: &str| evaluate_expr(&doc, &parse_xpath(q).unwrap(), ctx, &vars).unwrap();
+        assert_eq!(ev("string-length(/a)"), Value::Num(5.0));
+        assert_eq!(ev("concat(/a, \"!\")"), Value::Str("hello!".into()));
+        assert_eq!(ev("substring(/a, 2, 3)"), Value::Str("ell".into()));
+        assert_eq!(ev("normalize-space(\"  x   y \")"), Value::Str("x y".into()));
+        assert_eq!(ev("name(/a)"), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn variables() {
+        let doc = parse(AUCTION).unwrap();
+        let mut vars = Vars::new();
+        let people = run(&doc, "//person");
+        vars.insert("p".to_string(), Value::Nodes(people));
+        let v = evaluate_expr(
+            &doc,
+            &parse_xpath("count($p/name)").unwrap(),
+            XNode::Tree(NodeId::DOCUMENT),
+            &vars,
+        )
+        .unwrap();
+        assert_eq!(v, Value::Num(3.0));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let doc = parse("<a/>").unwrap();
+        let r = evaluate_expr(
+            &doc,
+            &parse_xpath("$nope").unwrap(),
+            XNode::Tree(NodeId::DOCUMENT),
+            &Vars::new(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn union() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "//person[phone | homepage]");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_exists() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "//person[empty(phone)]");
+        assert_eq!(r.len(), 2);
+        let r2 = run(&doc, "//person[exists(phone)]");
+        assert_eq!(r2.len(), 1);
+    }
+
+    #[test]
+    fn text_node_string_values() {
+        let doc = parse(AUCTION).unwrap();
+        let r = run(&doc, "//name/text()");
+        let vals: Vec<String> = r.iter().map(|&n| string_value(&doc, n)).collect();
+        assert_eq!(vals, vec!["Alice", "Bob", "Carol"]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(num_to_str(3.0), "3");
+        assert_eq!(num_to_str(3.5), "3.5");
+        assert_eq!(num_to_str(f64::NAN), "NaN");
+        assert_eq!(num_to_str(-0.0), "0");
+    }
+}

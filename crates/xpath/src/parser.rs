@@ -1,0 +1,790 @@
+//! Recursive-descent parser for XPath 1.0 expressions.
+//!
+//! Supports the full grammar used by the XMark / XPathMark workloads:
+//! abbreviated syntax (`//`, `@`, `.`, `..`, bare names), all axes,
+//! predicates, the boolean/relational/arithmetic operator hierarchy,
+//! node-set union, function calls, string and number literals, variables
+//! (`$x`, resolved by the XQuery layer) and variable-rooted paths.
+//!
+//! Disambiguation of `*`, `div`, `mod`, `and`, `or` follows the XPath
+//! spec: they are operators exactly when encountered in operator position.
+
+use crate::ast::{ArithOp, Axis, CmpOp, Expr, LocationPath, NodeTest, Step};
+use std::fmt;
+
+/// A parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathParseError {
+    /// Byte offset in the source expression.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XPathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathParseError {}
+
+/// Parses a complete XPath expression.
+pub fn parse_xpath(input: &str) -> Result<Expr, XPathParseError> {
+    let mut p = Parser { input, pos: 0 };
+    let e = p.parse_or()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return p.err("trailing input");
+    }
+    Ok(e)
+}
+
+/// Parses the longest expression at the start of `input`, returning it
+/// together with the number of bytes consumed. This is the entry point
+/// the XQuery parser uses to embed XPath expressions: parsing stops at
+/// the first token that cannot extend the expression (e.g. `return`).
+pub fn parse_expr_prefix(input: &str) -> Result<(Expr, usize), XPathParseError> {
+    let mut p = Parser { input, pos: 0 };
+    let e = p.parse_or()?;
+    Ok((e, p.pos))
+}
+
+pub(crate) struct Parser<'a> {
+    pub(crate) input: &'a str,
+    pub(crate) pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    pub(crate) fn err<T>(&self, m: impl Into<String>) -> Result<T, XPathParseError> {
+        Err(XPathParseError {
+            offset: self.pos,
+            message: m.into(),
+        })
+    }
+
+    pub(crate) fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    pub(crate) fn skip_ws(&mut self) {
+        let n = self
+            .rest()
+            .find(|c: char| !c.is_ascii_whitespace())
+            .unwrap_or(self.rest().len());
+        self.pos += n;
+    }
+
+    /// Consumes `tok` if present (after whitespace).
+    pub(crate) fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a keyword: like `eat` but requires a non-name character
+    /// (or end) to follow, so `or` does not swallow the head of `order`.
+    pub(crate) fn eat_kw(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if let Some(rest) = self.rest().strip_prefix(kw) {
+            if rest.chars().next().is_none_or(|c| !is_name_char(c)) {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    pub(crate) fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    pub(crate) fn read_name(&mut self) -> Result<&'a str, XPathParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                is_name_char(c)
+            };
+            if !ok {
+                end = i;
+                break;
+            }
+            end = i + c.len_utf8();
+        }
+        if end == 0 {
+            return self.err("expected a name");
+        }
+        let n = &rest[..end];
+        self.pos += end;
+        Ok(n)
+    }
+
+    pub(crate) fn parse_or(&mut self) -> Result<Expr, XPathParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, XPathParseError> {
+        let mut left = self.parse_equality()?;
+        while self.eat_kw("and") {
+            let right = self.parse_equality()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr, XPathParseError> {
+        let mut left = self.parse_relational()?;
+        loop {
+            let op = if self.eat("!=") || self.eat_kw("ne") {
+                CmpOp::Ne
+            } else if self.eat("=") || self.eat_kw("eq") {
+                CmpOp::Eq
+            } else {
+                break;
+            };
+            let right = self.parse_relational()?;
+            left = Expr::Compare(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, XPathParseError> {
+        let mut left = self.parse_additive()?;
+        loop {
+            let op = if self.eat("<=") {
+                CmpOp::Le
+            } else if self.eat(">=") {
+                CmpOp::Ge
+            } else if self.eat("<") {
+                CmpOp::Lt
+            } else if self.eat(">") {
+                CmpOp::Gt
+            } else if self.eat_kw("le") {
+                CmpOp::Le
+            } else if self.eat_kw("ge") {
+                CmpOp::Ge
+            } else if self.eat_kw("lt") {
+                CmpOp::Lt
+            } else if self.eat_kw("gt") {
+                CmpOp::Gt
+            } else {
+                break;
+            };
+            let right = self.parse_additive()?;
+            left = Expr::Compare(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, XPathParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = if self.eat("+") {
+                ArithOp::Add
+            } else if self.peek_minus_op() {
+                self.eat("-");
+                ArithOp::Sub
+            } else {
+                break;
+            };
+            let right = self.parse_multiplicative()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// `-` is a subtraction operator here (we are in operator position).
+    fn peek_minus_op(&mut self) -> bool {
+        self.skip_ws();
+        self.rest().starts_with('-')
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, XPathParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = if self.eat("*") {
+                ArithOp::Mul
+            } else if self.eat_kw("div") {
+                ArithOp::Div
+            } else if self.eat_kw("mod") {
+                ArithOp::Mod
+            } else {
+                break;
+            };
+            let right = self.parse_unary()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, XPathParseError> {
+        if self.eat("-") {
+            let e = self.parse_unary()?;
+            Ok(Expr::Neg(Box::new(e)))
+        } else {
+            self.parse_union()
+        }
+    }
+
+    fn parse_union(&mut self) -> Result<Expr, XPathParseError> {
+        let mut left = self.parse_path_expr()?;
+        while self.eat("|") {
+            let right = self.parse_path_expr()?;
+            left = Expr::Union(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// PathExpr: a location path, or a filter expression possibly
+    /// continued by `/` RelativeLocationPath.
+    fn parse_path_expr(&mut self) -> Result<Expr, XPathParseError> {
+        self.skip_ws();
+        let c = match self.rest().chars().next() {
+            Some(c) => c,
+            None => return self.err("unexpected end of expression"),
+        };
+        // Primary expressions that are not location paths.
+        if c == '"' || c == '\'' {
+            return self.parse_literal();
+        }
+        if c.is_ascii_digit() || (c == '.' && self.rest()[1..].starts_with(|d: char| d.is_ascii_digit())) {
+            return self.parse_number();
+        }
+        if c == '$' {
+            self.pos += 1;
+            let name = self.read_name()?.to_string();
+            return self.maybe_rooted(Expr::Var(name));
+        }
+        if c == '(' {
+            self.pos += 1;
+            let inner = self.parse_or()?;
+            if !self.eat(")") {
+                return self.err("expected ')'");
+            }
+            return self.maybe_rooted(inner);
+        }
+        // Function call? name followed by '(' and not an axis or node test.
+        if (c.is_alphabetic() || c == '_') && self.looks_like_function_call() {
+            let name = self.read_name()?.to_string();
+            // allow namespaced fn:... names
+            let name = if self.rest().starts_with(':') && !self.rest().starts_with("::") {
+                self.pos += 1;
+                let local = self.read_name()?;
+                format!("{name}:{local}")
+            } else {
+                name
+            };
+            self.skip_ws();
+            if !self.eat("(") {
+                return self.err("expected '(' in function call");
+            }
+            let mut args = Vec::new();
+            self.skip_ws();
+            if !self.eat(")") {
+                loop {
+                    args.push(self.parse_or()?);
+                    if self.eat(")") {
+                        break;
+                    }
+                    if !self.eat(",") {
+                        return self.err("expected ',' or ')' in arguments");
+                    }
+                }
+            }
+            return self.maybe_rooted(Expr::Call(name, args));
+        }
+        // Otherwise: a location path.
+        let p = self.parse_location_path()?;
+        Ok(Expr::Path(p))
+    }
+
+    /// After a primary expression, allow `/relative/path` continuations.
+    fn maybe_rooted(&mut self, base: Expr) -> Result<Expr, XPathParseError> {
+        self.skip_ws();
+        if self.rest().starts_with('/') {
+            let mut steps = Vec::new();
+            if self.rest().starts_with("//") {
+                self.pos += 2;
+                steps.push(Step::new(Axis::DescendantOrSelf, NodeTest::Node));
+            } else {
+                self.pos += 1;
+            }
+            self.parse_relative_into(&mut steps)?;
+            return Ok(Expr::RootedPath(
+                Box::new(base),
+                LocationPath {
+                    absolute: false,
+                    steps,
+                },
+            ));
+        }
+        Ok(base)
+    }
+
+    /// A name followed (modulo whitespace) by `(` is a function call,
+    /// except for the node-test names.
+    fn looks_like_function_call(&self) -> bool {
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, ch) in rest.char_indices() {
+            if (i == 0 && (ch.is_alphabetic() || ch == '_')) || (i > 0 && is_name_char(ch)) {
+                end = i + ch.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if end == 0 {
+            return false;
+        }
+        let name = &rest[..end];
+        let mut after = rest[end..].chars();
+        // namespaced function names: fn:count(...)
+        let mut skip_ns = 0;
+        if rest[end..].starts_with(':') && !rest[end..].starts_with("::") {
+            let ns_rest = &rest[end + 1..];
+            let mut e2 = 0;
+            for (i, ch) in ns_rest.char_indices() {
+                if (i == 0 && (ch.is_alphabetic() || ch == '_')) || (i > 0 && is_name_char(ch)) {
+                    e2 = i + ch.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            if e2 > 0 {
+                skip_ns = 1 + e2;
+                after = rest[end + skip_ns..].chars();
+            }
+        }
+        let next = after.find(|c| !c.is_ascii_whitespace());
+        if next != Some('(') {
+            return false;
+        }
+        if skip_ns > 0 {
+            return true;
+        }
+        !matches!(name, "node" | "text" | "element" | "comment" | "processing-instruction")
+    }
+
+    fn parse_location_path(&mut self) -> Result<LocationPath, XPathParseError> {
+        self.skip_ws();
+        let mut steps = Vec::new();
+        let absolute = if self.rest().starts_with("//") {
+            self.pos += 2;
+            steps.push(Step::new(Axis::DescendantOrSelf, NodeTest::Node));
+            self.parse_relative_into(&mut steps)?;
+            true
+        } else if self.rest().starts_with('/') {
+            self.pos += 1;
+            // "/" alone selects the document node.
+            if self.can_start_step() {
+                self.parse_relative_into(&mut steps)?;
+            }
+            true
+        } else {
+            self.parse_relative_into(&mut steps)?;
+            false
+        };
+        Ok(LocationPath { absolute, steps })
+    }
+
+    fn can_start_step(&mut self) -> bool {
+        match self.peek() {
+            Some(c) => c.is_alphabetic() || matches!(c, '_' | '*' | '@' | '.'),
+            None => false,
+        }
+    }
+
+    pub(crate) fn parse_relative_into(
+        &mut self,
+        steps: &mut Vec<Step>,
+    ) -> Result<(), XPathParseError> {
+        loop {
+            steps.push(self.parse_step()?);
+            self.skip_ws();
+            if self.rest().starts_with("//") {
+                self.pos += 2;
+                steps.push(Step::new(Axis::DescendantOrSelf, NodeTest::Node));
+            } else if self.rest().starts_with('/') {
+                self.pos += 1;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_step(&mut self) -> Result<Step, XPathParseError> {
+        self.skip_ws();
+        if self.rest().starts_with("..") {
+            self.pos += 2;
+            let mut s = Step::new(Axis::Parent, NodeTest::Node);
+            self.parse_predicates(&mut s)?;
+            return Ok(s);
+        }
+        if self.rest().starts_with('.') {
+            self.pos += 1;
+            let mut s = Step::new(Axis::SelfAxis, NodeTest::Node);
+            self.parse_predicates(&mut s)?;
+            return Ok(s);
+        }
+        let axis = if self.rest().starts_with('@') {
+            self.pos += 1;
+            Axis::Attribute
+        } else if let Some(a) = self.try_axis() {
+            a
+        } else {
+            Axis::Child
+        };
+        let test = self.parse_node_test(axis)?;
+        let mut s = Step::new(axis, test);
+        self.parse_predicates(&mut s)?;
+        Ok(s)
+    }
+
+    fn try_axis(&mut self) -> Option<Axis> {
+        const AXES: &[(&str, Axis)] = &[
+            ("ancestor-or-self", Axis::AncestorOrSelf),
+            ("ancestor", Axis::Ancestor),
+            ("attribute", Axis::Attribute),
+            ("child", Axis::Child),
+            ("descendant-or-self", Axis::DescendantOrSelf),
+            ("descendant", Axis::Descendant),
+            ("following-sibling", Axis::FollowingSibling),
+            ("following", Axis::Following),
+            ("parent", Axis::Parent),
+            ("preceding-sibling", Axis::PrecedingSibling),
+            ("preceding", Axis::Preceding),
+            ("self", Axis::SelfAxis),
+        ];
+        self.skip_ws();
+        for (kw, axis) in AXES {
+            if self.rest().starts_with(kw) {
+                let after = &self.rest()[kw.len()..];
+                let trimmed = after.trim_start();
+                if trimmed.starts_with("::") {
+                    let ws = after.len() - trimmed.len();
+                    self.pos += kw.len() + ws + 2;
+                    return Some(*axis);
+                }
+            }
+        }
+        None
+    }
+
+    fn parse_node_test(&mut self, axis: Axis) -> Result<NodeTest, XPathParseError> {
+        self.skip_ws();
+        if self.eat("*") {
+            // On the attribute axis `@*` means any attribute; elsewhere any
+            // element.
+            return Ok(if axis == Axis::Attribute {
+                NodeTest::Node
+            } else {
+                NodeTest::Element
+            });
+        }
+        let name = self.read_name()?;
+        self.skip_ws();
+        if self.rest().starts_with('(') {
+            match name {
+                "node" => {
+                    self.expect_empty_parens()?;
+                    return Ok(NodeTest::Node);
+                }
+                "text" => {
+                    self.expect_empty_parens()?;
+                    return Ok(NodeTest::Text);
+                }
+                "element" => {
+                    self.expect_empty_parens()?;
+                    return Ok(NodeTest::Element);
+                }
+                _ => return self.err(format!("unknown node test '{name}()'")),
+            }
+        }
+        Ok(NodeTest::Tag(name.to_string()))
+    }
+
+    fn expect_empty_parens(&mut self) -> Result<(), XPathParseError> {
+        if !self.eat("(") {
+            return self.err("expected '('");
+        }
+        if !self.eat(")") {
+            return self.err("expected ')'");
+        }
+        Ok(())
+    }
+
+    fn parse_predicates(&mut self, step: &mut Step) -> Result<(), XPathParseError> {
+        while self.eat("[") {
+            let e = self.parse_or()?;
+            if !self.eat("]") {
+                return self.err("expected ']'");
+            }
+            step.predicates.push(e);
+        }
+        Ok(())
+    }
+
+    fn parse_literal(&mut self) -> Result<Expr, XPathParseError> {
+        let quote = self.rest().chars().next().unwrap();
+        self.pos += 1;
+        let end = match self.rest().find(quote) {
+            Some(i) => i,
+            None => return self.err("unterminated string literal"),
+        };
+        let s = self.rest()[..end].to_string();
+        self.pos += end + 1;
+        Ok(Expr::Literal(s))
+    }
+
+    fn parse_number(&mut self) -> Result<Expr, XPathParseError> {
+        let rest = self.rest();
+        let mut end = 0;
+        let mut seen_dot = false;
+        for (i, c) in rest.char_indices() {
+            if c.is_ascii_digit() {
+                end = i + 1;
+            } else if c == '.' && !seen_dot {
+                seen_dot = true;
+                end = i + 1;
+            } else {
+                break;
+            }
+        }
+        let n: f64 = rest[..end]
+            .parse()
+            .map_err(|_| XPathParseError {
+                offset: self.pos,
+                message: "bad number".to_string(),
+            })?;
+        self.pos += end;
+        Ok(Expr::Number(n))
+    }
+}
+
+pub(crate) fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Axis, Expr, NodeTest};
+
+    fn path(input: &str) -> LocationPath {
+        match parse_xpath(input).unwrap() {
+            Expr::Path(p) => p,
+            other => panic!("expected a path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abbreviated_absolute() {
+        let p = path("/site/regions");
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].axis, Axis::Child);
+        assert_eq!(p.steps[0].test, NodeTest::Tag("site".into()));
+    }
+
+    #[test]
+    fn double_slash_expansion() {
+        let p = path("//keyword");
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].axis, Axis::DescendantOrSelf);
+        assert_eq!(p.steps[0].test, NodeTest::Node);
+        assert_eq!(p.steps[1].test, NodeTest::Tag("keyword".into()));
+
+        let p2 = path("a//b");
+        assert_eq!(p2.steps.len(), 3);
+        assert_eq!(p2.steps[1].axis, Axis::DescendantOrSelf);
+    }
+
+    #[test]
+    fn explicit_axes() {
+        let p = path("ancestor::listitem/child::text/self::node()");
+        assert_eq!(p.steps[0].axis, Axis::Ancestor);
+        assert_eq!(p.steps[1].axis, Axis::Child);
+        assert_eq!(p.steps[2].axis, Axis::SelfAxis);
+        assert_eq!(p.steps[2].test, NodeTest::Node);
+    }
+
+    #[test]
+    fn dot_and_dotdot() {
+        let p = path("../.");
+        assert_eq!(p.steps[0].axis, Axis::Parent);
+        assert_eq!(p.steps[1].axis, Axis::SelfAxis);
+    }
+
+    #[test]
+    fn attribute_abbreviation() {
+        let p = path("person/@income");
+        assert_eq!(p.steps[1].axis, Axis::Attribute);
+        assert_eq!(p.steps[1].test, NodeTest::Tag("income".into()));
+        let p2 = path("a/@*");
+        assert_eq!(p2.steps[1].test, NodeTest::Node);
+    }
+
+    #[test]
+    fn predicates() {
+        let p = path("person[profile/gender and profile/age]/name");
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].predicates.len(), 1);
+        assert!(matches!(p.steps[0].predicates[0], Expr::And(_, _)));
+    }
+
+    #[test]
+    fn numeric_predicate() {
+        let p = path("bidder[1]");
+        assert_eq!(p.steps[0].predicates, vec![Expr::Number(1.0)]);
+    }
+
+    #[test]
+    fn comparison_and_literal() {
+        let e = parse_xpath("author = \"Dante\"").unwrap();
+        assert!(matches!(e, Expr::Compare(crate::ast::CmpOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn function_calls() {
+        let e = parse_xpath("count(bidder) > 5").unwrap();
+        match e {
+            Expr::Compare(_, l, _) => match *l {
+                Expr::Call(name, args) => {
+                    assert_eq!(name, "count");
+                    assert_eq!(args.len(), 1);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_xpath("not(x)").is_ok());
+        assert!(parse_xpath("contains(text(), \"gold\")").is_ok());
+        assert!(parse_xpath("position() = last()").is_ok());
+    }
+
+    #[test]
+    fn node_test_vs_function() {
+        // text() in step position is a node test, not a call
+        let p = path("a/text()");
+        assert_eq!(p.steps[1].test, NodeTest::Text);
+    }
+
+    #[test]
+    fn star_disambiguation() {
+        // step wildcard
+        let p = path("regions/*/item");
+        assert_eq!(p.steps[1].test, NodeTest::Element);
+        // multiplication
+        let e = parse_xpath("2 * 3").unwrap();
+        assert!(matches!(e, Expr::Arith(crate::ast::ArithOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn or_vs_name_prefix() {
+        // 'order' must not be parsed as the operator 'or' + 'der'
+        let p = path("order");
+        assert_eq!(p.steps[0].test, NodeTest::Tag("order".into()));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_xpath("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Arith(ArithOp::Add, _, r) => {
+                assert!(matches!(*r, Expr::Arith(ArithOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn variables_and_rooted_paths() {
+        let e = parse_xpath("$b/name/text()").unwrap();
+        match e {
+            Expr::RootedPath(v, p) => {
+                assert_eq!(*v, Expr::Var("b".into()));
+                assert_eq!(p.steps.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        let e2 = parse_xpath("$p//keyword").unwrap();
+        match e2 {
+            Expr::RootedPath(_, p) => assert_eq!(p.steps[0].axis, Axis::DescendantOrSelf),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_paths() {
+        let e = parse_xpath("phone | homepage").unwrap();
+        assert!(matches!(e, Expr::Union(_, _)));
+    }
+
+    #[test]
+    fn root_only() {
+        let p = path("/");
+        assert!(p.absolute);
+        assert!(p.steps.is_empty());
+    }
+
+    #[test]
+    fn namespaced_function() {
+        let e = parse_xpath("fn:count(x)").unwrap();
+        assert!(matches!(e, Expr::Call(ref n, _) if n == "fn:count"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_xpath("").is_err());
+        assert!(parse_xpath("a[").is_err());
+        assert!(parse_xpath("a]").is_err());
+        assert!(parse_xpath("foo(").is_err());
+        assert!(parse_xpath("'unterminated").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let p = path("  /site / open_auctions\n/ open_auction [ bidder ] ");
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[2].predicates.len(), 1);
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let p = path("a[b[c]/d]");
+        match &p.steps[0].predicates[0] {
+            Expr::Path(inner) => {
+                assert_eq!(inner.steps.len(), 2);
+                assert_eq!(inner.steps[0].predicates.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let e = parse_xpath("-1 + 2").unwrap();
+        assert!(matches!(e, Expr::Arith(ArithOp::Add, _, _)));
+    }
+
+    #[test]
+    fn parenthesised_expr_with_rooted_path() {
+        let e = parse_xpath("(a | b)/c").unwrap();
+        assert!(matches!(e, Expr::RootedPath(_, _)));
+    }
+}

@@ -1,0 +1,695 @@
+//! Evaluator for the XQuery FLWR core.
+//!
+//! Produces a serialised result sequence. In the experiments this plays
+//! the same role Galax plays in the paper: the engine we run over the
+//! original and the pruned document, whose outputs must be identical
+//! (the XQuery extraction of Fig. 3 adds `descendant-or-self::node()` to
+//! every materialised path precisely so that serialisation survives
+//! pruning).
+
+use crate::ast::XQuery;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use xproj_xmltree::document::{escape_attr, escape_text};
+use xproj_xmltree::Document;
+use xproj_xpath::ast::Expr;
+use xproj_xpath::eval::{evaluate_expr, string_value, Value, Vars, XNode};
+use xproj_xmltree::NodeId;
+
+/// Evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XQueryError(pub String);
+
+impl std::fmt::Display for XQueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XQuery evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XQueryError {}
+
+/// A constructed tree (element construction builds these bottom-up).
+#[derive(Clone, Debug, PartialEq)]
+pub enum OutTree {
+    /// Element with (copied) attributes and children.
+    Elem {
+        /// Tag name.
+        tag: String,
+        /// Attributes (name, value).
+        attrs: Vec<(String, String)>,
+        /// Children in order.
+        children: Vec<OutTree>,
+    },
+    /// Text node.
+    Text(String),
+}
+
+impl OutTree {
+    fn serialize_into(&self, out: &mut String) {
+        match self {
+            OutTree::Text(s) => escape_text(s, out),
+            OutTree::Elem {
+                tag,
+                attrs,
+                children,
+            } => {
+                out.push('<');
+                out.push_str(tag);
+                for (k, v) in attrs {
+                    let _ = write!(out, " {k}=\"");
+                    escape_attr(v, out);
+                    out.push('"');
+                }
+                if children.is_empty() {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    for c in children {
+                        c.serialize_into(out);
+                    }
+                    out.push_str("</");
+                    out.push_str(tag);
+                    out.push('>');
+                }
+            }
+        }
+    }
+}
+
+/// One item of a result sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// A node of the queried document.
+    Node(XNode),
+    /// A constructed tree.
+    Built(OutTree),
+    /// An atomic string.
+    Str(String),
+    /// An atomic number.
+    Num(f64),
+    /// An atomic boolean.
+    Bool(bool),
+}
+
+impl Item {
+    /// True for atomic (non-node, non-constructed) items.
+    pub fn is_atom(&self) -> bool {
+        matches!(self, Item::Str(_) | Item::Num(_) | Item::Bool(_))
+    }
+
+    fn atom_string(&self, doc: &Document) -> String {
+        match self {
+            Item::Str(s) => s.clone(),
+            Item::Num(n) => Value::Num(*n).to_str(doc),
+            Item::Bool(b) => b.to_string(),
+            Item::Node(n) => string_value(doc, *n),
+            Item::Built(_) => unreachable!("atom_string on built tree"),
+        }
+    }
+}
+
+/// Evaluates a query against a document and serialises the result
+/// sequence (nodes serialise their whole subtree; adjacent atoms are
+/// separated by a single space, per XQuery serialisation).
+pub fn evaluate_query(doc: &Document, q: &XQuery) -> Result<String, XQueryError> {
+    let items = eval(doc, q, &HashMap::new())?;
+    Ok(serialize_items(doc, &items))
+}
+
+/// Evaluates a query to its raw item sequence.
+pub fn evaluate_query_items(doc: &Document, q: &XQuery) -> Result<Vec<Item>, XQueryError> {
+    eval(doc, q, &HashMap::new())
+}
+
+/// Serialises a result sequence.
+pub fn serialize_items(doc: &Document, items: &[Item]) -> String {
+    let mut out = String::new();
+    let mut prev_atom = false;
+    for it in items {
+        match it {
+            Item::Node(n) => {
+                match n {
+                    XNode::Tree(id) => out.push_str(&doc.subtree_to_xml(*id)),
+                    XNode::Attr(id, i) => {
+                        // serialise an attribute result as its value
+                        let a = &doc.attributes(*id)[*i as usize];
+                        escape_text(&a.value, &mut out);
+                    }
+                }
+                prev_atom = false;
+            }
+            Item::Built(t) => {
+                t.serialize_into(&mut out);
+                prev_atom = false;
+            }
+            atom => {
+                if prev_atom {
+                    out.push(' ');
+                }
+                escape_text(&atom.atom_string(doc), &mut out);
+                prev_atom = true;
+            }
+        }
+    }
+    out
+}
+
+type Bindings = HashMap<String, Vec<Item>>;
+
+/// Effective boolean value of a condition query. Expressions use the
+/// XPath rules; other queries use their item sequence (empty = false,
+/// single atom = its boolean, otherwise true).
+fn query_bool(doc: &Document, q: &XQuery, env: &Bindings) -> Result<bool, XQueryError> {
+    match q {
+        XQuery::Expr(e) => {
+            let vars = build_vars(doc, e, env)?;
+            let v = evaluate_expr(doc, e, XNode::Tree(NodeId::DOCUMENT), &vars)
+                .map_err(|er| XQueryError(er.0))?;
+            Ok(v.to_bool())
+        }
+        other => {
+            let items = eval(doc, other, env)?;
+            Ok(match items.as_slice() {
+                [] => false,
+                [Item::Bool(b)] => *b,
+                [Item::Num(n)] => *n != 0.0 && !n.is_nan(),
+                [Item::Str(s)] => !s.is_empty(),
+                _ => true,
+            })
+        }
+    }
+}
+
+fn eval(doc: &Document, q: &XQuery, env: &Bindings) -> Result<Vec<Item>, XQueryError> {
+    match q {
+        XQuery::Empty => Ok(Vec::new()),
+        // Literal constructor text is verbatim content, not an atomised
+        // value: it must not participate in atom space-separation.
+        XQuery::Text(s) => Ok(vec![Item::Built(OutTree::Text(s.clone()))]),
+        XQuery::Sequence(qs) => {
+            let mut out = Vec::new();
+            for sub in qs {
+                out.extend(eval(doc, sub, env)?);
+            }
+            Ok(out)
+        }
+        XQuery::Element { tag, content } => {
+            let items = eval(doc, content, env)?;
+            let mut children = Vec::new();
+            let mut atom_buf = String::new();
+            for it in items {
+                match it {
+                    Item::Node(XNode::Tree(id)) => {
+                        flush_atoms(&mut atom_buf, &mut children);
+                        children.push(copy_subtree(doc, id));
+                    }
+                    Item::Node(XNode::Attr(id, i)) => {
+                        let a = &doc.attributes(id)[i as usize];
+                        push_atom(&mut atom_buf, a.value.as_ref());
+                    }
+                    Item::Built(t) => {
+                        flush_atoms(&mut atom_buf, &mut children);
+                        children.push(t);
+                    }
+                    atom => push_atom(&mut atom_buf, &atom.atom_string(doc)),
+                }
+            }
+            flush_atoms(&mut atom_buf, &mut children);
+            Ok(vec![Item::Built(OutTree::Elem {
+                tag: tag.clone(),
+                attrs: Vec::new(),
+                children,
+            })])
+        }
+        XQuery::Expr(e) => {
+            let vars = build_vars(doc, e, env)?;
+            let ctx = XNode::Tree(NodeId::DOCUMENT);
+            let v = evaluate_expr(doc, e, ctx, &vars).map_err(|er| XQueryError(er.0))?;
+            Ok(match v {
+                Value::Nodes(ns) => ns.into_iter().map(Item::Node).collect(),
+                Value::Str(s) => vec![Item::Str(s)],
+                Value::Num(n) => vec![Item::Num(n)],
+                Value::Bool(b) => vec![Item::Bool(b)],
+            })
+        }
+        XQuery::If { cond, then, els } => {
+            if query_bool(doc, cond, env)? {
+                eval(doc, then, env)
+            } else {
+                eval(doc, els, env)
+            }
+        }
+        XQuery::Quantified {
+            every,
+            var,
+            source,
+            cond,
+        } => {
+            let src = eval(doc, source, env)?;
+            let mut env2 = env.clone();
+            let mut result = *every; // every: all-true over ∅; some: false
+            for it in src {
+                env2.insert(var.clone(), vec![it]);
+                let holds = query_bool(doc, cond, &env2)?;
+                if *every && !holds {
+                    result = false;
+                    break;
+                }
+                if !*every && holds {
+                    result = true;
+                    break;
+                }
+            }
+            Ok(vec![Item::Bool(result)])
+        }
+        XQuery::For { var, source, body } => {
+            let src = eval(doc, source, env)?;
+            let mut out = Vec::new();
+            let mut env2 = env.clone();
+            for it in src {
+                env2.insert(var.clone(), vec![it]);
+                out.extend(eval(doc, body, &env2)?);
+            }
+            Ok(out)
+        }
+        XQuery::SortedFor {
+            var,
+            source,
+            key,
+            descending,
+            body,
+        } => {
+            let src = eval(doc, source, env)?;
+            let mut env2 = env.clone();
+            // Evaluate the sort key per binding; numeric keys sort
+            // numerically when every key parses as a number, else
+            // lexicographically (XQuery's untyped-atomic behaviour,
+            // simplified).
+            let mut keyed: Vec<(String, Item)> = Vec::with_capacity(src.len());
+            for it in src {
+                env2.insert(var.clone(), vec![it.clone()]);
+                let vars = build_vars(doc, key, &env2)?;
+                let v = evaluate_expr(doc, key, XNode::Tree(NodeId::DOCUMENT), &vars)
+                    .map_err(|er| XQueryError(er.0))?;
+                keyed.push((v.to_str(doc), it));
+            }
+            let all_numeric = !keyed.is_empty()
+                && keyed.iter().all(|(k, _)| k.trim().parse::<f64>().is_ok());
+            if all_numeric {
+                keyed.sort_by(|a, b| {
+                    let x: f64 = a.0.trim().parse().unwrap();
+                    let y: f64 = b.0.trim().parse().unwrap();
+                    x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+                });
+            } else {
+                keyed.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+            if *descending {
+                keyed.reverse();
+            }
+            let mut out = Vec::new();
+            for (_, it) in keyed {
+                env2.insert(var.clone(), vec![it]);
+                out.extend(eval(doc, body, &env2)?);
+            }
+            Ok(out)
+        }
+        XQuery::Let { var, value, body } => {
+            let v = eval(doc, value, env)?;
+            let mut env2 = env.clone();
+            env2.insert(var.clone(), v);
+            eval(doc, body, &env2)
+        }
+    }
+}
+
+fn push_atom(buf: &mut String, s: &str) {
+    if !buf.is_empty() {
+        buf.push(' ');
+    }
+    buf.push_str(s);
+}
+
+fn flush_atoms(buf: &mut String, children: &mut Vec<OutTree>) {
+    if !buf.is_empty() {
+        children.push(OutTree::Text(std::mem::take(buf)));
+    }
+}
+
+/// Deep copy of an input subtree into a constructed tree.
+fn copy_subtree(doc: &Document, id: NodeId) -> OutTree {
+    match doc.kind(id) {
+        xproj_xmltree::NodeKind::Text(s) => OutTree::Text(s.to_string()),
+        xproj_xmltree::NodeKind::Element { tag, attrs } => OutTree::Elem {
+            tag: doc.tags.resolve(*tag).to_string(),
+            attrs: attrs
+                .iter()
+                .map(|a| {
+                    (
+                        doc.tags.resolve(a.name).to_string(),
+                        a.value.to_string(),
+                    )
+                })
+                .collect(),
+            children: doc.children(id).map(|c| copy_subtree(doc, c)).collect(),
+        },
+        xproj_xmltree::NodeKind::Document => OutTree::Elem {
+            tag: "#document".to_string(),
+            attrs: Vec::new(),
+            children: doc.children(id).map(|c| copy_subtree(doc, c)).collect(),
+        },
+    }
+}
+
+/// Converts the needed subset of XQuery bindings into XPath variables.
+/// Only bindings actually referenced by `e` are converted, so queries can
+/// bind constructed trees as long as they never navigate them (the
+/// paper's restriction).
+fn build_vars(doc: &Document, e: &Expr, env: &Bindings) -> Result<Vars, XQueryError> {
+    let mut needed = Vec::new();
+    collect_vars(e, &mut needed);
+    let mut vars = Vars::new();
+    for name in needed {
+        let Some(items) = env.get(&name) else {
+            return Err(XQueryError(format!("unbound variable ${name}")));
+        };
+        let value = items_to_value(doc, items)
+            .ok_or_else(|| XQueryError(format!(
+                "variable ${name} holds constructed content and cannot be navigated"
+            )))?;
+        vars.insert(name, value);
+    }
+    Ok(vars)
+}
+
+fn items_to_value(doc: &Document, items: &[Item]) -> Option<Value> {
+    if items.len() == 1 {
+        match &items[0] {
+            Item::Str(s) => return Some(Value::Str(s.clone())),
+            Item::Num(n) => return Some(Value::Num(*n)),
+            Item::Bool(b) => return Some(Value::Bool(*b)),
+            _ => {}
+        }
+    }
+    let mut nodes = Vec::with_capacity(items.len());
+    for it in items {
+        match it {
+            Item::Node(n) => nodes.push(*n),
+            _ if items.len() == 1 => unreachable!(),
+            _ => return None,
+        }
+    }
+    let _ = doc;
+    Some(Value::Nodes(nodes))
+}
+
+/// Collects every variable name occurring in an expression (used by the
+/// extraction heuristic to check a condition only refers to one binding).
+pub fn collect_vars_pub(e: &Expr, out: &mut Vec<String>) {
+    collect_vars(e, out)
+}
+
+fn collect_vars(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Var(v) => out.push(v.clone()),
+        Expr::Path(p) => collect_path_vars(p, out),
+        Expr::RootedPath(b, p) => {
+            collect_vars(b, out);
+            collect_path_vars(p, out);
+        }
+        Expr::Or(a, b)
+        | Expr::And(a, b)
+        | Expr::Compare(_, a, b)
+        | Expr::Arith(_, a, b)
+        | Expr::Union(a, b) => {
+            collect_vars(a, out);
+            collect_vars(b, out);
+        }
+        Expr::Neg(a) => collect_vars(a, out),
+        Expr::Call(_, args) => {
+            for a in args {
+                collect_vars(a, out);
+            }
+        }
+        Expr::Literal(_) | Expr::Number(_) => {}
+    }
+}
+
+fn collect_path_vars(p: &xproj_xpath::ast::LocationPath, out: &mut Vec<String>) {
+    for s in &p.steps {
+        for pred in &s.predicates {
+            collect_vars(pred, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xquery;
+    use xproj_xmltree::parse;
+
+    const DOC: &str = "<site><people>\
+        <person><name>Alice</name><age>30</age></person>\
+        <person><name>Bob</name><age>20</age></person>\
+        </people></site>";
+
+    fn run(doc_src: &str, q: &str) -> String {
+        let doc = parse(doc_src).unwrap();
+        let query = parse_xquery(q).unwrap();
+        evaluate_query(&doc, &query).unwrap()
+    }
+
+    #[test]
+    fn path_query() {
+        assert_eq!(
+            run(DOC, "/site/people/person/name"),
+            "<name>Alice</name><name>Bob</name>"
+        );
+    }
+
+    #[test]
+    fn for_with_constructor() {
+        assert_eq!(
+            run(
+                DOC,
+                "for $p in /site/people/person return <n>{$p/name/text()}</n>"
+            ),
+            "<n>Alice</n><n>Bob</n>"
+        );
+    }
+
+    #[test]
+    fn where_filter() {
+        assert_eq!(
+            run(
+                DOC,
+                "for $p in /site/people/person where $p/age > 25 return $p/name"
+            ),
+            "<name>Alice</name>"
+        );
+    }
+
+    #[test]
+    fn let_count() {
+        assert_eq!(
+            run(DOC, "let $n := count(/site/people/person) return <total>{$n}</total>"),
+            "<total>2</total>"
+        );
+    }
+
+    #[test]
+    fn if_else() {
+        assert_eq!(
+            run(DOC, "if (count(/site/people/person) > 5) then <big/> else <small/>"),
+            "<small/>"
+        );
+    }
+
+    #[test]
+    fn sequences_and_atoms() {
+        assert_eq!(run(DOC, "(1, 2, \"x\")"), "1 2 x");
+        assert_eq!(run(DOC, "()"), "");
+    }
+
+    #[test]
+    fn nested_for() {
+        let out = run(
+            DOC,
+            "for $p in /site/people/person return \
+             for $n in $p/name return <x>{$n/text()}</x>",
+        );
+        assert_eq!(out, "<x>Alice</x><x>Bob</x>");
+    }
+
+    #[test]
+    fn element_deep_copy() {
+        let out = run(DOC, "<copy>{/site/people/person[1]}</copy>");
+        assert_eq!(
+            out,
+            "<copy><person><name>Alice</name><age>30</age></person></copy>"
+        );
+    }
+
+    #[test]
+    fn multiplicity_preserved() {
+        // one output element per binding, even when content is constant
+        assert_eq!(
+            run(DOC, "for $p in /site/people/person return <hit/>"),
+            "<hit/><hit/>"
+        );
+    }
+
+    #[test]
+    fn unbound_variable() {
+        let doc = parse(DOC).unwrap();
+        let q = parse_xquery("$nope/name").unwrap();
+        assert!(evaluate_query(&doc, &q).is_err());
+    }
+
+    #[test]
+    fn variable_as_value() {
+        assert_eq!(
+            run(DOC, "let $n := 21 return <v>{$n * 2}</v>"),
+            "<v>42</v>"
+        );
+    }
+
+    #[test]
+    fn mixed_text_and_splice() {
+        assert_eq!(
+            run(DOC, "<r>count: {count(/site/people/person)}!</r>"),
+            "<r>count: 2!</r>"
+        );
+    }
+}
+
+#[cfg(test)]
+mod order_by_eval_tests {
+    use crate::parser::parse_xquery;
+    use xproj_xmltree::parse;
+
+    #[test]
+    fn sorts_by_string_key() {
+        let doc = parse("<r><p><n>carol</n></p><p><n>alice</n></p><p><n>bob</n></p></r>").unwrap();
+        let q =
+            parse_xquery("for $p in /r/p order by $p/n/text() return <k>{$p/n/text()}</k>")
+                .unwrap();
+        assert_eq!(
+            super::evaluate_query(&doc, &q).unwrap(),
+            "<k>alice</k><k>bob</k><k>carol</k>"
+        );
+    }
+
+    #[test]
+    fn sorts_numerically_when_all_keys_numeric() {
+        let doc = parse("<r><v>10</v><v>9</v><v>100</v></r>").unwrap();
+        let q = parse_xquery("for $v in /r/v order by $v return <k>{$v/text()}</k>").unwrap();
+        // numeric, not lexicographic ("10" < "100" < "9")
+        assert_eq!(
+            super::evaluate_query(&doc, &q).unwrap(),
+            "<k>9</k><k>10</k><k>100</k>"
+        );
+    }
+
+    #[test]
+    fn descending_reverses() {
+        let doc = parse("<r><v>1</v><v>3</v><v>2</v></r>").unwrap();
+        let q =
+            parse_xquery("for $v in /r/v order by $v descending return <k>{$v/text()}</k>")
+                .unwrap();
+        assert_eq!(
+            super::evaluate_query(&doc, &q).unwrap(),
+            "<k>3</k><k>2</k><k>1</k>"
+        );
+    }
+}
+
+#[cfg(test)]
+mod quantifier_eval_tests {
+    use crate::parser::parse_xquery;
+    use xproj_xmltree::parse;
+
+    fn run(doc: &str, q: &str) -> String {
+        let d = parse(doc).unwrap();
+        let p = parse_xquery(q).unwrap();
+        super::evaluate_query(&d, &p).unwrap()
+    }
+
+    const DOC: &str = "<r><a><v>1</v><v>5</v></a><a><v>1</v></a><a/></r>";
+
+    #[test]
+    fn some_is_existential() {
+        assert_eq!(
+            run(DOC, "for $a in /r/a where some $v in $a/v satisfies $v > 3 return <hit/>"),
+            "<hit/>"
+        );
+    }
+
+    #[test]
+    fn every_is_universal_and_true_on_empty() {
+        assert_eq!(
+            run(DOC, "for $a in /r/a where every $v in $a/v satisfies $v >= 1 return <hit/>"),
+            "<hit/><hit/><hit/>" // includes the empty <a/>
+        );
+        assert_eq!(
+            run(DOC, "for $a in /r/a where every $v in $a/v satisfies $v > 1 return <hit/>"),
+            "<hit/>" // only the empty one
+        );
+    }
+
+    #[test]
+    fn quantifier_as_value() {
+        assert_eq!(run(DOC, "some $v in /r/a/v satisfies $v = 5"), "true");
+        assert_eq!(run(DOC, "every $v in /r/a/v satisfies $v = 5"), "false");
+    }
+}
+
+#[cfg(test)]
+mod scoping_tests {
+    use crate::parser::parse_xquery;
+    use xproj_xmltree::parse;
+
+    fn run(doc: &str, q: &str) -> String {
+        let d = parse(doc).unwrap();
+        let p = parse_xquery(q).unwrap();
+        super::evaluate_query(&d, &p).unwrap()
+    }
+
+    #[test]
+    fn let_shadows_outer_binding() {
+        assert_eq!(
+            run("<a/>", "let $x := 1 return (let $x := 2 return $x, $x)"),
+            "2 1"
+        );
+    }
+
+    #[test]
+    fn for_over_atom_sequence() {
+        assert_eq!(run("<a/>", "for $x in (1, 2, 3) return <v>{$x}</v>"),
+            "<v>1</v><v>2</v><v>3</v>");
+    }
+
+    #[test]
+    fn for_variable_not_visible_outside() {
+        let d = parse("<a/>").unwrap();
+        let q = parse_xquery("(for $x in (1) return $x, $x)").unwrap();
+        assert!(super::evaluate_query(&d, &q).is_err());
+    }
+
+    #[test]
+    fn nested_let_in_for() {
+        assert_eq!(
+            run(
+                "<r><v>2</v><v>3</v></r>",
+                "for $v in /r/v let $d := $v * 2 return <x>{$d}</x>"
+            ),
+            "<x>4</x><x>6</x>"
+        );
+    }
+
+    #[test]
+    fn empty_source_for_loop() {
+        assert_eq!(run("<a/>", "for $x in /a/zzz return <v/>"), "");
+    }
+}

@@ -1,0 +1,76 @@
+//! XMark walkthrough: generate an auction document, prune it for a few
+//! benchmark queries, and compare query results and document sizes —
+//! a miniature of the paper's §6 experiments.
+//!
+//! ```sh
+//! cargo run --release --example xmark_pruning [scale]
+//! ```
+
+use std::time::Instant;
+use xml_projection::core::StaticAnalyzer;
+use xml_projection::dtd::validate;
+use xml_projection::xmark::{auction_dtd, generate_auction, XMarkConfig};
+use xml_projection::xquery;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+
+    let dtd = auction_dtd();
+    println!("generating XMark document at scale {scale} …");
+    let doc = generate_auction(&dtd, &XMarkConfig { scale, seed: 42 });
+    let xml = doc.to_xml();
+    println!(
+        "  {} elements, {:.2} MB serialised",
+        doc.element_count(),
+        xml.len() as f64 / 1e6
+    );
+    let interp = validate(&doc, &dtd).expect("generated documents are valid");
+
+    let queries = [
+        ("very selective", "for $b in /site/people/person[@id = \"person0\"] return $b/name/text()"),
+        ("people only", "for $p in /site/people/person where empty($p/homepage/text()) return <person>{$p/name/text()}</person>"),
+        ("auction spine", "for $b in /site/open_auctions/open_auction return <increase>{$b/bidder[1]/increase/text()}</increase>"),
+        ("description-hungry", "for $i in /site//item where contains(string($i/description), \"gold\") return $i/name/text()"),
+    ];
+
+    let mut sa = StaticAnalyzer::new(&dtd);
+    for (label, q) in queries {
+        let t0 = Instant::now();
+        let parsed = xquery::parse_xquery(q).expect("query parses");
+        let projector = xquery::project_xquery(&mut sa, &parsed);
+        let analysis_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let pruned = xml_projection::core::prune_document(&doc, &dtd, &interp, &projector);
+        let prune_time = t1.elapsed();
+        let pruned_xml_len = pruned.to_xml().len();
+
+        let t2 = Instant::now();
+        let on_original = xquery::evaluate_query(&doc, &parsed).unwrap();
+        let t_orig = t2.elapsed();
+        let t3 = Instant::now();
+        let on_pruned = xquery::evaluate_query(&pruned, &parsed).unwrap();
+        let t_pruned = t3.elapsed();
+        assert_eq!(on_original, on_pruned, "soundness violated for {label}");
+
+        println!("\n[{label}]");
+        println!("  query:            {q}");
+        println!(
+            "  projector:        {} of {} names",
+            projector.len(),
+            dtd.name_count()
+        );
+        println!(
+            "  pruned size:      {:.1}% of original",
+            100.0 * pruned_xml_len as f64 / xml.len() as f64
+        );
+        println!(
+            "  analysis {analysis_time:?}, prune {prune_time:?}, \
+             eval original {t_orig:?} vs pruned {t_pruned:?} ({:.1}x faster)",
+            t_orig.as_secs_f64() / t_pruned.as_secs_f64().max(1e-9)
+        );
+    }
+}

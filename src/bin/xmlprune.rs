@@ -1,0 +1,256 @@
+//! `xmlprune` — command-line type-based XML projection.
+//!
+//! ```text
+//! xmlprune analyze  --dtd auction.dtd --root site QUERY [QUERY…]
+//! xmlprune prune    --dtd auction.dtd --root site --query QUERY [-o OUT] INPUT.xml
+//! xmlprune validate --dtd auction.dtd --root site INPUT.xml
+//! xmlprune query    --query QUERY INPUT.xml
+//! xmlprune guide    INPUT.xml            # infer a dataguide DTD
+//! ```
+//!
+//! When `--dtd` is omitted, `prune`/`analyze` fall back to the document's
+//! internal DTD subset (`<!DOCTYPE root [ … ]>`) or, failing that, to a
+//! dataguide inferred from the input document itself.
+
+use std::io::Read;
+use std::process::ExitCode;
+use xml_projection::dtd::{infer_dtd, parse_dtd, validate, Dtd};
+use xml_projection::xmltree::{Event, XmlReader};
+use xml_projection::Projection;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xmlprune: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Opts {
+    dtd_path: Option<String>,
+    root: Option<String>,
+    queries: Vec<String>,
+    output: Option<String>,
+    save: Option<String>,
+    projector: Option<String>,
+    validate: bool,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        dtd_path: None,
+        root: None,
+        queries: Vec::new(),
+        output: None,
+        save: None,
+        projector: None,
+        validate: false,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dtd" => o.dtd_path = Some(it.next().ok_or("--dtd needs a path")?.clone()),
+            "--root" => o.root = Some(it.next().ok_or("--root needs a name")?.clone()),
+            "--query" | "-q" => o
+                .queries
+                .push(it.next().ok_or("--query needs a query")?.clone()),
+            "--output" | "-o" => {
+                o.output = Some(it.next().ok_or("--output needs a path")?.clone())
+            }
+            "--save" => o.save = Some(it.next().ok_or("--save needs a path")?.clone()),
+            "--projector" => {
+                o.projector = Some(it.next().ok_or("--projector needs a path")?.clone())
+            }
+            "--validate" => o.validate = true,
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn read_input(path: Option<&str>) -> Result<String, String> {
+    match path {
+        Some("-") | None => {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| format!("stdin: {e}"))?;
+            Ok(s)
+        }
+        Some(p) => std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}")),
+    }
+}
+
+/// Extracts `<!DOCTYPE name [ subset ]>` from a document, if present.
+fn internal_subset(xml: &str) -> Option<(String, String)> {
+    let mut r = XmlReader::new(xml);
+    loop {
+        match r.next_event().ok()? {
+            Event::Doctype {
+                name,
+                internal_subset: Some(s),
+            } => return Some((name.to_string(), s.to_string())),
+            Event::Doctype { .. } | Event::Comment(_) | Event::ProcessingInstruction(_) => {}
+            _ => return None,
+        }
+    }
+}
+
+/// Resolves the DTD: explicit file > internal subset > dataguide.
+fn resolve_dtd(o: &Opts, xml: Option<&str>) -> Result<(Dtd, &'static str), String> {
+    if let Some(path) = &o.dtd_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let root = o
+            .root
+            .clone()
+            .ok_or("--root is required with --dtd (the DOCTYPE name)")?;
+        let dtd = parse_dtd(&text, &root).map_err(|e| e.to_string())?;
+        return Ok((dtd, "external DTD"));
+    }
+    if let Some(xml) = xml {
+        if let Some((name, subset)) = internal_subset(xml) {
+            let root = o.root.clone().unwrap_or(name);
+            let dtd = parse_dtd(&subset, &root).map_err(|e| e.to_string())?;
+            return Ok((dtd, "internal DTD subset"));
+        }
+        let doc = xml_projection::xmltree::parse(xml).map_err(|e| e.to_string())?;
+        let dtd = infer_dtd(&doc).map_err(|e| e.to_string())?;
+        return Ok((dtd, "inferred dataguide"));
+    }
+    Err("no DTD given (use --dtd FILE --root NAME) and no input to infer one from".to_string())
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some(cmd) = args.first().cloned() else {
+        return Err(USAGE.trim().to_string());
+    };
+    let o = parse_opts(&args[1..])?;
+    match cmd.as_str() {
+        "analyze" => {
+            let queries: Vec<&str> = o
+                .queries
+                .iter()
+                .chain(o.positional.iter())
+                .map(|s| s.as_str())
+                .collect();
+            if queries.is_empty() {
+                return Err("analyze: no queries given".to_string());
+            }
+            let (dtd, source) = resolve_dtd(&o, None)?;
+            eprintln!("using {source} ({} names)", dtd.name_count());
+            let projection =
+                Projection::for_queries(&dtd, queries.iter().copied()).map_err(|e| e.to_string())?;
+            println!(
+                "projector: {} of {} names",
+                projection.projector().len(),
+                dtd.name_count()
+            );
+            for l in projection.projector().labels(&dtd) {
+                println!("  {l}");
+            }
+            if let Some(path) = &o.save {
+                std::fs::write(path, projection.projector().to_text(&dtd))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("projector saved to {path}");
+            }
+            Ok(())
+        }
+        "prune" => {
+            if o.queries.is_empty() && o.projector.is_none() {
+                return Err("prune: --query or --projector is required".to_string());
+            }
+            let xml = read_input(o.positional.first().map(|s| s.as_str()))?;
+            let (dtd, source) = resolve_dtd(&o, Some(&xml))?;
+            eprintln!("using {source} ({} names)", dtd.name_count());
+            let projection = match &o.projector {
+                Some(path) => {
+                    let text =
+                        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                    let p = xml_projection::core::Projector::from_text(&dtd, &text)?;
+                    Projection::from_projector(&dtd, p)
+                }
+                None => Projection::for_queries(&dtd, o.queries.iter().map(|s| s.as_str()))
+                    .map_err(|e| e.to_string())?,
+            };
+            let r = if o.validate {
+                projection.prune_validate_str(&xml).map_err(|e| e.to_string())?
+            } else {
+                projection.prune_str(&xml).map_err(|e| e.to_string())?
+            };
+            eprintln!(
+                "kept {} elements, pruned {} subtrees; {:.1}% of the input retained",
+                r.elements_kept,
+                r.elements_pruned,
+                100.0 * r.retention(xml.len())
+            );
+            match &o.output {
+                Some(p) => std::fs::write(p, &r.output).map_err(|e| format!("{p}: {e}"))?,
+                None => println!("{}", r.output),
+            }
+            Ok(())
+        }
+        "validate" => {
+            let xml = read_input(o.positional.first().map(|s| s.as_str()))?;
+            let (dtd, source) = resolve_dtd(&o, Some(&xml))?;
+            let doc = xml_projection::xmltree::parser::parse_with_options(
+                &xml,
+                xml_projection::xmltree::parser::ParseOptions {
+                    ignore_whitespace_text: true,
+                    interner: Some(dtd.tags.clone()),
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            match validate(&doc, &dtd) {
+                Ok(_) => {
+                    println!("valid against {source}");
+                    Ok(())
+                }
+                Err(e) => Err(format!("invalid: {e}")),
+            }
+        }
+        "query" => {
+            if o.queries.is_empty() {
+                return Err("query: --query is required".to_string());
+            }
+            let xml = read_input(o.positional.first().map(|s| s.as_str()))?;
+            let doc = xml_projection::xmltree::parse(&xml).map_err(|e| e.to_string())?;
+            for q in &o.queries {
+                let parsed = xml_projection::xquery::parse_xquery(q).map_err(|e| e.to_string())?;
+                let out = xml_projection::xquery::evaluate_query(&doc, &parsed)
+                    .map_err(|e| e.to_string())?;
+                println!("{out}");
+            }
+            Ok(())
+        }
+        "guide" => {
+            let xml = read_input(o.positional.first().map(|s| s.as_str()))?;
+            let doc = xml_projection::xmltree::parse(&xml).map_err(|e| e.to_string())?;
+            let dtd = infer_dtd(&doc).map_err(|e| e.to_string())?;
+            print!("{}", dtd.to_dtd_syntax());
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE.trim());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", USAGE.trim())),
+    }
+}
+
+const USAGE: &str = r#"
+usage:
+  xmlprune analyze  --dtd FILE --root NAME [--save PROJ] QUERY [QUERY…]
+  xmlprune prune    [--dtd FILE --root NAME] (--query QUERY | --projector PROJ)
+                    [--validate] [-o OUT] [INPUT.xml]
+  xmlprune validate [--dtd FILE --root NAME] [INPUT.xml]
+  xmlprune query    --query QUERY [INPUT.xml]
+  xmlprune guide    [INPUT.xml]
+
+INPUT defaults to stdin. Without --dtd, prune/validate use the document's
+internal DTD subset or fall back to an inferred dataguide.
+"#;

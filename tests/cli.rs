@@ -1,0 +1,250 @@
+//! Integration tests for the `xmlprune` command-line tool.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_xmlprune");
+
+const DTD: &str = "<!ELEMENT bib (book*)>\n\
+    <!ELEMENT book (title, author*)>\n\
+    <!ELEMENT title (#PCDATA)>\n\
+    <!ELEMENT author (#PCDATA)>\n";
+
+const DOC: &str =
+    "<bib><book><title>T</title><author>A</author></book></bib>";
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("xmlprune-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    std::fs::write(&p, content).unwrap();
+    p
+}
+
+#[test]
+fn prune_with_external_dtd() {
+    let dtd = write_tmp("books.dtd", DTD);
+    let doc = write_tmp("books.xml", DOC);
+    let out = Command::new(BIN)
+        .args([
+            "prune",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "--query",
+            "/bib/book/title",
+            doc.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout.trim(),
+        "<bib><book><title>T</title></book></bib>"
+    );
+}
+
+#[test]
+fn prune_from_stdin_with_dataguide() {
+    let mut child = Command::new(BIN)
+        .args(["prune", "--query", "//title"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(DOC.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("<title>T</title>"));
+    assert!(!stdout.contains("author"));
+    // and it told us it fell back to a dataguide
+    assert!(String::from_utf8_lossy(&out.stderr).contains("dataguide"));
+}
+
+#[test]
+fn analyze_prints_projector() {
+    let dtd = write_tmp("books2.dtd", DTD);
+    let out = Command::new(BIN)
+        .args([
+            "analyze",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "/bib/book/author",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("author"));
+    assert!(!stdout.contains("title\n"), "{stdout}");
+}
+
+#[test]
+fn validate_ok_and_fail() {
+    let dtd = write_tmp("books3.dtd", DTD);
+    let doc = write_tmp("ok.xml", DOC);
+    let ok = Command::new(BIN)
+        .args([
+            "validate",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            doc.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(ok.status.success());
+
+    let bad = write_tmp("bad.xml", "<bib><book><author>A</author></book></bib>");
+    let fail = Command::new(BIN)
+        .args([
+            "validate",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!fail.status.success());
+}
+
+#[test]
+fn query_evaluates_xquery() {
+    let doc = write_tmp("q.xml", DOC);
+    let out = Command::new(BIN)
+        .args([
+            "query",
+            "--query",
+            "for $b in /bib/book return $b/title/text()",
+            doc.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "T");
+}
+
+#[test]
+fn guide_round_trips_through_the_dtd_parser() {
+    let doc = write_tmp("g.xml", DOC);
+    let out = Command::new(BIN)
+        .args(["guide", doc.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let dtd_text = String::from_utf8(out.stdout).unwrap();
+    let dtd = xml_projection::dtd::parse_dtd(&dtd_text, "bib").unwrap();
+    assert!(dtd.name_of_tag_str("book").is_some());
+}
+
+#[test]
+fn internal_subset_is_used() {
+    let doc = write_tmp(
+        "subset.xml",
+        "<!DOCTYPE bib [<!ELEMENT bib (book*)><!ELEMENT book (title)>\
+         <!ELEMENT title (#PCDATA)>]>\
+         <bib><book><title>T</title></book></bib>",
+    );
+    let out = Command::new(BIN)
+        .args(["prune", "--query", "/bib/book", doc.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("internal DTD subset"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = Command::new(BIN).args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn projector_save_and_reuse() {
+    let dtd = write_tmp("books4.dtd", DTD);
+    let doc = write_tmp("books4.xml", DOC);
+    let proj = std::env::temp_dir().join("xmlprune-cli-tests/proj.txt");
+    let save = Command::new(BIN)
+        .args([
+            "analyze",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "--save",
+            proj.to_str().unwrap(),
+            "/bib/book/title",
+        ])
+        .output()
+        .unwrap();
+    assert!(save.status.success(), "{}", String::from_utf8_lossy(&save.stderr));
+    let prune = Command::new(BIN)
+        .args([
+            "prune",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "--projector",
+            proj.to_str().unwrap(),
+            doc.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(prune.status.success());
+    let out = String::from_utf8(prune.stdout).unwrap();
+    assert!(out.contains("<title>T</title>"));
+    assert!(!out.contains("author"));
+}
+
+#[test]
+fn prune_with_fused_validation_rejects_invalid() {
+    let dtd = write_tmp("books5.dtd", DTD);
+    // author before title violates the content model
+    let bad = write_tmp("bad5.xml", "<bib><book><author>A</author><title>T</title></book></bib>");
+    let out = Command::new(BIN)
+        .args([
+            "prune",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "--validate",
+            "--query",
+            "//title",
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not allowed"));
+    // without --validate the same input prunes fine
+    let ok = Command::new(BIN)
+        .args([
+            "prune",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "--query",
+            "//title",
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(ok.status.success());
+}

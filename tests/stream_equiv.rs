@@ -1,0 +1,64 @@
+//! The two pruning implementations — the in-memory Def. 2.7 projection
+//! and the one-pass streaming pruner of §6 — must produce byte-identical
+//! documents for every benchmark projector.
+
+use xml_projection::core::{prune_document, prune_str, StaticAnalyzer};
+use xml_projection::dtd::validate;
+use xml_projection::xmark::{
+    auction_dtd, generate_auction, xmark_queries, xpathmark_queries, XMarkConfig,
+};
+use xml_projection::xquery;
+
+#[test]
+fn streaming_equals_in_memory_on_the_whole_workload() {
+    let dtd = auction_dtd();
+    let doc = generate_auction(&dtd, &XMarkConfig { scale: 0.06, seed: 77 });
+    let xml = doc.to_xml();
+    let interp = validate(&doc, &dtd).unwrap();
+    let mut sa = StaticAnalyzer::new(&dtd);
+
+    for q in xpathmark_queries() {
+        let p = sa.project_query(q.text).unwrap();
+        let streamed = prune_str(&xml, &dtd, &p).unwrap();
+        let in_memory = prune_document(&doc, &dtd, &interp, &p);
+        assert_eq!(streamed.output, in_memory.to_xml(), "{}", q.id);
+    }
+    for q in xmark_queries() {
+        let parsed = xquery::parse_xquery(q.text).unwrap();
+        let p = xquery::project_xquery(&mut sa, &parsed);
+        let streamed = prune_str(&xml, &dtd, &p).unwrap();
+        let in_memory = prune_document(&doc, &dtd, &interp, &p);
+        assert_eq!(streamed.output, in_memory.to_xml(), "{}", q.id);
+    }
+}
+
+#[test]
+fn streaming_stats_are_consistent() {
+    let dtd = auction_dtd();
+    let doc = generate_auction(&dtd, &XMarkConfig { scale: 0.05, seed: 4 });
+    let xml = doc.to_xml();
+    let mut sa = StaticAnalyzer::new(&dtd);
+    let p = sa.project_query("/site/people/person/name").unwrap();
+    let r = prune_str(&xml, &dtd, &p).unwrap();
+    // elements_pruned counts discarded subtree *roots* (inner elements
+    // are skipped without event processing), so kept + pruned ≤ total.
+    let total_elements = doc.element_count();
+    assert!(r.elements_kept + r.elements_pruned <= total_elements);
+    assert!(r.elements_kept > 0 && r.elements_pruned > 0);
+    assert!(r.retention(xml.len()) < 0.5, "people-only keeps little");
+    // depth bound: the streaming pruner's memory is O(depth)
+    assert!(r.max_depth <= 4); // site/people/person/name
+}
+
+#[test]
+fn streamed_prune_reparses_and_revalidates_interpretation() {
+    // The streamed output parses, and every element is still declared.
+    let dtd = auction_dtd();
+    let doc = generate_auction(&dtd, &XMarkConfig { scale: 0.05, seed: 9 });
+    let xml = doc.to_xml();
+    let mut sa = StaticAnalyzer::new(&dtd);
+    let p = sa.project_query("//keyword").unwrap();
+    let r = prune_str(&xml, &dtd, &p).unwrap();
+    let reparsed = xml_projection::xmltree::parse(&r.output).unwrap();
+    assert!(xml_projection::dtd::interpret(&reparsed, &dtd).is_ok());
+}
