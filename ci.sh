@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verify + fuzzer smoke, exactly as CI runs it.
+#
+# The workspace is hermetic (path dependencies only), so everything
+# runs --offline --locked: no registry, no network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, offline, locked) =="
+cargo build --release --offline --locked
+
+echo "== test (workspace, offline, locked) =="
+cargo test -q --workspace --offline --locked
+
+echo "== soundness fuzzer smoke (deterministic, 200 cases) =="
+TESTKIT_FUZZ_CASES=200 cargo test -q --offline --locked \
+    -p xml-projection --test fuzz_soundness
+
+echo "ci: OK"

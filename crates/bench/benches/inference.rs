@@ -1,11 +1,15 @@
-//! Criterion micro-benchmarks: projector inference latency (the static
-//! analysis the paper reports as "always negligible").
+//! Micro-benchmarks: projector inference latency (the static analysis
+//! the paper reports as "always negligible").
+//!
+//! Run with `cargo bench -p xproj-bench --bench inference`; one JSON
+//! result object per line (see `xproj_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xproj_bench::Timer;
 use xproj_core::StaticAnalyzer;
 use xproj_xmark::{auction_dtd, xmark_queries, xpathmark_queries};
 
-fn bench_inference(c: &mut Criterion) {
+fn main() {
+    let timer = Timer::from_env();
     let dtd = auction_dtd();
 
     // Representative queries spanning the rule space: a long child path,
@@ -19,45 +23,34 @@ fn bench_inference(c: &mut Criterion) {
         ("siblings", "/site/open_auctions/open_auction/bidder[following-sibling::bidder]"),
     ];
 
-    let mut g = c.benchmark_group("infer_xpath");
     for (label, q) in xpath_cases {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &q, |b, q| {
-            b.iter(|| {
-                let mut sa = StaticAnalyzer::new(&dtd);
-                sa.project_query(q).unwrap().len()
-            })
+        timer.bench("infer_xpath", label, || {
+            let mut sa = StaticAnalyzer::new(&dtd);
+            sa.project_query(q).unwrap().len()
         });
     }
-    g.finish();
 
     let join = xmark_queries()
         .into_iter()
         .find(|q| q.id == "QM09")
         .unwrap();
-    c.bench_function("infer_xquery_join", |b| {
-        let parsed = xproj_xquery::parse_xquery(join.text).unwrap();
-        b.iter(|| {
-            let mut sa = StaticAnalyzer::new(&dtd);
-            xproj_xquery::project_xquery(&mut sa, &parsed).len()
-        })
+    let parsed = xproj_xquery::parse_xquery(join.text).unwrap();
+    timer.bench("infer", "xquery_join", || {
+        let mut sa = StaticAnalyzer::new(&dtd);
+        xproj_xquery::project_xquery(&mut sa, &parsed).len()
     });
 
-    c.bench_function("infer_whole_workload", |b| {
-        let all: Vec<&str> = xmark_queries()
-            .iter()
-            .map(|q| q.text)
-            .chain(xpathmark_queries().iter().map(|q| q.text))
-            .collect();
-        b.iter(|| {
-            let mut sa = StaticAnalyzer::new(&dtd);
-            let mut total = 0usize;
-            for q in &all {
-                total += xproj_xquery::project_xquery_str(&mut sa, q).unwrap().len();
-            }
-            total
-        })
+    let all: Vec<&str> = xmark_queries()
+        .iter()
+        .map(|q| q.text)
+        .chain(xpathmark_queries().iter().map(|q| q.text))
+        .collect();
+    timer.bench("infer", "whole_workload", || {
+        let mut sa = StaticAnalyzer::new(&dtd);
+        let mut total = 0usize;
+        for q in &all {
+            total += xproj_xquery::project_xquery_str(&mut sa, q).unwrap().len();
+        }
+        total
     });
 }
-
-criterion_group!(benches, bench_inference);
-criterion_main!(benches);

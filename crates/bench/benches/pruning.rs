@@ -1,12 +1,16 @@
-//! Criterion micro-benchmarks: streaming pruning throughput at three
-//! projector selectivities (§6: pruning is a one-pass, parse-speed
-//! operation regardless of how much it keeps).
+//! Micro-benchmarks: streaming pruning throughput at three projector
+//! selectivities (§6: pruning is a one-pass, parse-speed operation
+//! regardless of how much it keeps).
+//!
+//! Run with `cargo bench -p xproj-bench --bench pruning`; one JSON
+//! result object per line (see `xproj_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xproj_bench::Timer;
 use xproj_core::{prune_str, prune_validate_str, StaticAnalyzer};
 use xproj_xmark::{auction_dtd, generate_auction, XMarkConfig};
 
-fn bench_pruning(c: &mut Criterion) {
+fn main() {
+    let timer = Timer::from_env();
     let dtd = auction_dtd();
     let xml = generate_auction(&dtd, &XMarkConfig::at_scale(1.0)).to_xml();
     let mut sa = StaticAnalyzer::new(&dtd);
@@ -17,41 +21,26 @@ fn bench_pruning(c: &mut Criterion) {
         ("keep-most", "/site//node()"),
     ];
 
-    let mut g = c.benchmark_group("stream_prune");
-    g.throughput(Throughput::Bytes(xml.len() as u64));
     for (label, q) in cases {
         let projector = sa.project_query(q).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(label), &projector, |b, p| {
-            b.iter(|| prune_str(&xml, &dtd, p).unwrap().output.len())
+        timer.bench_bytes("stream_prune", label, xml.len(), || {
+            prune_str(&xml, &dtd, &projector).unwrap().output.len()
         });
     }
-    g.finish();
-}
 
-/// §6: "prune the document while validating it … without any overhead".
-/// Compares the plain pruner against the fused validate+prune pass.
-fn bench_validation_overhead(c: &mut Criterion) {
-    let dtd = auction_dtd();
-    let xml = generate_auction(&dtd, &XMarkConfig::at_scale(1.0)).to_xml();
-    let mut sa = StaticAnalyzer::new(&dtd);
+    // §6: "prune the document while validating it … without any
+    // overhead". Compares the plain pruner against the fused
+    // validate+prune pass.
     let projector = sa
         .project_query("/site/closed_auctions/closed_auction[descendant::keyword]/date")
         .unwrap();
-    let mut g = c.benchmark_group("prune_vs_prune_validate");
-    g.throughput(Throughput::Bytes(xml.len() as u64));
-    g.bench_function("prune", |b| {
-        b.iter(|| prune_str(&xml, &dtd, &projector).unwrap().output.len())
+    timer.bench_bytes("prune_vs_prune_validate", "prune", xml.len(), || {
+        prune_str(&xml, &dtd, &projector).unwrap().output.len()
     });
-    g.bench_function("prune+validate", |b| {
-        b.iter(|| {
-            prune_validate_str(&xml, &dtd, &projector)
-                .unwrap()
-                .output
-                .len()
-        })
+    timer.bench_bytes("prune_vs_prune_validate", "prune+validate", xml.len(), || {
+        prune_validate_str(&xml, &dtd, &projector)
+            .unwrap()
+            .output
+            .len()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_pruning, bench_validation_overhead);
-criterion_main!(benches);

@@ -1,12 +1,15 @@
-//! Criterion micro-benchmarks: query evaluation on the original vs. the
-//! pruned document — the end-to-end gain the paper's Figure 4 shows.
+//! Micro-benchmarks: query evaluation on the original vs. the pruned
+//! document — the end-to-end gain the paper's Figure 4 shows.
+//!
+//! Run with `cargo bench -p xproj-bench --bench query_eval`; one JSON
+//! result object per line (see `xproj_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use xproj_bench::{pruned_document, AnyQuery};
+use xproj_bench::{pruned_document, AnyQuery, Timer};
 use xproj_core::StaticAnalyzer;
 use xproj_xmark::{auction_dtd, generate_auction, xpathmark_queries, XMarkConfig};
 
-fn bench_eval(c: &mut Criterion) {
+fn main() {
+    let timer = Timer::from_env();
     let dtd = auction_dtd();
     let doc = generate_auction(&dtd, &XMarkConfig::at_scale(1.0));
     let xml = doc.to_xml();
@@ -22,14 +25,9 @@ fn bench_eval(c: &mut Criterion) {
         let pruned_xml = pruned_document(&xml, &dtd, &projector);
         let pruned = xproj_xmltree::parse(&pruned_xml).unwrap();
 
-        let mut g = c.benchmark_group(format!("eval_{id}"));
-        g.bench_with_input(BenchmarkId::from_parameter("original"), &doc, |b, d| {
-            b.iter(|| q.run(d))
-        });
-        g.bench_with_input(BenchmarkId::from_parameter("pruned"), &pruned, |b, d| {
-            b.iter(|| q.run(d))
-        });
-        g.finish();
+        let group = format!("eval_{id}");
+        timer.bench(&group, "original", || q.run(&doc));
+        timer.bench(&group, "pruned", || q.run(&pruned));
     }
 
     // Parse + evaluate (the paper's full "processing"):
@@ -40,21 +38,12 @@ fn bench_eval(c: &mut Criterion) {
     let q = AnyQuery::compile(&bq);
     let projector = sa.project_query(bq.text).unwrap();
     let pruned_xml = pruned_document(&xml, &dtd, &projector);
-    let mut g = c.benchmark_group("process_QP07");
-    g.bench_function("original", |b| {
-        b.iter(|| {
-            let d = xproj_xmltree::parse(&xml).unwrap();
-            q.run(&d)
-        })
+    timer.bench("process_QP07", "original", || {
+        let d = xproj_xmltree::parse(&xml).unwrap();
+        q.run(&d)
     });
-    g.bench_function("pruned", |b| {
-        b.iter(|| {
-            let d = xproj_xmltree::parse(&pruned_xml).unwrap();
-            q.run(&d)
-        })
+    timer.bench("process_QP07", "pruned", || {
+        let d = xproj_xmltree::parse(&pruned_xml).unwrap();
+        q.run(&d)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_eval);
-criterion_main!(benches);

@@ -22,9 +22,11 @@
 
 pub mod counter;
 pub mod harness;
+pub mod timing;
 
 pub use counter::CountingAllocator;
 pub use harness::*;
+pub use timing::Timer;
 
 /// All binaries and benches in this crate account allocations through
 /// this counter.

@@ -90,9 +90,11 @@ pub fn prune_str(
         text_pruned: 0,
         max_depth: 0,
     };
+    let mut saw_root = false;
     loop {
         match reader.next_event().map_err(|e| StreamPruneError::Xml(e.to_string()))? {
             Event::StartElement { name, attrs, .. } => {
+                saw_root = true;
                 if skip_depth > 0 {
                     skip_depth += 1;
                     continue;
@@ -164,6 +166,11 @@ pub fn prune_str(
             Event::Eof => break,
         }
     }
+    if !saw_root {
+        return Err(StreamPruneError::Xml(
+            "document has no root element".to_string(),
+        ));
+    }
     stats.output = out;
     Ok(stats)
 }
@@ -197,6 +204,7 @@ pub fn prune_validate_str(
         max_depth: 0,
     };
     let mut open_pending = false;
+    let mut saw_root = false;
     let invalid = |m: String| StreamPruneError::Xml(format!("validation: {m}"));
     loop {
         match reader
@@ -204,6 +212,7 @@ pub fn prune_validate_str(
             .map_err(|e| StreamPruneError::Xml(e.to_string()))?
         {
             Event::StartElement { name, attrs, .. } => {
+                saw_root = true;
                 let nm = dtd
                     .name_of_tag_str(name)
                     .ok_or_else(|| StreamPruneError::UndeclaredElement(name.to_string()))?;
@@ -311,6 +320,9 @@ pub fn prune_validate_str(
             Event::Comment(_) | Event::ProcessingInstruction(_) | Event::Doctype { .. } => {}
             Event::Eof => break,
         }
+    }
+    if !saw_root {
+        return Err(invalid("document has no root element".to_string()));
     }
     stats.output = out;
     Ok(stats)

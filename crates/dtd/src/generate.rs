@@ -10,7 +10,12 @@
 use crate::grammar::{Content, Dtd};
 use crate::nameset::NameId;
 use crate::regex::Regex;
+use xproj_testkit::SplitMix64;
 use xproj_xmltree::{Document, NodeId};
+
+/// The workspace PRNG, re-exported under the name this module
+/// historically used (the private copy was promoted to `xproj-testkit`).
+pub type SplitMix = SplitMix64;
 
 /// Knobs for the generator.
 #[derive(Clone, Debug)]
@@ -30,41 +35,6 @@ impl Default for GenConfig {
             max_depth: 12,
             text_words: 3,
         }
-    }
-}
-
-/// A tiny deterministic PRNG (xorshift64*), so the dtd crate does not
-/// depend on `rand` and generation is reproducible from a seed.
-#[derive(Clone, Debug)]
-pub struct SplitMix {
-    state: u64,
-}
-
-impl SplitMix {
-    /// Creates a generator from a seed.
-    pub fn new(seed: u64) -> Self {
-        SplitMix {
-            state: seed.wrapping_add(0x9E3779B97F4A7C15),
-        }
-    }
-
-    /// Next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `0..n` (n > 0).
-    pub fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
-    }
-
-    /// Uniform float in `[0, 1)`.
-    pub fn unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 }
 
@@ -187,6 +157,108 @@ fn repetitions(rng: &mut SplitMix, depth: usize, cfg: &GenConfig, min: usize) ->
     n
 }
 
+/// Knobs for [`random_dtd`].
+#[derive(Clone, Debug)]
+pub struct RandomDtdConfig {
+    /// Upper bound on the number of element names (≥ 2, ≤ 10).
+    pub max_elements: usize,
+    /// Probability that an element admits `#PCDATA` content.
+    pub text_prob: f64,
+    /// Probability that an element declares attributes.
+    pub attr_prob: f64,
+    /// Probability of adding a guarded recursive back-edge (`x?`/`x*`)
+    /// to an element's content model.
+    pub recursion_prob: f64,
+}
+
+impl Default for RandomDtdConfig {
+    fn default() -> Self {
+        RandomDtdConfig {
+            max_elements: 8,
+            text_prob: 0.5,
+            attr_prob: 0.3,
+            recursion_prob: 0.25,
+        }
+    }
+}
+
+/// Fixed tag pool for random DTDs: short names that double as XPath
+/// name-test material in the soundness fuzzer.
+pub const RANDOM_DTD_TAGS: &[&str] = &["r", "a", "b", "c", "d", "e", "f", "g", "h", "k"];
+
+const RANDOM_DTD_ATTRS: &[&str] = &["id", "kind", "ref"];
+
+/// Generates a random DTD: a forward-edge DAG of content models (so
+/// every document bottoms out) plus optional *guarded* back-edges
+/// (`x?` / `x*`), which introduce recursion the generator's depth
+/// damping can always escape. Tags come from [`RANDOM_DTD_TAGS`];
+/// element 0 (`r`) is the root.
+pub fn random_dtd(rng: &mut SplitMix64, cfg: &RandomDtdConfig) -> Dtd {
+    let n = rng.range_incl(2, cfg.max_elements.clamp(2, RANDOM_DTD_TAGS.len()));
+    let mut b = Dtd::builder();
+    let ids: Vec<NameId> = RANDOM_DTD_TAGS[..n].iter().map(|t| b.element(t)).collect();
+    for i in 0..n {
+        // Leaves available to element i: strictly later elements (the
+        // acyclic skeleton).
+        let leaves: Vec<Regex> = ids[i + 1..].iter().map(|&x| Regex::Name(x)).collect();
+        let mut re = if leaves.is_empty() {
+            Regex::Epsilon
+        } else {
+            rand_regex(rng, &leaves, 3)
+        };
+        if rng.chance(cfg.text_prob) || ids.len() == i + 1 {
+            // The text name occurs at most once and never under */+:
+            // serialisation merges adjacent text nodes, so a model whose
+            // words could contain adjacent text tokens would not survive
+            // a serialise → parse round trip.
+            let tn = b.text(&format!("{}#text", RANDOM_DTD_TAGS[i]));
+            let text = Regex::Name(tn);
+            re = match rng.below(3) {
+                0 => Regex::Seq(vec![Regex::Opt(Box::new(text)), re]),
+                1 => Regex::Seq(vec![re, Regex::Opt(Box::new(text))]),
+                _ => Regex::Alt(vec![re, text]),
+            };
+        }
+        if rng.chance(cfg.recursion_prob) {
+            let back = Regex::Name(ids[rng.below(i + 1)]);
+            let guarded = if rng.chance(0.5) {
+                Regex::Opt(Box::new(back))
+            } else {
+                Regex::Star(Box::new(back))
+            };
+            re = Regex::Seq(vec![re, guarded]);
+        }
+        b.content(ids[i], re);
+        if rng.chance(cfg.attr_prob) {
+            let a = *rng.pick(RANDOM_DTD_ATTRS);
+            b.attributes(ids[i], &[a]);
+        }
+    }
+    b.finish(ids[0]).expect("random DTDs are well-formed by construction")
+}
+
+/// A random content-model regex over the given leaf regexes.
+fn rand_regex(rng: &mut SplitMix64, leaves: &[Regex], depth: usize) -> Regex {
+    if depth == 0 {
+        return rng.pick(leaves).clone();
+    }
+    match rng.below(8) {
+        0 => Regex::Epsilon,
+        1 | 2 => rng.pick(leaves).clone(),
+        3 => Regex::Opt(Box::new(rand_regex(rng, leaves, depth - 1))),
+        4 => Regex::Star(Box::new(rand_regex(rng, leaves, depth - 1))),
+        5 => Regex::Plus(Box::new(rand_regex(rng, leaves, depth - 1))),
+        6 => {
+            let k = rng.range_incl(1, 3);
+            Regex::Seq((0..k).map(|_| rand_regex(rng, leaves, depth - 1)).collect())
+        }
+        _ => {
+            let k = rng.range_incl(1, 3);
+            Regex::Alt((0..k).map(|_| rand_regex(rng, leaves, depth - 1)).collect())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +334,46 @@ mod tests {
             distinct.insert(generate(&dtd, seed, &GenConfig::default()).to_xml());
         }
         assert!(distinct.len() > 5);
+    }
+
+    #[test]
+    fn random_dtds_generate_valid_documents() {
+        let cfg = RandomDtdConfig::default();
+        for seed in 0..200u64 {
+            let mut rng = SplitMix64::new(seed);
+            let dtd = random_dtd(&mut rng, &cfg);
+            let doc = generate(&dtd, rng.next_u64(), &GenConfig::default());
+            assert!(
+                validate(&doc, &dtd).is_ok(),
+                "seed {seed}: invalid document\nDTD:\n{}\ndoc:\n{}",
+                dtd.to_dtd_syntax(),
+                doc.to_xml()
+            );
+        }
+    }
+
+    #[test]
+    fn random_dtds_are_deterministic() {
+        let cfg = RandomDtdConfig::default();
+        let a = random_dtd(&mut SplitMix64::new(11), &cfg).to_dtd_syntax();
+        let b = random_dtd(&mut SplitMix64::new(11), &cfg).to_dtd_syntax();
+        assert_eq!(a, b);
+        let c = random_dtd(&mut SplitMix64::new(12), &cfg).to_dtd_syntax();
+        assert_ne!(a, c, "different seeds should give different DTDs");
+    }
+
+    #[test]
+    fn random_dtds_cover_recursion() {
+        let cfg = RandomDtdConfig::default();
+        let mut recursive_seen = 0;
+        for seed in 0..50u64 {
+            let mut rng = SplitMix64::new(seed);
+            let dtd = random_dtd(&mut rng, &cfg);
+            if dtd.all_names().any(|n| dtd.descendants_of(n).contains(n)) {
+                recursive_seen += 1;
+            }
+        }
+        assert!(recursive_seen > 5, "only {recursive_seen}/50 recursive DTDs");
     }
 
     #[test]

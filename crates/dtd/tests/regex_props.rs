@@ -2,8 +2,9 @@
 //! construction must agree with an independently-implemented
 //! Brzozowski-derivative matcher on random regexes and random words.
 
-use proptest::prelude::*;
 use xproj_dtd::{NameId, Regex};
+use xproj_testkit::strategy::{one_of, recursive, vec_of, Just, RcStrategy, StrategyExt};
+use xproj_testkit::forall;
 
 /// Reference matcher: Brzozowski derivatives.
 fn matches_ref(re: &Regex, word: &[NameId]) -> bool {
@@ -62,56 +63,55 @@ fn matches_ref(re: &Regex, word: &[NameId]) -> bool {
 
 const SIGMA: u32 = 4;
 
-fn regex_strategy() -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        Just(Regex::Epsilon),
-        (0..SIGMA).prop_map(|i| Regex::Name(NameId(i))),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Regex::Seq),
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Regex::Alt),
-            inner.clone().prop_map(|r| Regex::Star(Box::new(r))),
-            inner.clone().prop_map(|r| Regex::Plus(Box::new(r))),
-            inner.prop_map(|r| Regex::Opt(Box::new(r))),
-        ]
+fn regex_strategy() -> RcStrategy<Regex> {
+    let leaf = one_of(vec![
+        Just(Regex::Epsilon).rc(),
+        (0..SIGMA).prop_map(|i| Regex::Name(NameId(i))).rc(),
+    ])
+    .rc();
+    recursive(leaf, 4, |inner| {
+        one_of(vec![
+            vec_of(inner.clone(), 1..4).prop_map(Regex::Seq).rc(),
+            vec_of(inner.clone(), 1..4).prop_map(Regex::Alt).rc(),
+            inner.clone().prop_map(|r| Regex::Star(Box::new(r))).rc(),
+            inner.clone().prop_map(|r| Regex::Plus(Box::new(r))).rc(),
+            inner.prop_map(|r| Regex::Opt(Box::new(r))).rc(),
+        ])
+        .rc()
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+forall! {
+    #![cases(512)]
 
-    #[test]
     fn glushkov_agrees_with_derivatives(
         re in regex_strategy(),
-        word in proptest::collection::vec(0..SIGMA, 0..8),
+        word in vec_of(0..SIGMA, 0..8),
     ) {
         let word: Vec<NameId> = word.into_iter().map(NameId).collect();
         let auto = re.compile();
-        prop_assert_eq!(
+        assert_eq!(
             auto.matches(word.iter().copied()),
             matches_ref(&re, &word),
             "regex {:?} word {:?}", re, word
         );
     }
 
-    #[test]
     fn nullable_agrees_with_empty_word(re in regex_strategy()) {
         let auto = re.compile();
-        prop_assert_eq!(re.nullable(), auto.matches(std::iter::empty()));
+        assert_eq!(re.nullable(), auto.matches(std::iter::empty()));
     }
 
-    #[test]
     fn names_is_support(
         re in regex_strategy(),
-        word in proptest::collection::vec(0..SIGMA, 1..6),
+        word in vec_of(0..SIGMA, 1..6),
     ) {
         // a word containing a name outside Names(re) never matches
         let names = re.names(SIGMA as usize + 1);
         let word: Vec<NameId> = word.into_iter().map(NameId).collect();
         if word.iter().any(|n| !names.contains(*n)) {
             let auto = re.compile();
-            prop_assert!(!auto.matches(word.iter().copied()));
+            assert!(!auto.matches(word.iter().copied()));
         }
     }
 }

@@ -1,0 +1,145 @@
+//! A small deterministic PRNG (SplitMix64).
+//!
+//! Promoted out of `xproj-dtd`'s document generator so every crate in
+//! the workspace shares one reproducible randomness source with **no**
+//! external dependencies. SplitMix64 passes BigCrush, is seedable from a
+//! single `u64`, and a `(seed, index)` pair fully determines a stream —
+//! which is what makes `TESTKIT_SEED=…` replay possible.
+
+/// Deterministic PRNG: the SplitMix64 sequence of Steele, Lea & Flood.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// The golden-ratio increment γ of the SplitMix64 stream.
+const GOLDEN: u64 = 0x9E3779B97F4A7C15;
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN);
+        mix(self.state)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform value in the half-open range `lo..hi` (`lo < hi`).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform value in the closed range `lo..=hi` (`lo <= hi`).
+    pub fn range_incl(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Uniformly picks an element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+
+    /// An independent generator split off this one (used to give each
+    /// test case its own stream without consuming the parent's).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+/// The SplitMix64 output mixer, usable standalone to derive per-case
+/// seeds from a `(base, index)` pair.
+pub fn mix(z: u64) -> u64 {
+    let mut z = z;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Stable 64-bit FNV-1a hash (used to give each named property its own
+/// deterministic stream).
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference values for seed 1234567 from the published SplitMix64.
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = SplitMix64::new(99);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let v = r.range_incl(3, 5);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_is_unit() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let mut r = SplitMix64::new(5);
+        let mut f1 = r.fork();
+        let mut f2 = r.fork();
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+}

@@ -7,8 +7,7 @@
 //! the majority of the bytes (the paper measures ~70%), which is why
 //! queries that do not touch descriptions prune so well.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use xproj_testkit::SplitMix64;
 use xproj_dtd::Dtd;
 use xproj_xmltree::{Attribute, Document, NodeId, TagId};
 
@@ -54,7 +53,7 @@ const COUNTRIES: &[&str] = &["France", "Korea", "Japan", "Peru", "Egypt", "Norwa
 struct Gen<'d> {
     dtd: &'d Dtd,
     doc: Document,
-    rng: SmallRng,
+    rng: SplitMix64,
     n_categories: usize,
     n_people: usize,
     n_items: usize,
@@ -67,7 +66,7 @@ pub fn generate_auction(dtd: &Dtd, config: &XMarkConfig) -> Document {
     let mut g = Gen {
         dtd,
         doc: Document::with_interner(dtd.tags.clone()),
-        rng: SmallRng::seed_from_u64(config.seed),
+        rng: SplitMix64::new(config.seed),
         n_categories: config.count(60),
         n_people: config.count(200),
         n_items: config.count(400),
@@ -105,13 +104,13 @@ impl Gen<'_> {
     }
 
     fn words(&mut self, lo: usize, hi: usize) -> String {
-        let n = self.rng.gen_range(lo..=hi);
+        let n = self.rng.range_incl(lo, hi);
         let mut s = String::with_capacity(n * 8);
         for i in 0..n {
             if i > 0 {
                 s.push(' ');
             }
-            s.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+            s.push_str(WORDS[self.rng.range(0, WORDS.len())]);
         }
         s
     }
@@ -150,38 +149,38 @@ impl Gen<'_> {
     }
 
     fn item(&mut self, region: NodeId, id: usize) {
-        let featured = self.rng.gen_bool(0.1);
+        let featured = self.rng.chance(0.1);
         let mut attrs = vec![("id", format!("item{id}"))];
         if featured {
             attrs.push(("featured", "yes".to_string()));
         }
         let item = self.elem_attrs(region, "item", &attrs);
-        let city = CITIES[self.rng.gen_range(0..CITIES.len())];
+        let city = CITIES[self.rng.range(0, CITIES.len())];
         self.leaf(item, "location", city);
-        let q = self.rng.gen_range(1..5).to_string();
+        let q = self.rng.range(1, 5).to_string();
         self.leaf(item, "quantity", &q);
         let name = self.words(2, 4);
         self.leaf(item, "name", &name);
-        let pay = if self.rng.gen_bool(0.5) {
+        let pay = if self.rng.chance(0.5) {
             "Creditcard"
         } else {
             "Cash, personal check"
         };
         self.leaf(item, "payment", pay);
         self.description(item, 0);
-        let ship = if self.rng.gen_bool(0.5) {
+        let ship = if self.rng.chance(0.5) {
             "Will ship internationally"
         } else {
             "Buyer pays fixed shipping charges"
         };
         self.leaf(item, "shipping", ship);
-        let ncat = self.rng.gen_range(1..=3);
+        let ncat = self.rng.range_incl(1, 3);
         for _ in 0..ncat {
-            let c = self.rng.gen_range(0..self.n_categories);
+            let c = self.rng.range(0, self.n_categories);
             self.elem_attrs(item, "incategory", &[("category", format!("category{c}"))]);
         }
         let mailbox = self.elem(item, "mailbox");
-        let nmail = self.rng.gen_range(0..3);
+        let nmail = self.rng.range(0, 3);
         for _ in 0..nmail {
             let mail = self.elem(mailbox, "mail");
             let from = self.words(1, 2);
@@ -197,7 +196,7 @@ impl Gen<'_> {
     /// `description ::= (text | parlist)` — the size-dominating part.
     fn description(&mut self, parent: NodeId, depth: usize) {
         let d = self.elem(parent, "description");
-        if depth < 2 && self.rng.gen_bool(0.25) {
+        if depth < 2 && self.rng.chance(0.25) {
             self.parlist(d, depth + 1);
         } else {
             self.mixed_text(d, depth + 1);
@@ -206,10 +205,10 @@ impl Gen<'_> {
 
     fn parlist(&mut self, parent: NodeId, depth: usize) {
         let pl = self.elem(parent, "parlist");
-        let n = self.rng.gen_range(1..=3);
+        let n = self.rng.range_incl(1, 3);
         for _ in 0..n {
             let li = self.elem(pl, "listitem");
-            if depth < 3 && self.rng.gen_bool(0.2) {
+            if depth < 3 && self.rng.chance(0.2) {
                 self.parlist(li, depth + 1);
             } else {
                 self.mixed_text(li, depth + 1);
@@ -227,7 +226,7 @@ impl Gen<'_> {
         // Buffer consecutive text so the document never contains adjacent
         // text nodes (parsed documents never do; keeping that invariant
         // makes serialise∘parse the identity on generated documents).
-        let chunks = self.rng.gen_range(2..=5);
+        let chunks = self.rng.range_incl(3, 6);
         let mut pending = String::new();
         for _ in 0..chunks {
             if !pending.is_empty() {
@@ -235,12 +234,12 @@ impl Gen<'_> {
             }
             let w = self.words(8, 25);
             pending.push_str(&w);
-            if depth < 3 && self.rng.gen_bool(0.5) {
+            if depth < 3 && self.rng.chance(0.5) {
                 self.doc.push_text(node, &pending);
                 pending.clear();
-                let markup = ["bold", "keyword", "emph"][self.rng.gen_range(0..3)];
+                let markup = ["bold", "keyword", "emph"][self.rng.range(0, 3)];
                 let m = self.elem(node, markup);
-                if self.rng.gen_bool(0.15) {
+                if self.rng.chance(0.15) {
                     self.mixed_content(m, depth + 1);
                 } else {
                     let w2 = self.words(1, 4);
@@ -267,8 +266,8 @@ impl Gen<'_> {
         let cg = self.elem(site, "catgraph");
         let n = self.n_categories * 2;
         for _ in 0..n {
-            let from = self.rng.gen_range(0..self.n_categories);
-            let to = self.rng.gen_range(0..self.n_categories);
+            let from = self.rng.range(0, self.n_categories);
+            let to = self.rng.range(0, self.n_categories);
             self.elem_attrs(
                 cg,
                 "edge",
@@ -287,68 +286,68 @@ impl Gen<'_> {
             let name = self.words(2, 2);
             self.leaf(p, "name", &name);
             self.leaf(p, "emailaddress", &format!("mailto:person{i}@example.org"));
-            if self.rng.gen_bool(0.5) {
-                let ph = format!("+{} ({}) {}", self.rng.gen_range(1..99),
-                    self.rng.gen_range(10..999), self.rng.gen_range(1000000..9999999));
+            if self.rng.chance(0.5) {
+                let ph = format!("+{} ({}) {}", self.rng.range(1, 99),
+                    self.rng.range(10, 999), self.rng.range(1000000, 9999999));
                 self.leaf(p, "phone", &ph);
             }
-            if self.rng.gen_bool(0.4) {
+            if self.rng.chance(0.4) {
                 let a = self.elem(p, "address");
-                let street = format!("{} {} St", self.rng.gen_range(1..99), self.words(1, 1));
+                let street = format!("{} {} St", self.rng.range(1, 99), self.words(1, 1));
                 self.leaf(a, "street", &street);
-                let city = CITIES[self.rng.gen_range(0..CITIES.len())];
+                let city = CITIES[self.rng.range(0, CITIES.len())];
                 self.leaf(a, "city", city);
-                let country = COUNTRIES[self.rng.gen_range(0..COUNTRIES.len())];
+                let country = COUNTRIES[self.rng.range(0, COUNTRIES.len())];
                 self.leaf(a, "country", country);
-                if self.rng.gen_bool(0.3) {
+                if self.rng.chance(0.3) {
                     let prov = self.words(1, 1);
                     self.leaf(a, "province", &prov);
                 }
-                let zip = self.rng.gen_range(10000..99999).to_string();
+                let zip = self.rng.range(10000, 99999).to_string();
                 self.leaf(a, "zipcode", &zip);
             }
-            if self.rng.gen_bool(0.5) {
+            if self.rng.chance(0.5) {
                 self.leaf(p, "homepage", &format!("http://www.example.org/person{i}"));
             }
-            if self.rng.gen_bool(0.6) {
+            if self.rng.chance(0.6) {
                 let cc = format!(
                     "{} {} {} {}",
-                    self.rng.gen_range(1000..9999),
-                    self.rng.gen_range(1000..9999),
-                    self.rng.gen_range(1000..9999),
-                    self.rng.gen_range(1000..9999)
+                    self.rng.range(1000, 9999),
+                    self.rng.range(1000, 9999),
+                    self.rng.range(1000, 9999),
+                    self.rng.range(1000, 9999)
                 );
                 self.leaf(p, "creditcard", &cc);
             }
-            if self.rng.gen_bool(0.7) {
-                let income = format!("{:.2}", self.rng.gen_range(9876.0..99999.0f64));
+            if self.rng.chance(0.7) {
+                let income = format!("{:.2}", self.rng.f64_range(9876.0, 99999.0));
                 let prof = self.elem_attrs(p, "profile", &[("income", income)]);
-                let ni = self.rng.gen_range(0..4);
+                let ni = self.rng.range(0, 4);
                 for _ in 0..ni {
-                    let c = self.rng.gen_range(0..self.n_categories);
+                    let c = self.rng.range(0, self.n_categories);
                     self.elem_attrs(prof, "interest", &[("category", format!("category{c}"))]);
                 }
-                if self.rng.gen_bool(0.5) {
+                if self.rng.chance(0.5) {
                     let ed = ["High School", "College", "Graduate School", "Other"]
-                        [self.rng.gen_range(0..4)];
+                        [self.rng.range(0, 4)];
                     self.leaf(prof, "education", ed);
                 }
-                if self.rng.gen_bool(0.8) {
-                    let g = if self.rng.gen_bool(0.5) { "male" } else { "female" };
+                if self.rng.chance(0.8) {
+                    let g = if self.rng.chance(0.5) { "male" } else { "female" };
                     self.leaf(prof, "gender", g);
                 }
-                let b = if self.rng.gen_bool(0.5) { "Yes" } else { "No" };
+                let b = if self.rng.chance(0.5) { "Yes" } else { "No" };
                 self.leaf(prof, "business", b);
-                if self.rng.gen_bool(0.6) {
-                    let age = self.rng.gen_range(18..80).to_string();
+                if self.rng.chance(0.6) {
+                    let age = self.rng.range(18, 80).to_string();
                     self.leaf(prof, "age", &age);
                 }
             }
-            if self.rng.gen_bool(0.4) {
+            if self.rng.chance(0.4) {
                 let w = self.elem(p, "watches");
-                let nw = self.rng.gen_range(1..4);
+                let nw = self.rng.range(1, 4);
                 for _ in 0..nw {
-                    let a = self.rng.gen_range(0..self.n_open);
+                    let a = self.rng.range(0, self.n_open);
                     self.elem_attrs(w, "watch", &[("open_auction", format!("open_auction{a}"))]);
                 }
             }
@@ -361,11 +360,11 @@ impl Gen<'_> {
             let oa = self.elem_attrs(oas, "open_auction", &[("id", format!("open_auction{i}"))]);
             let initial = self.money(5.0, 100.0);
             self.leaf(oa, "initial", &initial);
-            if self.rng.gen_bool(0.5) {
+            if self.rng.chance(0.5) {
                 let r = self.money(20.0, 300.0);
                 self.leaf(oa, "reserve", &r);
             }
-            let nbid = self.rng.gen_range(0..6);
+            let nbid = self.rng.range(0, 6);
             let mut current = 10.0;
             for _ in 0..nbid {
                 let b = self.elem(oa, "bidder");
@@ -373,24 +372,24 @@ impl Gen<'_> {
                 self.leaf(b, "date", &d);
                 let t = self.time();
                 self.leaf(b, "time", &t);
-                let pr = self.rng.gen_range(0..self.n_people);
+                let pr = self.rng.range(0, self.n_people);
                 self.elem_attrs(b, "personref", &[("person", format!("person{pr}"))]);
-                let inc = self.rng.gen_range(1..20) as f64 * 1.5;
+                let inc = self.rng.range(1, 20) as f64 * 1.5;
                 current += inc;
                 self.leaf(b, "increase", &format!("{inc:.2}"));
             }
             self.leaf(oa, "current", &format!("{current:.2}"));
-            if self.rng.gen_bool(0.3) {
+            if self.rng.chance(0.3) {
                 self.leaf(oa, "privacy", "Yes");
             }
-            let it = self.rng.gen_range(0..self.n_items);
+            let it = self.rng.range(0, self.n_items);
             self.elem_attrs(oa, "itemref", &[("item", format!("item{it}"))]);
-            let s = self.rng.gen_range(0..self.n_people);
+            let s = self.rng.range(0, self.n_people);
             self.elem_attrs(oa, "seller", &[("person", format!("person{s}"))]);
             self.annotation(oa);
-            let q = self.rng.gen_range(1..5).to_string();
+            let q = self.rng.range(1, 5).to_string();
             self.leaf(oa, "quantity", &q);
-            let ty = if self.rng.gen_bool(0.5) {
+            let ty = if self.rng.chance(0.5) {
                 "Regular"
             } else {
                 "Featured"
@@ -406,12 +405,12 @@ impl Gen<'_> {
 
     fn annotation(&mut self, parent: NodeId) {
         let an = self.elem(parent, "annotation");
-        let a = self.rng.gen_range(0..self.n_people);
+        let a = self.rng.range(0, self.n_people);
         self.elem_attrs(an, "author", &[("person", format!("person{a}"))]);
-        if self.rng.gen_bool(0.8) {
+        if self.rng.chance(0.8) {
             self.description(an, 1);
         }
-        let h = self.rng.gen_range(1..10).to_string();
+        let h = self.rng.range(1, 10).to_string();
         self.leaf(an, "happiness", &h);
     }
 
@@ -420,49 +419,49 @@ impl Gen<'_> {
         let n = config.count(160);
         for _ in 0..n {
             let ca = self.elem(cas, "closed_auction");
-            let s = self.rng.gen_range(0..self.n_people);
+            let s = self.rng.range(0, self.n_people);
             self.elem_attrs(ca, "seller", &[("person", format!("person{s}"))]);
-            let b = self.rng.gen_range(0..self.n_people);
+            let b = self.rng.range(0, self.n_people);
             self.elem_attrs(ca, "buyer", &[("person", format!("person{b}"))]);
-            let it = self.rng.gen_range(0..self.n_items);
+            let it = self.rng.range(0, self.n_items);
             self.elem_attrs(ca, "itemref", &[("item", format!("item{it}"))]);
             let p = self.money(10.0, 500.0);
             self.leaf(ca, "price", &p);
             let d = self.date();
             self.leaf(ca, "date", &d);
-            let q = self.rng.gen_range(1..5).to_string();
+            let q = self.rng.range(1, 5).to_string();
             self.leaf(ca, "quantity", &q);
-            let ty = if self.rng.gen_bool(0.5) {
+            let ty = if self.rng.chance(0.5) {
                 "Regular"
             } else {
                 "Featured"
             };
             self.leaf(ca, "type", ty);
-            if self.rng.gen_bool(0.7) {
+            if self.rng.chance(0.7) {
                 self.annotation(ca);
             }
         }
     }
 
     fn money(&mut self, lo: f64, hi: f64) -> String {
-        format!("{:.2}", self.rng.gen_range(lo..hi))
+        format!("{:.2}", self.rng.f64_range(lo, hi))
     }
 
     fn date(&mut self) -> String {
         format!(
             "{:02}/{:02}/{}",
-            self.rng.gen_range(1..=12),
-            self.rng.gen_range(1..=28),
-            self.rng.gen_range(1998..=2001)
+            self.rng.range_incl(1, 12),
+            self.rng.range_incl(1, 28),
+            self.rng.range_incl(1998, 2001)
         )
     }
 
     fn time(&mut self) -> String {
         format!(
             "{:02}:{:02}:{:02}",
-            self.rng.gen_range(0..24),
-            self.rng.gen_range(0..60),
-            self.rng.gen_range(0..60)
+            self.rng.range(0, 24),
+            self.rng.range(0, 60),
+            self.rng.range(0, 60)
         )
     }
 }

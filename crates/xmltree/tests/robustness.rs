@@ -1,20 +1,23 @@
 //! Robustness and round-trip properties of the XML layer.
 
-use proptest::prelude::*;
+use xproj_testkit::forall;
+use xproj_testkit::strategy::{
+    ident, one_of, recursive, string_of, vec_of, RcStrategy, StrategyExt,
+};
 use xproj_xmltree::{parse, Document, NodeId};
 
 /// Arbitrary (tag, text, attr) content assembled into a tree, serialized
 /// and reparsed — the escaping logic must make this a perfect round trip.
-fn tag_strategy() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_-]{0,8}".prop_map(|s| s)
+fn tag_strategy() -> RcStrategy<String> {
+    ident("a-z", "a-z0-9_-", 0..9)
 }
 
-fn text_strategy() -> impl Strategy<Value = String> {
+fn text_strategy() -> RcStrategy<String> {
     // includes XML-hostile characters, but not all-whitespace strings
     // (the default parser drops whitespace-only text nodes)
-    "[ -~]{1,20}"
+    string_of(" -~", 1..21)
         .prop_filter("not whitespace-only", |s| !s.trim().is_empty())
-        .prop_map(|s| s)
+        .rc()
 }
 
 #[derive(Debug, Clone)]
@@ -23,19 +26,24 @@ enum GenNode {
     Elem(String, Vec<(String, String)>, Vec<GenNode>),
 }
 
-fn node_strategy() -> impl Strategy<Value = GenNode> {
-    let leaf = prop_oneof![
-        text_strategy().prop_map(GenNode::Text),
-        (tag_strategy(), proptest::collection::vec((tag_strategy(), text_strategy()), 0..3))
-            .prop_map(|(t, a)| GenNode::Elem(t, dedup_attrs(a), vec![])),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        (
-            tag_strategy(),
-            proptest::collection::vec((tag_strategy(), text_strategy()), 0..3),
-            proptest::collection::vec(inner, 0..4),
-        )
-            .prop_map(|(t, a, c)| GenNode::Elem(t, dedup_attrs(a), c))
+fn attrs_strategy() -> RcStrategy<Vec<(String, String)>> {
+    vec_of((tag_strategy(), text_strategy()), 0..3)
+        .prop_map(dedup_attrs)
+        .rc()
+}
+
+fn node_strategy() -> RcStrategy<GenNode> {
+    let leaf = one_of(vec![
+        text_strategy().prop_map(GenNode::Text).rc(),
+        (tag_strategy(), attrs_strategy())
+            .prop_map(|(t, a)| GenNode::Elem(t, a, vec![]))
+            .rc(),
+    ])
+    .rc();
+    recursive(leaf, 3, |inner| {
+        (tag_strategy(), attrs_strategy(), vec_of(inner, 0..4))
+            .prop_map(|(t, a, c)| GenNode::Elem(t, a, c))
+            .rc()
     })
 }
 
@@ -67,15 +75,14 @@ fn build(doc: &mut Document, parent: NodeId, n: &GenNode) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+forall! {
+    #![cases(256)]
 
     /// Serialise → parse → serialise is the identity for arbitrary
     /// escaped content.
-    #[test]
     fn round_trip_arbitrary_trees(
         tag in tag_strategy(),
-        children in proptest::collection::vec(node_strategy(), 0..5),
+        children in vec_of(node_strategy(), 0..5),
     ) {
         let mut doc = Document::new();
         let root = doc.push_named_element(NodeId::DOCUMENT, &tag);
@@ -94,17 +101,15 @@ proptest! {
         }
         let xml = doc.to_xml();
         let reparsed = parse(&xml).unwrap();
-        prop_assert_eq!(xml, reparsed.to_xml());
+        assert_eq!(xml, reparsed.to_xml());
     }
 
     /// The parser never panics on arbitrary input — it returns Ok or Err.
-    #[test]
-    fn parser_never_panics(input in "[ -~<>&'\"\\]\\[!?/=-]{0,120}") {
+    fn parser_never_panics(input in string_of(" -~", 1..121)) {
         let _ = parse(&input);
     }
 
     /// Nor on arbitrary mutations of well-formed documents.
-    #[test]
     fn parser_survives_mutations(
         flip in 0usize..200,
         byte in 0u8..128,
@@ -121,10 +126,9 @@ proptest! {
     }
 
     /// Events reader agrees with the tree parser on element counts.
-    #[test]
     fn reader_and_parser_agree(
         tag in tag_strategy(),
-        children in proptest::collection::vec(node_strategy(), 0..4),
+        children in vec_of(node_strategy(), 0..4),
     ) {
         let mut doc = Document::new();
         let root = doc.push_named_element(NodeId::DOCUMENT, &tag);
@@ -141,6 +145,6 @@ proptest! {
                 _ => {}
             }
         }
-        prop_assert_eq!(starts, doc.element_count());
+        assert_eq!(starts, doc.element_count());
     }
 }

@@ -3,8 +3,9 @@
 //! (set comprehension over all node pairs — O(n²) per step, obviously
 //! correct).
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
+use xproj_testkit::forall;
+use xproj_testkit::strategy::{one_of, recursive, vec_of, weighted, Just, RcStrategy, StrategyExt};
 use xproj_xmltree::{Document, NodeId};
 use xproj_xpath::ast::{Axis, Expr, NodeTest};
 use xproj_xpath::eval::XNode;
@@ -88,70 +89,76 @@ enum GenNode {
     Elem(u8, Vec<GenNode>),
 }
 
-fn node_strategy() -> impl Strategy<Value = GenNode> {
-    let leaf = prop_oneof![3 => (0u8..3).prop_map(|t| GenNode::Elem(t, vec![])), 1 => Just(GenNode::Text)];
-    leaf.prop_recursive(3, 16, 4, |inner| {
-        (0u8..3, proptest::collection::vec(inner, 0..4))
+fn node_strategy() -> RcStrategy<GenNode> {
+    let leaf = weighted(vec![
+        (3, (0u8..3).prop_map(|t| GenNode::Elem(t, vec![])).rc()),
+        (1, Just(GenNode::Text).rc()),
+    ])
+    .rc();
+    recursive(leaf, 3, |inner| {
+        (0u8..3, vec_of(inner, 0..4))
             .prop_map(|(t, c)| GenNode::Elem(t, c))
+            .rc()
     })
 }
 
-fn doc_strategy() -> impl Strategy<Value = Document> {
-    proptest::collection::vec(node_strategy(), 0..5).prop_map(|children| {
-        let mut doc = Document::new();
-        let root = doc.push_named_element(NodeId::DOCUMENT, "a");
-        fn build(doc: &mut Document, parent: NodeId, n: &GenNode) {
-            match n {
-                GenNode::Text => {
-                    doc.push_text(parent, "t");
-                }
-                GenNode::Elem(t, cs) => {
-                    let tags = ["a", "b", "c"];
-                    let e = doc.push_named_element(parent, tags[(*t % 3) as usize]);
-                    for c in cs {
-                        build(doc, e, c);
-                    }
+fn build_doc(children: &[GenNode]) -> Document {
+    let mut doc = Document::new();
+    let root = doc.push_named_element(NodeId::DOCUMENT, "a");
+    fn build(doc: &mut Document, parent: NodeId, n: &GenNode) {
+        match n {
+            GenNode::Text => {
+                doc.push_text(parent, "t");
+            }
+            GenNode::Elem(t, cs) => {
+                let tags = ["a", "b", "c"];
+                let e = doc.push_named_element(parent, tags[(*t % 3) as usize]);
+                for c in cs {
+                    build(doc, e, c);
                 }
             }
         }
-        for c in &children {
-            build(&mut doc, root, c);
-        }
-        doc
-    })
+    }
+    for c in children {
+        build(&mut doc, root, c);
+    }
+    doc
 }
 
-fn steps_strategy() -> impl Strategy<Value = Vec<(Axis, NodeTest)>> {
-    let axis = prop_oneof![
-        Just(Axis::Child),
-        Just(Axis::Descendant),
-        Just(Axis::DescendantOrSelf),
-        Just(Axis::Parent),
-        Just(Axis::Ancestor),
-        Just(Axis::AncestorOrSelf),
-        Just(Axis::SelfAxis),
-        Just(Axis::FollowingSibling),
-        Just(Axis::PrecedingSibling),
-        Just(Axis::Following),
-        Just(Axis::Preceding),
-    ];
-    let test = prop_oneof![
-        Just(NodeTest::Node),
-        Just(NodeTest::Text),
-        Just(NodeTest::Element),
-        Just(NodeTest::Tag("a".into())),
-        Just(NodeTest::Tag("b".into())),
-    ];
-    proptest::collection::vec((axis, test), 1..4)
+fn steps_strategy() -> RcStrategy<Vec<(Axis, NodeTest)>> {
+    let axis = one_of(vec![
+        Just(Axis::Child).rc(),
+        Just(Axis::Descendant).rc(),
+        Just(Axis::DescendantOrSelf).rc(),
+        Just(Axis::Parent).rc(),
+        Just(Axis::Ancestor).rc(),
+        Just(Axis::AncestorOrSelf).rc(),
+        Just(Axis::SelfAxis).rc(),
+        Just(Axis::FollowingSibling).rc(),
+        Just(Axis::PrecedingSibling).rc(),
+        Just(Axis::Following).rc(),
+        Just(Axis::Preceding).rc(),
+    ]);
+    let test = one_of(vec![
+        Just(NodeTest::Node).rc(),
+        Just(NodeTest::Text).rc(),
+        Just(NodeTest::Element).rc(),
+        Just(NodeTest::Tag("a".into())).rc(),
+        Just(NodeTest::Tag("b".into())).rc(),
+    ]);
+    vec_of((axis, test), 1..4).rc()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(384))]
+forall! {
+    #![cases(384)]
 
     /// The production evaluator agrees with the naive reference on every
     /// axis/test combination over random trees.
-    #[test]
-    fn evaluator_matches_reference(doc in doc_strategy(), steps in steps_strategy()) {
+    fn evaluator_matches_reference(
+        children in vec_of(node_strategy(), 0..5),
+        steps in steps_strategy(),
+    ) {
+        let doc = build_doc(&children);
         let path = xproj_xpath::ast::LocationPath {
             absolute: true,
             steps: steps
@@ -168,7 +175,7 @@ proptest! {
             })
             .collect();
         let expected = ref_eval(&doc, &steps);
-        prop_assert_eq!(
+        assert_eq!(
             &got, &expected,
             "path {} on\n{}", path, doc.to_xml()
         );
@@ -182,7 +189,7 @@ proptest! {
                     XNode::Attr(..) => unreachable!(),
                 })
                 .collect();
-            prop_assert_eq!(got2, expected);
+            assert_eq!(got2, expected);
         }
     }
 }

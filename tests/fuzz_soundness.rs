@@ -1,0 +1,201 @@
+//! Differential soundness fuzzer for Theorem 4.6.
+//!
+//! Each case draws a fresh random *(DTD, document, query)* triple —
+//! a random local tree grammar from [`random_dtd`], a random valid
+//! document for it, and a random XPath and XQuery over its tag
+//! alphabet — then checks the paper's end-to-end soundness claims:
+//!
+//! 1. the query evaluates identically on the original and on the
+//!    document pruned with its inferred projector (Theorem 4.6);
+//! 2. the streaming pruner produces byte-for-byte the same document as
+//!    the in-memory pruner, with and without single-pass validation;
+//! 3. the pruned document still has a (tag-local) interpretation that
+//!    restricts the original one;
+//! 4. the XQuery evaluates identically on the original and on the
+//!    document pruned with the projector of its extracted paths.
+//!
+//! Runs `FUZZ_CASES` (default 500) deterministic cases. On failure it
+//! panics with a `TESTKIT_SEED=0x…` replay line; setting that variable
+//! re-runs exactly the failing triple. `TESTKIT_FUZZ_CASES=n` scales
+//! the run up or down (CI smoke runs use a few hundred, soak runs can
+//! use tens of thousands).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use xml_projection::core::{prune_document, prune_str, prune_validate_str, StaticAnalyzer};
+use xml_projection::dtd::generate::{
+    generate, random_dtd, GenConfig, RandomDtdConfig, RANDOM_DTD_TAGS,
+};
+use xml_projection::dtd::{interpret, validate, Dtd};
+use xml_projection::xmltree::Document;
+use xml_projection::xpath::ast::Expr;
+use xml_projection::xquery::{evaluate_query, parse_xquery, project_xquery_str};
+use xproj_testkit::{case_seed, SplitMix64};
+
+const FUZZ_CASES: u64 = 500;
+
+const AXES: &[&str] = &[
+    "child::",
+    "descendant::",
+    "descendant-or-self::",
+    "parent::",
+    "ancestor::",
+    "self::",
+    "following-sibling::",
+    "preceding-sibling::",
+];
+
+/// A random XPathℓ query over the random-DTD tag alphabet, always
+/// syntactically valid.
+fn random_query(rng: &mut SplitMix64) -> String {
+    let nsteps = rng.range_incl(1, 3);
+    let mut parts = Vec::new();
+    for _ in 0..nsteps {
+        let axis = *rng.pick(AXES);
+        let test = match rng.below(6) {
+            0 => "node()".to_string(),
+            1 => "text()".to_string(),
+            2 => "*".to_string(),
+            _ => rng.pick(RANDOM_DTD_TAGS).to_string(),
+        };
+        let pred = match rng.below(10) {
+            0 => format!("[child::{}]", rng.pick(RANDOM_DTD_TAGS)),
+            1 => format!(
+                "[child::{} or child::{}]",
+                rng.pick(RANDOM_DTD_TAGS),
+                rng.pick(RANDOM_DTD_TAGS)
+            ),
+            2 => format!("[not(child::{})]", rng.pick(RANDOM_DTD_TAGS)),
+            3 => format!("[count(child::{}) > 1]", rng.pick(RANDOM_DTD_TAGS)),
+            4 => "[1]".to_string(),
+            _ => String::new(),
+        };
+        parts.push(format!("{axis}{test}{pred}"));
+    }
+    format!("/{}", parts.join("/"))
+}
+
+/// A random XQuery (FLWR over the same alphabet).
+fn random_xquery(rng: &mut SplitMix64) -> String {
+    let t1 = *rng.pick(RANDOM_DTD_TAGS);
+    let t2 = *rng.pick(RANDOM_DTD_TAGS);
+    let t3 = *rng.pick(RANDOM_DTD_TAGS);
+    match rng.below(4) {
+        0 => format!(
+            "for $x in /descendant-or-self::node()/child::{t1} \
+             return <hit>{{$x/child::{t2}}}</hit>"
+        ),
+        1 => format!(
+            "for $x in /descendant::{t1} where $x/child::{t2} \
+             return <r>{{$x/child::{t3}/text()}}</r>"
+        ),
+        2 => format!("for $x in /child::{t1}/descendant-or-self::{t2} return <n>{{$x}}</n>"),
+        _ => format!(
+            "for $x in /descendant::{t1}, $y in $x/child::{t2} return <p>{{$y/text()}}</p>"
+        ),
+    }
+}
+
+/// Query results as source-document node ids (pruning preserves them).
+fn eval_ids(doc: &Document, path: &xml_projection::xpath::ast::LocationPath) -> Vec<(u32, Option<u32>)> {
+    use xml_projection::xpath::eval::XNode;
+    let mut v: Vec<(u32, Option<u32>)> = xml_projection::xpath::evaluate(doc, path)
+        .unwrap()
+        .into_iter()
+        .map(|n| match n {
+            XNode::Tree(id) => (doc.src_id(id).0, None),
+            XNode::Attr(id, i) => (doc.src_id(id).0, Some(i)),
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// One fuzz case; panics (with context) on any soundness violation.
+fn run_case(seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let dtd: Dtd = random_dtd(&mut rng, &RandomDtdConfig::default());
+    let doc_seed = rng.next_u64();
+    let cfg = GenConfig {
+        fanout: 1.5,
+        max_depth: 8,
+        text_words: 2,
+    };
+    let doc = generate(&dtd, doc_seed, &cfg);
+    let interp = validate(&doc, &dtd).expect("generated document must be valid");
+    let xml = doc.to_xml();
+
+    // --- XPath leg (Theorem 4.6) ---
+    let q = random_query(&mut rng);
+    let mut sa = StaticAnalyzer::new(&dtd);
+    let projector = sa
+        .project_query_exact(&q)
+        .unwrap_or_else(|e| panic!("query {q:?} failed to project: {e}"));
+    let pruned = prune_document(&doc, &dtd, &interp, &projector);
+    let Expr::Path(path) = xml_projection::xpath::parse_xpath(&q).unwrap() else {
+        unreachable!("random_query emits location paths")
+    };
+    assert_eq!(
+        eval_ids(&doc, &path),
+        eval_ids(&pruned, &path),
+        "Theorem 4.6 violated: query {q} differs on pruned document\ndoc: {xml}"
+    );
+
+    // --- streaming agrees with in-memory, with and without validation ---
+    let pruned_xml = pruned.to_xml();
+    let streamed = prune_str(&xml, &dtd, &projector)
+        .unwrap_or_else(|e| panic!("prune_str failed on valid doc: {e}"));
+    assert_eq!(streamed.output, pruned_xml, "streaming pruner diverged for {q}");
+    let validated = prune_validate_str(&xml, &dtd, &projector)
+        .unwrap_or_else(|e| panic!("prune_validate_str rejected a valid doc: {e}"));
+    assert_eq!(validated.output, pruned_xml, "validating pruner diverged for {q}");
+
+    // --- the pruned document stays interpretable, restricting interp ---
+    let pruned_interp =
+        interpret(&pruned, &dtd).expect("pruned document must stay interpretable");
+    for n in pruned.all_nodes().skip(1) {
+        assert_eq!(
+            pruned_interp.name_of(n),
+            interp.name_of(pruned.src_id(n)),
+            "pruned interpretation is not a restriction of the original"
+        );
+    }
+
+    // --- XQuery leg ---
+    let xq = random_xquery(&mut rng);
+    let parsed = parse_xquery(&xq).unwrap_or_else(|e| panic!("xquery {xq:?}: {e}"));
+    let xq_projector = project_xquery_str(&mut sa, &xq).expect("already parsed");
+    let xq_pruned = prune_document(&doc, &dtd, &interp, &xq_projector);
+    let on_original = evaluate_query(&doc, &parsed);
+    let on_pruned = evaluate_query(&xq_pruned, &parsed);
+    match (on_original, on_pruned) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "xquery {xq} differs on pruned document\ndoc: {xml}"),
+        (a, b) => panic!("xquery {xq} evaluation failed: {a:?} vs {b:?}"),
+    }
+}
+
+#[test]
+fn fuzz_theorem_4_6_soundness() {
+    let name = "fuzz_theorem_4_6_soundness";
+    if let Some(seed) = xproj_testkit::runner::parse_seed_env() {
+        run_case(seed);
+        return;
+    }
+    let cases = std::env::var("TESTKIT_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(FUZZ_CASES);
+    for i in 0..cases {
+        let seed = case_seed(name, i as u32);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_case(seed))) {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "soundness fuzzer failed at case {i}/{cases}:\n{msg}\n\
+                 [testkit] replay: TESTKIT_SEED={seed:#x} cargo test {name}"
+            );
+        }
+    }
+}

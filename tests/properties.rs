@@ -1,15 +1,16 @@
-//! Property-based tests (proptest) over the public API.
+//! Property-based tests (testkit) over the public API.
 //!
 //! Strategy: draw (DTD from a fixed corpus, document seed, query from a
 //! generated query space) and check the paper's invariants — soundness of
 //! pruning, projector monotonicity under union, serialisation round
 //! trips, and streaming/in-memory agreement.
 
-use proptest::prelude::*;
 use xml_projection::core::{prune_document, prune_str, Projector, StaticAnalyzer};
 use xml_projection::dtd::generate::{generate, GenConfig};
 use xml_projection::dtd::{parse_dtd, validate, Dtd};
 use xml_projection::xpath::ast::Expr;
+use xproj_testkit::forall;
+use xproj_testkit::strategy::{one_of, vec_of, Just, RcStrategy, StrategyExt};
 
 const DTDS: &[(&str, &str)] = &[
     (
@@ -44,46 +45,61 @@ const DTDS: &[(&str, &str)] = &[
     ),
 ];
 
+fn just_strs(options: &[&'static str]) -> RcStrategy<&'static str> {
+    one_of(options.iter().map(|s| Just(*s).rc()).collect()).rc()
+}
+
 /// A small query space over the corpus tags, covering every XPathℓ shape
 /// plus approximated constructs.
-fn query_strategy() -> impl Strategy<Value = String> {
-    let tags = prop_oneof![
-        Just("a"), Just("b"), Just("c"), Just("d"),
-        Just("x"), Just("y"), Just("u"), Just("v"),
-        Just("book"), Just("title"), Just("author"), Just("price"),
-    ];
+fn query_strategy() -> RcStrategy<String> {
+    let tags = just_strs(&[
+        "a", "b", "c", "d", "x", "y", "u", "v", "book", "title", "author", "price",
+    ]);
     let step = (
-        prop_oneof![
-            Just("child::"), Just("descendant::"), Just("descendant-or-self::"),
-            Just("parent::"), Just("ancestor::"), Just("self::"),
-            Just("following-sibling::"), Just("preceding-sibling::"),
-        ],
-        prop_oneof![
-            tags.clone().prop_map(|t| t.to_string()),
-            Just("node()".to_string()),
-            Just("text()".to_string()),
-            Just("*".to_string()),
-        ],
+        just_strs(&[
+            "child::",
+            "descendant::",
+            "descendant-or-self::",
+            "parent::",
+            "ancestor::",
+            "self::",
+            "following-sibling::",
+            "preceding-sibling::",
+        ]),
+        one_of(vec![
+            tags.clone().prop_map(|t| t.to_string()).rc(),
+            Just("node()".to_string()).rc(),
+            Just("text()".to_string()).rc(),
+            Just("*".to_string()).rc(),
+        ]),
     )
-        .prop_map(|(a, t)| format!("{a}{t}"));
-    let pred_path = (Just("child::"), tags).prop_map(|(a, t)| format!("{a}{t}"));
-    let pred = prop_oneof![
-        pred_path.clone().prop_map(|p| format!("[{p}]")),
-        (pred_path.clone(), pred_path.clone()).prop_map(|(a, b)| format!("[{a} or {b}]")),
-        pred_path.clone().prop_map(|p| format!("[not({p})]")),
-        pred_path.prop_map(|p| format!("[count({p}) > 1]")),
-        Just("[1]".to_string()),
-        Just("".to_string()),
-    ];
-    (proptest::collection::vec((step, pred), 1..4)).prop_map(|steps| {
-        let mut q = String::from("/");
-        let body: Vec<String> = steps
-            .into_iter()
-            .map(|(s, p)| format!("{s}{p}"))
-            .collect();
-        q.push_str(&body.join("/"));
-        q
-    })
+        .prop_map(|(a, t)| format!("{a}{t}"))
+        .rc();
+    let pred_path = (Just("child::"), tags)
+        .prop_map(|(a, t)| format!("{a}{t}"))
+        .rc();
+    let pred = one_of(vec![
+        pred_path.clone().prop_map(|p| format!("[{p}]")).rc(),
+        (pred_path.clone(), pred_path.clone())
+            .prop_map(|(a, b)| format!("[{a} or {b}]"))
+            .rc(),
+        pred_path.clone().prop_map(|p| format!("[not({p})]")).rc(),
+        pred_path.prop_map(|p| format!("[count({p}) > 1]")).rc(),
+        Just("[1]".to_string()).rc(),
+        Just("".to_string()).rc(),
+    ])
+    .rc();
+    vec_of((step, pred), 1..4)
+        .prop_map(|steps| {
+            let mut q = String::from("/");
+            let body: Vec<String> = steps
+                .into_iter()
+                .map(|(s, p)| format!("{s}{p}"))
+                .collect();
+            q.push_str(&body.join("/"));
+            q
+        })
+        .rc()
 }
 
 fn corpus_dtd(ix: usize) -> Dtd {
@@ -108,12 +124,11 @@ fn eval_ids(
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+forall! {
+    #![cases(96)]
 
     /// Theorem 4.5 as a property: any generated query on any corpus DTD
     /// is preserved by pruning with its exact projector.
-    #[test]
     fn pruning_preserves_query_results(
         dtd_ix in 0usize..DTDS.len(),
         seed in 0u64..2000,
@@ -122,7 +137,7 @@ proptest! {
         let dtd = corpus_dtd(dtd_ix);
         let mut sa = StaticAnalyzer::new(&dtd);
         let Ok(projector) = sa.project_query_exact(&q) else {
-            return Ok(()); // query text invalid for this grammar — skip
+            return; // query text invalid for this grammar — skip
         };
         let doc = generate(&dtd, seed, &GenConfig::default());
         let interp = validate(&doc, &dtd).unwrap();
@@ -130,7 +145,7 @@ proptest! {
         let Expr::Path(path) = xml_projection::xpath::parse_xpath(&q).unwrap() else {
             unreachable!()
         };
-        prop_assert_eq!(
+        assert_eq!(
             eval_ids(&doc, &path),
             eval_ids(&pruned, &path),
             "query {} on DTD #{} seed {}", q, dtd_ix, seed
@@ -138,7 +153,6 @@ proptest! {
     }
 
     /// Pruning with the union projector also preserves each query.
-    #[test]
     fn union_projector_preserves_both(
         dtd_ix in 0usize..DTDS.len(),
         seed in 0u64..500,
@@ -148,7 +162,7 @@ proptest! {
         let dtd = corpus_dtd(dtd_ix);
         let mut sa = StaticAnalyzer::new(&dtd);
         let (Ok(p1), Ok(p2)) = (sa.project_query_exact(&q1), sa.project_query_exact(&q2)) else {
-            return Ok(());
+            return;
         };
         let u = p1.union(&p2);
         let doc = generate(&dtd, seed, &GenConfig::default());
@@ -158,12 +172,11 @@ proptest! {
             let Expr::Path(path) = xml_projection::xpath::parse_xpath(q).unwrap() else {
                 unreachable!()
             };
-            prop_assert_eq!(eval_ids(&doc, &path), eval_ids(&pruned, &path));
+            assert_eq!(eval_ids(&doc, &path), eval_ids(&pruned, &path));
         }
     }
 
     /// Streaming and in-memory pruning agree byte-for-byte.
-    #[test]
     fn stream_matches_memory(
         dtd_ix in 0usize..DTDS.len(),
         seed in 0u64..1000,
@@ -171,28 +184,26 @@ proptest! {
     ) {
         let dtd = corpus_dtd(dtd_ix);
         let mut sa = StaticAnalyzer::new(&dtd);
-        let Ok(projector) = sa.project_query(&q) else { return Ok(()); };
+        let Ok(projector) = sa.project_query(&q) else { return; };
         let doc = generate(&dtd, seed, &GenConfig::default());
         let interp = validate(&doc, &dtd).unwrap();
         let in_mem = prune_document(&doc, &dtd, &interp, &projector).to_xml();
         let streamed = prune_str(&doc.to_xml(), &dtd, &projector).unwrap().output;
-        prop_assert_eq!(in_mem, streamed);
+        assert_eq!(in_mem, streamed);
     }
 
     /// Serialise → parse → serialise is the identity on generated docs.
-    #[test]
     fn serialisation_round_trips(dtd_ix in 0usize..DTDS.len(), seed in 0u64..2000) {
         let dtd = corpus_dtd(dtd_ix);
         let doc = generate(&dtd, seed, &GenConfig::default());
         let xml = doc.to_xml();
         let reparsed = xml_projection::xmltree::parse(&xml).unwrap();
-        prop_assert_eq!(xml, reparsed.to_xml());
+        assert_eq!(xml, reparsed.to_xml());
     }
 
     /// The pruned document is a projection of the original: its size never
     /// exceeds the original's and every kept node maps to an original node
     /// with the same content.
-    #[test]
     fn pruned_is_a_projection(
         dtd_ix in 0usize..DTDS.len(),
         seed in 0u64..1000,
@@ -200,19 +211,19 @@ proptest! {
     ) {
         let dtd = corpus_dtd(dtd_ix);
         let mut sa = StaticAnalyzer::new(&dtd);
-        let Ok(projector) = sa.project_query_exact(&q) else { return Ok(()); };
+        let Ok(projector) = sa.project_query_exact(&q) else { return; };
         let doc = generate(&dtd, seed, &GenConfig::default());
         let interp = validate(&doc, &dtd).unwrap();
         let pruned = prune_document(&doc, &dtd, &interp, &projector);
-        prop_assert!(pruned.len() <= doc.len());
+        assert!(pruned.len() <= doc.len());
         for n in pruned.all_nodes().skip(1) {
             let src = pruned.src_id(n);
-            prop_assert_eq!(pruned.tag_name(n), doc.tag_name(src));
-            prop_assert_eq!(pruned.text(n), doc.text(src));
+            assert_eq!(pruned.tag_name(n), doc.tag_name(src));
+            assert_eq!(pruned.text(n), doc.text(src));
             // parent relationships are preserved through src ids
             if let (Some(pp), Some(op)) = (pruned.parent(n), Some(doc.parent(src).unwrap())) {
                 if pp != xml_projection::xmltree::NodeId::DOCUMENT {
-                    prop_assert_eq!(pruned.src_id(pp), op);
+                    assert_eq!(pruned.src_id(pp), op);
                 }
             }
         }
@@ -220,15 +231,14 @@ proptest! {
 
     /// Type soundness (Thm 4.4): every name that actually appears in a
     /// query result on a generated document is in the inferred type.
-    #[test]
     fn inferred_type_covers_results(
         dtd_ix in 0usize..DTDS.len(),
         seed in 0u64..1000,
         q in query_strategy(),
     ) {
         let dtd = corpus_dtd(dtd_ix);
-        let Ok(expr) = xml_projection::xpath::parse_xpath(&q) else { return Ok(()); };
-        let Expr::Path(path) = expr else { return Ok(()); };
+        let Ok(expr) = xml_projection::xpath::parse_xpath(&q) else { return; };
+        let Expr::Path(path) = expr else { return; };
         let approx = xml_projection::xpath::approx::approximate_query(&path);
         let sa = StaticAnalyzer::new(&dtd);
         let tau = sa.type_of_lpath(&approx.path, approx.absolute);
@@ -239,7 +249,7 @@ proptest! {
             use xml_projection::xpath::eval::XNode;
             if let XNode::Tree(id) = n {
                 if let Some(name) = interp.name_of(id) {
-                    prop_assert!(
+                    assert!(
                         tau.contains(name),
                         "result name {} not in inferred type for {}",
                         dtd.label(name), q
@@ -250,7 +260,6 @@ proptest! {
     }
 
     /// An empty inferred type means the query is empty on every document.
-    #[test]
     fn empty_type_means_empty_result(
         dtd_ix in 0usize..DTDS.len(),
         seed in 0u64..300,
@@ -258,7 +267,7 @@ proptest! {
     ) {
         let dtd = corpus_dtd(dtd_ix);
         let Ok(Expr::Path(path)) = xml_projection::xpath::parse_xpath(&q) else {
-            return Ok(());
+            return;
         };
         let approx = xml_projection::xpath::approx::approximate_query(&path);
         let sa = StaticAnalyzer::new(&dtd);
@@ -266,21 +275,20 @@ proptest! {
         if sa.analyzer().to_dtd_set(&tau).is_empty() && !tau.contains(sa.analyzer().doc_name()) {
             let doc = generate(&dtd, seed, &GenConfig::default());
             let r = xml_projection::xpath::evaluate(&doc, &path).unwrap();
-            prop_assert!(r.is_empty(), "{} typed empty but selected nodes", q);
+            assert!(r.is_empty(), "{} typed empty but selected nodes", q);
         }
     }
 
     /// Projector normalisation keeps the chain property.
-    #[test]
     fn projectors_are_chain_closed(
         dtd_ix in 0usize..DTDS.len(),
         q in query_strategy(),
     ) {
         let dtd = corpus_dtd(dtd_ix);
         let mut sa = StaticAnalyzer::new(&dtd);
-        let Ok(projector) = sa.project_query(&q) else { return Ok(()); };
+        let Ok(projector) = sa.project_query(&q) else { return; };
         for n in projector.names().iter() {
-            prop_assert!(
+            assert!(
                 n == dtd.root()
                     || dtd.parents_of(n).iter().any(|p| projector.contains(p)),
                 "{} has no parent in the projector",
@@ -288,7 +296,7 @@ proptest! {
             );
         }
         // the formal Def. 2.6 characterisation
-        prop_assert!(xml_projection::dtd::chains::is_projector_set(
+        assert!(xml_projection::dtd::chains::is_projector_set(
             &dtd,
             projector.names()
         ));
