@@ -16,4 +16,13 @@ echo "== soundness fuzzer smoke (deterministic, 200 cases) =="
 TESTKIT_FUZZ_CASES=200 cargo test -q --offline --locked \
     -p xml-projection --test fuzz_soundness
 
+echo "== engine smoke (chunked-vs-whole differential + 100-case fuzz) =="
+# The xmark differential: generated auction document streamed at several
+# chunk sizes must be byte-identical to the whole-string pruner, with the
+# O(depth + max-token) resident-memory bound holding end-to-end.
+cargo test -q --offline --locked -p xproj-engine \
+    --test chunked_equiv xmark_chunked_differential
+TESTKIT_FUZZ_CASES=100 cargo test -q --offline --locked -p xproj-engine \
+    --test chunked_equiv fuzz_chunked_equals_whole_string_pruning
+
 echo "ci: OK"

@@ -48,4 +48,7 @@ pub use infer::StaticAnalyzer;
 pub use projector::Projector;
 pub use infer::AnalyzeError;
 pub use prune::prune_document;
-pub use stream::{prune_str, prune_validate_str, StreamPruneError, StreamPruneResult};
+pub use stream::{
+    prune_str, prune_validate_str, PruneCounters, PruneMachine, StreamPruneError,
+    StreamPruneResult,
+};

@@ -64,10 +64,170 @@ impl std::fmt::Display for StreamPruneError {
 
 impl std::error::Error for StreamPruneError {}
 
+/// Per-event pruning counters, shared by every driver of a
+/// [`PruneMachine`] (in-memory strings, chunked engines, batch runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneCounters {
+    /// Elements written.
+    pub elements_kept: usize,
+    /// Elements discarded (with their whole subtrees).
+    pub elements_pruned: usize,
+    /// Text nodes written.
+    pub text_kept: usize,
+    /// Text nodes discarded.
+    pub text_pruned: usize,
+    /// Maximum element nesting depth seen (the memory bound).
+    pub max_depth: usize,
+}
+
+/// The source-generic core of streaming π-projection.
+///
+/// This is the per-event keep/discard state machine extracted from
+/// [`prune_str`], decoupled from where events come from (a pull
+/// [`XmlReader`], a push tokenizer fed by chunks, …) and where output
+/// bytes go (events append to any `String` scratch buffer the caller
+/// hands in, which the caller may drain to an `io::Write` between
+/// events). Resident state is O(depth): one [`NameId`] per open kept
+/// element plus a skip counter for pruned subtrees.
+pub struct PruneMachine<'p> {
+    dtd: &'p Dtd,
+    projector: &'p Projector,
+    /// Names of open *kept* elements (for text decisions).
+    stack: Vec<NameId>,
+    /// When > 0 we are inside a pruned subtree.
+    skip_depth: usize,
+    /// A start tag whose '>' is not yet written (lets us emit `<x/>` for
+    /// kept elements that end up empty, matching the tree serializer).
+    open_pending: bool,
+    saw_root: bool,
+    counters: PruneCounters,
+}
+
+impl<'p> PruneMachine<'p> {
+    /// Creates a machine for one document pass.
+    pub fn new(dtd: &'p Dtd, projector: &'p Projector) -> Self {
+        PruneMachine {
+            dtd,
+            projector,
+            stack: Vec::with_capacity(32),
+            skip_depth: 0,
+            open_pending: false,
+            saw_root: false,
+            counters: PruneCounters::default(),
+        }
+    }
+
+    /// Handles a start tag. `attrs` yields `(name, decoded value)` pairs
+    /// in document order; kept output is appended to `out`.
+    pub fn start_element<'a>(
+        &mut self,
+        name: &str,
+        attrs: impl IntoIterator<Item = (&'a str, &'a str)>,
+        out: &mut String,
+    ) -> Result<(), StreamPruneError> {
+        self.saw_root = true;
+        if self.skip_depth > 0 {
+            self.skip_depth += 1;
+            return Ok(());
+        }
+        let nm = self
+            .dtd
+            .name_of_tag_str(name)
+            .ok_or_else(|| StreamPruneError::UndeclaredElement(name.to_string()))?;
+        if self.projector.contains(nm) {
+            if self.open_pending {
+                out.push('>');
+            }
+            self.stack.push(nm);
+            self.counters.max_depth = self.counters.max_depth.max(self.stack.len());
+            self.counters.elements_kept += 1;
+            out.push('<');
+            out.push_str(name);
+            for (aname, avalue) in attrs {
+                let _ = write!(out, " {aname}=\"");
+                escape_attr(avalue, out);
+                out.push('"');
+            }
+            self.open_pending = true;
+        } else {
+            self.counters.elements_pruned += 1;
+            self.skip_depth = 1;
+        }
+        Ok(())
+    }
+
+    /// Handles an end tag.
+    pub fn end_element(&mut self, name: &str, out: &mut String) {
+        if self.skip_depth > 0 {
+            self.skip_depth -= 1;
+            return;
+        }
+        self.stack.pop();
+        if self.open_pending {
+            out.push_str("/>");
+            self.open_pending = false;
+        } else {
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+
+    /// Handles a text node (already entity-decoded).
+    pub fn text(&mut self, t: &str, out: &mut String) {
+        if self.skip_depth > 0 {
+            self.counters.text_pruned += 1;
+            return;
+        }
+        let Some(&parent) = self.stack.last() else {
+            return;
+        };
+        // Keep text iff some String-name of the parent's content
+        // model is in π (unique under the splitting heuristic).
+        let keep = self
+            .dtd
+            .text_children_of(parent)
+            .iter()
+            .any(|tn| self.projector.contains(tn));
+        if keep {
+            if self.open_pending {
+                out.push('>');
+                self.open_pending = false;
+            }
+            self.counters.text_kept += 1;
+            escape_text(t, out);
+        } else {
+            self.counters.text_pruned += 1;
+        }
+    }
+
+    /// Current element nesting depth (kept stack + pruned skip levels).
+    pub fn depth(&self) -> usize {
+        self.stack.len() + self.skip_depth
+    }
+
+    /// Counters so far (readable mid-pass for progress metrics).
+    pub fn counters(&self) -> PruneCounters {
+        self.counters
+    }
+
+    /// Ends the pass, checking that a root element was seen.
+    pub fn finish(self) -> Result<PruneCounters, StreamPruneError> {
+        if !self.saw_root {
+            return Err(StreamPruneError::Xml(
+                "document has no root element".to_string(),
+            ));
+        }
+        Ok(self.counters)
+    }
+}
+
 /// Prunes a serialized document in one pass.
 ///
 /// Only the open-element name stack is retained (O(depth) memory); kept
-/// events are appended to the output as they arrive.
+/// events are appended to the output as they arrive. This is the
+/// whole-string driver of [`PruneMachine`]; the chunked `io::Read` →
+/// `io::Write` driver lives in `xproj-engine`.
 pub fn prune_str(
     input: &str,
     dtd: &Dtd,
@@ -75,104 +235,31 @@ pub fn prune_str(
 ) -> Result<StreamPruneResult, StreamPruneError> {
     let mut reader = XmlReader::new(input);
     let mut out = String::with_capacity(input.len() / 2);
-    // Names of open *kept* elements (for text decisions).
-    let mut stack: Vec<NameId> = Vec::with_capacity(32);
-    // When > 0 we are inside a pruned subtree.
-    let mut skip_depth: usize = 0;
-    // A start tag whose '>' is not yet written (lets us emit `<x/>` for
-    // kept elements that end up empty, matching the tree serializer).
-    let mut open_pending = false;
-    let mut stats = StreamPruneResult {
-        output: String::new(),
-        elements_kept: 0,
-        elements_pruned: 0,
-        text_kept: 0,
-        text_pruned: 0,
-        max_depth: 0,
-    };
-    let mut saw_root = false;
+    let mut machine = PruneMachine::new(dtd, projector);
     loop {
         match reader.next_event().map_err(|e| StreamPruneError::Xml(e.to_string()))? {
             Event::StartElement { name, attrs, .. } => {
-                saw_root = true;
-                if skip_depth > 0 {
-                    skip_depth += 1;
-                    continue;
-                }
-                let nm = dtd
-                    .name_of_tag_str(name)
-                    .ok_or_else(|| StreamPruneError::UndeclaredElement(name.to_string()))?;
-                if projector.contains(nm) {
-                    if open_pending {
-                        out.push('>');
-                    }
-                    stack.push(nm);
-                    stats.max_depth = stats.max_depth.max(stack.len());
-                    stats.elements_kept += 1;
-                    out.push('<');
-                    out.push_str(name);
-                    for a in &attrs {
-                        let _ = write!(out, " {}=\"", a.name);
-                        escape_attr(&a.value, &mut out);
-                        out.push('"');
-                    }
-                    open_pending = true;
-                } else {
-                    stats.elements_pruned += 1;
-                    skip_depth = 1;
-                }
+                machine.start_element(
+                    name,
+                    attrs.iter().map(|a| (a.name, a.value.as_ref())),
+                    &mut out,
+                )?;
             }
-            Event::EndElement { name } => {
-                if skip_depth > 0 {
-                    skip_depth -= 1;
-                    continue;
-                }
-                stack.pop();
-                if open_pending {
-                    out.push_str("/>");
-                    open_pending = false;
-                } else {
-                    out.push_str("</");
-                    out.push_str(name);
-                    out.push('>');
-                }
-            }
-            Event::Text(t) => {
-                if skip_depth > 0 {
-                    stats.text_pruned += 1;
-                    continue;
-                }
-                let Some(&parent) = stack.last() else {
-                    continue;
-                };
-                // Keep text iff some String-name of the parent's content
-                // model is in π (unique under the splitting heuristic).
-                let keep = dtd
-                    .text_children_of(parent)
-                    .iter()
-                    .any(|tn| projector.contains(tn));
-                if keep {
-                    if open_pending {
-                        out.push('>');
-                        open_pending = false;
-                    }
-                    stats.text_kept += 1;
-                    escape_text(&t, &mut out);
-                } else {
-                    stats.text_pruned += 1;
-                }
-            }
+            Event::EndElement { name } => machine.end_element(name, &mut out),
+            Event::Text(t) => machine.text(&t, &mut out),
             Event::Comment(_) | Event::ProcessingInstruction(_) | Event::Doctype { .. } => {}
             Event::Eof => break,
         }
     }
-    if !saw_root {
-        return Err(StreamPruneError::Xml(
-            "document has no root element".to_string(),
-        ));
-    }
-    stats.output = out;
-    Ok(stats)
+    let c = machine.finish()?;
+    Ok(StreamPruneResult {
+        output: out,
+        elements_kept: c.elements_kept,
+        elements_pruned: c.elements_pruned,
+        text_kept: c.text_kept,
+        text_pruned: c.text_pruned,
+        max_depth: c.max_depth,
+    })
 }
 
 /// Prunes and *validates* in the same single pass (§6: "an optional

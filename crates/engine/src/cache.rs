@@ -1,0 +1,237 @@
+//! Projector cache: one analysis, many (DTD, query) lookups.
+//!
+//! The query-update-independence line of work (Bidoit-Tollu, Colazzo,
+//! Ulliana — see PAPERS.md) reuses projector inference across many
+//! documents; a server doing the same wants the inference memoised. Keys
+//! combine a **DTD fingerprint** (a hash of the grammar's canonical DTD
+//! syntax plus root name, so any `<!ELEMENT …>` edit misses) with a
+//! **normalized query** (the pretty-printed XQuery AST, so `/a/b`,
+//! `  /a/b ` and `/child::a/child::b` share one entry). Eviction is LRU;
+//! hit/miss counters feed the pipeline metrics.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use xproj_core::{Projector, StaticAnalyzer};
+use xproj_dtd::Dtd;
+use xproj_xquery::{parse_xquery, project_xquery};
+
+/// A 64-bit FNV-1a fingerprint of a DTD: its canonical `<!ELEMENT …>`
+/// serialization plus the root name. Any grammar edit changes it.
+pub fn dtd_fingerprint(dtd: &Dtd) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(PRIME);
+    };
+    eat(dtd.label(dtd.root()));
+    eat(&dtd.to_dtd_syntax());
+    h
+}
+
+/// Normalizes a workload query to its canonical form: parse as XQuery
+/// (of which XPath is a sub-language here) and pretty-print the AST.
+/// Whitespace and axis abbreviations disappear; semantically-identical
+/// spellings share a cache entry.
+pub fn normalize_query(query: &str) -> Result<String, String> {
+    parse_xquery(query)
+        .map(|q| q.to_string())
+        .map_err(|e| e.to_string())
+}
+
+/// Hit/miss/size counters of a [`ProjectorCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the static analysis.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (1.0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// One JSON object on a single line (bench/CLI output format).
+    pub fn to_json_line(&self, label: &str) -> String {
+        format!(
+            "{{\"group\":\"projector_cache\",\"bench\":\"{label}\",\"hits\":{},\"misses\":{},\
+             \"evictions\":{},\"entries\":{},\"hit_rate\":{:.4}}}",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.entries,
+            self.hit_rate()
+        )
+    }
+}
+
+#[derive(Clone)]
+struct Entry {
+    projector: Projector,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<(u64, String), Entry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// An LRU cache of inferred projectors keyed by
+/// `(DTD fingerprint, normalized query)`.
+///
+/// Lookups are thread-safe (the batch driver shares one cache across
+/// workers). The analysis for a miss runs *outside* the lock, so
+/// concurrent misses on different keys do not serialize; two concurrent
+/// misses on the *same* key may both compute, and the second insert
+/// wins — harmless, because inference is deterministic.
+pub struct ProjectorCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ProjectorCache {
+    /// Creates a cache holding at most `capacity` projectors.
+    pub fn new(capacity: usize) -> Self {
+        ProjectorCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the projector for `query` against `dtd`, running the
+    /// static analysis only on a cache miss.
+    pub fn get_or_compute(&self, dtd: &Dtd, query: &str) -> Result<Projector, String> {
+        let ast = parse_xquery(query).map_err(|e| e.to_string())?;
+        let key = (dtd_fingerprint(dtd), ast.to_string());
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(e) = inner.map.get_mut(&key) {
+                e.last_used = tick;
+                let p = e.projector.clone();
+                inner.stats.hits += 1;
+                inner.stats.entries = inner.map.len();
+                return Ok(p);
+            }
+            inner.stats.misses += 1;
+        }
+        // Compute outside the lock: misses on different keys parallelize.
+        let mut sa = StaticAnalyzer::new(dtd);
+        let projector = project_xquery(&mut sa, &ast);
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            // Evict the least-recently-used entry (O(n) scan; serving
+            // caches are tens of entries, not millions).
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                projector: projector.clone(),
+                last_used: tick,
+            },
+        );
+        inner.stats.entries = inner.map.len();
+        Ok(projector)
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        let mut s = inner.stats;
+        s.entries = inner.map.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xproj_dtd::parse_dtd;
+
+    fn dtd() -> Dtd {
+        parse_dtd(
+            "<!ELEMENT a (b, c)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>",
+            "a",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ProjectorCache::new(8);
+        let d = dtd();
+        let p1 = cache.get_or_compute(&d, "/a/b").unwrap();
+        let p2 = cache.get_or_compute(&d, "/a/b").unwrap();
+        assert_eq!(p1, p2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = ProjectorCache::new(2);
+        let d = dtd();
+        cache.get_or_compute(&d, "/a/b").unwrap(); // miss
+        cache.get_or_compute(&d, "/a/c").unwrap(); // miss
+        cache.get_or_compute(&d, "/a/b").unwrap(); // hit: /a/b is now MRU
+        cache.get_or_compute(&d, "/a").unwrap(); // miss, evicts /a/c
+        cache.get_or_compute(&d, "/a/b").unwrap(); // still a hit
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        cache.get_or_compute(&d, "/a/c").unwrap(); // evicted → miss again
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn unparsable_query_is_an_error_not_a_panic() {
+        let cache = ProjectorCache::new(2);
+        assert!(cache.get_or_compute(&dtd(), "///").is_err());
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn hit_rate_and_json() {
+        let cache = ProjectorCache::new(4);
+        let d = dtd();
+        cache.get_or_compute(&d, "/a/b").unwrap();
+        cache.get_or_compute(&d, "/a/b").unwrap();
+        cache.get_or_compute(&d, "/a/b").unwrap();
+        let s = cache.stats();
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert!(s.to_json_line("unit").contains("\"hits\":2"));
+    }
+}

@@ -1,0 +1,357 @@
+//! Chunked push-mode pruning: `io::Read` → `io::Write` in O(depth +
+//! max-token) memory.
+//!
+//! This is the deployment mode the paper's §6 (and the journal version's
+//! streaming emphasis) actually measures: π-pruning as a single fused
+//! pass that never holds the document in memory. Bytes are pushed into a
+//! [`PushTokenizer`] in arbitrary chunks; completed events run through
+//! the source-generic [`PruneMachine`]; kept bytes are flushed to the
+//! sink after every feed. The only engine-resident state is the
+//! tokenizer's incomplete-token tail, the machine's open-element stack,
+//! and a serialization scratch buffer that is drained each feed —
+//! [`ChunkedPruner::finish`] *asserts* the resulting bound.
+
+use crate::metrics::EngineStats;
+use std::io::{Read, Write};
+use std::time::Instant;
+use xproj_core::{PruneMachine, Projector, StreamPruneError};
+use xproj_dtd::Dtd;
+use xproj_xmltree::events::ParseError;
+use xproj_xmltree::push::{PushEvent, PushTokenizer};
+
+/// Default chunk size for [`prune_reader`].
+pub const DEFAULT_CHUNK_SIZE: usize = 64 * 1024;
+
+/// Errors from the chunked engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The input is not well-formed XML.
+    Xml(ParseError),
+    /// The pruning machine rejected the document (undeclared element, no
+    /// root, …).
+    Prune(StreamPruneError),
+    /// Reading the source or writing the sink failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Xml(e) => write!(f, "chunked prune: {e}"),
+            EngineError::Prune(e) => write!(f, "chunked prune: {e}"),
+            EngineError::Io(e) => write!(f, "chunked prune: I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Xml(e)
+    }
+}
+
+impl From<StreamPruneError> for EngineError {
+    fn from(e: StreamPruneError) -> Self {
+        EngineError::Prune(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+/// An incremental push-mode pruner writing kept bytes to an `io::Write`
+/// sink.
+///
+/// ```
+/// use xproj_engine::ChunkedPruner;
+/// use xproj_core::StaticAnalyzer;
+///
+/// let dtd = xproj_dtd::parse_dtd(
+///     "<!ELEMENT a (b, c)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>",
+///     "a",
+/// ).unwrap();
+/// let mut sa = StaticAnalyzer::new(&dtd);
+/// let projector = sa.project_query("/a/b").unwrap();
+///
+/// let mut out = Vec::new();
+/// let mut p = ChunkedPruner::new(&dtd, &projector, &mut out);
+/// // Chunk boundaries may fall anywhere — here, mid-tag:
+/// p.feed(b"<a><b>keep</b><c>dr").unwrap();
+/// p.feed(b"op</c></a>").unwrap();
+/// p.finish().unwrap();
+/// assert_eq!(out, b"<a><b>keep</b></a>");
+/// ```
+pub struct ChunkedPruner<'p, W: Write> {
+    tokenizer: PushTokenizer,
+    machine: PruneMachine<'p>,
+    sink: W,
+    /// Kept bytes of the current feed, drained to the sink afterwards.
+    scratch: String,
+    stats: EngineStats,
+    peak_scratch: usize,
+    /// Largest single chunk fed (the caller-controlled term of the
+    /// memory bound: scratch output is drained once per feed).
+    max_chunk: usize,
+}
+
+impl<'p, W: Write> ChunkedPruner<'p, W> {
+    /// Creates a pruner for one document, writing kept bytes to `sink`.
+    pub fn new(dtd: &'p Dtd, projector: &'p Projector, sink: W) -> Self {
+        ChunkedPruner {
+            tokenizer: PushTokenizer::new(),
+            machine: PruneMachine::new(dtd, projector),
+            sink,
+            scratch: String::new(),
+            stats: EngineStats {
+                documents: 1,
+                ..Default::default()
+            },
+            peak_scratch: 0,
+            max_chunk: 0,
+        }
+    }
+
+    /// Feeds one chunk of the serialized document.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<(), EngineError> {
+        self.stats.bytes_in += chunk.len() as u64;
+        self.max_chunk = self.max_chunk.max(chunk.len());
+        let t0 = Instant::now();
+        let events = self.tokenizer.feed(chunk)?;
+        let t1 = Instant::now();
+        self.stats.timings.tokenize += t1 - t0;
+        self.process(events)?;
+        Ok(())
+    }
+
+    fn process(&mut self, events: Vec<PushEvent>) -> Result<(), EngineError> {
+        let t1 = Instant::now();
+        self.stats.events += events.len() as u64;
+        for ev in &events {
+            match ev {
+                PushEvent::StartElement { name, attrs, .. } => {
+                    self.machine.start_element(
+                        name,
+                        attrs.iter().map(|a| (a.name.as_str(), a.value.as_str())),
+                        &mut self.scratch,
+                    )?;
+                }
+                PushEvent::EndElement { name } => {
+                    self.machine.end_element(name, &mut self.scratch)
+                }
+                PushEvent::Text(t) => self.machine.text(t, &mut self.scratch),
+                PushEvent::Comment(_)
+                | PushEvent::ProcessingInstruction(_)
+                | PushEvent::Doctype { .. } => {}
+            }
+        }
+        let t2 = Instant::now();
+        self.stats.timings.prune += t2 - t1;
+        self.peak_scratch = self.peak_scratch.max(self.scratch.len());
+        if !self.scratch.is_empty() {
+            self.sink.write_all(self.scratch.as_bytes())?;
+            self.stats.bytes_out += self.scratch.len() as u64;
+            self.scratch.clear();
+        }
+        self.stats.timings.write += t2.elapsed();
+        self.stats.peak_resident_bytes = self
+            .stats
+            .peak_resident_bytes
+            .max(self.tokenizer.peak_buffered() + self.peak_scratch);
+        Ok(())
+    }
+
+    /// Ends the document: flushes the sink, checks well-formedness, and
+    /// **asserts the memory bound** — engine-resident buffering never
+    /// exceeded the largest single token plus the bytes that token (and
+    /// the events sharing its feed) serialized to. A violated assertion
+    /// means some path buffered the document, which is exactly the bug
+    /// this engine exists to rule out.
+    pub fn finish(mut self) -> Result<EngineStats, EngineError> {
+        let t0 = Instant::now();
+        let events = self.tokenizer.finish()?;
+        self.stats.timings.tokenize += t0.elapsed();
+        self.process(events)?;
+        let ChunkedPruner {
+            tokenizer,
+            machine,
+            mut sink,
+            mut stats,
+            max_chunk,
+            ..
+        } = self;
+        stats.counters = machine.finish()?;
+        stats.max_token_bytes = tokenizer.max_token_bytes();
+        sink.flush()?;
+        // The hard memory-bound assertion: resident buffering is O(depth
+        // + max single-token length + max chunk length), never O(document).
+        // Tokenizer-resident bytes are bounded by the largest single
+        // token (every partial token eventually completed);
+        // scratch-resident bytes are bounded by what one feed's events
+        // serialize to — at most one chunk plus one token, times the ≤6×
+        // entity-escaping expansion. A violated assertion means some
+        // path buffered the document, which is exactly the bug this
+        // engine exists to rule out.
+        let bound =
+            8 * (stats.max_token_bytes + max_chunk) + 64 * (1 + stats.counters.max_depth);
+        assert!(
+            stats.peak_resident_bytes <= bound,
+            "engine memory bound violated: resident {} > bound {} (max token {}, max chunk {}, depth {})",
+            stats.peak_resident_bytes,
+            bound,
+            stats.max_token_bytes,
+            max_chunk,
+            stats.counters.max_depth,
+        );
+        Ok(stats)
+    }
+
+    /// Engine-resident bytes right now (tokenizer tail + scratch).
+    pub fn resident_bytes(&self) -> usize {
+        self.tokenizer.buffered() + self.scratch.len()
+    }
+}
+
+/// Drives a whole `io::Read` through a [`ChunkedPruner`] in
+/// `chunk_size`-byte reads.
+pub fn prune_reader<R: Read, W: Write>(
+    mut input: R,
+    sink: W,
+    dtd: &Dtd,
+    projector: &Projector,
+    chunk_size: usize,
+) -> Result<EngineStats, EngineError> {
+    let chunk_size = chunk_size.max(1);
+    let mut pruner = ChunkedPruner::new(dtd, projector, sink);
+    let mut buf = vec![0u8; chunk_size];
+    loop {
+        let n = input.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        pruner.feed(&buf[..n])?;
+    }
+    pruner.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xproj_core::{prune_str, StaticAnalyzer};
+    use xproj_dtd::parse_dtd;
+
+    const DTD: &str = "\
+        <!ELEMENT bib (book*)>\
+        <!ELEMENT book (title, author*, price?)>\
+        <!ATTLIST book id CDATA #IMPLIED>\
+        <!ELEMENT title (#PCDATA)>\
+        <!ELEMENT author (#PCDATA)>\
+        <!ELEMENT price (#PCDATA)>";
+
+    const DOC: &str = "<bib>\
+        <book id=\"b1\"><title>T1</title><author>A</author><price>10</price></book>\
+        <book id=\"b2\"><title>T2</title></book>\
+        </bib>";
+
+    fn chunked(doc: &str, dtd: &xproj_dtd::Dtd, p: &Projector, size: usize) -> (Vec<u8>, EngineStats) {
+        let mut out = Vec::new();
+        let stats = prune_reader(doc.as_bytes(), &mut out, dtd, p, size).unwrap();
+        (out, stats)
+    }
+
+    #[test]
+    fn chunked_matches_prune_str_at_every_chunk_size() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let mut sa = StaticAnalyzer::new(&dtd);
+        for q in ["/bib/book/title", "/bib/book[price]/author", "//price"] {
+            let p = sa.project_query(q).unwrap();
+            let whole = prune_str(DOC, &dtd, &p).unwrap();
+            for size in [1, 2, 3, 7, 16, 64, 4096] {
+                let (out, stats) = chunked(DOC, &dtd, &p, size);
+                assert_eq!(
+                    String::from_utf8(out).unwrap(),
+                    whole.output,
+                    "query {q}, chunk size {size}"
+                );
+                assert_eq!(stats.counters.elements_kept, whole.elements_kept);
+                assert_eq!(stats.counters.text_kept, whole.text_kept);
+                assert_eq!(stats.counters.max_depth, whole.max_depth);
+                assert_eq!(stats.bytes_in, DOC.len() as u64);
+                assert_eq!(stats.bytes_out, whole.output.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn resident_memory_stays_token_bounded() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let p = Projector::full(&dtd);
+        // A long document streamed in tiny chunks: peak residency must
+        // track token size, not document size.
+        let body: String = (0..500)
+            .map(|i| format!("<book id=\"b{i}\"><title>Title {i}</title></book>"))
+            .collect();
+        let doc = format!("<bib>{body}</bib>");
+        let (_, stats) = chunked(&doc, &dtd, &p, 7);
+        assert!(
+            stats.peak_resident_bytes < 1024,
+            "peak resident {} should be token-scale, document is {} bytes",
+            stats.peak_resident_bytes,
+            doc.len()
+        );
+    }
+
+    #[test]
+    fn undeclared_element_reported() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let p = Projector::full(&dtd);
+        let mut out = Vec::new();
+        let err = prune_reader("<bib><zzz/></bib>".as_bytes(), &mut out, &dtd, &p, 4)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Prune(StreamPruneError::UndeclaredElement(_))));
+    }
+
+    #[test]
+    fn malformed_input_reported() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let p = Projector::full(&dtd);
+        let mut out = Vec::new();
+        assert!(matches!(
+            prune_reader("<bib><book>".as_bytes(), &mut out, &dtd, &p, 3),
+            Err(EngineError::Xml(_))
+        ));
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let p = Projector::full(&dtd);
+        let mut out = Vec::new();
+        assert!(matches!(
+            prune_reader("".as_bytes(), &mut out, &dtd, &p, 8),
+            Err(EngineError::Prune(_))
+        ));
+    }
+
+    #[test]
+    fn sink_io_errors_surface() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let p = Projector::full(&dtd);
+        let mut pruner = ChunkedPruner::new(&dtd, &p, Failing);
+        let err = pruner.feed(DOC.as_bytes()).unwrap_err();
+        assert!(matches!(err, EngineError::Io(_)));
+    }
+}

@@ -1,0 +1,52 @@
+//! **xproj-engine** — the serving-shaped projection pipeline.
+//!
+//! The core crates implement the paper's algorithms over complete
+//! in-memory strings; this crate turns them into a deployable engine
+//! (§6's "faster than parsing, O(depth) memory" deployment mode, and
+//! the journal version's fused streaming emphasis):
+//!
+//! * [`chunked`] — incremental push-mode pruning over `io::Read` →
+//!   `io::Write`, built on the resumable tokenizer in
+//!   `xproj_xmltree::push` and the source-generic
+//!   [`xproj_core::PruneMachine`]. Resident memory is **asserted** to be
+//!   O(depth + max single-token length), never O(document).
+//! * [`cache`] — an LRU [`ProjectorCache`] over `(DTD fingerprint,
+//!   normalized query)` with hit/miss counters, so repeated workloads
+//!   skip re-inference ("analyse once, prune many documents").
+//! * [`batch`] — a zero-dependency scoped-thread parallel driver for
+//!   pruning many documents concurrently.
+//! * [`metrics`] — [`EngineStats`] threaded through all of the above:
+//!   events, bytes in/out, retention, depth, peak-resident bytes,
+//!   per-stage timings; serialized as the workspace's JSON-lines format.
+//!
+//! ```
+//! use xproj_engine::{prune_reader, ProjectorCache};
+//!
+//! let dtd = xproj_dtd::parse_dtd(
+//!     "<!ELEMENT bib (book*)> <!ELEMENT book (title, author*)>\
+//!      <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>",
+//!     "bib",
+//! ).unwrap();
+//! let cache = ProjectorCache::new(32);
+//! let projector = cache.get_or_compute(&dtd, "/bib/book/title").unwrap();
+//!
+//! let doc = "<bib><book><title>T</title><author>A</author></book></bib>";
+//! let mut pruned = Vec::new();
+//! let stats = prune_reader(doc.as_bytes(), &mut pruned, &dtd, &projector, 8).unwrap();
+//! assert_eq!(pruned, b"<bib><book><title>T</title></book></bib>");
+//! assert!(stats.retention() < 1.0);
+//! assert_eq!(cache.get_or_compute(&dtd, "/bib/book/title").is_ok(), true);
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod chunked;
+pub mod metrics;
+
+pub use batch::{parallel_map, run_batch, BatchJob, BatchReport};
+pub use cache::{dtd_fingerprint, normalize_query, CacheStats, ProjectorCache};
+pub use chunked::{prune_reader, ChunkedPruner, EngineError, DEFAULT_CHUNK_SIZE};
+pub use metrics::{EngineStats, StageTimings};

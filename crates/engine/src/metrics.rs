@@ -1,0 +1,163 @@
+//! Pipeline metrics: what the engine did, how fast, and how much it
+//! kept resident.
+//!
+//! Every layer of the engine threads an [`EngineStats`] through: the
+//! chunked pruner fills in event/byte counts, per-stage timings and the
+//! peak-resident high-water mark; the batch driver aggregates per-file
+//! stats; the CLI and the bench binaries serialize them as the
+//! workspace's usual one-JSON-object-per-line format.
+
+use std::time::Duration;
+use xproj_core::PruneCounters;
+
+/// Wall-clock time spent in each stage of the chunked pipeline.
+///
+/// The stages correspond to the three things a feed does: recognising
+/// complete tokens in the byte stream (*tokenize*), running the
+/// keep/discard machine over the resulting events (*prune*), and pushing
+/// kept bytes into the output sink (*write*).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Time spent in the push tokenizer.
+    pub tokenize: Duration,
+    /// Time spent in the pruning state machine.
+    pub prune: Duration,
+    /// Time spent writing kept bytes to the sink.
+    pub write: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.tokenize + self.prune + self.write
+    }
+
+    /// Accumulates another timing set (for batch aggregation).
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.tokenize += other.tokenize;
+        self.prune += other.prune;
+        self.write += other.write;
+    }
+}
+
+/// End-to-end statistics for one chunked pruning run (or an aggregate
+/// over a batch of runs).
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// SAX events processed (start/end/text/comment/PI/doctype).
+    pub events: u64,
+    /// Bytes fed into the tokenizer.
+    pub bytes_in: u64,
+    /// Bytes written to the output sink.
+    pub bytes_out: u64,
+    /// Keep/discard counters from the pruning machine.
+    pub counters: PruneCounters,
+    /// High-water mark of engine-resident buffering in bytes: tokenizer
+    /// tail + serialization scratch. The memory-bound guarantee is that
+    /// this stays O(depth + max single-token length), independent of
+    /// document size.
+    pub peak_resident_bytes: usize,
+    /// Largest single token seen (the dominant term of the bound).
+    pub max_token_bytes: usize,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// Documents aggregated into this stats object (1 for a single run).
+    pub documents: u64,
+}
+
+impl EngineStats {
+    /// Fraction of input bytes retained in the output.
+    pub fn retention(&self) -> f64 {
+        if self.bytes_in == 0 {
+            return 1.0;
+        }
+        self.bytes_out as f64 / self.bytes_in as f64
+    }
+
+    /// Folds another run into this aggregate.
+    pub fn accumulate(&mut self, other: &EngineStats) {
+        self.events += other.events;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.counters.elements_kept += other.counters.elements_kept;
+        self.counters.elements_pruned += other.counters.elements_pruned;
+        self.counters.text_kept += other.counters.text_kept;
+        self.counters.text_pruned += other.counters.text_pruned;
+        self.counters.max_depth = self.counters.max_depth.max(other.counters.max_depth);
+        self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
+        self.max_token_bytes = self.max_token_bytes.max(other.max_token_bytes);
+        self.timings.accumulate(&other.timings);
+        self.documents += other.documents;
+    }
+
+    /// One JSON object on a single line, in the same shape the bench
+    /// binaries emit (collectable with `grep '^{' | jq`).
+    pub fn to_json_line(&self, label: &str) -> String {
+        format!(
+            "{{\"group\":\"engine\",\"bench\":\"{label}\",\"documents\":{},\"events\":{},\
+             \"bytes_in\":{},\"bytes_out\":{},\"retention\":{:.4},\
+             \"elements_kept\":{},\"elements_pruned\":{},\"text_kept\":{},\"text_pruned\":{},\
+             \"max_depth\":{},\"peak_resident_bytes\":{},\"max_token_bytes\":{},\
+             \"tokenize_ns\":{},\"prune_ns\":{},\"write_ns\":{}}}",
+            self.documents,
+            self.events,
+            self.bytes_in,
+            self.bytes_out,
+            self.retention(),
+            self.counters.elements_kept,
+            self.counters.elements_pruned,
+            self.counters.text_kept,
+            self.counters.text_pruned,
+            self.counters.max_depth,
+            self.peak_resident_bytes,
+            self.max_token_bytes,
+            self.timings.tokenize.as_nanos(),
+            self.timings.prune.as_nanos(),
+            self.timings.write.as_nanos(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_handles_empty_input() {
+        let s = EngineStats::default();
+        assert_eq!(s.retention(), 1.0);
+    }
+
+    #[test]
+    fn accumulate_takes_max_of_highwater_marks() {
+        let mut a = EngineStats {
+            peak_resident_bytes: 10,
+            bytes_in: 100,
+            bytes_out: 50,
+            documents: 1,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            peak_resident_bytes: 30,
+            bytes_in: 100,
+            bytes_out: 10,
+            documents: 1,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.peak_resident_bytes, 30);
+        assert_eq!(a.bytes_in, 200);
+        assert_eq!(a.bytes_out, 60);
+        assert_eq!(a.documents, 2);
+        assert!((a.retention() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_line_is_one_object() {
+        let s = EngineStats::default();
+        let line = s.to_json_line("unit");
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"bench\":\"unit\""));
+    }
+}

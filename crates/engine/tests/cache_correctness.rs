@@ -1,0 +1,97 @@
+//! Projector-cache correctness: the satellite guarantees from ISSUE 2.
+//!
+//! * Two spellings of the same query (whitespace, abbreviated vs
+//!   explicit axes) normalize identically and share one cache entry.
+//! * Editing the DTD changes the fingerprint, so a stale projector is
+//!   never served for a changed grammar.
+//! * A cached projector prunes exactly like a freshly-inferred one.
+
+use xproj_core::{prune_str, StaticAnalyzer};
+use xproj_dtd::parse_dtd;
+use xproj_engine::{dtd_fingerprint, normalize_query, ProjectorCache};
+
+const BIB: &str = "<!ELEMENT bib (book*)> <!ELEMENT book (title, author*, year?)>\
+                   <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>\
+                   <!ELEMENT year (#PCDATA)>";
+
+#[test]
+fn equivalent_spellings_share_one_entry() {
+    let dtd = parse_dtd(BIB, "bib").unwrap();
+    let cache = ProjectorCache::new(8);
+
+    // All four spellings of the same path…
+    let spellings = [
+        "/bib/book/title",
+        "  /bib/book/title  ",
+        "/child::bib/child::book/child::title",
+        "/bib/child::book/title",
+    ];
+    let norm = normalize_query(spellings[0]).unwrap();
+    for s in &spellings[1..] {
+        assert_eq!(
+            normalize_query(s).unwrap(),
+            norm,
+            "{s:?} should normalize like {:?}",
+            spellings[0]
+        );
+    }
+
+    let first = cache.get_or_compute(&dtd, spellings[0]).unwrap();
+    for s in &spellings[1..] {
+        let p = cache.get_or_compute(&dtd, s).unwrap();
+        assert_eq!(p, first, "{s:?} must resolve to the shared projector");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "only the first spelling runs the analysis");
+    assert_eq!(stats.hits, spellings.len() as u64 - 1);
+    assert_eq!(stats.entries, 1);
+}
+
+#[test]
+fn dtd_edit_changes_fingerprint_and_misses() {
+    let dtd_v1 = parse_dtd(BIB, "bib").unwrap();
+    // Same tag alphabet, one content-model edit: year becomes mandatory.
+    let dtd_v2 = parse_dtd(
+        "<!ELEMENT bib (book*)> <!ELEMENT book (title, author*, year)>\
+         <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>\
+         <!ELEMENT year (#PCDATA)>",
+        "bib",
+    )
+    .unwrap();
+    assert_ne!(
+        dtd_fingerprint(&dtd_v1),
+        dtd_fingerprint(&dtd_v2),
+        "a content-model edit must change the fingerprint"
+    );
+    // Re-parsing the identical grammar keeps the fingerprint stable.
+    assert_eq!(
+        dtd_fingerprint(&dtd_v1),
+        dtd_fingerprint(&parse_dtd(BIB, "bib").unwrap())
+    );
+
+    let cache = ProjectorCache::new(8);
+    cache.get_or_compute(&dtd_v1, "/bib/book/title").unwrap();
+    cache.get_or_compute(&dtd_v2, "/bib/book/title").unwrap();
+    let stats = cache.stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.entries),
+        (0, 2, 2),
+        "the edited DTD must not be served the stale projector"
+    );
+}
+
+#[test]
+fn cached_projector_prunes_like_a_fresh_one() {
+    let dtd = parse_dtd(BIB, "bib").unwrap();
+    let cache = ProjectorCache::new(8);
+    let doc = "<bib><book><title>T</title><author>A</author><year>1999</year></book></bib>";
+
+    let cached = cache.get_or_compute(&dtd, "/bib/book/author").unwrap();
+    let mut sa = StaticAnalyzer::new(&dtd);
+    let fresh = sa.project_query("/bib/book/author").unwrap();
+    assert_eq!(cached, fresh);
+    assert_eq!(
+        prune_str(doc, &dtd, &cached).unwrap().output,
+        prune_str(doc, &dtd, &fresh).unwrap().output
+    );
+}

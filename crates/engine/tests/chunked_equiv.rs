@@ -1,0 +1,177 @@
+//! Differential fuzzing: chunked push-mode pruning is byte-identical to
+//! the whole-string pruner.
+//!
+//! Each case draws a random *(DTD, document, query)* triple (as the
+//! Theorem 4.6 soundness fuzzer does) plus a **random chunking** of the
+//! serialized document — including 1-byte chunks and splits that land
+//! mid-tag, mid-entity and mid-CDATA — and checks that feeding the
+//! chunks through the engine produces exactly `prune_str`'s bytes, with
+//! matching counters. The engine's `finish()` additionally asserts the
+//! O(depth + max-token) resident-memory bound on every case.
+//!
+//! On failure the test panics with a `TESTKIT_SEED=0x…` replay line;
+//! setting that variable re-runs exactly the failing case.
+//! `TESTKIT_FUZZ_CASES=n` scales the run (CI smoke uses 100).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use xproj_core::{prune_str, StaticAnalyzer};
+use xproj_dtd::generate::{generate, random_dtd, GenConfig, RandomDtdConfig, RANDOM_DTD_TAGS};
+use xproj_dtd::Dtd;
+use xproj_engine::ChunkedPruner;
+use xproj_testkit::{case_seed, SplitMix64};
+
+const FUZZ_CASES: u64 = 300;
+
+/// A random XPathℓ query over the random-DTD tag alphabet.
+fn random_query(rng: &mut SplitMix64) -> String {
+    let nsteps = rng.range_incl(1, 3);
+    let mut parts = Vec::new();
+    for _ in 0..nsteps {
+        let axis = *rng.pick(&["child::", "descendant::", "descendant-or-self::", "self::"]);
+        let test = match rng.below(5) {
+            0 => "node()".to_string(),
+            1 => "*".to_string(),
+            _ => rng.pick(RANDOM_DTD_TAGS).to_string(),
+        };
+        parts.push(format!("{axis}{test}"));
+    }
+    format!("/{}", parts.join("/"))
+}
+
+/// Splits `xml` into random chunks; every fourth case uses 1-byte
+/// chunks so every split point in the document gets exercised over the
+/// corpus.
+fn random_chunks<'a>(rng: &mut SplitMix64, xml: &'a [u8], case: u64) -> Vec<&'a [u8]> {
+    let mut chunks = Vec::new();
+    if case % 4 == 0 {
+        for i in 0..xml.len() {
+            chunks.push(&xml[i..i + 1]);
+        }
+        return chunks;
+    }
+    let mut pos = 0;
+    while pos < xml.len() {
+        let max = (xml.len() - pos).min(1 + rng.below(97));
+        let n = 1 + rng.below(max);
+        chunks.push(&xml[pos..pos + n]);
+        pos += n;
+    }
+    chunks
+}
+
+fn run_case(seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let dtd: Dtd = random_dtd(&mut rng, &RandomDtdConfig::default());
+    let doc_seed = rng.next_u64();
+    let cfg = GenConfig {
+        fanout: 1.5,
+        max_depth: 8,
+        text_words: 2,
+    };
+    let doc = generate(&dtd, doc_seed, &cfg);
+    let xml = doc.to_xml();
+
+    let q = random_query(&mut rng);
+    let mut sa = StaticAnalyzer::new(&dtd);
+    let projector = sa
+        .project_query(&q)
+        .unwrap_or_else(|e| panic!("query {q:?} failed to project: {e}"));
+
+    let whole = prune_str(&xml, &dtd, &projector)
+        .unwrap_or_else(|e| panic!("prune_str failed on generated doc: {e}"));
+
+    let case = rng.next_u64();
+    let mut out: Vec<u8> = Vec::new();
+    let mut pruner = ChunkedPruner::new(&dtd, &projector, &mut out);
+    for chunk in random_chunks(&mut rng, xml.as_bytes(), case) {
+        pruner
+            .feed(chunk)
+            .unwrap_or_else(|e| panic!("chunked feed failed for {q}: {e}\ndoc: {xml}"));
+    }
+    // finish() also hard-asserts the resident-memory bound.
+    let stats = pruner
+        .finish()
+        .unwrap_or_else(|e| panic!("chunked finish failed for {q}: {e}\ndoc: {xml}"));
+
+    let chunked = String::from_utf8(out).expect("engine output is UTF-8");
+    assert_eq!(
+        chunked, whole.output,
+        "chunked output diverged from prune_str for {q}\ndoc: {xml}"
+    );
+    assert_eq!(stats.counters.elements_kept, whole.elements_kept, "for {q}");
+    assert_eq!(stats.counters.elements_pruned, whole.elements_pruned, "for {q}");
+    assert_eq!(stats.counters.text_kept, whole.text_kept, "for {q}");
+    assert_eq!(stats.counters.max_depth, whole.max_depth, "for {q}");
+    assert_eq!(stats.bytes_in, xml.len() as u64);
+    assert_eq!(stats.bytes_out, whole.output.len() as u64);
+}
+
+#[test]
+fn fuzz_chunked_equals_whole_string_pruning() {
+    let name = "fuzz_chunked_equals_whole_string_pruning";
+    if let Some(seed) = xproj_testkit::runner::parse_seed_env() {
+        run_case(seed);
+        return;
+    }
+    let cases = std::env::var("TESTKIT_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(FUZZ_CASES);
+    for i in 0..cases {
+        let seed = case_seed(name, i as u32);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_case(seed))) {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "chunked-equivalence fuzzer failed at case {i}/{cases}:\n{msg}\n\
+                 [testkit] replay: TESTKIT_SEED={seed:#x} cargo test -p xproj-engine {name}"
+            );
+        }
+    }
+}
+
+/// The CI smoke differential: a realistic XMark auction document (deep
+/// mixed content, attributes, every description element full of
+/// entities) streamed at several chunk sizes.
+#[test]
+fn xmark_chunked_differential() {
+    use xproj_xmark::{auction_dtd, generate_auction, XMarkConfig};
+    let dtd = auction_dtd();
+    let xml = generate_auction(&dtd, &XMarkConfig::at_scale(0.05)).to_xml();
+    let mut sa = StaticAnalyzer::new(&dtd);
+    for q in [
+        "/site/people/person/name",
+        "//keyword",
+        "/site/closed_auctions/closed_auction[descendant::keyword]/date",
+    ] {
+        let projector = sa.project_query(q).unwrap();
+        let whole = prune_str(&xml, &dtd, &projector).unwrap();
+        for chunk_size in [1, 17, 4096, 1 << 20] {
+            let mut out = Vec::new();
+            let stats = xproj_engine::prune_reader(
+                xml.as_bytes(),
+                &mut out,
+                &dtd,
+                &projector,
+                chunk_size,
+            )
+            .unwrap();
+            assert_eq!(
+                String::from_utf8(out).unwrap(),
+                whole.output,
+                "xmark differential diverged for {q} at chunk size {chunk_size}"
+            );
+            // The memory-bound guarantee, observed end-to-end: resident
+            // buffering tracks tokens and chunks, not the document.
+            assert!(
+                stats.peak_resident_bytes
+                    <= 8 * (stats.max_token_bytes + chunk_size) + 64 * (1 + stats.counters.max_depth),
+                "resident {} out of bound at chunk size {chunk_size}",
+                stats.peak_resident_bytes
+            );
+        }
+    }
+}

@@ -23,6 +23,7 @@ pub mod document;
 pub mod events;
 pub mod interner;
 pub mod parser;
+pub mod push;
 
 pub use document::{Attribute, Document, Node, NodeId, NodeKind};
 pub use events::{Event, XmlReader};

@@ -1,0 +1,809 @@
+//! Incremental *push*-mode XML tokenizer.
+//!
+//! [`crate::events::XmlReader`] pulls events out of a complete in-memory
+//! string; this module is its chunk-at-a-time dual: bytes are *pushed* in
+//! with [`PushTokenizer::feed`] in arbitrarily-sized pieces (down to one
+//! byte), and complete events come out as soon as their closing delimiter
+//! has arrived. Chunk boundaries may fall anywhere — in the middle of a
+//! tag name, an attribute value, an `&amp;`-style entity, a CDATA
+//! section, a comment, a processing instruction, or a multi-byte UTF-8
+//! sequence — and the event stream is identical to what `XmlReader`
+//! produces on the concatenated input.
+//!
+//! The memory contract that makes constant-memory pruning possible
+//! (paper §6): the tokenizer retains only the bytes of the single
+//! incomplete token at the end of the last chunk. Every complete token is
+//! drained from the buffer as soon as it is recognised, so resident
+//! buffering is bounded by the largest single token in the document
+//! (one tag, one comment, one text run, …), never by the document size.
+//! [`PushTokenizer::buffered`] and [`PushTokenizer::max_token_bytes`]
+//! expose the accounting so downstream code can *assert* the bound.
+
+use crate::events::{decode_entities, ParseError};
+
+/// One attribute of an owned [`PushEvent::StartElement`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedAttribute {
+    /// Attribute name.
+    pub name: String,
+    /// Decoded attribute value.
+    pub value: String,
+}
+
+/// An owned SAX event, the chunk-friendly counterpart of
+/// [`crate::events::Event`] (which borrows from a complete input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushEvent {
+    /// `<name attr="v" …>` or `<name …/>`; a self-closing tag is
+    /// immediately followed by its matching [`PushEvent::EndElement`].
+    StartElement {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<OwnedAttribute>,
+        /// Whether this came from a `<…/>` empty-element tag.
+        self_closing: bool,
+    },
+    /// `</name>` (or synthesized after a self-closing start tag).
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Character data (entities decoded) or a CDATA section.
+    Text(String),
+    /// `<!-- … -->` (content without the delimiters).
+    Comment(String),
+    /// `<?target data?>` — excludes the XML declaration, which is skipped.
+    ProcessingInstruction(String),
+    /// `<!DOCTYPE name … [internal subset]>`.
+    Doctype {
+        /// Document type name.
+        name: String,
+        /// Raw internal subset between `[` and `]`, if present.
+        internal_subset: Option<String>,
+    },
+}
+
+/// What kind of token starts at the front of the buffer, and where it
+/// ends (exclusive, relative to the buffer) once fully buffered.
+enum Token {
+    /// Not enough bytes yet to finish (or even classify) the token.
+    Incomplete,
+    /// A complete token of `len` bytes at the front of the buffer.
+    Complete { kind: TokenKind, len: usize },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TokenKind {
+    Text,
+    StartOrEmptyTag,
+    EndTag,
+    Comment,
+    Cdata,
+    Pi,
+    XmlDecl,
+    Doctype,
+}
+
+/// A resumable chunk-at-a-time XML tokenizer.
+///
+/// ```
+/// use xproj_xmltree::push::{PushEvent, PushTokenizer};
+///
+/// let mut t = PushTokenizer::new();
+/// let mut events = Vec::new();
+/// // Feed a document in two pieces split mid-tag:
+/// events.extend(t.feed(b"<greeting kind=\"hel").unwrap());
+/// events.extend(t.feed(b"lo\">hi</greeting>").unwrap());
+/// events.extend(t.finish().unwrap());
+/// assert_eq!(events.len(), 3); // start, text, end
+/// assert!(matches!(&events[1], PushEvent::Text(s) if s == "hi"));
+/// ```
+#[derive(Debug, Default)]
+pub struct PushTokenizer {
+    /// Bytes of the (single) incomplete token at the end of the input
+    /// seen so far. Complete tokens are drained eagerly.
+    buf: Vec<u8>,
+    /// Absolute offset of `buf[0]` in the overall stream (for errors).
+    consumed: usize,
+    /// Open-element stack, for well-formedness checking.
+    stack: Vec<String>,
+    seen_root: bool,
+    finished: bool,
+    /// Largest single complete token seen, in bytes: the memory bound.
+    max_token: usize,
+    /// High-water mark of `buf.len()`.
+    peak_buffered: usize,
+}
+
+impl PushTokenizer {
+    /// Creates an empty tokenizer.
+    pub fn new() -> Self {
+        PushTokenizer::default()
+    }
+
+    /// Bytes currently buffered (the incomplete-token tail).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// High-water mark of [`Self::buffered`] over the whole run.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Size in bytes of the largest single complete token seen so far.
+    /// After a successful [`Self::finish`] this dominates
+    /// [`Self::peak_buffered`]: the buffer only ever held one partial
+    /// token, and every partial token eventually completed.
+    pub fn max_token_bytes(&self) -> usize {
+        self.max_token
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Total bytes consumed so far (fed minus still buffered).
+    pub fn offset(&self) -> usize {
+        self.consumed
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.consumed,
+            message: message.into(),
+        })
+    }
+
+    /// Feeds one chunk, returning every event completed by it.
+    ///
+    /// Events arrive in document order; a chunk may complete zero events
+    /// (its bytes were all mid-token) or many.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Vec<PushEvent>, ParseError> {
+        if self.finished {
+            return self.err("feed after finish");
+        }
+        self.buf.extend_from_slice(chunk);
+        self.peak_buffered = self.peak_buffered.max(self.buf.len());
+        let mut out = Vec::new();
+        self.drain_complete(&mut out)?;
+        Ok(out)
+    }
+
+    /// Signals end of input, returning any final events (a trailing text
+    /// run has no terminating `<` and only completes here). Errors if the
+    /// input ends mid-token or with unclosed elements.
+    pub fn finish(&mut self) -> Result<Vec<PushEvent>, ParseError> {
+        if self.finished {
+            return Ok(Vec::new());
+        }
+        self.finished = true;
+        let mut out = Vec::new();
+        if !self.buf.is_empty() {
+            if self.buf[0] == b'<' {
+                if let Some(open) = self.stack.last() {
+                    return self.err(format!(
+                        "unexpected end of input inside markup, <{open}> not closed"
+                    ));
+                }
+                return self.err("unexpected end of input inside markup");
+            }
+            // Trailing text run.
+            let len = self.buf.len();
+            self.max_token = self.max_token.max(len);
+            self.emit_text_token(len, &mut out)?;
+        }
+        if let Some(open) = self.stack.last() {
+            return self.err(format!("unexpected end of input, <{open}> not closed"));
+        }
+        Ok(out)
+    }
+
+    /// Extracts and emits every complete token at the front of the buffer.
+    fn drain_complete(&mut self, out: &mut Vec<PushEvent>) -> Result<(), ParseError> {
+        loop {
+            match self.classify() {
+                Token::Incomplete => return Ok(()),
+                Token::Complete { kind, len } => {
+                    self.max_token = self.max_token.max(len);
+                    self.emit(kind, len, out)?;
+                }
+            }
+        }
+    }
+
+    /// Looks for one complete token at the front of the buffer. Never
+    /// consumes anything; `emit` drains on success.
+    fn classify(&self) -> Token {
+        let buf = &self.buf;
+        if buf.is_empty() {
+            return Token::Incomplete;
+        }
+        if buf[0] != b'<' {
+            // Text run: complete once the next '<' is visible ('<' is
+            // ASCII, so it can never be a UTF-8 continuation byte).
+            return match memfind(buf, b'<', 0) {
+                Some(i) => Token::Complete {
+                    kind: TokenKind::Text,
+                    len: i,
+                },
+                None => Token::Incomplete,
+            };
+        }
+        // Markup. Some openers share prefixes ("<!" starts comments,
+        // CDATA and DOCTYPE), so with very short buffers we must wait
+        // rather than misclassify.
+        for (opener, closer, kind) in [
+            (&b"<!--"[..], &b"-->"[..], TokenKind::Comment),
+            (&b"<![CDATA["[..], &b"]]>"[..], TokenKind::Cdata),
+        ] {
+            if prefix_matches(buf, opener) {
+                if buf.len() < opener.len() {
+                    return Token::Incomplete;
+                }
+                return match memfind_seq(buf, closer, opener.len()) {
+                    Some(i) => Token::Complete {
+                        kind,
+                        len: i + closer.len(),
+                    },
+                    None => Token::Incomplete,
+                };
+            }
+        }
+        if prefix_matches(buf, b"<!DOCTYPE") {
+            if buf.len() < b"<!DOCTYPE".len() {
+                return Token::Incomplete;
+            }
+            // '>' ends the DOCTYPE only outside quotes and outside the
+            // `[…]` internal subset — mirroring XmlReader::read_doctype,
+            // which treats the subset as raw up to the first ']'.
+            let mut in_subset = false;
+            let mut quote: Option<u8> = None;
+            for (i, &b) in buf.iter().enumerate().skip(b"<!DOCTYPE".len()) {
+                match (in_subset, quote) {
+                    (true, _) => in_subset = b != b']',
+                    (false, Some(q)) => {
+                        if b == q {
+                            quote = None;
+                        }
+                    }
+                    (false, None) => match b {
+                        b'[' => in_subset = true,
+                        b'"' | b'\'' => quote = Some(b),
+                        b'>' => {
+                            return Token::Complete {
+                                kind: TokenKind::Doctype,
+                                len: i + 1,
+                            }
+                        }
+                        _ => {}
+                    },
+                }
+            }
+            return Token::Incomplete;
+        }
+        if prefix_matches(buf, b"<?xml") {
+            // Matches XmlReader: anything starting "<?xml" is the
+            // declaration and is skipped wholesale.
+            if buf.len() < b"<?xml".len() {
+                return Token::Incomplete;
+            }
+            return match memfind_seq(buf, b"?>", 2) {
+                Some(i) => Token::Complete {
+                    kind: TokenKind::XmlDecl,
+                    len: i + 2,
+                },
+                None => Token::Incomplete,
+            };
+        }
+        if buf.len() >= 2 && buf[1] == b'?' {
+            return match memfind_seq(buf, b"?>", 2) {
+                Some(i) => Token::Complete {
+                    kind: TokenKind::Pi,
+                    len: i + 2,
+                },
+                None => Token::Incomplete,
+            };
+        }
+        if buf.len() >= 2 && buf[1] == b'!' {
+            // "<!" not (yet) matching a comment/CDATA/DOCTYPE opener:
+            // either we need more bytes, or it is genuinely malformed.
+            // Waiting is always safe; malformed input surfaces as an
+            // "unexpected end of input" at finish() or as a parse error
+            // once the opener is complete and recognisably wrong.
+            if prefix_of_any(buf, &[b"<!--", b"<![CDATA[", b"<!DOCTYPE"]) {
+                return Token::Incomplete;
+            }
+            // Complete enough to know it matches no opener: report at
+            // the '>' (scan like a tag) so the parse error is precise.
+            return match memfind(buf, b'>', 1) {
+                Some(i) => Token::Complete {
+                    kind: TokenKind::StartOrEmptyTag,
+                    len: i + 1,
+                },
+                None => Token::Incomplete,
+            };
+        }
+        // Start or end tag: ends at the first '>' outside quotes
+        // (attribute values may legally contain '>').
+        let kind = if buf.len() >= 2 && buf[1] == b'/' {
+            TokenKind::EndTag
+        } else if buf.len() < 2 {
+            return Token::Incomplete;
+        } else {
+            TokenKind::StartOrEmptyTag
+        };
+        let mut quote: Option<u8> = None;
+        for (i, &b) in buf.iter().enumerate().skip(1) {
+            match quote {
+                Some(q) => {
+                    if b == q {
+                        quote = None;
+                    }
+                }
+                None => match b {
+                    b'"' | b'\'' => quote = Some(b),
+                    b'>' => {
+                        return Token::Complete {
+                            kind,
+                            len: i + 1,
+                        }
+                    }
+                    _ => {}
+                },
+            }
+        }
+        Token::Incomplete
+    }
+
+    /// Parses the complete `len`-byte token at the front of the buffer,
+    /// pushes the resulting events, and drains it.
+    fn emit(
+        &mut self,
+        kind: TokenKind,
+        len: usize,
+        out: &mut Vec<PushEvent>,
+    ) -> Result<(), ParseError> {
+        match kind {
+            TokenKind::Text => return self.emit_text_token(len, out),
+            TokenKind::XmlDecl => {
+                self.drain(len);
+                return Ok(());
+            }
+            _ => {}
+        }
+        // All markup tokens are delimited by ASCII, so a complete token
+        // over valid UTF-8 input is itself valid UTF-8.
+        let token = match std::str::from_utf8(&self.buf[..len]) {
+            Ok(s) => s,
+            Err(e) => return self.err(format!("invalid UTF-8 in markup: {e}")),
+        };
+        let ev = match kind {
+            TokenKind::Comment => {
+                PushEvent::Comment(token["<!--".len()..len - "-->".len()].to_string())
+            }
+            TokenKind::Cdata => {
+                if self.stack.is_empty() {
+                    return self.err("CDATA outside the root element");
+                }
+                PushEvent::Text(token["<![CDATA[".len()..len - "]]>".len()].to_string())
+            }
+            TokenKind::Pi => {
+                PushEvent::ProcessingInstruction(token["<?".len()..len - "?>".len()].to_string())
+            }
+            TokenKind::Doctype => parse_doctype(token).map_err(|m| ParseError {
+                offset: self.consumed,
+                message: m,
+            })?,
+            TokenKind::EndTag => {
+                let name = parse_end_tag(token).map_err(|m| ParseError {
+                    offset: self.consumed,
+                    message: m,
+                })?;
+                match self.stack.pop() {
+                    Some(open) if open == name => PushEvent::EndElement { name },
+                    Some(open) => {
+                        return self
+                            .err(format!("mismatched end tag </{name}>, expected </{open}>"))
+                    }
+                    None => return self.err(format!("end tag </{name}> with no open element")),
+                }
+            }
+            TokenKind::StartOrEmptyTag => {
+                if self.stack.is_empty() && self.seen_root {
+                    return self.err("content after the root element");
+                }
+                let (name, attrs, self_closing) =
+                    parse_start_tag(token).map_err(|m| ParseError {
+                        offset: self.consumed,
+                        message: m,
+                    })?;
+                self.seen_root = true;
+                if self_closing {
+                    out.push(PushEvent::StartElement {
+                        name: name.clone(),
+                        attrs,
+                        self_closing: true,
+                    });
+                    self.drain(len);
+                    out.push(PushEvent::EndElement { name });
+                    return Ok(());
+                }
+                self.stack.push(name.clone());
+                PushEvent::StartElement {
+                    name,
+                    attrs,
+                    self_closing: false,
+                }
+            }
+            TokenKind::Text | TokenKind::XmlDecl => unreachable!("handled above"),
+        };
+        self.drain(len);
+        out.push(ev);
+        Ok(())
+    }
+
+    /// Emits a text token, matching `XmlReader::read_text`: whitespace
+    /// outside the root element is silently dropped; everything else is
+    /// entity-decoded.
+    fn emit_text_token(&mut self, len: usize, out: &mut Vec<PushEvent>) -> Result<(), ParseError> {
+        let raw = match std::str::from_utf8(&self.buf[..len]) {
+            Ok(s) => s,
+            Err(e) => return self.err(format!("invalid UTF-8 in text: {e}")),
+        };
+        if self.stack.is_empty() && raw.trim().is_empty() {
+            self.drain(len);
+            return Ok(());
+        }
+        let offset = self.consumed;
+        let decoded = decode_entities(raw)
+            .map_err(|m| ParseError { offset, message: m })?
+            .into_owned();
+        self.drain(len);
+        out.push(PushEvent::Text(decoded));
+        Ok(())
+    }
+
+    fn drain(&mut self, len: usize) {
+        self.buf.drain(..len);
+        self.consumed += len;
+    }
+}
+
+/// `haystack` starts with `prefix`, or is a proper prefix of it (i.e.
+/// could still become it with more bytes).
+fn prefix_matches(haystack: &[u8], prefix: &[u8]) -> bool {
+    let n = haystack.len().min(prefix.len());
+    haystack[..n] == prefix[..n]
+}
+
+/// `buf` (shorter than every candidate) is a prefix of at least one.
+fn prefix_of_any(buf: &[u8], candidates: &[&[u8]]) -> bool {
+    candidates
+        .iter()
+        .any(|c| buf.len() < c.len() && c[..buf.len()] == *buf)
+}
+
+fn memfind(buf: &[u8], needle: u8, from: usize) -> Option<usize> {
+    buf[from..].iter().position(|&b| b == needle).map(|i| i + from)
+}
+
+fn memfind_seq(buf: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if buf.len() < from + needle.len() {
+        return None;
+    }
+    (from..=buf.len() - needle.len()).find(|&i| &buf[i..i + needle.len()] == needle)
+}
+
+/// Parses a complete `</name>` token.
+fn parse_end_tag(token: &str) -> Result<String, String> {
+    let inner = &token[2..token.len() - 1];
+    let (name, rest) = read_name(inner)?;
+    if !rest.trim_start().is_empty() {
+        return Err(format!("unexpected '{}' in end tag", rest.trim_start()));
+    }
+    Ok(name.to_string())
+}
+
+/// Parses a complete `<name a="v" …>` / `<name …/>` token.
+fn parse_start_tag(token: &str) -> Result<(String, Vec<OwnedAttribute>, bool), String> {
+    let self_closing = token.ends_with("/>");
+    let inner = &token[1..token.len() - if self_closing { 2 } else { 1 }];
+    let (name, mut rest) = read_name(inner)?;
+    let mut attrs = Vec::new();
+    loop {
+        let trimmed = rest.trim_start();
+        if trimmed.is_empty() {
+            return Ok((name.to_string(), attrs, self_closing));
+        }
+        let (aname, after) = read_name(trimmed)?;
+        let after = after.trim_start();
+        let Some(after) = after.strip_prefix('=') else {
+            return Err(format!("expected '=' after attribute name '{aname}'"));
+        };
+        let after = after.trim_start();
+        let mut chars = after.chars();
+        let quote = match chars.next() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err("expected quoted attribute value".to_string()),
+        };
+        let vstart = &after[1..];
+        let Some(vlen) = vstart.find(quote) else {
+            return Err("unterminated attribute value".to_string());
+        };
+        let value = decode_entities(&vstart[..vlen])?.into_owned();
+        attrs.push(OwnedAttribute {
+            name: aname.to_string(),
+            value,
+        });
+        rest = &vstart[vlen + 1..];
+    }
+}
+
+/// Parses a complete `<!DOCTYPE …>` token, mirroring
+/// `XmlReader::read_doctype`.
+fn parse_doctype(token: &str) -> Result<PushEvent, String> {
+    let body = token["<!DOCTYPE".len()..token.len() - 1].trim_start();
+    let (name, mut rest) = read_name(body)?;
+    let mut internal = None;
+    loop {
+        rest = rest.trim_start();
+        let mut chars = rest.chars();
+        match chars.next() {
+            None => {
+                return Ok(PushEvent::Doctype {
+                    name: name.to_string(),
+                    internal_subset: internal,
+                })
+            }
+            Some('[') => {
+                let after = &rest[1..];
+                let Some(end) = after.find(']') else {
+                    return Err("unterminated DOCTYPE internal subset".to_string());
+                };
+                internal = Some(after[..end].to_string());
+                rest = &after[end + 1..];
+            }
+            Some(q @ ('"' | '\'')) => {
+                let after = &rest[1..];
+                let Some(end) = after.find(q) else {
+                    return Err("unterminated literal in DOCTYPE".to_string());
+                };
+                rest = &after[end + 1..];
+            }
+            Some(c) => rest = &rest[c.len_utf8()..],
+        }
+    }
+}
+
+/// Reads an XML name from the front of `s` (same alphabet as
+/// `XmlReader::read_name`), returning the name and the remainder.
+fn read_name(s: &str) -> Result<(&str, &str), String> {
+    let mut end = 0;
+    for (i, c) in s.char_indices() {
+        let ok = if i == 0 {
+            c.is_alphabetic() || c == '_' || c == ':'
+        } else {
+            c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.')
+        };
+        if !ok {
+            end = i;
+            break;
+        }
+        end = i + c.len_utf8();
+    }
+    if end == 0 {
+        return Err("expected a name".to_string());
+    }
+    Ok((&s[..end], &s[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{Event, XmlReader};
+    use std::borrow::Cow;
+
+    /// Reference events via the pull reader, converted to owned form.
+    fn pull_events(input: &str) -> Vec<PushEvent> {
+        let mut r = XmlReader::new(input);
+        let mut out = Vec::new();
+        loop {
+            match r.next_event().expect("reference parse must succeed") {
+                Event::StartElement {
+                    name,
+                    attrs,
+                    self_closing,
+                } => out.push(PushEvent::StartElement {
+                    name: name.to_string(),
+                    attrs: attrs
+                        .into_iter()
+                        .map(|a| OwnedAttribute {
+                            name: a.name.to_string(),
+                            value: a.value.into_owned(),
+                        })
+                        .collect(),
+                    self_closing,
+                }),
+                Event::EndElement { name } => out.push(PushEvent::EndElement {
+                    name: name.to_string(),
+                }),
+                Event::Text(t) => out.push(PushEvent::Text(match t {
+                    Cow::Borrowed(s) => s.to_string(),
+                    Cow::Owned(s) => s,
+                })),
+                Event::Comment(c) => out.push(PushEvent::Comment(c.to_string())),
+                Event::ProcessingInstruction(p) => {
+                    out.push(PushEvent::ProcessingInstruction(p.to_string()))
+                }
+                Event::Doctype {
+                    name,
+                    internal_subset,
+                } => out.push(PushEvent::Doctype {
+                    name: name.to_string(),
+                    internal_subset: internal_subset.map(str::to_string),
+                }),
+                Event::Eof => break,
+            }
+        }
+        out
+    }
+
+    /// Pushes `input` split at byte `at`, then at every byte (1-byte
+    /// chunks), checking both against the pull reader.
+    fn check_splits(input: &str) {
+        let expected = pull_events(input);
+        let bytes = input.as_bytes();
+        for at in 0..=bytes.len() {
+            let mut t = PushTokenizer::new();
+            let mut got = t.feed(&bytes[..at]).unwrap_or_else(|e| {
+                panic!("split at {at} of {input:?}: {e}")
+            });
+            got.extend(t.feed(&bytes[at..]).unwrap());
+            got.extend(t.finish().unwrap());
+            assert_eq!(got, expected, "two-chunk split at byte {at} of {input:?}");
+        }
+        let mut t = PushTokenizer::new();
+        let mut got = Vec::new();
+        for b in bytes {
+            got.extend(t.feed(std::slice::from_ref(b)).unwrap());
+        }
+        got.extend(t.finish().unwrap());
+        assert_eq!(got, expected, "1-byte chunks of {input:?}");
+    }
+
+    #[test]
+    fn split_inside_tag_names() {
+        check_splits("<catalog><product-item/></catalog>");
+    }
+
+    #[test]
+    fn split_inside_attribute_values() {
+        check_splits(r#"<a long="some >< value" b='x "y" z'><b k="&lt;"/></a>"#);
+    }
+
+    #[test]
+    fn split_inside_entities() {
+        check_splits("<a>fish &amp; chips &#65;&#x42; &quot;done&quot;</a>");
+    }
+
+    #[test]
+    fn split_inside_cdata() {
+        check_splits("<a><![CDATA[raw < & > ]] stuff]]><b/><![CDATA[]]></a>");
+    }
+
+    #[test]
+    fn split_inside_comments_and_pis() {
+        check_splits("<a><!-- a -- b --><?pi some data?><!--x--></a>");
+    }
+
+    #[test]
+    fn split_inside_doctype() {
+        check_splits(
+            "<!DOCTYPE site [<!ELEMENT site (a)*><!ELEMENT a EMPTY>]><site><a/></site>",
+        );
+        check_splits(r#"<!DOCTYPE site SYSTEM "auction.dtd"><site/>"#);
+    }
+
+    #[test]
+    fn split_inside_xml_declaration() {
+        check_splits("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<a>x</a>");
+    }
+
+    #[test]
+    fn split_inside_multibyte_utf8_text() {
+        check_splits("<a>héllo wörld — ₤ €</a>");
+        check_splits("<a attr=\"héllo\">…</a>");
+    }
+
+    #[test]
+    fn mixed_content_with_whitespace() {
+        check_splits("<d>text <b>bold</b> tail\n  <i>i</i>\n</d>");
+    }
+
+    #[test]
+    fn self_closing_emits_end_event() {
+        let mut t = PushTokenizer::new();
+        let ev = t.feed(b"<a/>").unwrap();
+        assert_eq!(ev.len(), 2);
+        assert!(matches!(&ev[0], PushEvent::StartElement { self_closing: true, .. }));
+        assert!(matches!(&ev[1], PushEvent::EndElement { name } if name == "a"));
+        assert!(t.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn mismatched_end_tag_is_an_error() {
+        let mut t = PushTokenizer::new();
+        t.feed(b"<a>").unwrap();
+        assert!(t.feed(b"</b>").is_err());
+    }
+
+    #[test]
+    fn unclosed_element_errors_at_finish() {
+        let mut t = PushTokenizer::new();
+        t.feed(b"<a><b>").unwrap();
+        assert!(t.finish().is_err());
+    }
+
+    #[test]
+    fn eof_mid_token_errors_at_finish() {
+        let mut t = PushTokenizer::new();
+        t.feed(b"<a>text<![CDATA[never ends").unwrap();
+        assert!(t.finish().is_err());
+    }
+
+    #[test]
+    fn content_after_root_rejected() {
+        let mut t = PushTokenizer::new();
+        t.feed(b"<a/>").unwrap();
+        assert!(t.feed(b"<b/>").is_err());
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let mut t = PushTokenizer::new();
+        // The text run is incomplete until the next '<' (or EOF), so the
+        // bad entity is only decoded — and rejected — at that point.
+        t.feed(b"<a>&nope;").unwrap();
+        assert!(t.feed(b"</a>").is_err());
+        let mut t2 = PushTokenizer::new();
+        t2.feed(b"<a>&nope;").unwrap();
+        assert!(t2.finish().is_err());
+    }
+
+    #[test]
+    fn buffering_is_bounded_by_one_token() {
+        let mut t = PushTokenizer::new();
+        // Feed a long document one byte at a time; the buffer must never
+        // exceed the largest single token.
+        let doc = format!(
+            "<root>{}</root>",
+            "<item attr=\"value\">some text</item>".repeat(50)
+        );
+        for b in doc.as_bytes() {
+            t.feed(std::slice::from_ref(b)).unwrap();
+        }
+        t.finish().unwrap();
+        assert!(t.peak_buffered() <= t.max_token_bytes());
+        assert!(t.max_token_bytes() < 40, "tokens are small in this doc");
+    }
+
+    #[test]
+    fn whitespace_outside_root_dropped_silently() {
+        let mut t = PushTokenizer::new();
+        let mut ev = t.feed(b"  \n <a>x</a> \n ").unwrap();
+        ev.extend(t.finish().unwrap());
+        assert_eq!(ev.len(), 3);
+    }
+
+    #[test]
+    fn feed_after_finish_errors() {
+        let mut t = PushTokenizer::new();
+        t.feed(b"<a/>").unwrap();
+        t.finish().unwrap();
+        assert!(t.feed(b"x").is_err());
+        assert!(t.finish().unwrap().is_empty()); // idempotent
+    }
+}

@@ -3,6 +3,8 @@
 //! ```text
 //! xmlprune analyze  --dtd auction.dtd --root site QUERY [QUERY…]
 //! xmlprune prune    --dtd auction.dtd --root site --query QUERY [-o OUT] INPUT.xml
+//! xmlprune prune    --chunked --jobs 4 --stats --dtd auction.dtd --root site \
+//!                   --query QUERY -o outdir/ INPUT1.xml INPUT2.xml …
 //! xmlprune validate --dtd auction.dtd --root site INPUT.xml
 //! xmlprune query    --query QUERY INPUT.xml
 //! xmlprune guide    INPUT.xml            # infer a dataguide DTD
@@ -37,6 +39,10 @@ struct Opts {
     save: Option<String>,
     projector: Option<String>,
     validate: bool,
+    chunked: bool,
+    chunk_size: Option<usize>,
+    jobs: Option<usize>,
+    stats: bool,
     positional: Vec<String>,
 }
 
@@ -49,6 +55,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         save: None,
         projector: None,
         validate: false,
+        chunked: false,
+        chunk_size: None,
+        jobs: None,
+        stats: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -67,6 +77,28 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.projector = Some(it.next().ok_or("--projector needs a path")?.clone())
             }
             "--validate" => o.validate = true,
+            "--chunked" => o.chunked = true,
+            "--chunk-size" => {
+                let v = it.next().ok_or("--chunk-size needs a byte count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--chunk-size: '{v}' is not a number"))?;
+                if n == 0 {
+                    return Err("--chunk-size must be at least 1".to_string());
+                }
+                o.chunk_size = Some(n);
+            }
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs needs a thread count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs: '{v}' is not a number"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                o.jobs = Some(n);
+            }
+            "--stats" => o.stats = true,
             other => o.positional.push(other.to_string()),
         }
     }
@@ -125,6 +157,143 @@ fn resolve_dtd(o: &Opts, xml: Option<&str>) -> Result<(Dtd, &'static str), Strin
     Err("no DTD given (use --dtd FILE --root NAME) and no input to infer one from".to_string())
 }
 
+/// `prune --chunked`: stream inputs through the engine pipeline instead
+/// of materializing them. Requires an explicit DTD (`--dtd`/`--root`) —
+/// the internal-subset and dataguide fallbacks both need the whole
+/// document in memory, which defeats the point of streaming.
+fn run_chunked_prune(o: &Opts) -> Result<(), String> {
+    use xml_projection::engine::{run_batch, BatchJob, DEFAULT_CHUNK_SIZE};
+    use std::path::PathBuf;
+
+    if o.validate {
+        return Err(
+            "prune: --validate is not supported with --chunked (use the in-memory mode)"
+                .to_string(),
+        );
+    }
+    if o.dtd_path.is_none() {
+        return Err(
+            "prune --chunked needs --dtd FILE --root NAME: streaming cannot read ahead \
+             for an internal DTD subset or a dataguide"
+                .to_string(),
+        );
+    }
+    let (dtd, source) = resolve_dtd(o, None)?;
+    eprintln!("using {source} ({} names)", dtd.name_count());
+    let projector = match &o.projector {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            xml_projection::core::Projector::from_text(&dtd, &text)?
+        }
+        None => Projection::for_queries(&dtd, o.queries.iter().map(|s| s.as_str()))
+            .map_err(|e| e.to_string())?
+            .projector()
+            .clone(),
+    };
+    let chunk_size = o.chunk_size.unwrap_or(DEFAULT_CHUNK_SIZE);
+    let jobs = o.jobs.unwrap_or(1);
+    let files: Vec<&str> = o
+        .positional
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|s| *s != "-")
+        .collect();
+
+    // Single stream (stdin or one file): prune straight through.
+    if files.len() <= 1 && o.positional.len() <= 1 {
+        let stats = {
+            let sink: Box<dyn std::io::Write> = match &o.output {
+                Some(p) => Box::new(std::io::BufWriter::new(
+                    std::fs::File::create(p).map_err(|e| format!("{p}: {e}"))?,
+                )),
+                None => Box::new(std::io::stdout().lock()),
+            };
+            match files.first() {
+                Some(p) => xml_projection::engine::prune_reader(
+                    std::io::BufReader::new(
+                        std::fs::File::open(p).map_err(|e| format!("{p}: {e}"))?,
+                    ),
+                    sink,
+                    &dtd,
+                    &projector,
+                    chunk_size,
+                ),
+                None => xml_projection::engine::prune_reader(
+                    std::io::stdin().lock(),
+                    sink,
+                    &dtd,
+                    &projector,
+                    chunk_size,
+                ),
+            }
+            .map_err(|e| e.to_string())?
+        };
+        eprintln!(
+            "kept {} elements, pruned {} subtrees; {:.1}% of the input retained \
+             (peak resident: {} bytes)",
+            stats.counters.elements_kept,
+            stats.counters.elements_pruned,
+            100.0 * stats.retention(),
+            stats.peak_resident_bytes,
+        );
+        if o.stats {
+            eprintln!("{}", stats.to_json_line("prune"));
+        }
+        return Ok(());
+    }
+
+    // Batch: several files in parallel. `-o` names a directory; without
+    // it each input gets a sibling `<stem>.pruned.xml`.
+    let out_dir: Option<PathBuf> = match &o.output {
+        Some(d) => {
+            let dir = PathBuf::from(d);
+            std::fs::create_dir_all(&dir).map_err(|e| format!("{d}: {e}"))?;
+            Some(dir)
+        }
+        None => None,
+    };
+    let batch: Vec<BatchJob> = files
+        .iter()
+        .map(|f| {
+            let input = PathBuf::from(f);
+            let output = match &out_dir {
+                Some(dir) => dir.join(input.file_name().unwrap_or_default()),
+                None => input.with_extension("pruned.xml"),
+            };
+            BatchJob { input, output }
+        })
+        .collect();
+    let report = run_batch(batch, &dtd, &projector, chunk_size, jobs);
+    for item in &report.items {
+        match &item.result {
+            Ok(stats) => {
+                if o.stats {
+                    eprintln!("{}", stats.to_json_line(&item.job.input.display().to_string()));
+                }
+            }
+            Err(e) => eprintln!("xmlprune: {}: {e}", item.job.input.display()),
+        }
+    }
+    eprintln!(
+        "pruned {} of {} files with {} jobs; {:.1}% of the input retained",
+        report.items.len() - report.failures(),
+        report.items.len(),
+        report.jobs,
+        100.0 * report.aggregate.retention(),
+    );
+    if o.stats {
+        eprintln!("{}", report.aggregate.to_json_line("batch_total"));
+    }
+    if report.failures() > 0 {
+        return Err(format!(
+            "{} of {} files failed",
+            report.failures(),
+            report.items.len()
+        ));
+    }
+    Ok(())
+}
+
 fn run(args: Vec<String>) -> Result<(), String> {
     let Some(cmd) = args.first().cloned() else {
         return Err(USAGE.trim().to_string());
@@ -163,6 +332,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "prune" => {
             if o.queries.is_empty() && o.projector.is_none() {
                 return Err("prune: --query or --projector is required".to_string());
+            }
+            if o.chunked || o.chunk_size.is_some() || o.jobs.is_some() || o.stats {
+                return run_chunked_prune(&o);
             }
             let xml = read_input(o.positional.first().map(|s| s.as_str()))?;
             let (dtd, source) = resolve_dtd(&o, Some(&xml))?;
@@ -247,10 +419,19 @@ usage:
   xmlprune analyze  --dtd FILE --root NAME [--save PROJ] QUERY [QUERY…]
   xmlprune prune    [--dtd FILE --root NAME] (--query QUERY | --projector PROJ)
                     [--validate] [-o OUT] [INPUT.xml]
+  xmlprune prune    --chunked --dtd FILE --root NAME (--query QUERY | --projector PROJ)
+                    [--chunk-size N] [--jobs N] [--stats] [-o OUT|DIR] [INPUT.xml ...]
   xmlprune validate [--dtd FILE --root NAME] [INPUT.xml]
   xmlprune query    --query QUERY [INPUT.xml]
   xmlprune guide    [INPUT.xml]
 
 INPUT defaults to stdin. Without --dtd, prune/validate use the document's
 internal DTD subset or fall back to an inferred dataguide.
+
+--chunked streams through the O(depth)-memory engine instead of loading the
+document; it requires an explicit --dtd/--root. --chunk-size sets the read
+size (default 64 KiB). --jobs N prunes several input files in parallel
+(with -o naming an output directory; otherwise each input gets a sibling
+<stem>.pruned.xml). --stats prints JSON-lines engine metrics to stderr.
+--chunk-size, --jobs and --stats all imply --chunked.
 "#;

@@ -42,12 +42,16 @@
 //! * [`core`] — the type system (Fig. 1), projector inference (Fig. 2),
 //!   in-memory and streaming pruning;
 //! * [`xquery`] — the FLWR core, its evaluator, path extraction (Fig. 3);
-//! * [`xmark`] — the XMark/XPathMark benchmark substrate.
+//! * [`xmark`] — the XMark/XPathMark benchmark substrate;
+//! * [`engine`] — the serving pipeline: chunked push-mode pruning over
+//!   `io::Read`/`io::Write`, projector cache, parallel batch driver,
+//!   metrics.
 
 #![warn(missing_docs)]
 
 pub use xproj_core as core;
 pub use xproj_dtd as dtd;
+pub use xproj_engine as engine;
 pub use xproj_xmark as xmark;
 pub use xproj_xmltree as xmltree;
 pub use xproj_xpath as xpath;

@@ -212,6 +212,138 @@ fn projector_save_and_reuse() {
 }
 
 #[test]
+fn chunked_prune_matches_in_memory_prune() {
+    let dtd = write_tmp("books6.dtd", DTD);
+    let doc = write_tmp("books6.xml", DOC);
+    let base = [
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--root",
+        "bib",
+        "--query",
+        "/bib/book/title",
+        doc.to_str().unwrap(),
+    ];
+    let whole = Command::new(BIN)
+        .arg("prune")
+        .args(base)
+        .output()
+        .unwrap();
+    assert!(whole.status.success());
+    let chunked = Command::new(BIN)
+        .args(["prune", "--chunked", "--chunk-size", "3", "--stats"])
+        .args(base)
+        .output()
+        .unwrap();
+    assert!(
+        chunked.status.success(),
+        "{}",
+        String::from_utf8_lossy(&chunked.stderr)
+    );
+    // The in-memory path prints with a trailing newline; chunked writes
+    // the raw pruned bytes. The documents must match.
+    assert_eq!(
+        String::from_utf8(chunked.stdout).unwrap(),
+        String::from_utf8(whole.stdout).unwrap().trim_end_matches('\n')
+    );
+    let stderr = String::from_utf8_lossy(&chunked.stderr);
+    assert!(
+        stderr.contains("\"group\":\"engine\"") && stderr.contains("\"bytes_in\""),
+        "--stats must emit a JSON metrics line, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn chunked_prune_reads_stdin() {
+    let dtd = write_tmp("books7.dtd", DTD);
+    let mut child = Command::new(BIN)
+        .args([
+            "prune",
+            "--chunked",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "--query",
+            "//author",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(DOC.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("<author>A</author>"));
+    assert!(!stdout.contains("title"));
+}
+
+#[test]
+fn chunked_prune_requires_explicit_dtd() {
+    let doc = write_tmp("books8.xml", DOC);
+    let out = Command::new(BIN)
+        .args([
+            "prune",
+            "--chunked",
+            "--query",
+            "//title",
+            doc.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--dtd"));
+}
+
+#[test]
+fn parallel_batch_prunes_into_directory() {
+    let dtd = write_tmp("books9.dtd", DTD);
+    let mut inputs = Vec::new();
+    for i in 0..4 {
+        let doc = format!(
+            "<bib><book><title>T{i}</title><author>A{i}</author></book></bib>"
+        );
+        inputs.push(write_tmp(&format!("batch{i}.xml"), &doc));
+    }
+    let outdir = std::env::temp_dir().join("xmlprune-cli-tests/batch-out");
+    let _ = std::fs::remove_dir_all(&outdir);
+    let out = Command::new(BIN)
+        .args([
+            "prune",
+            "--jobs",
+            "3",
+            "--stats",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "--query",
+            "/bib/book/title",
+            "-o",
+            outdir.to_str().unwrap(),
+        ])
+        .args(inputs.iter().map(|p| p.to_str().unwrap()))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for i in 0..4 {
+        let pruned = std::fs::read_to_string(outdir.join(format!("batch{i}.xml"))).unwrap();
+        assert_eq!(pruned, format!("<bib><book><title>T{i}</title></book></bib>"));
+    }
+    // Per-file JSON lines plus the aggregate line.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(stderr.matches("\"group\":\"engine\"").count(), 5, "{stderr}");
+    assert!(stderr.contains("batch_total"));
+}
+
+#[test]
 fn prune_with_fused_validation_rejects_invalid() {
     let dtd = write_tmp("books5.dtd", DTD);
     // author before title violates the content model
