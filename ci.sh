@@ -6,8 +6,8 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== build (release, offline, locked) =="
-cargo build --release --offline --locked
+echo "== build (release, workspace, offline, locked) =="
+cargo build --release --workspace --offline --locked
 
 echo "== test (workspace, offline, locked) =="
 cargo test -q --workspace --offline --locked
@@ -24,5 +24,17 @@ cargo test -q --offline --locked -p xproj-engine \
     --test chunked_equiv xmark_chunked_differential
 TESTKIT_FUZZ_CASES=100 cargo test -q --offline --locked -p xproj-engine \
     --test chunked_equiv fuzz_chunked_equals_whole_string_pruning
+
+echo "== server smoke (xmlpruned binary: health, prune round-trip, drain) =="
+# Spawns the real daemon on an ephemeral port, health-checks it,
+# registers a DTD, prunes a document through the HTTP surface via the
+# testkit client, then asserts graceful shutdown exits cleanly.
+cargo test -q --offline --locked -p xproj-server --test binary_smoke
+
+echo "== server differential + shutdown-under-load =="
+cargo test -q --offline --locked -p xproj-server --test integration \
+    differential_http_prune_matches_prune_str
+cargo test -q --offline --locked -p xproj-server --test integration \
+    graceful_shutdown_drains_in_flight_load
 
 echo "ci: OK"

@@ -1,0 +1,120 @@
+//! Benchmark of the `xmlpruned` HTTP serving layer: an in-process
+//! server, the XMark auction DTD registered over HTTP, and a pool of
+//! keep-alive clients pruning generated auction documents as fast as
+//! they can. Records requests/sec and p50/p99 latency as JSON lines:
+//!
+//! ```sh
+//! cargo run --release -p xproj-bench --bin server | grep '^{'
+//! ```
+//!
+//! Knobs: `XPROJ_BENCH_SCALE` (XMark scale factor, default 0.02),
+//! `XPROJ_BENCH_CLIENTS` (keep-alive connections, default 4),
+//! `XPROJ_BENCH_REQUESTS` (requests per client, default 50).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xproj_engine::parallel_map;
+use xproj_server::{Server, ServerConfig};
+use xproj_testkit::{urlencode, HttpClient};
+use xproj_xmark::{auction_dtd, generate_auction, XMarkConfig};
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let scale: f64 = env_or("XPROJ_BENCH_SCALE", 0.02);
+    let clients: usize = env_or("XPROJ_BENCH_CLIENTS", 4usize).max(1);
+    let requests: usize = env_or("XPROJ_BENCH_REQUESTS", 50usize).max(1);
+
+    let dtd = auction_dtd();
+    let dtd_text = dtd.to_dtd_syntax();
+    let xml = Arc::new(generate_auction(&dtd, &XMarkConfig::at_scale(scale)).to_xml());
+    eprintln!(
+        "# server bench: xmark scale {scale}, {:.2} MiB document, \
+         {clients} clients x {requests} requests",
+        xml.len() as f64 / (1 << 20) as f64
+    );
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: clients.max(2),
+        ..Default::default()
+    };
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let state = server.state();
+    let serve = std::thread::spawn(move || server.serve().expect("serve"));
+
+    // Register the DTD through the HTTP surface, like a client would.
+    let mut c = HttpClient::connect(addr).expect("connect");
+    let resp = c
+        .request("POST", "/v1/dtd?root=site", &[], Some(dtd_text.as_bytes()))
+        .expect("register dtd");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let body = resp.body_str();
+    let id = body
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("id in registration response")
+        .to_string();
+
+    for query in [
+        "/site/people/person/name",
+        "//keyword",
+        "/site/closed_auctions/closed_auction/price",
+    ] {
+        let target = format!("/v1/prune?dtd={id}&query={}", urlencode(query));
+        let wall = Instant::now();
+        // One keep-alive connection per client thread, hammering the
+        // same endpoint; per-request latency collected client-side.
+        let ids: Vec<usize> = (0..clients).collect();
+        let per_client: Vec<Vec<Duration>> = parallel_map(&ids, clients, |_, _| {
+            let mut c = HttpClient::connect(addr).expect("connect");
+            c.set_timeout(Duration::from_secs(30)).unwrap();
+            let mut lat = Vec::with_capacity(requests);
+            for _ in 0..requests {
+                let t0 = Instant::now();
+                let resp = c
+                    .request("POST", &target, &[], Some(xml.as_bytes()))
+                    .expect("prune request");
+                assert_eq!(resp.status, 200, "{}", resp.body_str());
+                lat.push(t0.elapsed());
+            }
+            lat
+        });
+        let wall = wall.elapsed();
+        let mut lat: Vec<Duration> = per_client.into_iter().flatten().collect();
+        lat.sort();
+        let total = lat.len();
+        let rps = total as f64 / wall.as_secs_f64();
+        let label = query.replace('/', "_");
+        println!(
+            "{{\"group\":\"server\",\"bench\":\"prune{label}\",\"clients\":{clients},\
+             \"requests\":{total},\"requests_per_sec\":{rps:.2},\
+             \"p50_us\":{},\"p99_us\":{},\"max_us\":{},\
+             \"doc_bytes\":{}}}",
+            quantile(&lat, 0.50).as_micros(),
+            quantile(&lat, 0.99).as_micros(),
+            lat.last().copied().unwrap_or_default().as_micros(),
+            xml.len(),
+        );
+    }
+
+    state.trigger_shutdown();
+    let report = serve.join().expect("serve thread");
+    eprintln!(
+        "# shutdown: {} requests served, {} drained, {} aborted",
+        report.requests, report.drained, report.aborted
+    );
+    assert_eq!(report.aborted, 0, "bench load must drain cleanly");
+}

@@ -49,6 +49,6 @@ pub use projector::Projector;
 pub use infer::AnalyzeError;
 pub use prune::prune_document;
 pub use stream::{
-    prune_str, prune_validate_str, PruneCounters, PruneMachine, StreamPruneError,
+    prune_str, prune_validate_str, ErrorCode, PruneCounters, PruneMachine, StreamPruneError,
     StreamPruneResult,
 };

@@ -41,6 +41,45 @@ impl StreamPruneResult {
     }
 }
 
+/// Stable machine-readable error codes for pruning failures.
+///
+/// These are the contract between every surface that reports a pruning
+/// error — the CLI's `--stats` JSON lines, the batch driver's per-file
+/// reports, and the HTTP server's `4xx` bodies all serialize
+/// [`ErrorCode::as_str`] instead of a `Display` string, so clients can
+/// switch on the code while the human-readable message stays free to
+/// change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The input is not well-formed XML (or failed fused validation).
+    MalformedXml,
+    /// An element is not declared by the DTD.
+    UndeclaredElement,
+    /// The workload query failed to parse.
+    BadQuery,
+    /// Reading the source or writing the sink failed.
+    Io,
+}
+
+impl ErrorCode {
+    /// The stable wire spelling of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::MalformedXml => "malformed-xml",
+            ErrorCode::UndeclaredElement => "undeclared-element",
+            ErrorCode::BadQuery => "bad-query",
+            ErrorCode::Io => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Errors from streaming pruning.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StreamPruneError {
@@ -49,6 +88,16 @@ pub enum StreamPruneError {
     /// An element is not declared by the DTD (the document cannot be
     /// valid, so the projector gives no guarantee).
     UndeclaredElement(String),
+}
+
+impl StreamPruneError {
+    /// The stable machine-readable code for this error.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            StreamPruneError::Xml(_) => ErrorCode::MalformedXml,
+            StreamPruneError::UndeclaredElement(_) => ErrorCode::UndeclaredElement,
+        }
+    }
 }
 
 impl std::fmt::Display for StreamPruneError {

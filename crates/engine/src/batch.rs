@@ -13,8 +13,36 @@ use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use xproj_core::Projector;
+use xproj_core::{ErrorCode, Projector};
 use xproj_dtd::Dtd;
+
+/// A failed engine run: the stable machine-readable code plus the
+/// human-readable message (CLI `--stats` lines and the HTTP server both
+/// serialize the code, not the message).
+#[derive(Debug, Clone)]
+pub struct EngineFailure {
+    /// Stable error code.
+    pub code: ErrorCode,
+    /// Human-readable detail (free to change between versions).
+    pub message: String,
+}
+
+impl From<EngineError> for EngineFailure {
+    fn from(e: EngineError) -> Self {
+        EngineFailure {
+            code: e.code(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for EngineFailure {}
 
 /// Applies `f` to every item, running up to `jobs` worker threads.
 /// Results come back in input order. With `jobs <= 1` (or one item) the
@@ -63,8 +91,8 @@ pub struct BatchJob {
 pub struct BatchItemReport {
     /// The job this reports on.
     pub job: BatchJob,
-    /// Stats on success, the error message on failure.
-    pub result: Result<EngineStats, String>,
+    /// Stats on success, the coded failure otherwise.
+    pub result: Result<EngineStats, EngineFailure>,
 }
 
 /// Outcome of a whole batch run.
@@ -97,7 +125,7 @@ pub fn run_batch(
 ) -> BatchReport {
     let jobs = jobs.max(1).min(batch.len().max(1));
     let results = parallel_map(&batch, jobs, |_, job| {
-        prune_file(job, dtd, projector, chunk_size).map_err(|e| e.to_string())
+        prune_file(job, dtd, projector, chunk_size).map_err(EngineFailure::from)
     });
     let mut aggregate = EngineStats::default();
     let items: Vec<BatchItemReport> = batch
@@ -216,7 +244,10 @@ mod tests {
         ];
         let report = run_batch(batch, &dtd, &p, 64, 2);
         assert_eq!(report.failures(), 1);
-        assert!(report.items[0].result.is_err());
+        assert_eq!(
+            report.items[0].result.as_ref().unwrap_err().code,
+            ErrorCode::Io
+        );
         assert_eq!(std::fs::read_to_string(dir.join("good.out")).unwrap(), "<a/>");
     }
 }

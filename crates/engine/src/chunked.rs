@@ -34,6 +34,19 @@ pub enum EngineError {
     Io(std::io::Error),
 }
 
+impl EngineError {
+    /// The stable machine-readable code for this error (see
+    /// [`xproj_core::ErrorCode`]): serialized in CLI `--stats` JSON
+    /// lines and in the HTTP server's `4xx` bodies.
+    pub fn code(&self) -> xproj_core::ErrorCode {
+        match self {
+            EngineError::Xml(_) => xproj_core::ErrorCode::MalformedXml,
+            EngineError::Prune(e) => e.code(),
+            EngineError::Io(_) => xproj_core::ErrorCode::Io,
+        }
+    }
+}
+
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -46,7 +46,7 @@ pub mod cache;
 pub mod chunked;
 pub mod metrics;
 
-pub use batch::{parallel_map, run_batch, BatchJob, BatchReport};
+pub use batch::{parallel_map, run_batch, BatchJob, BatchReport, EngineFailure};
 pub use cache::{dtd_fingerprint, normalize_query, CacheStats, ProjectorCache};
 pub use chunked::{prune_reader, ChunkedPruner, EngineError, DEFAULT_CHUNK_SIZE};
-pub use metrics::{EngineStats, StageTimings};
+pub use metrics::{error_json_line, EngineStats, StageTimings};

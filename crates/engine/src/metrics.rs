@@ -7,8 +7,9 @@
 //! stats; the CLI and the bench binaries serialize them as the
 //! workspace's usual one-JSON-object-per-line format.
 
+use crate::cache::CacheStats;
 use std::time::Duration;
-use xproj_core::PruneCounters;
+use xproj_core::{ErrorCode, PruneCounters};
 
 /// Wall-clock time spent in each stage of the chunked pipeline.
 ///
@@ -63,6 +64,9 @@ pub struct EngineStats {
     pub timings: StageTimings,
     /// Documents aggregated into this stats object (1 for a single run).
     pub documents: u64,
+    /// Projector-cache counters of the run (all-zero when the run did
+    /// not go through a [`crate::ProjectorCache`]).
+    pub cache: CacheStats,
 }
 
 impl EngineStats {
@@ -88,6 +92,10 @@ impl EngineStats {
         self.max_token_bytes = self.max_token_bytes.max(other.max_token_bytes);
         self.timings.accumulate(&other.timings);
         self.documents += other.documents;
+        self.cache.hits += other.cache.hits;
+        self.cache.misses += other.cache.misses;
+        self.cache.evictions += other.cache.evictions;
+        self.cache.entries = self.cache.entries.max(other.cache.entries);
     }
 
     /// One JSON object on a single line, in the same shape the bench
@@ -98,7 +106,8 @@ impl EngineStats {
              \"bytes_in\":{},\"bytes_out\":{},\"retention\":{:.4},\
              \"elements_kept\":{},\"elements_pruned\":{},\"text_kept\":{},\"text_pruned\":{},\
              \"max_depth\":{},\"peak_resident_bytes\":{},\"max_token_bytes\":{},\
-             \"tokenize_ns\":{},\"prune_ns\":{},\"write_ns\":{}}}",
+             \"tokenize_ns\":{},\"prune_ns\":{},\"write_ns\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{}}}",
             self.documents,
             self.events,
             self.bytes_in,
@@ -114,8 +123,34 @@ impl EngineStats {
             self.timings.tokenize.as_nanos(),
             self.timings.prune.as_nanos(),
             self.timings.write.as_nanos(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
         )
     }
+}
+
+/// One JSON error object on a single line, the failure-path counterpart
+/// of [`EngineStats::to_json_line`]: a stable [`ErrorCode`] plus the
+/// human-readable message (escaped), in the same `grep '^{' | jq`
+/// collectable shape.
+pub fn error_json_line(label: &str, code: ErrorCode, message: &str) -> String {
+    let mut escaped = String::with_capacity(message.len());
+    for c in message.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    format!(
+        "{{\"group\":\"engine\",\"bench\":\"{label}\",\"error\":\"{}\",\"message\":\"{escaped}\"}}",
+        code.as_str()
+    )
 }
 
 #[cfg(test)]
@@ -159,5 +194,30 @@ mod tests {
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(!line.contains('\n'));
         assert!(line.contains("\"bench\":\"unit\""));
+    }
+
+    #[test]
+    fn json_line_carries_cache_counters() {
+        let s = EngineStats {
+            cache: CacheStats {
+                hits: 3,
+                misses: 1,
+                evictions: 2,
+                entries: 1,
+            },
+            ..Default::default()
+        };
+        let line = s.to_json_line("unit");
+        assert!(line.contains("\"cache_hits\":3"));
+        assert!(line.contains("\"cache_misses\":1"));
+        assert!(line.contains("\"cache_evictions\":2"));
+    }
+
+    #[test]
+    fn error_line_has_stable_code_and_escaped_message() {
+        let line = error_json_line("prune", ErrorCode::MalformedXml, "bad \"tag\"\nat byte 3");
+        assert!(line.contains("\"error\":\"malformed-xml\""));
+        assert!(line.contains("\\\"tag\\\""));
+        assert!(!line.contains('\n'));
     }
 }

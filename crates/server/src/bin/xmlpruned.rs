@@ -1,0 +1,129 @@
+//! `xmlpruned` — the HTTP projection daemon.
+//!
+//! ```text
+//! xmlpruned [--addr HOST:PORT] [--workers N] [--chunk-size BYTES]
+//!           [--cache N] [--max-header-bytes N] [--max-body-bytes N]
+//!           [--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]
+//!           [--port-file PATH]
+//! ```
+//!
+//! Binds, prints `listening on HOST:PORT`, and serves until
+//! `POST /admin/shutdown` (or SIGTERM via process exit). `--addr` with
+//! port 0 picks an ephemeral port; `--port-file` writes the bound port
+//! to a file so scripts (CI) can find it.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use xproj_server::{Server, ServerConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xmlpruned: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7144".to_string(),
+        ..Default::default()
+    };
+    let mut port_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parse_num = |flag: &str, v: &str| -> Result<u64, String> {
+            v.parse()
+                .map_err(|_| format!("{flag}: '{v}' is not a number"))
+        };
+        match a.as_str() {
+            "--addr" => config.addr = next("--addr")?,
+            "--workers" => {
+                config.workers = parse_num("--workers", &next("--workers")?)?.max(1) as usize
+            }
+            "--chunk-size" => {
+                config.chunk_size =
+                    parse_num("--chunk-size", &next("--chunk-size")?)?.max(1) as usize;
+                config.response_buffer_bytes = config.chunk_size;
+            }
+            "--cache" => {
+                config.cache_capacity = parse_num("--cache", &next("--cache")?)?.max(1) as usize
+            }
+            "--max-header-bytes" => {
+                config.max_header_bytes =
+                    parse_num("--max-header-bytes", &next("--max-header-bytes")?)? as usize
+            }
+            "--max-body-bytes" => {
+                config.max_body_bytes =
+                    parse_num("--max-body-bytes", &next("--max-body-bytes")?)?
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout = Duration::from_millis(parse_num(
+                    "--read-timeout-ms",
+                    &next("--read-timeout-ms")?,
+                )?)
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout = Duration::from_millis(parse_num(
+                    "--write-timeout-ms",
+                    &next("--write-timeout-ms")?,
+                )?)
+            }
+            "--drain-ms" => {
+                config.drain_deadline =
+                    Duration::from_millis(parse_num("--drain-ms", &next("--drain-ms")?)?)
+            }
+            "--port-file" => port_file = Some(next("--port-file")?),
+            "--help" | "-h" => {
+                println!("{}", USAGE.trim());
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag '{other}'\n{}", USAGE.trim())),
+        }
+    }
+
+    let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    if let Some(path) = &port_file {
+        std::fs::write(path, format!("{}", addr.port())).map_err(|e| format!("{path}: {e}"))?;
+    }
+    println!("listening on {addr}");
+    let report = server.serve().map_err(|e| format!("serve: {e}"))?;
+    println!(
+        "shutdown: {} requests served, {} drained, {} aborted",
+        report.requests, report.drained, report.aborted
+    );
+    if report.aborted > 0 {
+        return Err(format!(
+            "{} requests aborted at the drain deadline",
+            report.aborted
+        ));
+    }
+    Ok(())
+}
+
+const USAGE: &str = r#"
+usage: xmlpruned [--addr HOST:PORT] [--workers N] [--chunk-size BYTES]
+                 [--cache N] [--max-header-bytes N] [--max-body-bytes N]
+                 [--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]
+                 [--port-file PATH]
+
+Serves type-based XML projection over HTTP/1.1:
+  POST /v1/dtd?root=NAME        register a DTD (body = DTD text) -> {"id":...}
+  POST /v1/prune?dtd=ID&query=Q prune the request body (chunked bodies stream)
+  GET  /metrics                 JSON (or ?format=prometheus) live metrics
+  GET  /healthz                 liveness
+  POST /admin/shutdown          graceful shutdown (drain, then exit)
+
+--addr with port 0 picks an ephemeral port (printed on stdout and, with
+--port-file, written to PATH). --chunk-size sets the engine feed size for
+both request decoding and the response buffer threshold.
+"#;

@@ -1,0 +1,488 @@
+//! Endpoint implementations and the per-connection request loop.
+//!
+//! Routing is a match on `(method, path)`; every handler is written
+//! against the incremental [`BodyReader`] so no request body is ever
+//! materialized unless the endpoint is inherently small (DTD texts).
+//! Error responses carry the stable machine-readable codes from
+//! [`xproj_core::ErrorCode`] plus the HTTP-layer codes defined here,
+//! and always close the connection (the body may be half-read, so the
+//! keep-alive framing cannot be trusted afterwards).
+
+use crate::http::{
+    body_kind, read_head, write_json_error, write_response, BodyKind, BodyReader, Conn,
+    HttpError, RequestHead, StreamingBody,
+};
+use crate::metrics::Endpoint;
+use crate::state::ServerState;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+use xproj_core::ErrorCode;
+use xproj_engine::{ChunkedPruner, EngineError};
+
+/// HTTP-layer error codes (the engine-layer ones come from
+/// [`ErrorCode`]). Stable, like everything serialized in error bodies.
+pub mod codes {
+    /// Unroutable path.
+    pub const NOT_FOUND: &str = "not-found";
+    /// Known path, wrong method.
+    pub const METHOD_NOT_ALLOWED: &str = "method-not-allowed";
+    /// Missing/invalid parameter or unparsable request framing.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// `?dtd=` names no registered DTD.
+    pub const UNKNOWN_DTD: &str = "unknown-dtd";
+    /// The DTD text failed to parse.
+    pub const DTD_PARSE: &str = "dtd-parse";
+    /// Request head over the configured limit.
+    pub const HEADERS_TOO_LARGE: &str = "headers-too-large";
+    /// Request body over the configured limit.
+    pub const BODY_TOO_LARGE: &str = "body-too-large";
+    /// A read deadline expired mid-request.
+    pub const TIMEOUT: &str = "timeout";
+}
+
+/// Outcome of one handled request, as far as the connection goes.
+enum Handled {
+    /// Response written; connection may serve another request.
+    KeepAlive,
+    /// Response written (or impossible); close the connection.
+    Close,
+}
+
+/// Serves one accepted connection to completion: a keep-alive loop of
+/// parse → route → respond. Returns when the peer closes, an error
+/// forces a close, or shutdown drains it.
+pub fn serve_connection(stream: TcpStream, state: &ServerState) {
+    let flags = state.flags();
+    let mut conn = match Conn::new(
+        stream,
+        flags,
+        state.config.read_timeout,
+        state.config.write_timeout,
+    ) {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    loop {
+        let head = match read_head(&mut conn, state.config.max_header_bytes) {
+            Ok(h) => h,
+            Err(HttpError::Closed) => return,
+            Err(HttpError::HeadersTooLarge) => {
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_json_error(
+                    conn.stream(),
+                    431,
+                    codes::HEADERS_TOO_LARGE,
+                    "request head exceeds the configured limit",
+                );
+                return;
+            }
+            Err(HttpError::BadRequest(m)) => {
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_json_error(conn.stream(), 400, codes::BAD_REQUEST, &m);
+                return;
+            }
+            Err(HttpError::Timeout) => {
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ =
+                    write_json_error(conn.stream(), 408, codes::TIMEOUT, "request head timed out");
+                return;
+            }
+            Err(HttpError::Io(_) | HttpError::BodyTooLarge) => return,
+        };
+
+        state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        state.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let endpoint = route(&head);
+        let t0 = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle(&mut conn, &head, endpoint, state)
+        }));
+        state.metrics.record_latency(endpoint, t0.elapsed());
+        state.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        // A request that completes during graceful shutdown was drained;
+        // one that only "completes" because the drain deadline flipped
+        // the hard-abort flag was not.
+        if state.is_shutting_down() && !flags.hard_abort.load(Ordering::Relaxed) {
+            state.metrics.drained.fetch_add(1, Ordering::Relaxed);
+        }
+        match outcome {
+            Ok(Handled::KeepAlive) if !state.is_shutting_down() => {
+                // Having served a request, this connection now yields
+                // to accepted connections queued behind the fixed pool
+                // instead of pinning a worker while idle.
+                conn.yield_to_waiters(&state.queued);
+                continue;
+            }
+            Ok(_) => return,
+            Err(_) => {
+                // A handler panicked (e.g. an engine invariant assertion).
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_json_error(
+                    conn.stream(),
+                    500,
+                    "internal",
+                    "internal error while handling the request",
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn route(head: &RequestHead) -> Endpoint {
+    match head.path.as_str() {
+        "/healthz" => Endpoint::Healthz,
+        "/metrics" => Endpoint::Metrics,
+        "/v1/dtd" => Endpoint::Dtd,
+        "/v1/prune" => Endpoint::Prune,
+        "/admin/shutdown" => Endpoint::Shutdown,
+        _ => Endpoint::Other,
+    }
+}
+
+fn handle(
+    conn: &mut Conn,
+    head: &RequestHead,
+    endpoint: Endpoint,
+    state: &ServerState,
+) -> Handled {
+    // A response can only reuse the connection if the request body has
+    // been fully consumed; handlers that bail early must close.
+    let method = head.method.as_str();
+    match (endpoint, method) {
+        (Endpoint::Healthz, "GET") => {
+            respond_after_drain(conn, head, state, 200, "{\"status\":\"ok\"}")
+        }
+        (Endpoint::Metrics, "GET") => {
+            let keep = drain_body(conn, head, state);
+            let body;
+            let content_type;
+            if head.query_param("format").as_deref() == Some("prometheus") {
+                body = state.metrics.render_prometheus(state.cache.stats());
+                content_type = "text/plain; version=0.0.4";
+            } else {
+                body = state.metrics.render_json(state.cache.stats());
+                content_type = "application/json";
+            }
+            match keep {
+                Some(keep) => write_or_close(conn, 200, content_type, body.as_bytes(), keep),
+                None => Handled::Close,
+            }
+        }
+        (Endpoint::Dtd, "POST") => handle_dtd(conn, head, state),
+        (Endpoint::Prune, "POST") => handle_prune(conn, head, state),
+        (Endpoint::Shutdown, "POST") => {
+            // Write the response first: this request itself must drain
+            // cleanly before the trigger stops the accept loop.
+            let handled = respond_after_drain(
+                conn,
+                head,
+                state,
+                200,
+                "{\"status\":\"draining\",\"message\":\"no longer accepting connections\"}",
+            );
+            state.trigger_shutdown();
+            handled
+        }
+        (Endpoint::Other, _) => {
+            error_response(conn, state, 404, codes::NOT_FOUND, "no such endpoint")
+        }
+        _ => error_response(
+            conn,
+            state,
+            405,
+            codes::METHOD_NOT_ALLOWED,
+            &format!("{method} is not supported on {}", head.path),
+        ),
+    }
+}
+
+/// `POST /v1/dtd?root=NAME`: registers the body as a DTD, keyed by its
+/// FNV fingerprint. Idempotent — re-registering returns the same id.
+fn handle_dtd(conn: &mut Conn, head: &RequestHead, state: &ServerState) -> Handled {
+    let Some(root) = head.query_param("root").filter(|r| !r.is_empty()) else {
+        return error_response(
+            conn,
+            state,
+            400,
+            codes::BAD_REQUEST,
+            "the 'root' query parameter (DOCTYPE name) is required",
+        );
+    };
+    let text = match read_full_body(conn, head, state) {
+        Ok(t) => t,
+        Err(h) => return h,
+    };
+    let text = match String::from_utf8(text) {
+        Ok(t) => t,
+        Err(_) => {
+            return error_response(conn, state, 400, codes::DTD_PARSE, "DTD text is not UTF-8")
+        }
+    };
+    match xproj_dtd::parse_dtd(&text, &root) {
+        Ok(dtd) => {
+            let (id, names) = state.register_dtd(dtd);
+            let body = format!(
+                "{{\"id\":\"{id:016x}\",\"root\":\"{}\",\"names\":{names}}}",
+                crate::http::json_escape(&root)
+            );
+            write_or_close(conn, 200, "application/json", body.as_bytes(), head.keep_alive())
+        }
+        Err(e) => error_response(conn, state, 400, codes::DTD_PARSE, &e.to_string()),
+    }
+}
+
+/// `POST /v1/prune?dtd=<id>&query=<path>`: streams the request body
+/// through the chunked pruning engine and the pruned bytes back out.
+/// The body is fed to the push tokenizer as it arrives off the wire —
+/// a chunked request is pruned chunk by chunk, and the response streams
+/// as chunked transfer once it outgrows the response buffer, so
+/// document size never enters resident memory.
+fn handle_prune(conn: &mut Conn, head: &RequestHead, state: &ServerState) -> Handled {
+    let Some(id_hex) = head.query_param("dtd") else {
+        return error_response(
+            conn,
+            state,
+            400,
+            codes::BAD_REQUEST,
+            "the 'dtd' query parameter (id from POST /v1/dtd) is required",
+        );
+    };
+    let Ok(id) = u64::from_str_radix(id_hex.trim_start_matches("0x"), 16) else {
+        return error_response(
+            conn,
+            state,
+            400,
+            codes::BAD_REQUEST,
+            &format!("'{id_hex}' is not a DTD id (expected 16 hex digits)"),
+        );
+    };
+    let Some(dtd) = state.dtd(id) else {
+        return error_response(
+            conn,
+            state,
+            404,
+            codes::UNKNOWN_DTD,
+            &format!("no DTD registered under id {id_hex} (register via POST /v1/dtd)"),
+        );
+    };
+    let Some(query) = head.query_param("query").filter(|q| !q.is_empty()) else {
+        return error_response(
+            conn,
+            state,
+            400,
+            codes::BAD_REQUEST,
+            "the 'query' parameter (XPath/XQuery workload) is required",
+        );
+    };
+    let projector = match state.cache.get_or_compute(&dtd, &query) {
+        Ok(p) => p,
+        Err(e) => {
+            return error_response(conn, state, 400, ErrorCode::BadQuery.as_str(), &e);
+        }
+    };
+
+    let kind = match body_kind(head) {
+        Ok(k) => k,
+        Err(e) => return protocol_error(conn, state, e),
+    };
+    if kind == BodyKind::None {
+        return error_response(
+            conn,
+            state,
+            400,
+            codes::BAD_REQUEST,
+            "a request body (the XML document) is required",
+        );
+    }
+    if head.expects_continue() {
+        if conn.stream().write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err() {
+            return Handled::Close;
+        }
+    }
+
+    // Decide keep-alive before any response byte is written (the
+    // streaming body commits to a Connection header up front). The
+    // response writes through an independent handle to the same socket
+    // so the body reader and the pruner's sink don't alias.
+    let keep_alive = head.keep_alive() && !state.is_shutting_down();
+    let mut out_stream = match conn.stream().try_clone() {
+        Ok(s) => s,
+        Err(_) => return Handled::Close,
+    };
+    let mut response = StreamingBody::new(
+        &mut out_stream,
+        state.config.response_buffer_bytes,
+        keep_alive,
+    );
+    let mut body = BodyReader::new(conn, kind, state.config.max_body_bytes);
+    let mut pruner = ChunkedPruner::new(&dtd, &projector, &mut response);
+    let mut chunk = vec![0u8; state.config.chunk_size.max(1)];
+
+    // The streaming core: each chunk of decoded body bytes is fed to
+    // the push tokenizer the moment it arrives off the wire.
+    let fed = loop {
+        match body.read_some(&mut chunk) {
+            Ok(0) => break Ok(()),
+            Ok(n) => {
+                if let Err(e) = pruner.feed(&chunk[..n]) {
+                    break Err(PruneAbort::Engine(e));
+                }
+            }
+            Err(e) => break Err(PruneAbort::Protocol(e)),
+        }
+    };
+    let finished = fed.and_then(|()| pruner.finish().map_err(PruneAbort::Engine));
+    match finished {
+        Ok(stats) => {
+            state.metrics.record_engine(&stats);
+            match response.finish_ok() {
+                Ok(()) if keep_alive => Handled::KeepAlive,
+                _ => Handled::Close,
+            }
+        }
+        Err(abort) => {
+            let headers_sent = response.headers_sent();
+            drop(response);
+            if headers_sent {
+                // The 200 is already on the wire: all we can do is cut
+                // the chunked stream short so the client sees the
+                // truncation instead of a silently short document.
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                return Handled::Close;
+            }
+            match abort {
+                PruneAbort::Engine(e) => engine_error_response(conn, state, &e),
+                PruneAbort::Protocol(e) => protocol_error(conn, state, e),
+            }
+        }
+    }
+}
+
+/// Why a prune stream stopped early.
+enum PruneAbort {
+    /// The engine rejected the document (malformed, undeclared, …).
+    Engine(EngineError),
+    /// The HTTP body framing failed (bad chunk, over limit, timeout,
+    /// client disconnect).
+    Protocol(HttpError),
+}
+
+/// Reads a whole (small) body into memory, for endpoints whose payload
+/// is inherently bounded (DTD texts). Errors are already responded to.
+fn read_full_body(
+    conn: &mut Conn,
+    head: &RequestHead,
+    state: &ServerState,
+) -> Result<Vec<u8>, Handled> {
+    let kind = match body_kind(head) {
+        Ok(k) => k,
+        Err(e) => return Err(protocol_error(conn, state, e)),
+    };
+    if head.expects_continue() && kind != BodyKind::None {
+        if conn.stream().write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err() {
+            return Err(Handled::Close);
+        }
+    }
+    let mut reader = BodyReader::new(conn, kind, state.config.max_body_bytes);
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match reader.read_some(&mut chunk) {
+            Ok(0) => return Ok(out),
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(protocol_error(conn, state, e)),
+        }
+    }
+}
+
+/// Consumes any request body, then returns the keep-alive decision
+/// (`None` means the drain failed and the connection must close).
+fn drain_body(conn: &mut Conn, head: &RequestHead, state: &ServerState) -> Option<bool> {
+    let kind = body_kind(head).ok()?;
+    if kind != BodyKind::None {
+        let mut reader = BodyReader::new(conn, kind, state.config.max_body_bytes);
+        reader.drain().ok()?;
+    }
+    Some(head.keep_alive() && !state.is_shutting_down())
+}
+
+fn respond_after_drain(
+    conn: &mut Conn,
+    head: &RequestHead,
+    state: &ServerState,
+    status: u16,
+    body: &str,
+) -> Handled {
+    match drain_body(conn, head, state) {
+        Some(keep) => write_or_close(conn, status, "application/json", body.as_bytes(), keep),
+        None => Handled::Close,
+    }
+}
+
+fn write_or_close(
+    conn: &mut Conn,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> Handled {
+    match write_response(conn.stream(), status, content_type, body, keep_alive) {
+        Ok(()) if keep_alive => Handled::KeepAlive,
+        _ => Handled::Close,
+    }
+}
+
+fn error_response(
+    conn: &mut Conn,
+    state: &ServerState,
+    status: u16,
+    code: &str,
+    message: &str,
+) -> Handled {
+    state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+    let _ = write_json_error(conn.stream(), status, code, message);
+    Handled::Close
+}
+
+/// Maps a protocol-level [`HttpError`] to its response (when one is
+/// still possible) and closes.
+fn protocol_error(conn: &mut Conn, state: &ServerState, e: HttpError) -> Handled {
+    match e {
+        HttpError::BadRequest(m) => error_response(conn, state, 400, codes::BAD_REQUEST, &m),
+        HttpError::BodyTooLarge => error_response(
+            conn,
+            state,
+            413,
+            codes::BODY_TOO_LARGE,
+            "request body exceeds the configured limit",
+        ),
+        HttpError::HeadersTooLarge => error_response(
+            conn,
+            state,
+            431,
+            codes::HEADERS_TOO_LARGE,
+            "request head exceeds the configured limit",
+        ),
+        HttpError::Timeout => error_response(conn, state, 408, codes::TIMEOUT, "body read timed out"),
+        HttpError::Io(_) | HttpError::Closed => {
+            state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            Handled::Close
+        }
+    }
+}
+
+/// Maps an engine failure to its structured response, used only before
+/// response headers have been written.
+fn engine_error_response(conn: &mut Conn, state: &ServerState, e: &EngineError) -> Handled {
+    let status = match e.code() {
+        ErrorCode::MalformedXml => 400,
+        ErrorCode::UndeclaredElement => 422,
+        ErrorCode::BadQuery => 400,
+        ErrorCode::Io => 500,
+        _ => 500,
+    };
+    error_response(conn, state, status, e.code().as_str(), &e.to_string())
+}

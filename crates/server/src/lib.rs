@@ -1,0 +1,175 @@
+//! **xproj-server** — `xmlpruned`, a zero-dependency HTTP/1.1 daemon
+//! that serves type-based XML projection as a streaming service.
+//!
+//! The paper's pitch is that projection makes XML querying cheap enough
+//! to run where memory is scarce; the journal version casts pruning as
+//! a drop-in stage in front of any query processor. This crate is that
+//! stage as a long-lived service on top of the `xproj-engine`
+//! streaming machinery:
+//!
+//! * `POST /v1/dtd?root=NAME` — register a DTD (body = DTD text),
+//!   returns its content-derived fingerprint id;
+//! * `POST /v1/prune?dtd=<id>&query=<q>` — prune the request body
+//!   through the shared [`ProjectorCache`](xproj_engine::ProjectorCache).
+//!   A `Transfer-Encoding: chunked` body is decoded frame-by-frame into
+//!   the push tokenizer and the pruned output streams back as a chunked
+//!   response, so **document size never enters resident memory**;
+//! * `GET /metrics` — aggregated engine stats, cache counters and
+//!   per-endpoint latency histograms (JSON, or Prometheus text with
+//!   `?format=prometheus`);
+//! * `GET /healthz` — liveness;
+//! * `POST /admin/shutdown` — graceful shutdown: stop accepting, drain
+//!   in-flight requests up to a deadline, report drained/aborted.
+//!
+//! The architecture is deliberately in the spirit of the rest of the
+//! workspace (`testkit`, `engine`): hand-rolled on `std` only. A
+//! blocking accept loop feeds a fixed scoped-thread worker pool over an
+//! `mpsc` channel; each worker runs a keep-alive request loop with
+//! per-connection read/write deadlines and configurable header/body
+//! limits (`431`/`413`). Engine and protocol errors map to structured
+//! `4xx` JSON bodies carrying the stable codes of
+//! [`xproj_core::ErrorCode`].
+//!
+//! ```no_run
+//! use xproj_server::{Server, ServerConfig};
+//!
+//! let config = ServerConfig { addr: "127.0.0.1:0".to_string(), ..Default::default() };
+//! let server = Server::bind(config).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! let report = server.serve().unwrap(); // blocks until shutdown
+//! println!("drained {} in-flight requests", report.drained);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod handlers;
+pub mod http;
+pub mod metrics;
+pub mod state;
+
+pub use metrics::{Endpoint, LatencyHistogram, ServerMetrics};
+pub use state::{ServerConfig, ServerState};
+
+use std::net::TcpListener;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// What graceful shutdown left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Requests that completed after shutdown was requested.
+    pub drained: u64,
+    /// Requests still in flight when the drain deadline expired (their
+    /// connections were aborted).
+    pub aborted: u64,
+    /// Requests served over the server's lifetime.
+    pub requests: u64,
+}
+
+/// A bound, not-yet-serving instance of `xmlpruned`.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. The server does
+    /// not accept connections until [`Server::serve`] runs.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServerState::new(config, local_addr));
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.state.local_addr()
+    }
+
+    /// A handle to the shared state (metrics inspection, programmatic
+    /// [`ServerState::trigger_shutdown`]).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Runs the accept loop and worker pool until shutdown, then drains
+    /// and reports. Blocks the calling thread.
+    ///
+    /// The pool is `config.workers` scoped threads consuming accepted
+    /// connections from a channel (the same zero-dependency
+    /// scoped-thread pattern as `xproj_engine::parallel_map`, extended
+    /// with a work queue because connections arrive over time). On
+    /// shutdown: the acceptor stops, the channel closes, each worker
+    /// finishes its in-flight request (counted *drained*); when the
+    /// drain deadline passes, remaining requests are counted *aborted*
+    /// and their connections torn down via the hard-abort flag.
+    pub fn serve(self) -> std::io::Result<ShutdownReport> {
+        let Server { listener, state } = self;
+        let (tx, rx) = mpsc::channel::<std::net::TcpStream>();
+        let rx = Mutex::new(rx);
+        let aborted = std::thread::scope(|scope| {
+            for _ in 0..state.config.workers.max(1) {
+                let rx = &rx;
+                let state = &state;
+                scope.spawn(move || loop {
+                    // The guard drops at the end of this statement, so
+                    // the lock is released as soon as recv returns.
+                    let stream = rx.lock().unwrap().recv();
+                    match stream {
+                        Ok(s) => {
+                            state.queued.fetch_sub(1, Ordering::Relaxed);
+                            handlers::serve_connection(s, state);
+                        }
+                        Err(_) => break,
+                    }
+                });
+            }
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if state.is_shutting_down() {
+                            break; // the wake-up connection (or a racer)
+                        }
+                        state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_nodelay(true);
+                        state.queued.fetch_add(1, Ordering::Relaxed);
+                        if tx.send(stream).is_err() {
+                            state.queued.fetch_sub(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                        if state.is_shutting_down() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Close the queue: workers finish queued + in-flight work.
+            drop(tx);
+            let deadline = Instant::now() + state.config.drain_deadline;
+            while state.metrics.in_flight.load(Ordering::Relaxed) > 0
+                && Instant::now() < deadline
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let aborted = state.metrics.in_flight.load(Ordering::Relaxed) as u64;
+            state
+                .metrics
+                .aborted
+                .fetch_add(aborted, Ordering::Relaxed);
+            // Past the deadline: force laggards' reads to fail so the
+            // scope's joins stay bounded by one poll interval.
+            state.hard_abort();
+            aborted
+        });
+        Ok(ShutdownReport {
+            drained: state.metrics.drained.load(Ordering::Relaxed),
+            aborted,
+            requests: state.metrics.requests.load(Ordering::Relaxed),
+        })
+    }
+}

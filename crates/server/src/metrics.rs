@@ -1,0 +1,398 @@
+//! Live server metrics: request/connection counters, the aggregated
+//! engine statistics of every prune served, and per-endpoint latency
+//! histograms — rendered as JSON (the workspace's native format) or
+//! Prometheus text exposition.
+//!
+//! Counters are lock-free atomics; the only lock is around the
+//! aggregated [`EngineStats`], taken once per completed prune request.
+
+use crate::http::json_escape;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use xproj_engine::{CacheStats, EngineStats};
+
+/// The endpoints tracked individually (everything else is `other`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /v1/dtd`
+    Dtd,
+    /// `POST /v1/prune`
+    Prune,
+    /// `POST /admin/shutdown`
+    Shutdown,
+    /// Anything unrouted.
+    Other,
+}
+
+impl Endpoint {
+    /// Stable label used in metrics output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Dtd => "dtd",
+            Endpoint::Prune => "prune",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    const ALL: [Endpoint; 6] = [
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Dtd,
+        Endpoint::Prune,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Healthz => 0,
+            Endpoint::Metrics => 1,
+            Endpoint::Dtd => 2,
+            Endpoint::Prune => 3,
+            Endpoint::Shutdown => 4,
+            Endpoint::Other => 5,
+        }
+    }
+}
+
+const BUCKETS: usize = 32;
+
+/// A lock-free log₂-bucketed latency histogram: bucket *i* counts
+/// requests whose latency fell in `[2^i, 2^(i+1))` microseconds.
+/// Quantiles are answered with the upper edge of the bucket holding the
+/// requested rank — an at-most-2× overestimate, which is the right bias
+/// for an alerting-facing p99.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros() as u64;
+        let bucket = if us == 0 {
+            0
+        } else {
+            (63 - us.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.max_ns.fetch_max(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed))
+    }
+
+    /// Largest single observation.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// The upper bucket edge at quantile `q` in `[0, 1]`; zero when
+    /// nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Duration::from_micros(1u64 << (i + 1));
+            }
+        }
+        self.max()
+    }
+}
+
+/// All live metrics of one server instance.
+pub struct ServerMetrics {
+    started: Instant,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests fully parsed and routed.
+    pub requests: AtomicU64,
+    /// Requests answered with a 4xx/5xx (or dropped on protocol error).
+    pub errors: AtomicU64,
+    /// Requests currently being processed.
+    pub in_flight: AtomicUsize,
+    /// Requests completed after shutdown was requested.
+    pub drained: AtomicU64,
+    /// Requests still in flight when the drain deadline expired.
+    pub aborted: AtomicU64,
+    engine: Mutex<EngineStats>,
+    latency: [LatencyHistogram; 6],
+}
+
+impl ServerMetrics {
+    /// Fresh zeroed metrics; the uptime clock starts now.
+    pub fn new() -> Self {
+        ServerMetrics {
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            drained: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            engine: Mutex::new(EngineStats::default()),
+            latency: Default::default(),
+        }
+    }
+
+    /// Folds one completed prune run into the aggregate.
+    pub fn record_engine(&self, stats: &EngineStats) {
+        self.engine.lock().unwrap().accumulate(stats);
+    }
+
+    /// Snapshot of the aggregated engine stats.
+    pub fn engine_snapshot(&self) -> EngineStats {
+        self.engine.lock().unwrap().clone()
+    }
+
+    /// Records one request's latency under its endpoint.
+    pub fn record_latency(&self, endpoint: Endpoint, d: Duration) {
+        self.latency[endpoint.index()].record(d);
+    }
+
+    /// The histogram of one endpoint.
+    pub fn latency(&self, endpoint: Endpoint) -> &LatencyHistogram {
+        &self.latency[endpoint.index()]
+    }
+
+    /// The full metrics document as one JSON object. `cache` is the
+    /// live projector-cache counters (they are folded into the engine
+    /// object the same way `EngineStats::to_json_line` reports them).
+    pub fn render_json(&self, cache: CacheStats) -> String {
+        let mut engine = self.engine_snapshot();
+        engine.cache = cache;
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"server\":{{\"uptime_ms\":{},\"connections\":{},\"requests\":{},\"errors\":{},\
+             \"in_flight\":{},\"drained\":{},\"aborted\":{}}},",
+            self.started.elapsed().as_millis(),
+            self.connections.load(Ordering::Relaxed),
+            self.requests.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.in_flight.load(Ordering::Relaxed),
+            self.drained.load(Ordering::Relaxed),
+            self.aborted.load(Ordering::Relaxed),
+        );
+        let _ = write!(
+            out,
+            "\"engine\":{{\"documents\":{},\"events\":{},\"bytes_in\":{},\"bytes_out\":{},\
+             \"retention\":{:.4},\"elements_kept\":{},\"elements_pruned\":{},\"text_kept\":{},\
+             \"text_pruned\":{},\"max_depth\":{},\"peak_resident_bytes\":{},\"max_token_bytes\":{}}},",
+            engine.documents,
+            engine.events,
+            engine.bytes_in,
+            engine.bytes_out,
+            engine.retention(),
+            engine.counters.elements_kept,
+            engine.counters.elements_pruned,
+            engine.counters.text_kept,
+            engine.counters.text_pruned,
+            engine.counters.max_depth,
+            engine.peak_resident_bytes,
+            engine.max_token_bytes,
+        );
+        let _ = write!(
+            out,
+            "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"hit_rate\":{:.4}}},",
+            engine.cache.hits,
+            engine.cache.misses,
+            engine.cache.evictions,
+            engine.cache.entries,
+            engine.cache.hit_rate(),
+        );
+        out.push_str("\"endpoints\":{");
+        let mut first = true;
+        for ep in Endpoint::ALL {
+            let h = self.latency(ep);
+            if h.count() == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{},\"max_us\":{},\"sum_ms\":{}}}",
+                json_escape(ep.label()),
+                h.count(),
+                h.quantile(0.5).as_micros(),
+                h.quantile(0.99).as_micros(),
+                h.max().as_micros(),
+                h.sum().as_millis(),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// The same metrics in the Prometheus text exposition format
+    /// (counters, gauges, and per-endpoint latency summaries).
+    pub fn render_prometheus(&self, cache: CacheStats) -> String {
+        let mut engine = self.engine_snapshot();
+        engine.cache = cache;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, v: u64| {
+            let _ = write!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            );
+        };
+        counter(
+            "xmlpruned_connections_total",
+            "Connections accepted.",
+            self.connections.load(Ordering::Relaxed),
+        );
+        counter(
+            "xmlpruned_requests_total",
+            "Requests parsed and routed.",
+            self.requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "xmlpruned_errors_total",
+            "Requests answered 4xx/5xx or dropped.",
+            self.errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "xmlpruned_engine_documents_total",
+            "Documents pruned.",
+            engine.documents,
+        );
+        counter(
+            "xmlpruned_engine_bytes_in_total",
+            "Document bytes received for pruning.",
+            engine.bytes_in,
+        );
+        counter(
+            "xmlpruned_engine_bytes_out_total",
+            "Pruned bytes written back.",
+            engine.bytes_out,
+        );
+        counter(
+            "xmlpruned_cache_hits_total",
+            "Projector cache hits.",
+            engine.cache.hits,
+        );
+        counter(
+            "xmlpruned_cache_misses_total",
+            "Projector cache misses.",
+            engine.cache.misses,
+        );
+        counter(
+            "xmlpruned_cache_evictions_total",
+            "Projector cache evictions.",
+            engine.cache.evictions,
+        );
+        let _ = write!(
+            out,
+            "# HELP xmlpruned_in_flight Requests currently being processed.\n\
+             # TYPE xmlpruned_in_flight gauge\nxmlpruned_in_flight {}\n",
+            self.in_flight.load(Ordering::Relaxed)
+        );
+        let _ = write!(
+            out,
+            "# HELP xmlpruned_request_duration_seconds Request latency by endpoint.\n\
+             # TYPE xmlpruned_request_duration_seconds summary\n"
+        );
+        for ep in Endpoint::ALL {
+            let h = self.latency(ep);
+            if h.count() == 0 {
+                continue;
+            }
+            let label = ep.label();
+            for (q, d) in [(0.5, h.quantile(0.5)), (0.99, h.quantile(0.99))] {
+                let _ = write!(
+                    out,
+                    "xmlpruned_request_duration_seconds{{endpoint=\"{label}\",quantile=\"{q}\"}} {}\n",
+                    d.as_secs_f64()
+                );
+            }
+            let _ = write!(
+                out,
+                "xmlpruned_request_duration_seconds_sum{{endpoint=\"{label}\"}} {}\n\
+                 xmlpruned_request_duration_seconds_count{{endpoint=\"{label}\"}} {}\n",
+                h.sum().as_secs_f64(),
+                h.count()
+            );
+        }
+        out
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(5000));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5);
+        assert!(p50 >= Duration::from_micros(100) && p50 <= Duration::from_micros(256));
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= Duration::from_micros(5000) && p99 <= Duration::from_micros(16384));
+        assert_eq!(h.max(), Duration::from_micros(5000));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn json_and_prometheus_render() {
+        let m = ServerMetrics::new();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.record_latency(Endpoint::Prune, Duration::from_micros(400));
+        let json = m.render_json(CacheStats::default());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"requests\":3"));
+        assert!(json.contains("\"prune\""));
+        let prom = m.render_prometheus(CacheStats::default());
+        assert!(prom.contains("xmlpruned_requests_total 3"));
+        assert!(prom.contains("endpoint=\"prune\""));
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared server state: configuration, the DTD registry, the shared
+//! projector cache, metrics, and the shutdown flags.
+
+use crate::http::ConnFlags;
+use crate::metrics::ServerMetrics;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use xproj_dtd::Dtd;
+use xproj_engine::{dtd_fingerprint, ProjectorCache, DEFAULT_CHUNK_SIZE};
+
+/// Tunables of one server instance. `Default` is the configuration the
+/// `xmlpruned` binary starts with; every field has a CLI flag.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Fixed worker-pool size — also the max concurrent connections.
+    pub workers: usize,
+    /// Deadline for each blocking read of one connection.
+    pub read_timeout: Duration,
+    /// Socket write deadline.
+    pub write_timeout: Duration,
+    /// Max bytes of a request head (request line + headers) → `431`.
+    pub max_header_bytes: usize,
+    /// Max decoded bytes of a request body → `413`.
+    pub max_body_bytes: u64,
+    /// Engine feed size — deliberately the same default as `xmlprune
+    /// prune --chunked`, so the CLI and the server exercise identical
+    /// engine configurations.
+    pub chunk_size: usize,
+    /// Pruned output is buffered up to this many bytes before the
+    /// response commits to `200` + chunked streaming; errors detected
+    /// while still buffered become structured `4xx` bodies.
+    pub response_buffer_bytes: usize,
+    /// Projector-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// How long graceful shutdown waits for in-flight requests.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7144".to_string(),
+            workers: 4,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 1 << 30,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            response_buffer_bytes: DEFAULT_CHUNK_SIZE,
+            cache_capacity: 64,
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Everything the worker pool shares.
+pub struct ServerState {
+    /// The configuration the server was built with.
+    pub config: ServerConfig,
+    /// Live metrics, rendered by `GET /metrics`.
+    pub metrics: ServerMetrics,
+    /// The shared projector cache ("analyse once, prune many").
+    pub cache: ProjectorCache,
+    /// Accepted connections waiting for a free worker. Idle keep-alive
+    /// connections watch this and yield their worker when it is
+    /// nonzero (see [`crate::http::Conn::yield_to_waiters`]).
+    pub(crate) queued: AtomicUsize,
+    dtds: Mutex<HashMap<u64, Arc<Dtd>>>,
+    flags: ConnFlags,
+    local_addr: SocketAddr,
+}
+
+impl ServerState {
+    pub(crate) fn new(config: ServerConfig, local_addr: SocketAddr) -> Self {
+        let cache = ProjectorCache::new(config.cache_capacity);
+        ServerState {
+            config,
+            metrics: ServerMetrics::new(),
+            cache,
+            queued: AtomicUsize::new(0),
+            dtds: Mutex::new(HashMap::new()),
+            flags: ConnFlags::new(),
+            local_addr,
+        }
+    }
+
+    /// The address the listener is actually bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shutdown/abort flags connections poll.
+    pub fn flags(&self) -> &ConnFlags {
+        &self.flags
+    }
+
+    /// Registers a DTD, returning `(fingerprint id, name count)`.
+    /// Idempotent: the id is content-derived, so re-registering the
+    /// same grammar returns the same id.
+    pub fn register_dtd(&self, dtd: Dtd) -> (u64, usize) {
+        let id = dtd_fingerprint(&dtd);
+        let names = dtd.name_count();
+        self.dtds.lock().unwrap().entry(id).or_insert_with(|| Arc::new(dtd));
+        (id, names)
+    }
+
+    /// Looks up a registered DTD by id.
+    pub fn dtd(&self, id: u64) -> Option<Arc<Dtd>> {
+        self.dtds.lock().unwrap().get(&id).cloned()
+    }
+
+    /// Number of registered DTDs.
+    pub fn dtd_count(&self) -> usize {
+        self.dtds.lock().unwrap().len()
+    }
+
+    /// Whether graceful shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.flags.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Requests graceful shutdown: stop accepting, drain in-flight
+    /// requests, then return from `serve`. Safe to call from any
+    /// thread (and from the `/admin/shutdown` handler); idempotent.
+    pub fn trigger_shutdown(&self) {
+        if !self.flags.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the accept loop: a throwaway connection to
+            // ourselves unblocks the blocking accept immediately.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+
+    pub(crate) fn hard_abort(&self) {
+        self.flags.hard_abort.store(true, Ordering::SeqCst);
+    }
+}

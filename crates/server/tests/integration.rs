@@ -1,0 +1,634 @@
+//! End-to-end tests of the `xmlpruned` HTTP surface, driven through the
+//! zero-dependency `xproj_testkit::HttpClient`.
+//!
+//! Covers the protocol edges the ISSUE calls out — chunked
+//! request/response round-trips, oversized-header/body rejection,
+//! pipelined keep-alive requests, mid-body client disconnect — plus a
+//! differential test asserting that bytes pruned over HTTP are
+//! identical to [`xproj_core::prune_str`] on testkit-generated
+//! (DTD, document, query) triples, and a shutdown-under-load test
+//! asserting graceful drain.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+use xproj_dtd::generate::{generate, GenConfig, RANDOM_DTD_TAGS};
+use xproj_dtd::{parse_dtd, Dtd};
+use xproj_engine::ProjectorCache;
+use xproj_server::{Server, ServerConfig, ServerState, ShutdownReport};
+use xproj_testkit::{urlencode, HttpClient, SplitMix64};
+
+/// The paper's running-example grammar, as DTD text.
+const BIB_DTD: &str = "<!ELEMENT bib (book*)>\
+     <!ELEMENT book (title, author*, price?)>\
+     <!ELEMENT title (#PCDATA)>\
+     <!ELEMENT author (#PCDATA)>\
+     <!ELEMENT price (#PCDATA)>";
+
+const BIB_DOC: &str = "<bib><book><title>T1</title><author>A</author><author>B</author>\
+     <price>12</price></book><book><title>T2</title><author>C</author></book></bib>";
+
+struct TestServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    handle: thread::JoinHandle<ShutdownReport>,
+}
+
+impl TestServer {
+    fn start(mut config: ServerConfig) -> TestServer {
+        config.addr = "127.0.0.1:0".to_string();
+        let server = Server::bind(config).expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let state = server.state();
+        let handle = thread::spawn(move || server.serve().expect("serve"));
+        TestServer { addr, state, handle }
+    }
+
+    fn client(&self) -> HttpClient {
+        let c = HttpClient::connect(self.addr).expect("connect");
+        c.set_timeout(Duration::from_secs(10)).unwrap();
+        c
+    }
+
+    /// Registers DTD text, returning the fingerprint id as sent back.
+    fn register_dtd(&self, text: &str, root: &str) -> String {
+        let mut c = self.client();
+        let resp = c
+            .request(
+                "POST",
+                &format!("/v1/dtd?root={}", urlencode(root)),
+                &[],
+                Some(text.as_bytes()),
+            )
+            .expect("register dtd");
+        assert_eq!(resp.status, 200, "dtd registration failed: {}", resp.body_str());
+        extract_json_str(&resp.body_str(), "id")
+    }
+
+    /// Graceful shutdown + join; returns the report.
+    fn shutdown(self) -> ShutdownReport {
+        let mut c = self.client();
+        let resp = c.request("POST", "/admin/shutdown", &[], None).expect("shutdown");
+        assert_eq!(resp.status, 200);
+        self.handle.join().expect("serve thread")
+    }
+}
+
+/// Pulls `"key":"value"` out of a flat JSON object (the server emits
+/// flat objects; no parser needed).
+fn extract_json_str(json: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":\"");
+    let start = json.find(&needle).unwrap_or_else(|| panic!("no {key} in {json}")) + needle.len();
+    let end = json[start..].find('"').expect("unterminated string") + start;
+    json[start..end].to_string()
+}
+
+fn small_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        drain_deadline: Duration::from_secs(10),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn healthz_metrics_and_prometheus() {
+    let srv = TestServer::start(small_config());
+    let mut c = srv.client();
+    let resp = c.request("GET", "/healthz", &[], None).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body_str(), "{\"status\":\"ok\"}");
+
+    // Keep-alive: same connection serves the metrics request.
+    let resp = c.request("GET", "/metrics", &[], None).unwrap();
+    assert_eq!(resp.status, 200);
+    let body = resp.body_str();
+    for key in ["\"server\"", "\"engine\"", "\"cache\"", "\"endpoints\"", "\"in_flight\""] {
+        assert!(body.contains(key), "metrics JSON missing {key}: {body}");
+    }
+
+    let resp = c.request("GET", "/metrics?format=prometheus", &[], None).unwrap();
+    assert_eq!(resp.status, 200);
+    let text = resp.body_str();
+    assert!(text.contains("xmlpruned_requests_total"), "{text}");
+    assert!(text.contains("# TYPE xmlpruned_in_flight gauge"), "{text}");
+
+    let report = srv.shutdown();
+    assert_eq!(report.aborted, 0);
+}
+
+#[test]
+fn dtd_registration_is_idempotent() {
+    let srv = TestServer::start(small_config());
+    let id1 = srv.register_dtd(BIB_DTD, "bib");
+    let id2 = srv.register_dtd(BIB_DTD, "bib");
+    assert_eq!(id1, id2, "content-derived ids must match");
+    assert_eq!(id1.len(), 16, "id is 16 hex digits: {id1}");
+    assert_eq!(srv.state.dtd_count(), 1);
+
+    // A broken DTD gets a structured 400.
+    let mut c = srv.client();
+    let resp = c
+        .request("POST", "/v1/dtd?root=bib", &[], Some(b"<!ELEMENT bib (unclosed"))
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "dtd-parse");
+
+    // Missing root parameter.
+    let mut c = srv.client();
+    let resp = c.request("POST", "/v1/dtd", &[], Some(BIB_DTD.as_bytes())).unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "bad-request");
+
+    srv.shutdown();
+}
+
+#[test]
+fn prune_content_length_roundtrip() {
+    let srv = TestServer::start(small_config());
+    let id = srv.register_dtd(BIB_DTD, "bib");
+
+    let dtd = parse_dtd(BIB_DTD, "bib").unwrap();
+    let cache = ProjectorCache::new(4);
+    let query = "/bib/book/title";
+    let projector = cache.get_or_compute(&dtd, query).unwrap();
+    let expected = xproj_core::prune_str(BIB_DOC, &dtd, &projector).unwrap().output;
+
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            &format!("/v1/prune?dtd={id}&query={}", urlencode(query)),
+            &[],
+            Some(BIB_DOC.as_bytes()),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert_eq!(resp.body, expected.as_bytes(), "HTTP prune diverged from prune_str");
+    assert!(!expected.contains("author"), "projection should drop authors");
+    srv.shutdown();
+}
+
+#[test]
+fn prune_chunked_roundtrip_streams_response() {
+    // A tiny response buffer forces the response into chunked
+    // streaming mode even for a small document.
+    let config = ServerConfig { response_buffer_bytes: 16, ..small_config() };
+    let srv = TestServer::start(config);
+    let id = srv.register_dtd(BIB_DTD, "bib");
+
+    let dtd = parse_dtd(BIB_DTD, "bib").unwrap();
+    let cache = ProjectorCache::new(4);
+    let query = "/bib/book/title";
+    let projector = cache.get_or_compute(&dtd, query).unwrap();
+    let expected = xproj_core::prune_str(BIB_DOC, &dtd, &projector).unwrap().output;
+
+    // Feed the document in deliberately awkward 7-byte chunks so HTTP
+    // chunk boundaries land mid-token.
+    let bytes = BIB_DOC.as_bytes();
+    let chunks: Vec<&[u8]> = bytes.chunks(7).collect();
+    let mut c = srv.client();
+    let resp = c
+        .request_chunked(
+            "POST",
+            &format!("/v1/prune?dtd={id}&query={}", urlencode(query)),
+            &[],
+            &chunks,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert_eq!(
+        resp.header("transfer-encoding").map(str::to_ascii_lowercase).as_deref(),
+        Some("chunked"),
+        "response should stream once it outgrows the buffer"
+    );
+    assert_eq!(resp.body, expected.as_bytes());
+    srv.shutdown();
+}
+
+#[test]
+fn oversized_header_rejected_431() {
+    let config = ServerConfig { max_header_bytes: 256, ..small_config() };
+    let srv = TestServer::start(config);
+    let mut c = srv.client();
+    let huge = "x".repeat(1024);
+    let resp = c
+        .request("GET", "/healthz", &[("x-padding", huge.as_str())], None)
+        .unwrap();
+    assert_eq!(resp.status, 431);
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "headers-too-large");
+    srv.shutdown();
+}
+
+#[test]
+fn oversized_body_rejected_413() {
+    // Big enough for the DTD registration, smaller than the documents.
+    let config = ServerConfig { max_body_bytes: 256, ..small_config() };
+    let srv = TestServer::start(config);
+    let id = srv.register_dtd(BIB_DTD, "bib");
+
+    let big_doc = format!(
+        "<bib>{}</bib>",
+        "<book><title>T</title></book>".repeat(40)
+    );
+
+    // Content-Length over the limit.
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            &format!("/v1/prune?dtd={id}&query={}", urlencode("/bib/book/title")),
+            &[],
+            Some(big_doc.as_bytes()),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 413);
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "body-too-large");
+
+    // Chunked body crossing the limit mid-stream.
+    let mut c = srv.client();
+    let chunks: Vec<&[u8]> = big_doc.as_bytes().chunks(16).collect();
+    let resp = c
+        .request_chunked(
+            "POST",
+            &format!("/v1/prune?dtd={id}&query={}", urlencode("/bib/book/title")),
+            &[],
+            &chunks,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 413);
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "body-too-large");
+    srv.shutdown();
+}
+
+#[test]
+fn structured_errors_unknown_dtd_bad_query_malformed_xml() {
+    let srv = TestServer::start(small_config());
+    let id = srv.register_dtd(BIB_DTD, "bib");
+
+    // Unknown DTD id → 404 unknown-dtd.
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            "/v1/prune?dtd=00000000deadbeef&query=%2Fbib",
+            &[],
+            Some(BIB_DOC.as_bytes()),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "unknown-dtd");
+
+    // Unparsable query → 400 bad-query (the engine ErrorCode).
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            &format!("/v1/prune?dtd={id}&query={}", urlencode("/bib[")),
+            &[],
+            Some(BIB_DOC.as_bytes()),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "bad-query");
+
+    // Malformed document → 400 malformed-xml (buffered, so the
+    // structured body is still possible).
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            &format!("/v1/prune?dtd={id}&query={}", urlencode("/bib/book/title")),
+            &[],
+            Some(b"<bib><book><title>T</title>"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "malformed-xml");
+
+    // Undeclared element → 422 undeclared-element.
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            &format!("/v1/prune?dtd={id}&query={}", urlencode("/bib/book/title")),
+            &[],
+            Some(b"<bib><pamphlet/></bib>"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.body_str());
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "undeclared-element");
+
+    // Unroutable path / wrong method.
+    let mut c = srv.client();
+    let resp = c.request("GET", "/v2/prune", &[], None).unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "not-found");
+    let mut c = srv.client();
+    let resp = c.request("DELETE", "/v1/prune", &[], None).unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "method-not-allowed");
+
+    srv.shutdown();
+}
+
+#[test]
+fn pipelined_keep_alive_requests() {
+    let srv = TestServer::start(small_config());
+    let id = srv.register_dtd(BIB_DTD, "bib");
+    let target = format!("/v1/prune?dtd={id}&query={}", urlencode("/bib/book/title"));
+
+    let dtd = parse_dtd(BIB_DTD, "bib").unwrap();
+    let cache = ProjectorCache::new(4);
+    let projector = cache.get_or_compute(&dtd, "/bib/book/title").unwrap();
+    let expected = xproj_core::prune_str(BIB_DOC, &dtd, &projector).unwrap().output;
+
+    // Three requests on the wire before reading any response; the
+    // server must answer them in order on the same connection.
+    let mut c = srv.client();
+    c.send_request("GET", "/healthz", &[], None).unwrap();
+    c.send_request("POST", &target, &[], Some(BIB_DOC.as_bytes())).unwrap();
+    c.send_request("GET", "/healthz", &[], None).unwrap();
+    let r1 = c.read_response().unwrap();
+    let r2 = c.read_response().unwrap();
+    let r3 = c.read_response().unwrap();
+    assert_eq!((r1.status, r3.status), (200, 200));
+    assert_eq!(r2.status, 200);
+    assert_eq!(r2.body, expected.as_bytes());
+    srv.shutdown();
+}
+
+#[test]
+fn mid_body_disconnect_leaves_server_healthy() {
+    let config = ServerConfig { read_timeout: Duration::from_millis(500), ..small_config() };
+    let srv = TestServer::start(config);
+    let id = srv.register_dtd(BIB_DTD, "bib");
+
+    // Promise 4096 bytes, send 10, vanish.
+    {
+        let mut c = srv.client();
+        c.write_raw(
+            format!(
+                "POST /v1/prune?dtd={id}&query={} HTTP/1.1\r\nhost: t\r\n\
+                 content-length: 4096\r\n\r\n<bib><book",
+                urlencode("/bib/book/title")
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        // Drop: TCP FIN mid-body.
+    }
+    // Same with a chunked body cut off mid-chunk.
+    {
+        let mut c = srv.client();
+        c.write_raw(
+            format!(
+                "POST /v1/prune?dtd={id}&query={} HTTP/1.1\r\nhost: t\r\n\
+                 transfer-encoding: chunked\r\n\r\nff\r\n<bib>",
+                urlencode("/bib/book/title")
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    }
+
+    // Give the workers a moment to notice, then prove the pool still
+    // serves: a full round-trip must succeed.
+    thread::sleep(Duration::from_millis(100));
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            &format!("/v1/prune?dtd={id}&query={}", urlencode("/bib/book/title")),
+            &[],
+            Some(BIB_DOC.as_bytes()),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let report = srv.shutdown();
+    assert_eq!(report.aborted, 0);
+}
+
+/// The ISSUE's differential criterion: HTTP-streamed pruning is
+/// byte-identical to `core::prune_str` on testkit-generated
+/// (DTD, document, query) triples.
+#[test]
+fn differential_http_prune_matches_prune_str() {
+    let srv = TestServer::start(small_config());
+    let mut rng = SplitMix64::new(0x9e3779b97f4a7c15);
+    let cache = ProjectorCache::new(32);
+    let mut cases = 0;
+    for case in 0..24u64 {
+        // Generate a random grammar as DTD *text* (what the server
+        // parses), then a valid document and a query.
+        let text = random_dtd_text(&mut rng);
+        let root = "r";
+        let dtd: Dtd = parse_dtd(&text, root)
+            .unwrap_or_else(|e| panic!("case {case}: generated DTD failed to parse: {e}\n{text}"));
+        let doc = generate(
+            &dtd,
+            rng.next_u64(),
+            &GenConfig { fanout: 1.6, max_depth: 7, text_words: 2 },
+        );
+        let xml = doc.to_xml();
+        let query = random_query(&mut rng);
+
+        let projector = match cache.get_or_compute(&dtd, &query) {
+            Ok(p) => p,
+            Err(_) => continue, // not a projectable query; skip
+        };
+        let expected = xproj_core::prune_str(&xml, &dtd, &projector)
+            .unwrap_or_else(|e| panic!("case {case}: prune_str failed: {e}"))
+            .output;
+
+        let id = srv.register_dtd(&text, root);
+        // Chunk size varies per case so boundaries shift around.
+        let step = [1usize, 3, 7, 64, 255, 1024][case as usize % 6];
+        let chunks: Vec<&[u8]> = xml.as_bytes().chunks(step).collect();
+        let mut c = srv.client();
+        let resp = c
+            .request_chunked(
+                "POST",
+                &format!("/v1/prune?dtd={id}&query={}", urlencode(&query)),
+                &[],
+                &chunks,
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200, "case {case} query {query}: {}", resp.body_str());
+        assert_eq!(
+            resp.body,
+            expected.as_bytes(),
+            "case {case}: HTTP prune diverged from prune_str\nquery: {query}\ndoc: {xml}"
+        );
+        cases += 1;
+    }
+    assert!(cases >= 16, "too many skipped cases: only {cases} ran");
+    let report = srv.shutdown();
+    assert_eq!(report.aborted, 0);
+}
+
+/// A random but always-parseable DTD over a fixed tag alphabet.
+/// Element `i`'s content model only references tags with index `> i`,
+/// so the grammar is acyclic and document generation terminates even
+/// through mandatory (`+`/bare) children.
+fn random_dtd_text(rng: &mut SplitMix64) -> String {
+    const TAGS: [&str; 6] = ["r", "a", "b", "c", "d", "e"];
+    let mut out = String::new();
+    for (i, tag) in TAGS.iter().enumerate() {
+        let rest = &TAGS[i + 1..];
+        let model = if rest.is_empty() || (i > 0 && rng.below(4) == 0) {
+            "(#PCDATA)".to_string()
+        } else if i > 0 && rng.below(8) == 0 {
+            "EMPTY".to_string()
+        } else if rest.len() >= 2 && rng.below(4) == 0 {
+            let x = *rng.pick(rest);
+            let y = *rng.pick(rest);
+            format!("(({x} | {y})*)")
+        } else {
+            let n = rng.range_incl(1, rest.len().min(3));
+            let items: Vec<String> = (0..n)
+                .map(|_| format!("{}{}", rng.pick(rest), rng.pick(&["", "?", "*", "+"])))
+                .collect();
+            format!("({})", items.join(", "))
+        };
+        out.push_str(&format!("<!ELEMENT {tag} {model}>"));
+    }
+    out
+}
+
+/// A random XPathℓ query over the random-DTD tag alphabet (the same
+/// shape the soundness fuzzer uses, restricted to downward axes so
+/// every query is projectable).
+fn random_query(rng: &mut SplitMix64) -> String {
+    let axes = ["child::", "descendant::", "descendant-or-self::", "self::"];
+    let nsteps = rng.range_incl(1, 3);
+    let mut parts = Vec::new();
+    for _ in 0..nsteps {
+        let axis = *rng.pick(&axes);
+        let test = match rng.below(5) {
+            0 => "node()".to_string(),
+            1 => "text()".to_string(),
+            2 => "*".to_string(),
+            _ => rng.pick(RANDOM_DTD_TAGS).to_string(),
+        };
+        parts.push(format!("{axis}{test}"));
+    }
+    format!("/{}", parts.join("/"))
+}
+
+/// An idle keep-alive connection must not pin a worker while accepted
+/// connections queue: with a single worker held idle by a served
+/// client, a second client's request (and a shutdown request) must
+/// still be answered well before the idle read deadline frees things.
+#[test]
+fn idle_keep_alive_yields_worker_to_queued_connections() {
+    let config = ServerConfig {
+        workers: 1,
+        // Long idle deadline: if the test passes quickly, it was the
+        // yield, not the deadline.
+        read_timeout: Duration::from_secs(30),
+        write_timeout: Duration::from_secs(5),
+        drain_deadline: Duration::from_secs(10),
+        ..Default::default()
+    };
+    let srv = TestServer::start(config);
+
+    // Serve one request, then leave the connection open and idle —
+    // it now occupies the only worker.
+    let mut idle = srv.client();
+    let resp = idle.request("GET", "/healthz", &[], None).unwrap();
+    assert_eq!(resp.status, 200);
+
+    let t0 = std::time::Instant::now();
+    let mut c2 = srv.client();
+    c2.set_timeout(Duration::from_secs(5)).unwrap();
+    let resp = c2.request("GET", "/healthz", &[], None).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "second connection starved for {:?} behind an idle keep-alive peer",
+        t0.elapsed()
+    );
+
+    // Shutdown must also get through (this was the original symptom).
+    let report = srv.shutdown();
+    assert_eq!(report.aborted, 0);
+}
+
+/// The ISSUE's drain criterion: `POST /admin/shutdown` under in-flight
+/// load completes every accepted request within the drain deadline.
+#[test]
+fn graceful_shutdown_drains_in_flight_load() {
+    let config = ServerConfig {
+        workers: 6,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        drain_deadline: Duration::from_secs(10),
+        ..Default::default()
+    };
+    let srv = TestServer::start(config);
+    let id = srv.register_dtd(BIB_DTD, "bib");
+    let target = format!("/v1/prune?dtd={id}&query={}", urlencode("/bib/book/title"));
+
+    let dtd = parse_dtd(BIB_DTD, "bib").unwrap();
+    let cache = ProjectorCache::new(4);
+    let projector = cache.get_or_compute(&dtd, "/bib/book/title").unwrap();
+    let expected = xproj_core::prune_str(BIB_DOC, &dtd, &projector).unwrap().output;
+
+    const CLIENTS: usize = 4;
+    let started = Arc::new(Barrier::new(CLIENTS + 1));
+    let completed = Arc::new(AtomicUsize::new(0));
+    let addr = srv.addr;
+    let mut joins = Vec::new();
+    for _ in 0..CLIENTS {
+        let started = Arc::clone(&started);
+        let completed = Arc::clone(&completed);
+        let target = target.clone();
+        let expected = expected.clone();
+        joins.push(thread::spawn(move || {
+            let mut c = HttpClient::connect(addr).unwrap();
+            c.set_timeout(Duration::from_secs(10)).unwrap();
+            // Open the request and send the first body chunk, so the
+            // request is in flight when shutdown fires...
+            c.write_raw(
+                format!(
+                    "POST {target} HTTP/1.1\r\nhost: t\r\ntransfer-encoding: chunked\r\n\r\n"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+            let bytes = BIB_DOC.as_bytes();
+            let (head, tail) = bytes.split_at(bytes.len() / 2);
+            c.write_raw(format!("{:x}\r\n", head.len()).as_bytes()).unwrap();
+            c.write_raw(head).unwrap();
+            c.write_raw(b"\r\n").unwrap();
+            started.wait();
+            // ...then keep feeding slowly while the server drains.
+            thread::sleep(Duration::from_millis(120));
+            c.write_raw(format!("{:x}\r\n", tail.len()).as_bytes()).unwrap();
+            c.write_raw(tail).unwrap();
+            c.write_raw(b"\r\n0\r\n\r\n").unwrap();
+            let resp = c.read_response().expect("in-flight request must complete");
+            assert_eq!(resp.status, 200, "{}", resp.body_str());
+            assert_eq!(resp.body, expected.as_bytes());
+            completed.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    started.wait();
+    // All four requests are mid-body: pull the plug.
+    let report = srv.shutdown();
+    for j in joins {
+        j.join().expect("client thread");
+    }
+    assert_eq!(completed.load(Ordering::SeqCst), CLIENTS, "every accepted request completes");
+    assert_eq!(report.aborted, 0, "drain must not abort in-flight requests");
+    assert!(
+        report.drained >= CLIENTS as u64,
+        "the in-flight prunes count as drained (drained = {})",
+        report.drained
+    );
+}

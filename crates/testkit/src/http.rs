@@ -1,0 +1,377 @@
+//! A minimal blocking HTTP/1.1 client for exercising the `xmlpruned`
+//! server in tests, benches and CI — std-only, like everything else in
+//! this crate.
+//!
+//! One [`HttpClient`] owns one keep-alive TCP connection; requests can
+//! be sent with a `Content-Length` body ([`HttpClient::request`]) or as
+//! `Transfer-Encoding: chunked` with caller-controlled chunk boundaries
+//! ([`HttpClient::request_chunked`] — the interesting case for a server
+//! whose whole point is incremental body processing). Responses are
+//! parsed for all three framings a 1.1 server may use: `Content-Length`,
+//! chunked, and close-delimited.
+//!
+//! The low-level halves ([`HttpClient::send_request`] /
+//! [`HttpClient::read_response`], plus [`HttpClient::write_raw`]) are
+//! public so tests can do deliberately rude things: pipeline several
+//! requests before reading any response, or disconnect mid-body.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// Reason phrase after the status code.
+    pub reason: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The decoded (de-chunked) body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A blocking HTTP/1.1 client over one keep-alive connection.
+pub struct HttpClient {
+    stream: TcpStream,
+    /// Read-ahead buffer: bytes received but not yet consumed.
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl HttpClient {
+    /// Connects with a 10 s default read/write timeout.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+        })
+    }
+
+    /// Overrides both socket timeouts.
+    pub fn set_timeout(&self, t: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(t))?;
+        self.stream.set_write_timeout(Some(t))
+    }
+
+    /// The peer address of the underlying connection.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Sends a request with an optional `Content-Length` body and reads
+    /// the response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: Option<&[u8]>,
+    ) -> std::io::Result<HttpResponse> {
+        self.send_request(method, target, headers, body)?;
+        self.read_response()
+    }
+
+    /// Sends a request whose body goes out as `Transfer-Encoding:
+    /// chunked`, one HTTP chunk per `chunks` element, and reads the
+    /// response. Empty elements are skipped (an empty chunk would
+    /// terminate the body early).
+    pub fn request_chunked(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        chunks: &[&[u8]],
+    ) -> std::io::Result<HttpResponse> {
+        let mut head = format!("{method} {target} HTTP/1.1\r\n");
+        head.push_str("host: testkit\r\ntransfer-encoding: chunked\r\n");
+        for (n, v) in headers {
+            head.push_str(&format!("{n}: {v}\r\n"));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        for c in chunks {
+            if c.is_empty() {
+                continue;
+            }
+            write!(self.stream, "{:x}\r\n", c.len())?;
+            self.stream.write_all(c)?;
+            self.stream.write_all(b"\r\n")?;
+        }
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.read_response()
+    }
+
+    /// Writes a request without reading the response (for pipelining).
+    pub fn send_request(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: Option<&[u8]>,
+    ) -> std::io::Result<()> {
+        let mut head = format!("{method} {target} HTTP/1.1\r\nhost: testkit\r\n");
+        for (n, v) in headers {
+            head.push_str(&format!("{n}: {v}\r\n"));
+        }
+        if let Some(b) = body {
+            head.push_str(&format!("content-length: {}\r\n", b.len()));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        if let Some(b) = body {
+            self.stream.write_all(b)?;
+        }
+        Ok(())
+    }
+
+    /// Writes raw bytes straight to the socket (for half-sent requests
+    /// and mid-body disconnect tests; drop the client to disconnect).
+    pub fn write_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads and parses one response off the connection.
+    pub fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let status_line = self.read_line()?;
+        let mut parts = status_line.splitn(3, ' ');
+        let _version = parts.next().unwrap_or("");
+        let status: u16 = parts
+            .next()
+            .unwrap_or("")
+            .parse()
+            .map_err(|_| bad(format!("bad status line: {status_line:?}")))?;
+        let reason = parts.next().unwrap_or("").to_string();
+        // Interim 1xx responses (100 Continue) precede the real one.
+        if (100..200).contains(&status) {
+            loop {
+                if self.read_line()?.is_empty() {
+                    break;
+                }
+            }
+            return self.read_response();
+        }
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((n, v)) = line.split_once(':') {
+                headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string()));
+            }
+        }
+        let find = |name: &str| {
+            headers
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+        };
+        let body = if find("transfer-encoding")
+            .map(|v| v.to_ascii_lowercase().contains("chunked"))
+            .unwrap_or(false)
+        {
+            self.read_chunked_body()?
+        } else if let Some(cl) = find("content-length") {
+            let n: usize = cl
+                .parse()
+                .map_err(|_| bad(format!("bad content-length: {cl:?}")))?;
+            self.read_exact_buffered(n)?
+        } else if status == 204 || status == 304 {
+            Vec::new()
+        } else {
+            // Close-delimited: read until EOF.
+            let mut body = self.buf[self.pos..].to_vec();
+            self.pos = self.buf.len();
+            self.stream.read_to_end(&mut body)?;
+            body
+        };
+        Ok(HttpResponse {
+            status,
+            reason,
+            headers,
+            body,
+        })
+    }
+
+    fn read_chunked_body(&mut self) -> std::io::Result<Vec<u8>> {
+        let mut body = Vec::new();
+        loop {
+            let size_line = self.read_line()?;
+            let size_hex = size_line.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_hex, 16)
+                .map_err(|_| bad(format!("bad chunk size: {size_line:?}")))?;
+            if size == 0 {
+                // Trailers (if any) end with an empty line.
+                loop {
+                    if self.read_line()?.is_empty() {
+                        break;
+                    }
+                }
+                return Ok(body);
+            }
+            body.extend_from_slice(&self.read_exact_buffered(size)?);
+            let crlf = self.read_line()?;
+            if !crlf.is_empty() {
+                return Err(bad(format!("chunk not CRLF-terminated: {crlf:?}")));
+            }
+        }
+    }
+
+    /// One CRLF-terminated line, without the terminator.
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = Vec::new();
+        loop {
+            while self.pos < self.buf.len() {
+                let b = self.buf[self.pos];
+                self.pos += 1;
+                if b == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(String::from_utf8_lossy(&line).into_owned());
+                }
+                line.push(b);
+            }
+            self.fill()?;
+        }
+    }
+
+    fn read_exact_buffered(&mut self, n: usize) -> std::io::Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(n);
+        loop {
+            let avail = self.buf.len() - self.pos;
+            let take = avail.min(n - out.len());
+            out.extend_from_slice(&self.buf[self.pos..self.pos + take]);
+            self.pos += take;
+            if out.len() == n {
+                return Ok(out);
+            }
+            self.fill()?;
+        }
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        let mut chunk = [0u8; 8 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}
+
+fn bad(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Percent-encodes a query-string value (everything but unreserved
+/// characters), so tests and benches can build `?query=…` targets
+/// without hand-escaping.
+pub fn urlencode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A one-shot canned server: accepts one connection, reads until the
+    /// request's blank line (+ content-length body if present), then
+    /// writes `response` and closes.
+    fn canned(response: &'static [u8]) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            let mut tmp = [0u8; 1024];
+            while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                let n = s.read(&mut tmp).unwrap();
+                if n == 0 {
+                    break;
+                }
+                buf.extend_from_slice(&tmp[..n]);
+            }
+            s.write_all(response).unwrap();
+        });
+        addr
+    }
+
+    #[test]
+    fn parses_content_length_response() {
+        let addr = canned(b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\nX-Test: yes\r\n\r\nhello");
+        let mut c = HttpClient::connect(addr).unwrap();
+        let r = c.request("GET", "/x", &[], None).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-test"), Some("yes"));
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn parses_chunked_response_and_skips_100_continue() {
+        let addr = canned(
+            b"HTTP/1.1 100 Continue\r\n\r\nHTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+              3\r\nfoo\r\n4\r\nbarb\r\n0\r\n\r\n",
+        );
+        let mut c = HttpClient::connect(addr).unwrap();
+        let r = c.request("POST", "/x", &[], Some(b"body")).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"foobarb");
+    }
+
+    #[test]
+    fn parses_close_delimited_response() {
+        let addr = canned(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\nrest-of-stream");
+        let mut c = HttpClient::connect(addr).unwrap();
+        let r = c.request("GET", "/", &[], None).unwrap();
+        assert_eq!(r.body, b"rest-of-stream");
+    }
+
+    #[test]
+    fn urlencode_roundtrippable() {
+        assert_eq!(urlencode("/a/b"), "%2Fa%2Fb");
+        assert_eq!(urlencode("a b+c"), "a%20b%2Bc");
+        assert_eq!(urlencode("safe-._~09AZ"), "safe-._~09AZ");
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`strategy`] — generator combinators with bounded, value-based
 //!   shrinking;
 //! * [`runner`] — the case loop with failing-seed reporting;
+//! * [`http`] — a minimal blocking HTTP/1.1 client (keep-alive,
+//!   chunked bodies, pipelining) for exercising the `xmlpruned` server;
 //! * [`forall!`] — a `proptest!`-shaped macro so ported tests keep
 //!   their structure.
 //!
@@ -47,10 +49,12 @@
 
 #![warn(missing_docs)]
 
+pub mod http;
 pub mod rng;
 pub mod runner;
 pub mod strategy;
 
+pub use http::{urlencode, HttpClient, HttpResponse};
 pub use rng::{fnv1a, mix, SplitMix64};
 pub use runner::{check, case_seed, Config};
 pub use strategy::{

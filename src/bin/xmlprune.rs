@@ -162,7 +162,7 @@ fn resolve_dtd(o: &Opts, xml: Option<&str>) -> Result<(Dtd, &'static str), Strin
 /// the internal-subset and dataguide fallbacks both need the whole
 /// document in memory, which defeats the point of streaming.
 fn run_chunked_prune(o: &Opts) -> Result<(), String> {
-    use xml_projection::engine::{run_batch, BatchJob, DEFAULT_CHUNK_SIZE};
+    use xml_projection::engine::{error_json_line, run_batch, BatchJob, ProjectorCache, DEFAULT_CHUNK_SIZE};
     use std::path::PathBuf;
 
     if o.validate {
@@ -180,15 +180,22 @@ fn run_chunked_prune(o: &Opts) -> Result<(), String> {
     }
     let (dtd, source) = resolve_dtd(o, None)?;
     eprintln!("using {source} ({} names)", dtd.name_count());
+    // Query-derived projectors go through the same ProjectorCache the
+    // server uses, so `--stats` reports the cache counters too.
+    let cache = ProjectorCache::new(32);
     let projector = match &o.projector {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             xml_projection::core::Projector::from_text(&dtd, &text)?
         }
-        None => Projection::for_queries(&dtd, o.queries.iter().map(|s| s.as_str()))
-            .map_err(|e| e.to_string())?
-            .projector()
-            .clone(),
+        None => {
+            let mut union = xml_projection::core::Projector::empty(&dtd);
+            for q in &o.queries {
+                let p = cache.get_or_compute(&dtd, q).map_err(|e| format!("{q}: {e}"))?;
+                union = union.union(&p);
+            }
+            union
+        }
     };
     let chunk_size = o.chunk_size.unwrap_or(DEFAULT_CHUNK_SIZE);
     let jobs = o.jobs.unwrap_or(1);
@@ -201,7 +208,7 @@ fn run_chunked_prune(o: &Opts) -> Result<(), String> {
 
     // Single stream (stdin or one file): prune straight through.
     if files.len() <= 1 && o.positional.len() <= 1 {
-        let stats = {
+        let result = {
             let sink: Box<dyn std::io::Write> = match &o.output {
                 Some(p) => Box::new(std::io::BufWriter::new(
                     std::fs::File::create(p).map_err(|e| format!("{p}: {e}"))?,
@@ -226,8 +233,17 @@ fn run_chunked_prune(o: &Opts) -> Result<(), String> {
                     chunk_size,
                 ),
             }
-            .map_err(|e| e.to_string())?
         };
+        let mut stats = match result {
+            Ok(stats) => stats,
+            Err(e) => {
+                if o.stats {
+                    eprintln!("{}", error_json_line("prune", e.code(), &e.to_string()));
+                }
+                return Err(e.to_string());
+            }
+        };
+        stats.cache = cache.stats();
         eprintln!(
             "kept {} elements, pruned {} subtrees; {:.1}% of the input retained \
              (peak resident: {} bytes)",
@@ -263,7 +279,8 @@ fn run_chunked_prune(o: &Opts) -> Result<(), String> {
             BatchJob { input, output }
         })
         .collect();
-    let report = run_batch(batch, &dtd, &projector, chunk_size, jobs);
+    let mut report = run_batch(batch, &dtd, &projector, chunk_size, jobs);
+    report.aggregate.cache = cache.stats();
     for item in &report.items {
         match &item.result {
             Ok(stats) => {
@@ -271,7 +288,19 @@ fn run_chunked_prune(o: &Opts) -> Result<(), String> {
                     eprintln!("{}", stats.to_json_line(&item.job.input.display().to_string()));
                 }
             }
-            Err(e) => eprintln!("xmlprune: {}: {e}", item.job.input.display()),
+            Err(e) => {
+                eprintln!("xmlprune: {}: {e}", item.job.input.display());
+                if o.stats {
+                    eprintln!(
+                        "{}",
+                        error_json_line(
+                            &item.job.input.display().to_string(),
+                            e.code,
+                            &e.message
+                        )
+                    );
+                }
+            }
         }
     }
     eprintln!(

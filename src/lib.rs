@@ -45,13 +45,16 @@
 //! * [`xmark`] — the XMark/XPathMark benchmark substrate;
 //! * [`engine`] — the serving pipeline: chunked push-mode pruning over
 //!   `io::Read`/`io::Write`, projector cache, parallel batch driver,
-//!   metrics.
+//!   metrics;
+//! * [`server`] — `xmlpruned`, a zero-dependency HTTP/1.1 daemon that
+//!   serves streaming pruning with live metrics and graceful shutdown.
 
 #![warn(missing_docs)]
 
 pub use xproj_core as core;
 pub use xproj_dtd as dtd;
 pub use xproj_engine as engine;
+pub use xproj_server as server;
 pub use xproj_xmark as xmark;
 pub use xproj_xmltree as xmltree;
 pub use xproj_xpath as xpath;
