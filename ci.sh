@@ -9,6 +9,9 @@ cd "$(dirname "$0")"
 echo "== build (release, workspace, offline, locked) =="
 cargo build --release --workspace --offline --locked
 
+echo "== clippy (workspace, all targets, deny warnings) =="
+cargo clippy --workspace --all-targets --offline --locked -- -D warnings
+
 echo "== test (workspace, offline, locked) =="
 cargo test -q --workspace --offline --locked
 
@@ -24,6 +27,30 @@ cargo test -q --offline --locked -p xproj-engine \
     --test chunked_equiv xmark_chunked_differential
 TESTKIT_FUZZ_CASES=100 cargo test -q --offline --locked -p xproj-engine \
     --test chunked_equiv fuzz_chunked_equals_whole_string_pruning
+
+echo "== analyzer smoke (XMark provenance + retention prediction) =="
+# The rigorous form: on the generated XMark document, the predicted
+# retention must land within 2x of what pruning actually retains, and
+# the JSON-lines report must parse record by record.
+cargo test -q --offline --locked -p xproj-analyzer --test xmark_smoke
+# And the CLI surface: analyze an XMark query against the committed
+# auction DTD, then check the JSON report parses and the predicted
+# retention sits in a sane band for this very selective query.
+./target/release/xmlprune analyze --dtd examples/auction.dtd --root site --json \
+    "/site/closed_auctions/closed_auction/annotation/description/text/keyword" \
+    > /tmp/xmlprune-analyze.jsonl
+python3 - <<'PY'
+import json
+recs = [json.loads(l) for l in open('/tmp/xmlprune-analyze.jsonl')]
+types = {r['type'] for r in recs}
+assert {'meta','path','name','dtd','optimality','retention'} <= types, types
+ret = next(r for r in recs if r['type'] == 'retention')
+assert 0.0 < ret['predicted'] < 0.5, ret
+names = [r for r in recs if r['type'] == 'name']
+assert names and all(r['chain'][0] == 'site' for r in names), names
+print(f"analyzer smoke: {len(names)} provenance records, "
+      f"predicted retention {ret['predicted']:.1%}")
+PY
 
 echo "== server smoke (xmlpruned binary: health, prune round-trip, drain) =="
 # Spawns the real daemon on an ephemeral port, health-checks it,

@@ -1,0 +1,146 @@
+//! Projector diffing across two DTD versions.
+//!
+//! Schema evolution silently changes projectors: a new optional child
+//! widens π, a renamed element empties it. Diffing the projector the
+//! same workload induces on two grammars makes that visible before any
+//! document is pruned.
+
+use crate::retention::{estimate, RetentionOptions};
+use crate::AnalyzerError;
+use xproj_core::{Projector, StaticAnalyzer};
+use xproj_dtd::Dtd;
+use xproj_xquery::project_xquery_str;
+
+/// Label-level diff of the projectors a workload induces on two DTDs.
+#[derive(Debug, Clone)]
+pub struct ProjectorDiff {
+    /// Labels kept by both projectors.
+    pub kept: Vec<String>,
+    /// Labels only the new DTD's projector keeps.
+    pub added: Vec<String>,
+    /// Labels only the old DTD's projector keeps.
+    pub removed: Vec<String>,
+    /// Size of the old projector.
+    pub old_size: usize,
+    /// Size of the new projector.
+    pub new_size: usize,
+    /// Predicted retention on the old DTD.
+    pub old_retention: f64,
+    /// Predicted retention on the new DTD.
+    pub new_retention: f64,
+}
+
+fn workload_projector(dtd: &Dtd, queries: &[String]) -> Result<Projector, AnalyzerError> {
+    let mut sa = StaticAnalyzer::new(dtd);
+    let mut acc = Projector::empty(dtd);
+    for (qi, q) in queries.iter().enumerate() {
+        let p = project_xquery_str(&mut sa, q)
+            .map_err(|e| AnalyzerError::BadQuery(format!("query #{}: {e}", qi + 1)))?;
+        acc = acc.union(&p);
+    }
+    Ok(acc)
+}
+
+/// Diffs the projector a workload induces on `old` versus `new`.
+pub fn diff_projectors(
+    old: &Dtd,
+    new: &Dtd,
+    queries: &[String],
+    opts: &RetentionOptions,
+) -> Result<ProjectorDiff, AnalyzerError> {
+    let pi_old = workload_projector(old, queries)?;
+    let pi_new = workload_projector(new, queries)?;
+    let old_labels: Vec<String> = pi_old.labels(old).iter().map(|s| s.to_string()).collect();
+    let new_labels: Vec<String> = pi_new.labels(new).iter().map(|s| s.to_string()).collect();
+    let kept = old_labels
+        .iter()
+        .filter(|l| new_labels.contains(l))
+        .cloned()
+        .collect();
+    let added = new_labels
+        .iter()
+        .filter(|l| !old_labels.contains(l))
+        .cloned()
+        .collect();
+    let removed = old_labels
+        .iter()
+        .filter(|l| !new_labels.contains(l))
+        .cloned()
+        .collect();
+    Ok(ProjectorDiff {
+        kept,
+        added,
+        removed,
+        old_size: pi_old.len(),
+        new_size: pi_new.len(),
+        old_retention: estimate(old, &pi_old, opts).predicted,
+        new_retention: estimate(new, &pi_new, opts).predicted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xproj_dtd::parse_dtd;
+
+    #[test]
+    fn added_child_shows_up_as_added() {
+        let old = parse_dtd(
+            "<!ELEMENT bib (book*)> <!ELEMENT book (title)>\
+             <!ELEMENT title (#PCDATA)>",
+            "bib",
+        )
+        .unwrap();
+        let new = parse_dtd(
+            "<!ELEMENT bib (book*)> <!ELEMENT book (title, isbn?)>\
+             <!ELEMENT title (#PCDATA)> <!ELEMENT isbn (#PCDATA)>",
+            "bib",
+        )
+        .unwrap();
+        let d = diff_projectors(
+            &old,
+            &new,
+            &["/bib/book".to_string()],
+            &RetentionOptions::default(),
+        )
+        .unwrap();
+        assert!(d.added.contains(&"isbn".to_string()), "{d:?}");
+        assert!(d.added.contains(&"isbn#text".to_string()));
+        assert!(d.removed.is_empty());
+        assert!(d.kept.contains(&"title".to_string()));
+        assert_eq!(d.old_size, d.kept.len());
+        assert!(d.old_retention > 0.0 && d.new_retention > 0.0);
+    }
+
+    #[test]
+    fn renamed_element_empties_the_new_projector() {
+        let old = parse_dtd(
+            "<!ELEMENT bib (book*)> <!ELEMENT book (#PCDATA)>",
+            "bib",
+        )
+        .unwrap();
+        let new = parse_dtd(
+            "<!ELEMENT bib (entry*)> <!ELEMENT entry (#PCDATA)>",
+            "bib",
+        )
+        .unwrap();
+        let d = diff_projectors(
+            &old,
+            &new,
+            &["/bib/book/text()".to_string()],
+            &RetentionOptions::default(),
+        )
+        .unwrap();
+        assert!(d.removed.contains(&"book".to_string()), "{d:?}");
+        assert!(d.new_size < d.old_size);
+    }
+
+    #[test]
+    fn bad_query_is_reported() {
+        let d = parse_dtd("<!ELEMENT a EMPTY>", "a").unwrap();
+        assert!(matches!(
+            diff_projectors(&d, &d, &["/a[".to_string()], &RetentionOptions::default()),
+            Err(AnalyzerError::BadQuery(_))
+        ));
+    }
+}

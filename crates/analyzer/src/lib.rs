@@ -1,0 +1,369 @@
+//! Static analysis over (DTD, query) pairs — the "explain" layer on top
+//! of the projector inference.
+//!
+//! Where `xproj-core` answers *what* the projector is, this crate
+//! answers *why* and *how much it buys*:
+//!
+//! * [`provenance`] — provenance-tracked inference: every name admitted
+//!   into π carries the query step, Figure 2 rule, and `⇒E` chain that
+//!   pulled it in;
+//! * the Def. 4.3 witness diagnostics of `xproj_dtd::diagnostics`,
+//!   combined with a per-query strong-specification check into an
+//!   [`OptimalityClaim`]: whether the Thm. 4.7 optimality guarantee
+//!   applies to this (DTD, workload) pair, and if not, the concrete
+//!   witnesses that break it;
+//! * [`retention`] — a DTD-driven expected-size model predicting the
+//!   retention ratio before any document is pruned, optionally
+//!   calibrated against a sample document;
+//! * [`lints`] — dead names, recursive blowup, weak pruning, undeclared
+//!   query tags;
+//! * [`diff`] — projector diffing across two DTD versions;
+//! * [`report`] — text and JSON-lines rendering shared by the CLI and
+//!   the HTTP server.
+//!
+//! Everything here is advisory: the analyzer never changes what the
+//! projector pipeline computes — [`provenance::trace_workload`] runs the
+//! *same* extraction and inference as `project_xquery`, with tracing on.
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod lints;
+pub mod provenance;
+pub mod report;
+pub mod retention;
+
+pub use diff::{diff_projectors, ProjectorDiff};
+pub use lints::{run_lints, Lint, LintLevel};
+pub use provenance::{trace_workload, ExtractedPath, Provenance, ProvenanceEntry};
+pub use report::{render_json_lines, render_text};
+pub use retention::{
+    calibrate, estimate, estimate_calibrated, NameWeight, RetentionEstimate, RetentionOptions,
+    SampleStats,
+};
+
+use xproj_core::stream::ErrorCode;
+use xproj_dtd::{diagnostics, Dtd, DtdDiagnostics};
+use xproj_xpath::ast::{Axis, Expr, LocationPath, NodeTest};
+use xproj_xquery::{parse_xquery, XQuery};
+
+/// Analyzer failure. Maps onto the workspace's stable wire codes via
+/// [`AnalyzerError::code`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzerError {
+    /// A workload query failed to parse.
+    BadQuery(String),
+    /// A DTD failed to parse or does not fit the request (e.g. the
+    /// second grammar of a projector diff).
+    BadDtd(String),
+}
+
+impl AnalyzerError {
+    /// The stable error code for this failure.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            AnalyzerError::BadQuery(_) => ErrorCode::BadQuery,
+            AnalyzerError::BadDtd(_) => ErrorCode::BadDtd,
+        }
+    }
+}
+
+impl std::fmt::Display for AnalyzerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzerError::BadQuery(m) => write!(f, "bad query: {m}"),
+            AnalyzerError::BadDtd(m) => write!(f, "bad dtd: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzerError {}
+
+/// Options for [`analyze`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisOptions<'a> {
+    /// Sample document for calibrating the retention model.
+    pub sample: Option<&'a str>,
+    /// Structural-model tunables.
+    pub retention: RetentionOptions,
+}
+
+/// Whether Thm. 4.7 (optimality of the inferred projector) applies to a
+/// (DTD, workload) pair, and the concrete reasons when it does not.
+#[derive(Debug, Clone)]
+pub struct OptimalityClaim {
+    /// Conjunction of the two sides.
+    pub applies: bool,
+    /// The DTD side: Def. 4.3 holds (no witness found).
+    pub dtd_ok: bool,
+    /// The query side: every workload query is a strongly-specified
+    /// downward XPath path.
+    pub query_ok: bool,
+    /// One line per violated precondition, with witnesses.
+    pub reasons: Vec<String>,
+}
+
+/// The full analysis of a (DTD, workload) pair.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The DTD root's label.
+    pub root: String,
+    /// Number of root-reachable names.
+    pub reachable: usize,
+    /// The workload, verbatim.
+    pub queries: Vec<String>,
+    /// Traced inference result (paths, projector, per-name provenance).
+    pub provenance: Provenance,
+    /// Def. 4.3 witnesses.
+    pub diagnostics: DtdDiagnostics,
+    /// The optimality verdict.
+    pub optimality: OptimalityClaim,
+    /// The retention prediction.
+    pub retention: RetentionEstimate,
+    /// Lint findings.
+    pub lints: Vec<Lint>,
+    /// Optional projector diff against a second DTD version (attached by
+    /// the caller via [`diff_projectors`]).
+    pub diff: Option<ProjectorDiff>,
+}
+
+/// Runs the whole static analysis for a workload against a DTD.
+pub fn analyze(
+    dtd: &Dtd,
+    queries: &[String],
+    opts: &AnalysisOptions<'_>,
+) -> Result<Analysis, AnalyzerError> {
+    let provenance = trace_workload(dtd, queries)?;
+    let diags = diagnostics(dtd);
+    let optimality = optimality_claim(dtd, &diags, queries);
+    let retention = match opts.sample {
+        Some(sample) => {
+            estimate_calibrated(dtd, &provenance.projector, sample, &opts.retention)
+        }
+        None => estimate(dtd, &provenance.projector, &opts.retention),
+    };
+    let lints = run_lints(dtd, &provenance.projector, &provenance.paths, &retention);
+    Ok(Analysis {
+        root: dtd.label(dtd.root()).to_string(),
+        reachable: dtd.reachable_from_root().len(),
+        queries: queries.to_vec(),
+        provenance,
+        diagnostics: diags,
+        optimality,
+        retention,
+        lints,
+        diff: None,
+    })
+}
+
+/// Combines the Def. 4.3 witnesses with a per-query strong-specification
+/// check into the Thm. 4.7 verdict.
+pub fn optimality_claim(
+    dtd: &Dtd,
+    diags: &DtdDiagnostics,
+    queries: &[String],
+) -> OptimalityClaim {
+    let mut reasons = Vec::new();
+    let dtd_ok = diags.completeness_ready();
+    if let Some(w) = &diags.star_guard {
+        reasons.push(format!(
+            "DTD is not *-guarded: content model of '{}' — {} — has the unguarded union {}",
+            dtd.label(w.name),
+            w.content,
+            w.factor
+        ));
+    }
+    if let Some(w) = &diags.recursion {
+        reasons.push(format!(
+            "DTD is recursive: {}",
+            xproj_dtd::chains::chain_labels(dtd, &w.cycle)
+        ));
+    }
+    if let Some(w) = &diags.parent_ambiguity {
+        reasons.push(format!(
+            "DTD is parent-ambiguous: '{}' occurs both directly under '{}' and deeper via {}",
+            dtd.label(w.child),
+            dtd.label(w.direct),
+            xproj_dtd::chains::chain_labels(dtd, &w.chain)
+        ));
+    }
+    let mut query_ok = true;
+    for (qi, q) in queries.iter().enumerate() {
+        let verdict = match parse_xquery(q) {
+            Ok(parsed) => strongly_specified(&parsed),
+            Err(e) => Err(format!("does not parse ({e})")),
+        };
+        if let Err(why) = verdict {
+            query_ok = false;
+            reasons.push(format!(
+                "query #{} is not a strongly-specified downward path: {why}",
+                qi + 1
+            ));
+        }
+    }
+    OptimalityClaim {
+        applies: dtd_ok && query_ok,
+        dtd_ok,
+        query_ok,
+        reasons,
+    }
+}
+
+/// Conservative check of the Thm. 4.7 query-side precondition: a single
+/// absolute location path using only downward axes, tag/text tests
+/// (`node()` only on `self`), and purely structural predicates obeying
+/// the same restrictions. `Err` carries the first violation found.
+fn strongly_specified(q: &XQuery) -> Result<(), String> {
+    match q {
+        XQuery::Expr(Expr::Path(lp)) => {
+            if !lp.absolute {
+                return Err("the path is relative".to_string());
+            }
+            downward_steps(lp)
+        }
+        _ => Err("it is a FLWR/expression query, not a location path".to_string()),
+    }
+}
+
+fn downward_steps(lp: &LocationPath) -> Result<(), String> {
+    for step in &lp.steps {
+        match step.axis {
+            Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::SelfAxis => {}
+            other => return Err(format!("it uses the {} axis", other.name())),
+        }
+        match (&step.test, step.axis) {
+            (NodeTest::Tag(_) | NodeTest::Text, _) => {}
+            (NodeTest::Node, Axis::SelfAxis) => {}
+            (NodeTest::Node, axis) => {
+                return Err(format!("it uses node() on the {} axis", axis.name()))
+            }
+            (NodeTest::Element, _) => {
+                return Err("it uses the element wildcard '*'".to_string())
+            }
+        }
+        for pred in &step.predicates {
+            structural_predicate(pred)?;
+        }
+    }
+    Ok(())
+}
+
+fn structural_predicate(e: &Expr) -> Result<(), String> {
+    match e {
+        Expr::Path(lp) => {
+            if lp.absolute {
+                return Err("a predicate contains an absolute path".to_string());
+            }
+            downward_steps(lp)
+        }
+        Expr::Or(a, b) | Expr::And(a, b) => {
+            structural_predicate(a)?;
+            structural_predicate(b)
+        }
+        other => Err(format!("a predicate is not purely structural ({other})")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xproj_dtd::parse_dtd;
+
+    fn books() -> Dtd {
+        parse_dtd(
+            "<!ELEMENT bib (book*)>\
+             <!ELEMENT book (title, author+)>\
+             <!ELEMENT title (#PCDATA)>\
+             <!ELEMENT author (#PCDATA)>",
+            "bib",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn optimality_applies_on_clean_pair() {
+        let d = books();
+        let a = analyze(
+            &d,
+            &["/bib/book/title".to_string()],
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(a.optimality.applies, "{:?}", a.optimality.reasons);
+        assert!(a.optimality.reasons.is_empty());
+        assert!(a.diagnostics.completeness_ready());
+    }
+
+    #[test]
+    fn failing_dtd_yields_concrete_witness() {
+        let d = parse_dtd(
+            "<!ELEMENT c (a | b)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>",
+            "c",
+        )
+        .unwrap();
+        let a = analyze(&d, &["/c/a".to_string()], &AnalysisOptions::default()).unwrap();
+        assert!(!a.optimality.applies);
+        assert!(!a.optimality.dtd_ok);
+        assert!(a.optimality.query_ok);
+        assert!(
+            a.optimality.reasons.iter().any(|r| r.contains("(a | b)")),
+            "{:?}",
+            a.optimality.reasons
+        );
+    }
+
+    #[test]
+    fn flwr_query_never_claims_optimality() {
+        let d = books();
+        let a = analyze(
+            &d,
+            &["for $b in /bib/book return $b/title".to_string()],
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(!a.optimality.applies);
+        assert!(a.optimality.dtd_ok);
+        assert!(!a.optimality.query_ok);
+    }
+
+    #[test]
+    fn upward_axis_breaks_strong_specification() {
+        let d = books();
+        let a = analyze(
+            &d,
+            &["/bib/book/title/parent::node()".to_string()],
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(!a.optimality.query_ok);
+        assert!(
+            a.optimality.reasons.iter().any(|r| r.contains("parent")),
+            "{:?}",
+            a.optimality.reasons
+        );
+    }
+
+    #[test]
+    fn structural_predicates_are_allowed() {
+        let d = books();
+        let a = analyze(
+            &d,
+            &["/bib/book[author]/title".to_string()],
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(a.optimality.applies, "{:?}", a.optimality.reasons);
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        assert_eq!(
+            AnalyzerError::BadQuery(String::new()).code().as_str(),
+            "bad-query"
+        );
+        assert_eq!(
+            AnalyzerError::BadDtd(String::new()).code().as_str(),
+            "bad-dtd"
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! Workload lints: dead names, recursive blowup, weak pruning,
+//! undeclared query tags.
+//!
+//! Lints are advisory — the projector stays sound regardless — but each
+//! one flags a (DTD, query) interaction that usually means the workload
+//! or the grammar is not what the author intended.
+
+use crate::provenance::ExtractedPath;
+use crate::retention::RetentionEstimate;
+use xproj_core::Projector;
+use xproj_dtd::{Content, Dtd, NameId, NameSet, Regex};
+use xproj_xpath::xpathl::{LAxis, LStep, LTest};
+
+/// Lint severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Worth knowing, nothing wrong.
+    Info,
+    /// Likely a mistake or a performance hazard.
+    Warning,
+}
+
+impl LintLevel {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LintLevel::Info => "info",
+            LintLevel::Warning => "warning",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    /// Stable kebab-case code.
+    pub code: &'static str,
+    /// Severity.
+    pub level: LintLevel,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Retention at or above this fraction flags the `weak-pruning` lint.
+pub const WEAK_PRUNING_THRESHOLD: f64 = 0.9;
+
+/// Runs every lint over an analysed workload.
+pub fn run_lints(
+    dtd: &Dtd,
+    projector: &Projector,
+    paths: &[ExtractedPath],
+    retention: &RetentionEstimate,
+) -> Vec<Lint> {
+    let mut out = Vec::new();
+    undeclared_tags(dtd, paths, &mut out);
+    dead_names(dtd, projector, &mut out);
+    recursive_blowup(dtd, projector, paths, &mut out);
+    if retention.predicted >= WEAK_PRUNING_THRESHOLD {
+        out.push(Lint {
+            code: "weak-pruning",
+            level: LintLevel::Info,
+            message: format!(
+                "predicted retention is {:.0}% — the projector keeps almost \
+                 everything, pruning will not pay for itself on this workload",
+                retention.predicted * 100.0
+            ),
+        });
+    }
+    out
+}
+
+/// Tags tested by the query that no DTD production declares: the step
+/// can never select anything, which usually means a typo.
+fn undeclared_tags(dtd: &Dtd, paths: &[ExtractedPath], out: &mut Vec<Lint>) {
+    let mut seen: Vec<String> = Vec::new();
+    let visit = |steps: &[LStep], seen: &mut Vec<String>, out: &mut Vec<Lint>| {
+        for s in steps {
+            let mut tags: Vec<&str> = Vec::new();
+            if let LTest::Tag(t) = &s.step.test {
+                tags.push(t);
+            }
+            for cond in &s.cond {
+                for cs in cond {
+                    if let LTest::Tag(t) = &cs.test {
+                        tags.push(t);
+                    }
+                }
+            }
+            for t in tags {
+                if dtd.name_of_tag_str(t).is_none() && !seen.iter().any(|x| x == t) {
+                    seen.push(t.to_string());
+                    out.push(Lint {
+                        code: "undeclared-element",
+                        level: LintLevel::Warning,
+                        message: format!(
+                            "the query tests element '{t}', which the DTD does not \
+                             declare — the step can never match"
+                        ),
+                    });
+                }
+            }
+        }
+    };
+    for p in paths {
+        visit(&p.lpath.steps, &mut seen, out);
+    }
+}
+
+/// `true` when `re` can match some word using only names in `ok`.
+fn can_complete(re: &Regex, ok: &NameSet) -> bool {
+    match re {
+        Regex::Epsilon => true,
+        Regex::Name(n) => ok.contains(*n),
+        Regex::Seq(rs) => rs.iter().all(|r| can_complete(r, ok)),
+        Regex::Alt(rs) => rs.iter().any(|r| can_complete(r, ok)),
+        Regex::Star(_) | Regex::Opt(_) => true,
+        Regex::Plus(r) => can_complete(r, ok),
+    }
+}
+
+/// `true` when `re` can match some word *containing* `n`, using only
+/// names in `ok`.
+fn can_emit(re: &Regex, n: NameId, ok: &NameSet) -> bool {
+    match re {
+        Regex::Epsilon => false,
+        Regex::Name(m) => *m == n,
+        Regex::Seq(rs) => rs.iter().enumerate().any(|(i, r)| {
+            can_emit(r, n, ok)
+                && rs
+                    .iter()
+                    .enumerate()
+                    .all(|(j, s)| j == i || can_complete(s, ok))
+        }),
+        Regex::Alt(rs) => rs.iter().any(|r| can_emit(r, n, ok)),
+        Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) => can_emit(r, n, ok),
+    }
+}
+
+/// Names that can appear in *some* finite valid document rooted at the
+/// DTD root. Two fixpoints: productivity (the name's own subtree can
+/// terminate), then top-down viability (some productive parent can
+/// actually emit the name inside a completable word).
+fn viable_names(dtd: &Dtd) -> NameSet {
+    let n = dtd.name_count();
+    // Productivity fixpoint.
+    let mut productive = NameSet::empty(n);
+    loop {
+        let mut changed = false;
+        for x in dtd.all_names() {
+            if productive.contains(x) {
+                continue;
+            }
+            let ok = match &dtd.info(x).content {
+                Content::Text => true,
+                Content::Element(re) => can_complete(re, &productive),
+            };
+            if ok && productive.insert(x) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Viability from the root through productive emissions.
+    let mut viable = NameSet::empty(n);
+    if !productive.contains(dtd.root()) {
+        return viable;
+    }
+    viable.insert(dtd.root());
+    let mut queue = std::collections::VecDeque::from([dtd.root()]);
+    while let Some(y) = queue.pop_front() {
+        let Content::Element(re) = &dtd.info(y).content else {
+            continue;
+        };
+        for c in dtd.children_of(y) {
+            if !viable.contains(c) && productive.contains(c) && can_emit(re, c, &productive) {
+                viable.insert(c);
+                queue.push_back(c);
+            }
+        }
+    }
+    viable
+}
+
+/// Root-reachable names that no finite valid document can contain.
+/// Keeping them in π is harmless but indicates grammar rot.
+fn dead_names(dtd: &Dtd, projector: &Projector, out: &mut Vec<Lint>) {
+    let reachable = dtd.reachable_from_root();
+    let viable = viable_names(dtd);
+    for x in dtd.all_names() {
+        if reachable.contains(x) && !viable.contains(x) {
+            let in_pi = projector.contains(x);
+            out.push(Lint {
+                code: "dead-name",
+                level: if in_pi {
+                    LintLevel::Warning
+                } else {
+                    LintLevel::Info
+                },
+                message: format!(
+                    "'{}' is reachable in the grammar but can never occur in a \
+                     finite valid document{}",
+                    dtd.label(x),
+                    if in_pi {
+                        " (and the projector keeps it)"
+                    } else {
+                        ""
+                    }
+                ),
+            });
+        }
+    }
+}
+
+/// A descendant axis in the workload combined with recursive names in π
+/// means the pruned document can still be arbitrarily deep — the usual
+/// source of "projection did not help" surprises.
+fn recursive_blowup(
+    dtd: &Dtd,
+    projector: &Projector,
+    paths: &[ExtractedPath],
+    out: &mut Vec<Lint>,
+) {
+    // Extraction appends a final descendant-or-self::node() step to
+    // materialise result subtrees; only descendant axes *before* that
+    // mean the query itself walks unbounded depth.
+    let uses_descendant = paths.iter().any(|p| {
+        let steps = &p.lpath.steps;
+        let end = match steps.last() {
+            Some(last)
+                if last.cond.is_empty()
+                    && last.step == xproj_xpath::xpathl::SimpleStep::dos() =>
+            {
+                steps.len() - 1
+            }
+            _ => steps.len(),
+        };
+        steps[..end].iter().any(|s| {
+            matches!(s.step.axis, LAxis::Descendant | LAxis::DescendantOrSelf)
+                || s.cond.iter().flatten().any(|cs| {
+                    matches!(cs.axis, LAxis::Descendant | LAxis::DescendantOrSelf)
+                })
+        })
+    });
+    if !uses_descendant {
+        return;
+    }
+    let recursive: Vec<&str> = projector
+        .names()
+        .iter()
+        .filter(|&n| dtd.descendants_of(n).contains(n))
+        .map(|n| dtd.label(n))
+        .collect();
+    if recursive.is_empty() {
+        return;
+    }
+    let shown = recursive[..recursive.len().min(5)].join(", ");
+    let suffix = if recursive.len() > 5 { ", …" } else { "" };
+    out.push(Lint {
+        code: "recursive-blowup",
+        level: LintLevel::Warning,
+        message: format!(
+            "the workload uses a descendant axis and the projector keeps \
+             recursive name(s) {shown}{suffix} — pruned documents can still \
+             nest unboundedly under them"
+        ),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::trace_workload;
+    use crate::retention::{estimate, RetentionOptions};
+    use xproj_dtd::parse_dtd;
+
+    fn lints_for(dtd_src: &str, root: &str, query: &str) -> Vec<Lint> {
+        let d = parse_dtd(dtd_src, root).unwrap();
+        let p = trace_workload(&d, &[query.to_string()]).unwrap();
+        let r = estimate(&d, &p.projector, &RetentionOptions::default());
+        run_lints(&d, &p.projector, &p.paths, &r)
+    }
+
+    #[test]
+    fn undeclared_tag_is_flagged_once() {
+        let ls = lints_for(
+            "<!ELEMENT bib (book*)> <!ELEMENT book (#PCDATA)>",
+            "bib",
+            "/bib/boook | /bib/boook",
+        );
+        let hits: Vec<_> = ls.iter().filter(|l| l.code == "undeclared-element").collect();
+        assert_eq!(hits.len(), 1, "{ls:?}");
+        assert!(hits[0].message.contains("boook"));
+    }
+
+    #[test]
+    fn dead_name_is_flagged() {
+        // b requires c, c requires b: neither subtree can terminate.
+        let ls = lints_for(
+            "<!ELEMENT a (x*, b*)> <!ELEMENT x (#PCDATA)>\
+             <!ELEMENT b (c)> <!ELEMENT c (b)>",
+            "a",
+            "/a/x",
+        );
+        let dead: Vec<_> = ls.iter().filter(|l| l.code == "dead-name").collect();
+        assert_eq!(dead.len(), 2, "{ls:?}");
+    }
+
+    #[test]
+    fn viable_names_handles_seq_constraints() {
+        // y's content (x, b) needs b, and b is unproductive → y dead too.
+        let d = parse_dtd(
+            "<!ELEMENT a (y?, x?)> <!ELEMENT y (x, b)>\
+             <!ELEMENT x EMPTY> <!ELEMENT b (b)>",
+            "a",
+        )
+        .unwrap();
+        let v = viable_names(&d);
+        let label = |s: &str| d.name_of_tag_str(s).unwrap();
+        assert!(v.contains(label("a")));
+        assert!(v.contains(label("x")));
+        assert!(!v.contains(label("y")));
+        assert!(!v.contains(label("b")));
+    }
+
+    #[test]
+    fn recursive_descendant_blowup_is_flagged() {
+        let ls = lints_for(
+            "<!ELEMENT part (part*, name)> <!ELEMENT name (#PCDATA)>",
+            "part",
+            "//name",
+        );
+        assert!(ls.iter().any(|l| l.code == "recursive-blowup"), "{ls:?}");
+    }
+
+    #[test]
+    fn no_blowup_without_descendant_axis() {
+        let ls = lints_for(
+            "<!ELEMENT part (part*, name)> <!ELEMENT name (#PCDATA)>",
+            "part",
+            "/part/name",
+        );
+        assert!(!ls.iter().any(|l| l.code == "recursive-blowup"), "{ls:?}");
+    }
+
+    #[test]
+    fn weak_pruning_flagged_for_keep_everything_query() {
+        let ls = lints_for(
+            "<!ELEMENT bib (book*)> <!ELEMENT book (#PCDATA)>",
+            "bib",
+            "/bib",
+        );
+        assert!(ls.iter().any(|l| l.code == "weak-pruning"), "{ls:?}");
+    }
+}

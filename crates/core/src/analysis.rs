@@ -64,6 +64,44 @@ impl NormPaths {
         self.arena.len()
     }
 
+    /// Human-readable rendering of one primitive step, for provenance
+    /// reports. `idx` one past the end renders as the match point.
+    pub fn render_step(&self, pid: PathId, idx: usize) -> String {
+        use xproj_xpath::xpathl::SimpleStep;
+        match self.steps(pid).get(idx) {
+            None => "the match point (end of path)".to_string(),
+            Some(PStep::AxisNode(axis)) => format!("{}::node()", axis.name()),
+            Some(PStep::SelfTest(test)) => {
+                SimpleStep::new(LAxis::SelfAxis, test.clone()).to_string()
+            }
+            Some(PStep::Cond(ids)) => {
+                let mut out = String::from("[");
+                for (i, id) in ids.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" or ");
+                    }
+                    out.push_str(&self.render_path(*id));
+                }
+                out.push(']');
+                out
+            }
+        }
+    }
+
+    /// Renders a whole arena path step by step (condition disjuncts are
+    /// relative, so no leading `/`).
+    pub fn render_path(&self, pid: PathId) -> String {
+        let steps = self.steps(pid);
+        let mut out = String::new();
+        for (i, _) in steps.iter().enumerate() {
+            if i > 0 {
+                out.push('/');
+            }
+            out.push_str(&self.render_step(pid, i));
+        }
+        out
+    }
+
     fn norm_steps(&mut self, steps: &[LStep]) -> Vec<PStep> {
         let mut out = Vec::with_capacity(steps.len() * 2);
         for ls in steps {

@@ -40,12 +40,68 @@ impl std::error::Error for AnalyzeError {}
 
 type MemoKey = (u32, u32, usize, NameSet);
 
+/// Which Figure 2 rule admitted a name into the raw inferred set (the
+/// provenance vocabulary of the analyzer layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceRule {
+    /// Base rule: the name is in the final environment (the match's type
+    /// or its context) — it lies on the `⇒E` chain to a selected node.
+    Final,
+    /// The step's own spine name `Y` (the `{Y} ∪ …` part of a rule).
+    Spine,
+    /// Admitted as a *useful* axis target of the step (an `Xᵢ` whose
+    /// subtree can still satisfy the rest of the path).
+    Axis,
+    /// Materialisation: a descendant of the result type, kept so result
+    /// subtrees serialize intact (§4.2 end).
+    Materialize,
+}
+
+impl TraceRule {
+    /// Stable lowercase label (used in JSON reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceRule::Final => "final",
+            TraceRule::Spine => "spine",
+            TraceRule::Axis => "axis",
+            TraceRule::Materialize => "materialize",
+        }
+    }
+}
+
+/// One provenance event: `name` was admitted by `rule` while inferring
+/// step `(pid, idx)` of source path number `source` (the caller decides
+/// source numbering via [`StaticAnalyzer::set_trace_source`]). Events
+/// are recorded the *first* time each memoised sub-inference runs, so
+/// every name in the raw inferred set has at least one event; memo hits
+/// do not duplicate events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The admitted name (extended-universe; the synthetic document name
+    /// is filtered out).
+    pub name: NameId,
+    /// The rule that admitted it.
+    pub rule: TraceRule,
+    /// Which top-level source path was being inferred.
+    pub source: usize,
+    /// Arena path (0 = main path, > 0 = condition disjuncts) within that
+    /// source. Meaningless for [`TraceRule::Materialize`].
+    pub pid: PathId,
+    /// Step index within `pid`; for [`TraceRule::Final`] this is the path
+    /// length (one past the last step).
+    pub idx: usize,
+    /// The name the step was applied *from*, when distinct from `name`.
+    pub via: Option<NameId>,
+}
+
 /// The static analyser: owns the extended-universe tables and the
 /// inference memo. One instance can analyse any number of queries against
 /// the same DTD; projectors for a workload are unioned.
 pub struct StaticAnalyzer<'d> {
     an: Analyzer<'d>,
     memo: HashMap<MemoKey, NameSet>,
+    trace: Option<Vec<TraceEvent>>,
+    trace_source: usize,
 }
 
 impl<'d> StaticAnalyzer<'d> {
@@ -54,6 +110,63 @@ impl<'d> StaticAnalyzer<'d> {
         StaticAnalyzer {
             an: Analyzer::new(dtd),
             memo: HashMap::new(),
+            trace: None,
+            trace_source: 0,
+        }
+    }
+
+    /// Starts recording provenance events. Tracing is off by default —
+    /// the recorder is one `Option` check per name admission, but the
+    /// event log grows with the inference, so only diagnostics turn it
+    /// on.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+        self.trace_source = 0;
+    }
+
+    /// Stops recording and discards any pending events.
+    pub fn disable_trace(&mut self) {
+        self.trace = None;
+    }
+
+    /// Tags subsequent events with a source-path number (e.g. the index
+    /// of the extracted XQuery path being inferred).
+    pub fn set_trace_source(&mut self, source: usize) {
+        self.trace_source = source;
+    }
+
+    /// Drains the recorded events, leaving tracing enabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    fn record(&mut self, name: NameId, rule: TraceRule, pid: PathId, idx: usize, via: Option<NameId>) {
+        if let Some(events) = self.trace.as_mut() {
+            if name != self.an.doc_name() {
+                events.push(TraceEvent {
+                    name,
+                    rule,
+                    source: self.trace_source,
+                    pid,
+                    idx,
+                    via: via.filter(|&v| v != name),
+                });
+            }
+        }
+    }
+
+    fn record_set(
+        &mut self,
+        set: &NameSet,
+        rule: TraceRule,
+        pid: PathId,
+        idx: usize,
+        via: Option<NameId>,
+    ) {
+        if self.trace.is_some() {
+            for n in set {
+                self.record(n, rule, pid, idx, via);
+            }
         }
     }
 
@@ -115,24 +228,33 @@ impl<'d> StaticAnalyzer<'d> {
         }
     }
 
-    /// Projector for an already-approximated query.
+    /// Projector for an already-approximated query. With tracing on, the
+    /// main path records as source 0, auxiliary path *k* as source k+1.
     pub fn project_approximation(&mut self, a: &Approximation) -> Projector {
+        self.set_trace_source(0);
         let mut raw = self.infer_lpath(&a.path, a.absolute);
-        for aux in &a.auxiliary {
+        for (k, aux) in a.auxiliary.iter().enumerate() {
+            self.set_trace_source(k + 1);
             raw.union_with(&self.infer_lpath(aux, true));
         }
+        self.set_trace_source(0);
         Projector::normalized(self.an.dtd, self.an.to_dtd_set(&raw))
     }
 
     /// Materialised projector for an approximation (§4.2 end).
     pub fn project_approximation_materialized(&mut self, a: &Approximation) -> Projector {
+        self.set_trace_source(0);
         let mut raw = self.infer_lpath(&a.path, a.absolute);
-        for aux in &a.auxiliary {
+        for (k, aux) in a.auxiliary.iter().enumerate() {
+            self.set_trace_source(k + 1);
             raw.union_with(&self.infer_lpath(aux, true));
         }
+        self.set_trace_source(0);
         // τ″: the result type of the main path.
         let tau = self.type_of_lpath(&a.path, a.absolute);
-        raw.union_with(&self.an.axis(&tau, LAxis::Descendant));
+        let subtree = self.an.axis(&tau, LAxis::Descendant);
+        self.record_set(&subtree, TraceRule::Materialize, PathId(0), 0, None);
+        raw.union_with(&subtree);
         Projector::normalized(self.an.dtd, self.an.to_dtd_set(&raw))
     }
 
@@ -179,6 +301,8 @@ impl<'d> StaticAnalyzer<'d> {
             // (rule Σ ⊩ Step : τ ∪ κ, decomposed).
             let mut out = kappa.clone();
             out.insert(y);
+            self.record(y, TraceRule::Final, pid, idx, None);
+            self.record_set(kappa, TraceRule::Final, pid, idx, Some(y));
             return out;
         }
         let key: MemoKey = (y.0, pid.0, idx, kappa.clone());
@@ -206,6 +330,7 @@ impl<'d> StaticAnalyzer<'d> {
                 //      ({Y},κ) ⊩ self::Test/P : {Y} ∪ τ
                 let tau = self.an.test(&an_singleton, test);
                 let mut out = self.an.singleton(y);
+                self.record(y, TraceRule::Spine, pid, idx, None);
                 if !tau.is_empty() {
                     let kappa2 = self.an.restrict_context(kappa, &tau);
                     out.union_with(&self.proj(np, y, &kappa2, pid, idx + 1));
@@ -219,6 +344,7 @@ impl<'d> StaticAnalyzer<'d> {
                 let paths = paths.clone();
                 let holds = crate::typeinf::cond_may_hold(&self.an, np, y, kappa, &paths);
                 let mut out = self.an.singleton(y);
+                self.record(y, TraceRule::Spine, pid, idx, None);
                 if holds {
                     let kappa2 = self.an.restrict_context(kappa, &an_singleton);
                     out.union_with(&self.proj(np, y, &kappa2, pid, idx + 1));
@@ -243,6 +369,7 @@ impl<'d> StaticAnalyzer<'d> {
                     LAxis::DescendantOrSelf => {
                         // dos::node/P  ≡  self::node/P  ∪  descendant::node/P
                         let mut out = self.an.singleton(y);
+                        self.record(y, TraceRule::Spine, pid, idx, None);
                         out.union_with(&self.proj(np, y, kappa, pid, idx + 1));
                         out.union_with(&self.proj_recursive(
                             np,
@@ -256,6 +383,7 @@ impl<'d> StaticAnalyzer<'d> {
                     }
                     LAxis::AncestorOrSelf => {
                         let mut out = self.an.singleton(y);
+                        self.record(y, TraceRule::Spine, pid, idx, None);
                         out.union_with(&self.proj(np, y, kappa, pid, idx + 1));
                         out.union_with(&self.proj_recursive(
                             np,
@@ -316,11 +444,13 @@ impl<'d> StaticAnalyzer<'d> {
             }
         }
         let mut out = if include_y {
+            self.record(y, TraceRule::Spine, pid, rest_idx.saturating_sub(1), None);
             self.an.singleton(y)
         } else {
             self.an.empty()
         };
         out.union_with(&useful);
+        self.record_set(&useful, TraceRule::Axis, pid, rest_idx.saturating_sub(1), Some(y));
         for xi in &useful {
             let kx = self
                 .an
@@ -374,6 +504,8 @@ impl<'d> StaticAnalyzer<'d> {
         }
         // τ′ = (τ, κ′) ⊩ single::node/P — re-enter through one level.
         let mut out = tau.clone();
+        self.record(y, TraceRule::Spine, pid, rest_idx.saturating_sub(1), None);
+        self.record_set(&tau, TraceRule::Axis, pid, rest_idx.saturating_sub(1), Some(y));
         for z in &tau {
             let kz = self
                 .an

@@ -46,7 +46,7 @@ pub mod typeinf;
 pub use analysis::{Analyzer, NormPaths, PStep, PathId};
 pub use infer::StaticAnalyzer;
 pub use projector::Projector;
-pub use infer::AnalyzeError;
+pub use infer::{AnalyzeError, TraceEvent, TraceRule};
 pub use prune::prune_document;
 pub use stream::{
     prune_str, prune_validate_str, ErrorCode, PruneCounters, PruneMachine, StreamPruneError,

@@ -58,6 +58,9 @@ pub enum ErrorCode {
     UndeclaredElement,
     /// The workload query failed to parse.
     BadQuery,
+    /// A DTD failed to parse or does not match the rest of the request
+    /// (e.g. the second grammar of a projector diff).
+    BadDtd,
     /// Reading the source or writing the sink failed.
     Io,
 }
@@ -69,6 +72,7 @@ impl ErrorCode {
             ErrorCode::MalformedXml => "malformed-xml",
             ErrorCode::UndeclaredElement => "undeclared-element",
             ErrorCode::BadQuery => "bad-query",
+            ErrorCode::BadDtd => "bad-dtd",
             ErrorCode::Io => "io",
         }
     }

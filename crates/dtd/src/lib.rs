@@ -32,6 +32,10 @@ pub mod validate;
 pub use grammar::{Content, Dtd, NameInfo};
 pub use nameset::{NameId, NameSet};
 pub use parser::{parse_dtd, DtdError};
+pub use props::{
+    diagnostics, properties, DtdDiagnostics, DtdProperties, ParentAmbiguityWitness,
+    RecursionWitness, StarGuardWitness,
+};
 pub use regex::Regex;
 pub use dataguide::{infer_dtd, DataGuide};
 pub use validate::{interpret, validate, Interpretation, ValidationError};

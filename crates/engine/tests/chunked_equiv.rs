@@ -43,7 +43,7 @@ fn random_query(rng: &mut SplitMix64) -> String {
 /// corpus.
 fn random_chunks<'a>(rng: &mut SplitMix64, xml: &'a [u8], case: u64) -> Vec<&'a [u8]> {
     let mut chunks = Vec::new();
-    if case % 4 == 0 {
+    if case.is_multiple_of(4) {
         for i in 0..xml.len() {
             chunks.push(&xml[i..i + 1]);
         }

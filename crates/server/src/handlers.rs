@@ -137,6 +137,7 @@ fn route(head: &RequestHead) -> Endpoint {
         "/metrics" => Endpoint::Metrics,
         "/v1/dtd" => Endpoint::Dtd,
         "/v1/prune" => Endpoint::Prune,
+        "/v1/analyze" => Endpoint::Analyze,
         "/admin/shutdown" => Endpoint::Shutdown,
         _ => Endpoint::Other,
     }
@@ -173,6 +174,7 @@ fn handle(
         }
         (Endpoint::Dtd, "POST") => handle_dtd(conn, head, state),
         (Endpoint::Prune, "POST") => handle_prune(conn, head, state),
+        (Endpoint::Analyze, "POST") => handle_analyze(conn, head, state),
         (Endpoint::Shutdown, "POST") => {
             // Write the response first: this request itself must drain
             // cleanly before the trigger stops the accept loop.
@@ -297,10 +299,10 @@ fn handle_prune(conn: &mut Conn, head: &RequestHead, state: &ServerState) -> Han
             "a request body (the XML document) is required",
         );
     }
-    if head.expects_continue() {
-        if conn.stream().write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err() {
-            return Handled::Close;
-        }
+    if head.expects_continue()
+        && conn.stream().write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err()
+    {
+        return Handled::Close;
     }
 
     // Decide keep-alive before any response byte is written (the
@@ -361,6 +363,96 @@ fn handle_prune(conn: &mut Conn, head: &RequestHead, state: &ServerState) -> Han
     }
 }
 
+/// `POST /v1/analyze?dtd=<id>&query=<path>[&query=…]`: runs the static
+/// analyzer over the registered DTD and the workload and returns the
+/// JSON-lines report (per-name provenance, Def. 4.3 verdict with
+/// witnesses, predicted retention, lints). An optional request body is
+/// treated as a sample document that calibrates the retention model.
+fn handle_analyze(conn: &mut Conn, head: &RequestHead, state: &ServerState) -> Handled {
+    let Some(id_hex) = head.query_param("dtd") else {
+        return error_response(
+            conn,
+            state,
+            400,
+            codes::BAD_REQUEST,
+            "the 'dtd' query parameter (id from POST /v1/dtd) is required",
+        );
+    };
+    let Ok(id) = u64::from_str_radix(id_hex.trim_start_matches("0x"), 16) else {
+        return error_response(
+            conn,
+            state,
+            400,
+            codes::BAD_REQUEST,
+            &format!("'{id_hex}' is not a DTD id (expected 16 hex digits)"),
+        );
+    };
+    let Some(dtd) = state.dtd(id) else {
+        return error_response(
+            conn,
+            state,
+            404,
+            codes::UNKNOWN_DTD,
+            &format!("no DTD registered under id {id_hex} (register via POST /v1/dtd)"),
+        );
+    };
+    let queries: Vec<String> = head
+        .query_params()
+        .into_iter()
+        .filter(|(k, v)| k == "query" && !v.is_empty())
+        .map(|(_, v)| v)
+        .collect();
+    if queries.is_empty() {
+        return error_response(
+            conn,
+            state,
+            400,
+            codes::BAD_REQUEST,
+            "at least one 'query' parameter (XPath/XQuery workload) is required",
+        );
+    }
+
+    // The body, if any, is a sample document for calibration.
+    let sample_bytes = match read_full_body(conn, head, state) {
+        Ok(b) => b,
+        Err(h) => return h,
+    };
+    let sample = if sample_bytes.is_empty() {
+        None
+    } else {
+        match String::from_utf8(sample_bytes) {
+            Ok(s) => Some(s),
+            Err(_) => {
+                return error_response(
+                    conn,
+                    state,
+                    400,
+                    codes::BAD_REQUEST,
+                    "the sample document is not UTF-8",
+                )
+            }
+        }
+    };
+
+    let opts = xproj_analyzer::AnalysisOptions {
+        sample: sample.as_deref(),
+        ..xproj_analyzer::AnalysisOptions::default()
+    };
+    match xproj_analyzer::analyze(&dtd, &queries, &opts) {
+        Ok(analysis) => {
+            let body = xproj_analyzer::render_json_lines(&analysis);
+            write_or_close(
+                conn,
+                200,
+                "application/x-ndjson",
+                body.as_bytes(),
+                head.keep_alive() && !state.is_shutting_down(),
+            )
+        }
+        Err(e) => error_response(conn, state, 400, e.code().as_str(), &e.to_string()),
+    }
+}
+
 /// Why a prune stream stopped early.
 enum PruneAbort {
     /// The engine rejected the document (malformed, undeclared, …).
@@ -381,10 +473,11 @@ fn read_full_body(
         Ok(k) => k,
         Err(e) => return Err(protocol_error(conn, state, e)),
     };
-    if head.expects_continue() && kind != BodyKind::None {
-        if conn.stream().write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err() {
-            return Err(Handled::Close);
-        }
+    if head.expects_continue()
+        && kind != BodyKind::None
+        && conn.stream().write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err()
+    {
+        return Err(Handled::Close);
     }
     let mut reader = BodyReader::new(conn, kind, state.config.max_body_bytes);
     let mut out = Vec::new();

@@ -24,6 +24,8 @@ pub enum Endpoint {
     Dtd,
     /// `POST /v1/prune`
     Prune,
+    /// `POST /v1/analyze`
+    Analyze,
     /// `POST /admin/shutdown`
     Shutdown,
     /// Anything unrouted.
@@ -38,16 +40,18 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::Dtd => "dtd",
             Endpoint::Prune => "prune",
+            Endpoint::Analyze => "analyze",
             Endpoint::Shutdown => "shutdown",
             Endpoint::Other => "other",
         }
     }
 
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 7] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Dtd,
         Endpoint::Prune,
+        Endpoint::Analyze,
         Endpoint::Shutdown,
         Endpoint::Other,
     ];
@@ -58,8 +62,9 @@ impl Endpoint {
             Endpoint::Metrics => 1,
             Endpoint::Dtd => 2,
             Endpoint::Prune => 3,
-            Endpoint::Shutdown => 4,
-            Endpoint::Other => 5,
+            Endpoint::Analyze => 4,
+            Endpoint::Shutdown => 5,
+            Endpoint::Other => 6,
         }
     }
 }
@@ -144,7 +149,7 @@ pub struct ServerMetrics {
     /// Requests still in flight when the drain deadline expired.
     pub aborted: AtomicU64,
     engine: Mutex<EngineStats>,
-    latency: [LatencyHistogram; 6],
+    latency: [LatencyHistogram; 7],
 }
 
 impl ServerMetrics {
@@ -330,9 +335,9 @@ impl ServerMetrics {
             }
             let label = ep.label();
             for (q, d) in [(0.5, h.quantile(0.5)), (0.99, h.quantile(0.99))] {
-                let _ = write!(
+                let _ = writeln!(
                     out,
-                    "xmlpruned_request_duration_seconds{{endpoint=\"{label}\",quantile=\"{q}\"}} {}\n",
+                    "xmlpruned_request_duration_seconds{{endpoint=\"{label}\",quantile=\"{q}\"}} {}",
                     d.as_secs_f64()
                 );
             }

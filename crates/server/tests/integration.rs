@@ -632,3 +632,85 @@ fn graceful_shutdown_drains_in_flight_load() {
         report.drained
     );
 }
+
+/// `POST /v1/analyze`: the JSON-lines report comes back parseable, with
+/// per-name provenance, a Def. 4.3 verdict, and a retention prediction;
+/// posting a sample body calibrates the model; analyzer failures carry
+/// the stable wire codes.
+#[test]
+fn analyze_endpoint_reports_and_calibrates() {
+    let srv = TestServer::start(small_config());
+    let id = srv.register_dtd(BIB_DTD, "bib");
+
+    // Plain analysis, no sample.
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            &format!("/v1/analyze?dtd={id}&query={}", urlencode("/bib/book/title")),
+            &[],
+            None,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let body = resp.body_str();
+    let mut types = Vec::new();
+    for line in body.lines() {
+        let v = xproj_testkit::parse_json(line)
+            .unwrap_or_else(|e| panic!("bad JSON ({e}): {line}"));
+        types.push(v.get("type").and_then(|t| t.as_str()).unwrap().to_string());
+    }
+    for t in ["meta", "path", "name", "dtd", "optimality", "retention"] {
+        assert!(types.iter().any(|x| x == t), "missing {t} record:\n{body}");
+    }
+    // The bib DTD satisfies Def. 4.3 and the query is strongly
+    // specified, so optimality must be claimed.
+    let opt = body
+        .lines()
+        .find(|l| l.contains("\"type\":\"optimality\""))
+        .expect("optimality record");
+    let opt = xproj_testkit::parse_json(opt).unwrap();
+    assert_eq!(opt.get("applies").and_then(|v| v.as_bool()), Some(true));
+
+    // A sample body calibrates the retention model.
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            &format!("/v1/analyze?dtd={id}&query={}", urlencode("/bib/book/title")),
+            &[],
+            Some(BIB_DOC.as_bytes()),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let body = resp.body_str();
+    let ret = body
+        .lines()
+        .find(|l| l.contains("\"type\":\"retention\""))
+        .expect("retention record");
+    let ret = xproj_testkit::parse_json(ret).unwrap();
+    assert_eq!(ret.get("calibrated").and_then(|v| v.as_bool()), Some(true));
+    let predicted = ret.get("predicted").and_then(|v| v.as_f64()).unwrap();
+    assert!(predicted > 0.0 && predicted < 1.0, "{predicted}");
+
+    // A bad query carries the stable code.
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            &format!("/v1/analyze?dtd={id}&query={}", urlencode("/bib/book[")),
+            &[],
+            None,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body_str().contains("bad-query"), "{}", resp.body_str());
+
+    // Latency shows up under the analyze endpoint's label.
+    let mut c = srv.client();
+    let resp = c.request("GET", "/metrics", &[], None).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_str().contains("\"analyze\""), "{}", resp.body_str());
+
+    srv.shutdown();
+}

@@ -50,11 +50,13 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod json;
 pub mod rng;
 pub mod runner;
 pub mod strategy;
 
 pub use http::{urlencode, HttpClient, HttpResponse};
+pub use json::{parse_json, Json};
 pub use rng::{fnv1a, mix, SplitMix64};
 pub use runner::{check, case_seed, Config};
 pub use strategy::{

@@ -1,0 +1,1 @@
+fn main() { print!("{}", xproj_xmark::auction_dtd().to_dtd_syntax()); }

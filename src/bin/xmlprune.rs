@@ -1,7 +1,8 @@
 //! `xmlprune` — command-line type-based XML projection.
 //!
 //! ```text
-//! xmlprune analyze  --dtd auction.dtd --root site QUERY [QUERY…]
+//! xmlprune analyze  --dtd auction.dtd --root site [--json] [--sample S.xml]
+//!                   [--diff-dtd NEW.dtd] QUERY [QUERY…]
 //! xmlprune prune    --dtd auction.dtd --root site --query QUERY [-o OUT] INPUT.xml
 //! xmlprune prune    --chunked --jobs 4 --stats --dtd auction.dtd --root site \
 //!                   --query QUERY -o outdir/ INPUT1.xml INPUT2.xml …
@@ -43,6 +44,10 @@ struct Opts {
     chunk_size: Option<usize>,
     jobs: Option<usize>,
     stats: bool,
+    json: bool,
+    sample: Option<String>,
+    diff_dtd: Option<String>,
+    diff_root: Option<String>,
     positional: Vec<String>,
 }
 
@@ -59,6 +64,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         chunk_size: None,
         jobs: None,
         stats: false,
+        json: false,
+        sample: None,
+        diff_dtd: None,
+        diff_root: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -99,6 +108,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.jobs = Some(n);
             }
             "--stats" => o.stats = true,
+            "--json" => o.json = true,
+            "--sample" => o.sample = Some(it.next().ok_or("--sample needs a path")?.clone()),
+            "--diff-dtd" => {
+                o.diff_dtd = Some(it.next().ok_or("--diff-dtd needs a path")?.clone())
+            }
+            "--diff-root" => {
+                o.diff_root = Some(it.next().ok_or("--diff-root needs a name")?.clone())
+            }
             other => o.positional.push(other.to_string()),
         }
     }
@@ -323,41 +340,82 @@ fn run_chunked_prune(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `analyze`: the full static-analysis report — provenance-tracked
+/// projector, Def. 4.3 verdict, retention estimate, lints, and an
+/// optional projector diff against a second DTD version. Analyzer
+/// failures carry their stable wire code in brackets.
+fn run_analyze(o: &Opts) -> Result<(), String> {
+    use xml_projection::analyzer::{self, AnalysisOptions, AnalyzerError};
+
+    let queries: Vec<String> = o
+        .queries
+        .iter()
+        .chain(o.positional.iter())
+        .cloned()
+        .collect();
+    if queries.is_empty() {
+        return Err("analyze: no queries given".to_string());
+    }
+    let sample = match &o.sample {
+        Some(p) => Some(std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?),
+        None => None,
+    };
+    // A sample document can stand in for a missing --dtd (internal
+    // subset or dataguide), exactly as prune's input does.
+    let (dtd, source) = resolve_dtd(o, sample.as_deref())?;
+    eprintln!("using {source} ({} names)", dtd.name_count());
+
+    let coded = |e: AnalyzerError| format!("analyze: [{}] {e}", e.code().as_str());
+    let opts = AnalysisOptions {
+        sample: sample.as_deref(),
+        ..AnalysisOptions::default()
+    };
+    let mut analysis = analyzer::analyze(&dtd, &queries, &opts).map_err(coded)?;
+
+    if let Some(path) = &o.diff_dtd {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| coded(AnalyzerError::BadDtd(format!("{path}: {e}"))))?;
+        let root = o
+            .diff_root
+            .as_ref()
+            .or(o.root.as_ref())
+            .ok_or("--diff-dtd needs --diff-root (or --root) for the new grammar")?;
+        let new_dtd = parse_dtd(&text, root)
+            .map_err(|e| coded(AnalyzerError::BadDtd(format!("{path}: {e}"))))?;
+        let diff = analyzer::diff_projectors(&dtd, &new_dtd, &queries, &opts.retention)
+            .map_err(coded)?;
+        analysis.diff = Some(diff);
+    }
+
+    if o.json {
+        print!("{}", analyzer::render_json_lines(&analysis));
+    } else {
+        let pi = &analysis.provenance.projector;
+        println!("projector: {} of {} names", pi.len(), dtd.name_count());
+        for l in pi.labels(&dtd) {
+            println!("  {l}");
+        }
+        // The report repeats the projector heading; keep ours (it counts
+        // all names, the report counts root-reachable ones).
+        let report = analyzer::render_text(&analysis);
+        let body = report.split_once('\n').map(|x| x.1).unwrap_or(&report);
+        print!("{body}");
+    }
+    if let Some(path) = &o.save {
+        std::fs::write(path, analysis.provenance.projector.to_text(&dtd))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("projector saved to {path}");
+    }
+    Ok(())
+}
+
 fn run(args: Vec<String>) -> Result<(), String> {
     let Some(cmd) = args.first().cloned() else {
         return Err(USAGE.trim().to_string());
     };
     let o = parse_opts(&args[1..])?;
     match cmd.as_str() {
-        "analyze" => {
-            let queries: Vec<&str> = o
-                .queries
-                .iter()
-                .chain(o.positional.iter())
-                .map(|s| s.as_str())
-                .collect();
-            if queries.is_empty() {
-                return Err("analyze: no queries given".to_string());
-            }
-            let (dtd, source) = resolve_dtd(&o, None)?;
-            eprintln!("using {source} ({} names)", dtd.name_count());
-            let projection =
-                Projection::for_queries(&dtd, queries.iter().copied()).map_err(|e| e.to_string())?;
-            println!(
-                "projector: {} of {} names",
-                projection.projector().len(),
-                dtd.name_count()
-            );
-            for l in projection.projector().labels(&dtd) {
-                println!("  {l}");
-            }
-            if let Some(path) = &o.save {
-                std::fs::write(path, projection.projector().to_text(&dtd))
-                    .map_err(|e| format!("{path}: {e}"))?;
-                eprintln!("projector saved to {path}");
-            }
-            Ok(())
-        }
+        "analyze" => run_analyze(&o),
         "prune" => {
             if o.queries.is_empty() && o.projector.is_none() {
                 return Err("prune: --query or --projector is required".to_string());
@@ -445,7 +503,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
 
 const USAGE: &str = r#"
 usage:
-  xmlprune analyze  --dtd FILE --root NAME [--save PROJ] QUERY [QUERY…]
+  xmlprune analyze  --dtd FILE --root NAME [--json] [--sample FILE]
+                    [--diff-dtd FILE [--diff-root NAME]] [--save PROJ]
+                    QUERY [QUERY…]
   xmlprune prune    [--dtd FILE --root NAME] (--query QUERY | --projector PROJ)
                     [--validate] [-o OUT] [INPUT.xml]
   xmlprune prune    --chunked --dtd FILE --root NAME (--query QUERY | --projector PROJ)
@@ -456,6 +516,13 @@ usage:
 
 INPUT defaults to stdin. Without --dtd, prune/validate use the document's
 internal DTD subset or fall back to an inferred dataguide.
+
+analyze prints the full static-analysis report: per-name provenance (which
+query step pulled each name into the projector), the Def. 4.3 verdict with
+concrete witnesses, a predicted retention ratio, and lints. --json switches
+to machine-readable JSON lines. --sample FILE calibrates the retention
+model against a real document (and can stand in for --dtd). --diff-dtd
+compares the projector against a second DTD version.
 
 --chunked streams through the O(depth)-memory engine instead of loading the
 document; it requires an explicit --dtd/--root. --chunk-size sets the read

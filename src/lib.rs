@@ -47,10 +47,14 @@
 //!   `io::Read`/`io::Write`, projector cache, parallel batch driver,
 //!   metrics;
 //! * [`server`] — `xmlpruned`, a zero-dependency HTTP/1.1 daemon that
-//!   serves streaming pruning with live metrics and graceful shutdown.
+//!   serves streaming pruning with live metrics and graceful shutdown;
+//! * [`analyzer`] — static analysis of (DTD, workload) pairs: projector
+//!   provenance, Def. 4.3 witness diagnostics, retention estimation,
+//!   lints, and projector diffs across DTD versions.
 
 #![warn(missing_docs)]
 
+pub use xproj_analyzer as analyzer;
 pub use xproj_core as core;
 pub use xproj_dtd as dtd;
 pub use xproj_engine as engine;

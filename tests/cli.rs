@@ -91,6 +91,156 @@ fn analyze_prints_projector() {
 }
 
 #[test]
+fn analyze_report_has_analysis_sections() {
+    let dtd = write_tmp("books-report.dtd", DTD);
+    let out = Command::new(BIN)
+        .args([
+            "analyze",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "/bib/book/title",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "projector:",
+        "provenance:",
+        "dtd properties (Def. 4.3):",
+        "optimality (Thm. 4.7):",
+        "retention: predicted",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
+    }
+    assert!(stdout.contains("chain bib → book → title"), "{stdout}");
+}
+
+#[test]
+fn analyze_json_lines_parse() {
+    let dtd = write_tmp("books-json.dtd", DTD);
+    let out = Command::new(BIN)
+        .args([
+            "analyze",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "--json",
+            "/bib/book/title",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut types = Vec::new();
+    for line in stdout.lines() {
+        let v = xproj_testkit::parse_json(line)
+            .unwrap_or_else(|e| panic!("bad JSON ({e}): {line}"));
+        types.push(v.get("type").and_then(|t| t.as_str()).unwrap().to_string());
+    }
+    for t in ["meta", "path", "name", "dtd", "optimality", "retention"] {
+        assert!(types.iter().any(|x| x == t), "missing {t} record:\n{stdout}");
+    }
+}
+
+#[test]
+fn analyze_sample_calibrates_retention() {
+    let dtd = write_tmp("books-cal.dtd", DTD);
+    let doc = write_tmp("books-cal.xml", DOC);
+    let out = Command::new(BIN)
+        .args([
+            "analyze",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "--sample",
+            doc.to_str().unwrap(),
+            "/bib/book/title",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("calibrated from sample"), "{stdout}");
+}
+
+#[test]
+fn analyze_diffs_two_dtd_versions() {
+    let dtd = write_tmp("books-old.dtd", DTD);
+    let new = write_tmp(
+        "books-new.dtd",
+        "<!ELEMENT bib (book*)>\n\
+         <!ELEMENT book (title, subtitle?, author*)>\n\
+         <!ELEMENT title (#PCDATA)>\n\
+         <!ELEMENT subtitle (#PCDATA)>\n\
+         <!ELEMENT author (#PCDATA)>\n",
+    );
+    let out = Command::new(BIN)
+        .args([
+            "analyze",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "--diff-dtd",
+            new.to_str().unwrap(),
+            "/bib/book",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("projector diff:"), "{stdout}");
+    assert!(stdout.contains("added: "), "{stdout}");
+    assert!(stdout.contains("subtitle"), "{stdout}");
+}
+
+#[test]
+fn analyze_bad_diff_dtd_carries_stable_code() {
+    let dtd = write_tmp("books-badnew.dtd", DTD);
+    let garbage = write_tmp("garbage.dtd", "<!NOT-A-DTD");
+    let out = Command::new(BIN)
+        .args([
+            "analyze",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "--diff-dtd",
+            garbage.to_str().unwrap(),
+            "/bib/book",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[bad-dtd]"), "{stderr}");
+}
+
+#[test]
+fn analyze_bad_query_carries_stable_code() {
+    let dtd = write_tmp("books-badq.dtd", DTD);
+    let out = Command::new(BIN)
+        .args([
+            "analyze",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "bib",
+            "/bib/book[",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[bad-query]"), "{stderr}");
+}
+
+#[test]
 fn validate_ok_and_fail() {
     let dtd = write_tmp("books3.dtd", DTD);
     let doc = write_tmp("ok.xml", DOC);
