@@ -64,4 +64,38 @@ cargo test -q --offline --locked -p xproj-server --test integration \
 cargo test -q --offline --locked -p xproj-server --test integration \
     graceful_shutdown_drains_in_flight_load
 
+echo "== pipeline bench smoke (fast-path throughput guard) =="
+# Smoke-mode run of the consolidated pipeline bench: the emitted JSON
+# must parse; the fast path must hold the ISSUE's >= 1.5x bar over
+# chunked-prune throughput at retention <= 30%; and the fast-path
+# speedup over the reference pruner (geometric mean of fast/prune
+# across the (scale, query) cells shared with the committed
+# BENCH_pipeline.json) must not regress by more than 15%. Ratios, not
+# absolute MB/s, so the guard is meaningful across machines.
+XPROJ_BENCH_SAMPLES=3 XPROJ_BENCH_WARMUP=1 XPROJ_BENCH_SCALES=0.5 \
+XPROJ_BENCH_OUT=/tmp/BENCH_pipeline.smoke.json \
+    ./target/release/pipeline > /dev/null
+python3 - <<'PY'
+import json, math
+base = json.load(open('BENCH_pipeline.json'))
+smoke = json.load(open('/tmp/BENCH_pipeline.smoke.json'))
+assert base['runs'] and smoke['runs']
+for r in smoke['runs']:
+    if r['retention'] <= 0.30:
+        assert r['fast_mbps'] >= 1.5 * r['chunked_mbps'], \
+            f"fast path below 1.5x chunked-prune: {r}"
+def ratios(doc):
+    return {(r['scale'], r['query']): r['fast_mbps'] / r['prune_mbps']
+            for r in doc['runs']}
+b, s = ratios(base), ratios(smoke)
+common = sorted(set(b) & set(s))
+assert common, "smoke run shares no (scale, query) cells with the baseline"
+gb = math.exp(sum(math.log(b[k]) for k in common) / len(common))
+gs = math.exp(sum(math.log(s[k]) for k in common) / len(common))
+assert gs >= 0.85 * gb, \
+    f"fast-path speedup regressed >15%: {gs:.3f}x vs baseline {gb:.3f}x"
+print(f"pipeline bench smoke: fast-path speedup {gs:.2f}x "
+      f"(baseline {gb:.2f}x) over {len(common)} cells")
+PY
+
 echo "ci: OK"

@@ -1,0 +1,210 @@
+//! Consolidated pipeline throughput bench: tokenize-only vs pruning vs
+//! the projection fast path, on XMark documents at several scales and
+//! retention levels.
+//!
+//! This is the measured form of the paper's §5 claim — pruning is a
+//! single pass that costs *less than parsing itself* — and of this
+//! repo's fast-path work: the dense-verdict projector table plus
+//! pruned-subtree raw fast-forward should beat full tokenization by a
+//! widening margin as retention drops.
+//!
+//! Besides the usual JSON result lines on stdout, the run writes a
+//! consolidated `BENCH_pipeline.json` (path override:
+//! `XPROJ_BENCH_OUT`) that CI parses and diffs against the committed
+//! baseline.
+//!
+//! ```sh
+//! cargo run --release -p xproj-bench --bin pipeline
+//! # smoke mode:
+//! XPROJ_BENCH_SAMPLES=3 XPROJ_BENCH_WARMUP=1 XPROJ_BENCH_SCALES=0.5 \
+//!     cargo run --release -p xproj-bench --bin pipeline
+//! ```
+//!
+//! Knobs: `XPROJ_BENCH_SCALES` (comma-separated XMark scale factors,
+//! default `0.5,2`), `XPROJ_BENCH_SAMPLES`, `XPROJ_BENCH_WARMUP`.
+
+use std::time::Duration;
+use xproj_bench::Timer;
+use xproj_core::{prune_str, prune_str_fast, Projector, StaticAnalyzer};
+use xproj_dtd::Dtd;
+use xproj_engine::ChunkedPruner;
+use xproj_xmark::{auction_dtd, generate_auction, XMarkConfig};
+use xproj_xmltree::{Event, XmlReader};
+
+/// Engine chunk size for the streaming measurements.
+const CHUNK: usize = 64 * 1024;
+
+/// Queries spanning the retention range: a narrow path (a few percent
+/// of the document survives), a descendant scan, and a subtree-heavy
+/// selection.
+const QUERIES: &[&str] = &[
+    "/site/people/person/name",
+    "//keyword",
+    "/site/regions/europe/item/description",
+];
+
+fn mbps(bytes: usize, t: Duration) -> f64 {
+    bytes as f64 / t.as_secs_f64() / 1e6
+}
+
+/// One measured (scale, query) cell of the pipeline matrix.
+struct Run {
+    scale: f64,
+    query: String,
+    doc_bytes: usize,
+    retention: f64,
+    tokenize_mbps: f64,
+    prune_mbps: f64,
+    fast_mbps: f64,
+    chunked_mbps: f64,
+    chunked_fast_mbps: f64,
+}
+
+fn chunked_throughput(
+    timer: &Timer,
+    label: &str,
+    xml: &str,
+    dtd: &Dtd,
+    projector: &Projector,
+    fast_forward: bool,
+) -> f64 {
+    let mut out: Vec<u8> = Vec::with_capacity(xml.len() / 2);
+    let t = timer.bench_bytes("pipeline", label, xml.len(), || {
+        out.clear();
+        let mut pruner = ChunkedPruner::new(dtd, projector, &mut out);
+        pruner.set_fast_forward(fast_forward);
+        for chunk in xml.as_bytes().chunks(CHUNK) {
+            pruner.feed(chunk).unwrap();
+        }
+        pruner.finish().unwrap();
+        out.len()
+    });
+    mbps(xml.len(), t)
+}
+
+fn main() {
+    let timer = Timer::from_env();
+    let scales: Vec<f64> = std::env::var("XPROJ_BENCH_SCALES")
+        .unwrap_or_else(|_| "0.5,2".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let out_path =
+        std::env::var("XPROJ_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+
+    let dtd = auction_dtd();
+    let mut runs: Vec<Run> = Vec::new();
+
+    for &scale in &scales {
+        let xml = generate_auction(&dtd, &XMarkConfig::at_scale(scale)).to_xml();
+        eprintln!(
+            "# pipeline bench: xmark scale {scale}, {:.2} MiB",
+            xml.len() as f64 / (1 << 20) as f64
+        );
+
+        // Parsing cost alone: the bar the paper says pruning undercuts.
+        let tok_label = format!("tokenize_only_s{scale}");
+        let t_tok = timer.bench_bytes("pipeline", &tok_label, xml.len(), || {
+            let mut reader = XmlReader::new(&xml);
+            let mut events = 0usize;
+            loop {
+                match reader.next_event().unwrap() {
+                    Event::Eof => break events,
+                    _ => events += 1,
+                }
+            }
+        });
+        let tokenize_mbps = mbps(xml.len(), t_tok);
+
+        let mut sa = StaticAnalyzer::new(&dtd);
+        for &query in QUERIES {
+            let projector = sa.project_query(query).unwrap();
+            let reference = prune_str(&xml, &dtd, &projector).unwrap();
+            let retention = reference.output.len() as f64 / xml.len() as f64;
+            let fast = prune_str_fast(&xml, &dtd, &projector).unwrap();
+            assert_eq!(
+                fast.output, reference.output,
+                "fast path diverged on {query} at scale {scale}"
+            );
+
+            let tag = format!("s{scale}_{}", query.replace(['/', ':'], "_"));
+            let t_prune = timer.bench_bytes(
+                "pipeline",
+                &format!("prune_{tag}"),
+                xml.len(),
+                || prune_str(&xml, &dtd, &projector).unwrap().output.len(),
+            );
+            let t_fast = timer.bench_bytes(
+                "pipeline",
+                &format!("fast_{tag}"),
+                xml.len(),
+                || prune_str_fast(&xml, &dtd, &projector).unwrap().output.len(),
+            );
+            let chunked_mbps = chunked_throughput(
+                &timer,
+                &format!("chunked_{tag}"),
+                &xml,
+                &dtd,
+                &projector,
+                false,
+            );
+            let chunked_fast_mbps = chunked_throughput(
+                &timer,
+                &format!("chunked_fast_{tag}"),
+                &xml,
+                &dtd,
+                &projector,
+                true,
+            );
+            runs.push(Run {
+                scale,
+                query: query.to_string(),
+                doc_bytes: xml.len(),
+                retention,
+                tokenize_mbps,
+                prune_mbps: mbps(xml.len(), t_prune),
+                fast_mbps: mbps(xml.len(), t_fast),
+                chunked_mbps,
+                chunked_fast_mbps,
+            });
+        }
+    }
+
+    // The consolidated document CI parses and diffs.
+    let mut json = String::from("{\n  \"bench\": \"pipeline\",\n  \"unit\": \"MB/s of input\",\n  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scale\": {}, \"query\": \"{}\", \"doc_bytes\": {}, \"retention\": {:.4}, \
+             \"tokenize_mbps\": {:.1}, \"prune_mbps\": {:.1}, \"fast_mbps\": {:.1}, \
+             \"chunked_mbps\": {:.1}, \"chunked_fast_mbps\": {:.1}}}{}\n",
+            r.scale,
+            r.query,
+            r.doc_bytes,
+            r.retention,
+            r.tokenize_mbps,
+            r.prune_mbps,
+            r.fast_mbps,
+            r.chunked_mbps,
+            r.chunked_fast_mbps,
+            if i + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap();
+    eprintln!("# wrote {out_path}");
+
+    // Human-readable recap on stderr.
+    for r in &runs {
+        eprintln!(
+            "# scale {} {:<42} retention {:>5.1}%  tokenize {:>7.1}  prune {:>7.1}  fast {:>7.1}  chunked {:>7.1} -> {:>7.1} MB/s",
+            r.scale,
+            r.query,
+            r.retention * 100.0,
+            r.tokenize_mbps,
+            r.prune_mbps,
+            r.fast_mbps,
+            r.chunked_mbps,
+            r.chunked_fast_mbps,
+        );
+    }
+}

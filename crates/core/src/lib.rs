@@ -45,10 +45,10 @@ pub mod typeinf;
 
 pub use analysis::{Analyzer, NormPaths, PStep, PathId};
 pub use infer::StaticAnalyzer;
-pub use projector::Projector;
+pub use projector::{Projector, ProjectorTable, Verdict};
 pub use infer::{AnalyzeError, TraceEvent, TraceRule};
 pub use prune::prune_document;
 pub use stream::{
-    prune_str, prune_validate_str, ErrorCode, PruneCounters, PruneMachine, StreamPruneError,
-    StreamPruneResult,
+    prune_str, prune_str_fast, prune_validate_str, ErrorCode, PruneCounters, PruneMachine,
+    StartOutcome, StreamPruneError, StreamPruneResult,
 };

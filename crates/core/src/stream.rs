@@ -8,7 +8,7 @@
 //! probe; a discarded element just bumps a depth counter until its end
 //! tag.
 
-use crate::projector::Projector;
+use crate::projector::{Projector, ProjectorTable, Verdict};
 use std::fmt::Write as _;
 use xproj_dtd::{Dtd, NameId};
 use xproj_xmltree::document::{escape_attr, escape_text};
@@ -144,7 +144,9 @@ pub struct PruneCounters {
 /// element plus a skip counter for pruned subtrees.
 pub struct PruneMachine<'p> {
     dtd: &'p Dtd,
-    projector: &'p Projector,
+    /// Dense per-name verdicts: one indexed load per start tag / text
+    /// node instead of bitset probes and text-children iteration.
+    table: ProjectorTable,
     /// Names of open *kept* elements (for text decisions).
     stack: Vec<NameId>,
     /// When > 0 we are inside a pruned subtree.
@@ -156,12 +158,36 @@ pub struct PruneMachine<'p> {
     counters: PruneCounters,
 }
 
+/// What [`PruneMachine::start_element`] decided about the element, so a
+/// driver that owns the byte source can fast-forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartOutcome {
+    /// The element is kept (its start tag is in `out`).
+    Kept,
+    /// The element is pruned; its subtree events must still be fed (they
+    /// are discarded by the skip counter).
+    Pruned,
+    /// The element is pruned **and** no name reachable from it is in π:
+    /// the driver *may* skip the raw bytes of the subtree without
+    /// tokenizing them, then call [`PruneMachine::end_element`] once to
+    /// rebalance. Feeding the subtree's events normally is equally
+    /// correct (just slower).
+    PrunedSubtree,
+}
+
 impl<'p> PruneMachine<'p> {
-    /// Creates a machine for one document pass.
+    /// Creates a machine for one document pass, precomputing the dense
+    /// verdict table for this (DTD, π) pair.
     pub fn new(dtd: &'p Dtd, projector: &'p Projector) -> Self {
+        Self::with_table(dtd, ProjectorTable::new(dtd, projector))
+    }
+
+    /// Creates a machine from an already-built verdict table (lets a
+    /// cache share one table across many document passes).
+    pub fn with_table(dtd: &'p Dtd, table: ProjectorTable) -> Self {
         PruneMachine {
             dtd,
-            projector,
+            table,
             stack: Vec::with_capacity(32),
             skip_depth: 0,
             open_pending: false,
@@ -171,42 +197,53 @@ impl<'p> PruneMachine<'p> {
     }
 
     /// Handles a start tag. `attrs` yields `(name, decoded value)` pairs
-    /// in document order; kept output is appended to `out`.
+    /// in document order; kept output is appended to `out`. The returned
+    /// [`StartOutcome`] tells a byte-owning driver whether the subtree is
+    /// eligible for raw fast-forward.
     pub fn start_element<'a>(
         &mut self,
         name: &str,
         attrs: impl IntoIterator<Item = (&'a str, &'a str)>,
         out: &mut String,
-    ) -> Result<(), StreamPruneError> {
+    ) -> Result<StartOutcome, StreamPruneError> {
         self.saw_root = true;
         if self.skip_depth > 0 {
             self.skip_depth += 1;
-            return Ok(());
+            return Ok(StartOutcome::Pruned);
         }
         let nm = self
             .dtd
             .name_of_tag_str(name)
             .ok_or_else(|| StreamPruneError::UndeclaredElement(name.to_string()))?;
-        if self.projector.contains(nm) {
-            if self.open_pending {
-                out.push('>');
+        match self.table.verdict(nm) {
+            Verdict::Keep => {
+                if self.open_pending {
+                    out.push('>');
+                }
+                self.stack.push(nm);
+                self.counters.max_depth = self.counters.max_depth.max(self.stack.len());
+                self.counters.elements_kept += 1;
+                out.push('<');
+                out.push_str(name);
+                for (aname, avalue) in attrs {
+                    let _ = write!(out, " {aname}=\"");
+                    escape_attr(avalue, out);
+                    out.push('"');
+                }
+                self.open_pending = true;
+                Ok(StartOutcome::Kept)
             }
-            self.stack.push(nm);
-            self.counters.max_depth = self.counters.max_depth.max(self.stack.len());
-            self.counters.elements_kept += 1;
-            out.push('<');
-            out.push_str(name);
-            for (aname, avalue) in attrs {
-                let _ = write!(out, " {aname}=\"");
-                escape_attr(avalue, out);
-                out.push('"');
+            Verdict::PruneDescend => {
+                self.counters.elements_pruned += 1;
+                self.skip_depth = 1;
+                Ok(StartOutcome::Pruned)
             }
-            self.open_pending = true;
-        } else {
-            self.counters.elements_pruned += 1;
-            self.skip_depth = 1;
+            Verdict::PruneSubtree => {
+                self.counters.elements_pruned += 1;
+                self.skip_depth = 1;
+                Ok(StartOutcome::PrunedSubtree)
+            }
         }
-        Ok(())
     }
 
     /// Handles an end tag.
@@ -236,12 +273,9 @@ impl<'p> PruneMachine<'p> {
             return;
         };
         // Keep text iff some String-name of the parent's content
-        // model is in π (unique under the splitting heuristic).
-        let keep = self
-            .dtd
-            .text_children_of(parent)
-            .iter()
-            .any(|tn| self.projector.contains(tn));
+        // model is in π (unique under the splitting heuristic) —
+        // precomputed into one indexed load.
+        let keep = self.table.keep_text_under(parent);
         if keep {
             if self.open_pending {
                 out.push('>');
@@ -297,6 +331,64 @@ pub fn prune_str(
                     attrs.iter().map(|a| (a.name, a.value.as_ref())),
                     &mut out,
                 )?;
+            }
+            Event::EndElement { name } => machine.end_element(name, &mut out),
+            Event::Text(t) => machine.text(&t, &mut out),
+            Event::Comment(_) | Event::ProcessingInstruction(_) | Event::Doctype { .. } => {}
+            Event::Eof => break,
+        }
+    }
+    let c = machine.finish()?;
+    Ok(StreamPruneResult {
+        output: out,
+        elements_kept: c.elements_kept,
+        elements_pruned: c.elements_pruned,
+        text_kept: c.text_kept,
+        text_pruned: c.text_pruned,
+        max_depth: c.max_depth,
+    })
+}
+
+/// [`prune_str`] with the pruned-subtree **fast-forward** engaged: when
+/// the machine reports [`StartOutcome::PrunedSubtree`] (the element's
+/// name can reach no π name under ⇒E*), the reader skips the subtree's
+/// raw bytes with a depth counter instead of tokenizing it.
+///
+/// Output is byte-identical to [`prune_str`] on well-formed input, and
+/// the counters agree except `text_pruned`, which undercounts (text that
+/// is never tokenized is never counted). Inside skipped subtrees,
+/// end-tag names and entity validity are not checked — this path trades
+/// dead-subtree diagnostics for throughput. It never validates; when
+/// fused validation is requested use [`prune_validate_str`], which must
+/// see every event.
+pub fn prune_str_fast(
+    input: &str,
+    dtd: &Dtd,
+    projector: &Projector,
+) -> Result<StreamPruneResult, StreamPruneError> {
+    let mut reader = XmlReader::new(input);
+    let mut out = String::with_capacity(input.len() / 2);
+    let mut machine = PruneMachine::new(dtd, projector);
+    loop {
+        match reader.next_event().map_err(|e| StreamPruneError::Xml(e.to_string()))? {
+            Event::StartElement {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                let outcome = machine.start_element(
+                    name,
+                    attrs.iter().map(|a| (a.name, a.value.as_ref())),
+                    &mut out,
+                )?;
+                // A self-closing element has no raw subtree to skip; its
+                // synthesized end event flows through normally.
+                if outcome == StartOutcome::PrunedSubtree && !self_closing {
+                    reader
+                        .skip_subtree()
+                        .map_err(|e| StreamPruneError::Xml(e.to_string()))?;
+                    machine.end_element(name, &mut out);
+                }
             }
             Event::EndElement { name } => machine.end_element(name, &mut out),
             Event::Text(t) => machine.text(&t, &mut out),
@@ -575,6 +667,52 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.output, "<bib/>");
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_every_query() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let mut sa = StaticAnalyzer::new(&dtd);
+        for q in ["/bib/book/title", "/bib/book[price]/author", "//price", "/bib"] {
+            let p = sa.project_query(q).unwrap();
+            let slow = prune_str(DOC, &dtd, &p).unwrap();
+            let fast = prune_str_fast(DOC, &dtd, &p).unwrap();
+            assert_eq!(fast.output, slow.output, "query {q}");
+            assert_eq!(fast.elements_kept, slow.elements_kept, "query {q}");
+            assert_eq!(fast.elements_pruned, slow.elements_pruned, "query {q}");
+            assert_eq!(fast.text_kept, slow.text_kept, "query {q}");
+            assert_eq!(fast.max_depth, slow.max_depth, "query {q}");
+        }
+    }
+
+    /// For `/bib/book/title`, the `author` subtrees are
+    /// fast-forward-eligible (no name reachable from `author` is in π);
+    /// the raw scanner must step over markup full of fake end tags.
+    #[test]
+    fn fast_path_skips_subtrees_with_tricky_markup() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let mut sa = StaticAnalyzer::new(&dtd);
+        let p = sa.project_query("/bib/book/title").unwrap();
+        let doc = "<bib><book id=\"b1\"><title>T</title>\
+                   <author a=\"a &gt; b\"><!-- </author> -->\
+                   <price><![CDATA[</author>]]></price>A&amp;B</author>\
+                   <author/></book></bib>";
+        let slow = prune_str(doc, &dtd, &p).unwrap();
+        let fast = prune_str_fast(doc, &dtd, &p).unwrap();
+        assert_eq!(fast.output, slow.output);
+        assert_eq!(fast.output, "<bib><book id=\"b1\"><title>T</title></book></bib>");
+        assert_eq!(fast.elements_pruned, slow.elements_pruned);
+    }
+
+    #[test]
+    fn fast_path_reports_truncation_inside_skipped_subtree() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let mut sa = StaticAnalyzer::new(&dtd);
+        let p = sa.project_query("/bib/book/title").unwrap();
+        assert!(matches!(
+            prune_str_fast("<bib><book><title>T</title><author>unfinished", &dtd, &p),
+            Err(StreamPruneError::Xml(_))
+        ));
     }
 }
 

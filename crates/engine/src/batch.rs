@@ -7,7 +7,7 @@
 //! queue head) and, on top of it, a file-to-file batch pruning run used
 //! by `xmlprune --jobs`.
 
-use crate::chunked::{prune_reader, EngineError};
+use crate::chunked::{prune_reader_buffered, EngineError};
 use crate::metrics::EngineStats;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
@@ -53,21 +53,43 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_init(items, jobs, || (), |(), i, t| f(i, t))
+}
+
+/// [`parallel_map`] where every worker thread carries its own state
+/// built once by `init` — a reusable chunk buffer, a scratch string, a
+/// connection — so per-item work can run allocation-free in steady
+/// state. Results come back in input order.
+pub fn parallel_map_init<T, R, S, I, F>(items: &[T], jobs: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&mut state, i, &items[i]);
+                    *results[i].lock().unwrap() = Some(r);
                 }
-                let r = f(i, &items[i]);
-                *results[i].lock().unwrap() = Some(r);
             });
         }
     });
@@ -124,8 +146,9 @@ pub fn run_batch(
     jobs: usize,
 ) -> BatchReport {
     let jobs = jobs.max(1).min(batch.len().max(1));
-    let results = parallel_map(&batch, jobs, |_, job| {
-        prune_file(job, dtd, projector, chunk_size).map_err(EngineFailure::from)
+    // Each worker owns one chunk buffer for its whole share of the batch.
+    let results = parallel_map_init(&batch, jobs, Vec::new, |buf, _, job| {
+        prune_file(job, dtd, projector, chunk_size, buf).map_err(EngineFailure::from)
     });
     let mut aggregate = EngineStats::default();
     let items: Vec<BatchItemReport> = batch
@@ -150,10 +173,11 @@ fn prune_file(
     dtd: &Dtd,
     projector: &Projector,
     chunk_size: usize,
+    buf: &mut Vec<u8>,
 ) -> Result<EngineStats, EngineError> {
     let input = BufReader::new(std::fs::File::open(&job.input)?);
     let output = BufWriter::new(std::fs::File::create(&job.output)?);
-    prune_reader(input, output, dtd, projector, chunk_size)
+    prune_reader_buffered(input, output, dtd, projector, chunk_size, buf)
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 use crate::metrics::EngineStats;
 use std::io::{Read, Write};
 use std::time::Instant;
-use xproj_core::{PruneMachine, Projector, StreamPruneError};
+use xproj_core::{PruneMachine, Projector, StartOutcome, StreamPruneError};
 use xproj_dtd::Dtd;
 use xproj_xmltree::events::ParseError;
 use xproj_xmltree::push::{PushEvent, PushTokenizer};
@@ -110,10 +110,16 @@ pub struct ChunkedPruner<'p, W: Write> {
     /// Largest single chunk fed (the caller-controlled term of the
     /// memory bound: scratch output is drained once per feed).
     max_chunk: usize,
+    /// Pruned-subtree fast-forward: when the machine reports that no
+    /// name reachable from a dropped element is in π, tell the tokenizer
+    /// to raw-scan past the whole subtree instead of tokenizing it.
+    fast_forward: bool,
 }
 
 impl<'p, W: Write> ChunkedPruner<'p, W> {
     /// Creates a pruner for one document, writing kept bytes to `sink`.
+    /// Pruned-subtree fast-forward is **on**; see
+    /// [`Self::set_fast_forward`] for the tradeoff.
     pub fn new(dtd: &'p Dtd, projector: &'p Projector, sink: W) -> Self {
         ChunkedPruner {
             tokenizer: PushTokenizer::new(),
@@ -126,7 +132,20 @@ impl<'p, W: Write> ChunkedPruner<'p, W> {
             },
             peak_scratch: 0,
             max_chunk: 0,
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables pruned-subtree fast-forward (default on).
+    ///
+    /// With it on, subtrees whose names can reach nothing in π are
+    /// consumed by a raw delimiter scan: end-tag names, attribute syntax
+    /// and entity validity inside them go unchecked, and the
+    /// `text_pruned` counter undercounts (never-tokenized text is never
+    /// counted). Kept output is identical either way. Turn it off when
+    /// the pass doubles as a well-formedness check of the whole input.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// Feeds one chunk of the serialized document.
@@ -134,24 +153,37 @@ impl<'p, W: Write> ChunkedPruner<'p, W> {
         self.stats.bytes_in += chunk.len() as u64;
         self.max_chunk = self.max_chunk.max(chunk.len());
         let t0 = Instant::now();
-        let events = self.tokenizer.feed(chunk)?;
-        let t1 = Instant::now();
-        self.stats.timings.tokenize += t1 - t0;
-        self.process(events)?;
-        Ok(())
+        self.tokenizer.push_bytes(chunk)?;
+        self.stats.timings.tokenize += t0.elapsed();
+        self.pump()
     }
 
-    fn process(&mut self, events: Vec<PushEvent>) -> Result<(), EngineError> {
+    /// Drains every completed event through the machine, engaging
+    /// fast-forward at eligible subtree roots, then flushes the scratch.
+    fn pump(&mut self) -> Result<(), EngineError> {
         let t1 = Instant::now();
-        self.stats.events += events.len() as u64;
-        for ev in &events {
-            match ev {
-                PushEvent::StartElement { name, attrs, .. } => {
-                    self.machine.start_element(
+        while let Some(ev) = self.tokenizer.next_event()? {
+            self.stats.events += 1;
+            match &ev {
+                PushEvent::StartElement {
+                    name,
+                    attrs,
+                    self_closing,
+                } => {
+                    let outcome = self.machine.start_element(
                         name,
                         attrs.iter().map(|a| (a.name.as_str(), a.value.as_str())),
                         &mut self.scratch,
                     )?;
+                    // A self-closing element has no raw subtree; its
+                    // synthesized end event flows through normally.
+                    if self.fast_forward
+                        && outcome == StartOutcome::PrunedSubtree
+                        && !self_closing
+                    {
+                        self.tokenizer.skip_current_subtree()?;
+                        self.machine.end_element(name, &mut self.scratch);
+                    }
                 }
                 PushEvent::EndElement { name } => {
                     self.machine.end_element(name, &mut self.scratch)
@@ -185,10 +217,32 @@ impl<'p, W: Write> ChunkedPruner<'p, W> {
     /// means some path buffered the document, which is exactly the bug
     /// this engine exists to rule out.
     pub fn finish(mut self) -> Result<EngineStats, EngineError> {
+        self.pump()?;
         let t0 = Instant::now();
+        // Only a trailing text run or a pending synthesized end event can
+        // surface here; subtree starts always complete before EOF.
         let events = self.tokenizer.finish()?;
         self.stats.timings.tokenize += t0.elapsed();
-        self.process(events)?;
+        self.stats.events += events.len() as u64;
+        for ev in &events {
+            match ev {
+                PushEvent::EndElement { name } => {
+                    self.machine.end_element(name, &mut self.scratch)
+                }
+                PushEvent::Text(t) => self.machine.text(t, &mut self.scratch),
+                _ => {}
+            }
+        }
+        self.peak_scratch = self.peak_scratch.max(self.scratch.len());
+        if !self.scratch.is_empty() {
+            self.sink.write_all(self.scratch.as_bytes())?;
+            self.stats.bytes_out += self.scratch.len() as u64;
+            self.scratch.clear();
+        }
+        self.stats.peak_resident_bytes = self
+            .stats
+            .peak_resident_bytes
+            .max(self.tokenizer.peak_buffered() + self.peak_scratch);
         let ChunkedPruner {
             tokenizer,
             machine,
@@ -232,17 +286,35 @@ impl<'p, W: Write> ChunkedPruner<'p, W> {
 /// Drives a whole `io::Read` through a [`ChunkedPruner`] in
 /// `chunk_size`-byte reads.
 pub fn prune_reader<R: Read, W: Write>(
-    mut input: R,
+    input: R,
     sink: W,
     dtd: &Dtd,
     projector: &Projector,
     chunk_size: usize,
 ) -> Result<EngineStats, EngineError> {
+    let mut buf = Vec::new();
+    prune_reader_buffered(input, sink, dtd, projector, chunk_size, &mut buf)
+}
+
+/// [`prune_reader`] with a caller-owned chunk buffer, so steady-state
+/// drivers (batch workers, server connections) allocate nothing per
+/// document. The buffer is grown to `chunk_size` once and reused across
+/// calls.
+pub fn prune_reader_buffered<R: Read, W: Write>(
+    mut input: R,
+    sink: W,
+    dtd: &Dtd,
+    projector: &Projector,
+    chunk_size: usize,
+    buf: &mut Vec<u8>,
+) -> Result<EngineStats, EngineError> {
     let chunk_size = chunk_size.max(1);
+    if buf.len() < chunk_size {
+        buf.resize(chunk_size, 0);
+    }
     let mut pruner = ChunkedPruner::new(dtd, projector, sink);
-    let mut buf = vec![0u8; chunk_size];
     loop {
-        let n = input.read(&mut buf)?;
+        let n = input.read(&mut buf[..chunk_size])?;
         if n == 0 {
             break;
         }

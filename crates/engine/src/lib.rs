@@ -46,7 +46,9 @@ pub mod cache;
 pub mod chunked;
 pub mod metrics;
 
-pub use batch::{parallel_map, run_batch, BatchJob, BatchReport, EngineFailure};
+pub use batch::{parallel_map, parallel_map_init, run_batch, BatchJob, BatchReport, EngineFailure};
 pub use cache::{dtd_fingerprint, normalize_query, CacheStats, ProjectorCache};
-pub use chunked::{prune_reader, ChunkedPruner, EngineError, DEFAULT_CHUNK_SIZE};
+pub use chunked::{
+    prune_reader, prune_reader_buffered, ChunkedPruner, EngineError, DEFAULT_CHUNK_SIZE,
+};
 pub use metrics::{error_json_line, EngineStats, StageTimings};

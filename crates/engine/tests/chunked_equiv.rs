@@ -14,7 +14,7 @@
 //! `TESTKIT_FUZZ_CASES=n` scales the run (CI smoke uses 100).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use xproj_core::{prune_str, StaticAnalyzer};
+use xproj_core::{prune_str, prune_str_fast, StaticAnalyzer};
 use xproj_dtd::generate::{generate, random_dtd, GenConfig, RandomDtdConfig, RANDOM_DTD_TAGS};
 use xproj_dtd::Dtd;
 use xproj_engine::ChunkedPruner;
@@ -80,30 +80,56 @@ fn run_case(seed: u64) {
     let whole = prune_str(&xml, &dtd, &projector)
         .unwrap_or_else(|e| panic!("prune_str failed on generated doc: {e}"));
 
-    let case = rng.next_u64();
-    let mut out: Vec<u8> = Vec::new();
-    let mut pruner = ChunkedPruner::new(&dtd, &projector, &mut out);
-    for chunk in random_chunks(&mut rng, xml.as_bytes(), case) {
-        pruner
-            .feed(chunk)
-            .unwrap_or_else(|e| panic!("chunked feed failed for {q}: {e}\ndoc: {xml}"));
-    }
-    // finish() also hard-asserts the resident-memory bound.
-    let stats = pruner
-        .finish()
-        .unwrap_or_else(|e| panic!("chunked finish failed for {q}: {e}\ndoc: {xml}"));
-
-    let chunked = String::from_utf8(out).expect("engine output is UTF-8");
+    // The in-memory fast path (XmlReader::skip_subtree) on the same
+    // triple: byte-identical output, identical counters except
+    // `text_pruned` (text in raw-skipped subtrees is never tokenized,
+    // hence never counted).
+    let fast = prune_str_fast(&xml, &dtd, &projector)
+        .unwrap_or_else(|e| panic!("prune_str_fast failed for {q}: {e}\ndoc: {xml}"));
     assert_eq!(
-        chunked, whole.output,
-        "chunked output diverged from prune_str for {q}\ndoc: {xml}"
+        fast.output, whole.output,
+        "prune_str_fast diverged from prune_str for {q}\ndoc: {xml}"
     );
-    assert_eq!(stats.counters.elements_kept, whole.elements_kept, "for {q}");
-    assert_eq!(stats.counters.elements_pruned, whole.elements_pruned, "for {q}");
-    assert_eq!(stats.counters.text_kept, whole.text_kept, "for {q}");
-    assert_eq!(stats.counters.max_depth, whole.max_depth, "for {q}");
-    assert_eq!(stats.bytes_in, xml.len() as u64);
-    assert_eq!(stats.bytes_out, whole.output.len() as u64);
+    assert_eq!(fast.elements_kept, whole.elements_kept, "for {q}");
+    assert_eq!(fast.elements_pruned, whole.elements_pruned, "for {q}");
+    assert_eq!(fast.text_kept, whole.text_kept, "for {q}");
+    assert_eq!(fast.max_depth, whole.max_depth, "for {q}");
+
+    let case = rng.next_u64();
+    let chunks = random_chunks(&mut rng, xml.as_bytes(), case);
+    // The chunked engine in both modes over the same chunking: with the
+    // pruned-subtree fast-forward engaged (the default — chunk
+    // boundaries may fall anywhere inside a raw-skipped subtree), and
+    // with it off (every event tokenized).
+    for fast_forward in [true, false] {
+        let mut out: Vec<u8> = Vec::new();
+        let mut pruner = ChunkedPruner::new(&dtd, &projector, &mut out);
+        pruner.set_fast_forward(fast_forward);
+        for chunk in &chunks {
+            pruner.feed(chunk).unwrap_or_else(|e| {
+                panic!("chunked feed (ff={fast_forward}) failed for {q}: {e}\ndoc: {xml}")
+            });
+        }
+        // finish() also hard-asserts the resident-memory bound.
+        let stats = pruner.finish().unwrap_or_else(|e| {
+            panic!("chunked finish (ff={fast_forward}) failed for {q}: {e}\ndoc: {xml}")
+        });
+
+        let chunked = String::from_utf8(out).expect("engine output is UTF-8");
+        assert_eq!(
+            chunked, whole.output,
+            "chunked output (ff={fast_forward}) diverged from prune_str for {q}\ndoc: {xml}"
+        );
+        assert_eq!(stats.counters.elements_kept, whole.elements_kept, "for {q}");
+        assert_eq!(stats.counters.elements_pruned, whole.elements_pruned, "for {q}");
+        assert_eq!(stats.counters.text_kept, whole.text_kept, "for {q}");
+        assert_eq!(stats.counters.max_depth, whole.max_depth, "for {q}");
+        assert_eq!(stats.bytes_in, xml.len() as u64);
+        assert_eq!(stats.bytes_out, whole.output.len() as u64);
+        if !fast_forward {
+            assert_eq!(stats.counters.text_pruned, whole.text_pruned, "for {q}");
+        }
+    }
 }
 
 #[test]
@@ -131,6 +157,57 @@ fn fuzz_chunked_equals_whole_string_pruning() {
             );
         }
     }
+}
+
+/// A document whose pruned subtrees are all fast-forward-eligible,
+/// split at **every** two-chunk boundary plus 1-byte chunks: every
+/// boundary class (mid-delimiter inside a raw-skipped region, at the
+/// skip entry/exit, mid-`-->`, mid-`]]>`, mid-quote) gets exercised.
+#[test]
+fn fast_forward_survives_every_chunk_boundary() {
+    use xproj_dtd::parse_dtd;
+    let dtd = parse_dtd(
+        "<!ELEMENT bib (book*)>\
+         <!ELEMENT book (title, note*)>\
+         <!ATTLIST note k CDATA #IMPLIED>\
+         <!ELEMENT title (#PCDATA)>\
+         <!ELEMENT note (#PCDATA | note)*>",
+        "bib",
+    )
+    .unwrap();
+    let mut sa = StaticAnalyzer::new(&dtd);
+    // π = {bib, book, title, String(title)}: every `note` subtree is
+    // raw-skipped (note reaches only note).
+    let projector = sa.project_query("/bib/book/title").unwrap();
+    let xml = "<bib><book><title>T1</title>\
+               <note k=\"a > b\"><!-- </note> --><note><![CDATA[</note>]]]]></note>\
+               t &amp; t<?pi </note> ?></note><note/></book>\
+               <book><title>T2</title><note>x</note></book></bib>";
+    let whole = prune_str(xml, &dtd, &projector).unwrap();
+    assert_eq!(
+        whole.output,
+        "<bib><book><title>T1</title></book><book><title>T2</title></book></bib>"
+    );
+    let bytes = xml.as_bytes();
+    let run = |chunks: &[&[u8]]| {
+        let mut out = Vec::new();
+        let mut pruner = ChunkedPruner::new(&dtd, &projector, &mut out);
+        for c in chunks {
+            pruner.feed(c).unwrap();
+        }
+        let stats = pruner.finish().unwrap();
+        assert_eq!(stats.counters.elements_pruned, whole.elements_pruned);
+        String::from_utf8(out).unwrap()
+    };
+    for at in 0..=bytes.len() {
+        assert_eq!(
+            run(&[&bytes[..at], &bytes[at..]]),
+            whole.output,
+            "two-chunk split at byte {at}"
+        );
+    }
+    let one_byte: Vec<&[u8]> = (0..bytes.len()).map(|i| &bytes[i..i + 1]).collect();
+    assert_eq!(run(&one_byte), whole.output, "1-byte chunks");
 }
 
 /// The CI smoke differential: a realistic XMark auction document (deep

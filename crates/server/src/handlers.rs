@@ -40,6 +40,9 @@ pub mod codes {
     pub const BODY_TOO_LARGE: &str = "body-too-large";
     /// A read deadline expired mid-request.
     pub const TIMEOUT: &str = "timeout";
+    /// The request used a transfer coding this server does not
+    /// implement.
+    pub const NOT_IMPLEMENTED: &str = "not-implemented";
 }
 
 /// Outcome of one handled request, as far as the connection goes.
@@ -64,6 +67,9 @@ pub fn serve_connection(stream: TcpStream, state: &ServerState) {
         Ok(c) => c,
         Err(_) => return,
     };
+    // One read buffer for the connection's whole keep-alive lifetime:
+    // the prune endpoint sizes it once and reuses it per request.
+    let mut scratch: Vec<u8> = Vec::new();
     loop {
         let head = match read_head(&mut conn, state.config.max_header_bytes) {
             Ok(h) => h,
@@ -89,7 +95,9 @@ pub fn serve_connection(stream: TcpStream, state: &ServerState) {
                     write_json_error(conn.stream(), 408, codes::TIMEOUT, "request head timed out");
                 return;
             }
-            Err(HttpError::Io(_) | HttpError::BodyTooLarge) => return,
+            Err(HttpError::Io(_) | HttpError::BodyTooLarge | HttpError::NotImplemented(_)) => {
+                return
+            }
         };
 
         state.metrics.requests.fetch_add(1, Ordering::Relaxed);
@@ -97,7 +105,7 @@ pub fn serve_connection(stream: TcpStream, state: &ServerState) {
         let endpoint = route(&head);
         let t0 = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle(&mut conn, &head, endpoint, state)
+            handle(&mut conn, &head, endpoint, state, &mut scratch)
         }));
         state.metrics.record_latency(endpoint, t0.elapsed());
         state.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -148,6 +156,7 @@ fn handle(
     head: &RequestHead,
     endpoint: Endpoint,
     state: &ServerState,
+    scratch: &mut Vec<u8>,
 ) -> Handled {
     // A response can only reuse the connection if the request body has
     // been fully consumed; handlers that bail early must close.
@@ -173,7 +182,7 @@ fn handle(
             }
         }
         (Endpoint::Dtd, "POST") => handle_dtd(conn, head, state),
-        (Endpoint::Prune, "POST") => handle_prune(conn, head, state),
+        (Endpoint::Prune, "POST") => handle_prune(conn, head, state, scratch),
         (Endpoint::Analyze, "POST") => handle_analyze(conn, head, state),
         (Endpoint::Shutdown, "POST") => {
             // Write the response first: this request itself must drain
@@ -242,7 +251,12 @@ fn handle_dtd(conn: &mut Conn, head: &RequestHead, state: &ServerState) -> Handl
 /// a chunked request is pruned chunk by chunk, and the response streams
 /// as chunked transfer once it outgrows the response buffer, so
 /// document size never enters resident memory.
-fn handle_prune(conn: &mut Conn, head: &RequestHead, state: &ServerState) -> Handled {
+fn handle_prune(
+    conn: &mut Conn,
+    head: &RequestHead,
+    state: &ServerState,
+    scratch: &mut Vec<u8>,
+) -> Handled {
     let Some(id_hex) = head.query_param("dtd") else {
         return error_response(
             conn,
@@ -321,12 +335,19 @@ fn handle_prune(conn: &mut Conn, head: &RequestHead, state: &ServerState) -> Han
     );
     let mut body = BodyReader::new(conn, kind, state.config.max_body_bytes);
     let mut pruner = ChunkedPruner::new(&dtd, &projector, &mut response);
-    let mut chunk = vec![0u8; state.config.chunk_size.max(1)];
+    // The connection-lifetime read buffer, sized on first use (the
+    // configured chunk size is fixed, so keep-alive requests after the
+    // first allocate nothing here).
+    let want = state.config.chunk_size.max(1);
+    if scratch.len() != want {
+        scratch.resize(want, 0);
+    }
+    let chunk = &mut scratch[..];
 
     // The streaming core: each chunk of decoded body bytes is fed to
     // the push tokenizer the moment it arrives off the wire.
     let fed = loop {
-        match body.read_some(&mut chunk) {
+        match body.read_some(chunk) {
             Ok(0) => break Ok(()),
             Ok(n) => {
                 if let Err(e) = pruner.feed(&chunk[..n]) {
@@ -559,6 +580,9 @@ fn protocol_error(conn: &mut Conn, state: &ServerState, e: HttpError) -> Handled
             codes::HEADERS_TOO_LARGE,
             "request head exceeds the configured limit",
         ),
+        HttpError::NotImplemented(m) => {
+            error_response(conn, state, 501, codes::NOT_IMPLEMENTED, &m)
+        }
         HttpError::Timeout => error_response(conn, state, 408, codes::TIMEOUT, "body read timed out"),
         HttpError::Io(_) | HttpError::Closed => {
             state.metrics.errors.fetch_add(1, Ordering::Relaxed);

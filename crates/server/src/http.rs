@@ -27,6 +27,9 @@ pub enum HttpError {
     HeadersTooLarge,
     /// The request body exceeded the configured limit → `413`.
     BodyTooLarge,
+    /// The request used a transfer coding this server does not
+    /// implement → `501`.
+    NotImplemented(String),
     /// A read deadline expired mid-request → `408`.
     Timeout,
     /// The connection failed (or the server is aborting); no response
@@ -209,10 +212,26 @@ impl RequestHead {
             .map(|(_, v)| v)
     }
 
+    /// All comma-separated tokens of a (case-insensitive) header,
+    /// across every occurrence of it, trimmed and lowercased — the
+    /// RFC 9110 list syntax, so `Connection: close, te` yields the
+    /// tokens `close` and `te`.
+    pub fn header_tokens(&self, name: &str) -> Vec<String> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .flat_map(|(_, v)| v.split(','))
+            .map(|t| t.trim().to_ascii_lowercase())
+            .filter(|t| !t.is_empty())
+            .collect()
+    }
+
     /// Whether the client asked to keep the connection open
-    /// (HTTP/1.1 default yes, overridden by `Connection: close`).
+    /// (HTTP/1.1 default yes, overridden by a `close` token in any
+    /// `Connection` header — `Connection: close, te` still closes).
     pub fn keep_alive(&self) -> bool {
-        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+        !self.header_tokens("connection").iter().any(|t| t == "close")
     }
 
     /// Whether the client sent `Expect: 100-continue`.
@@ -324,14 +343,26 @@ pub enum BodyKind {
 }
 
 /// Determines the body framing from the head.
+///
+/// `Transfer-Encoding` is parsed as the RFC 9112 coding list: the body
+/// is chunked only when `chunked` is the **final** coding. Any coding
+/// this server does not implement (gzip, deflate, …) is a `501`;
+/// `chunked` anywhere but last (the framing would be ambiguous) is a
+/// `400`.
 pub fn body_kind(head: &RequestHead) -> Result<BodyKind, HttpError> {
-    if let Some(te) = head.header("transfer-encoding") {
-        if te.to_ascii_lowercase().contains("chunked") {
-            return Ok(BodyKind::Chunked);
+    let codings = head.header_tokens("transfer-encoding");
+    if !codings.is_empty() {
+        if let Some(other) = codings.iter().find(|c| *c != "chunked") {
+            return Err(HttpError::NotImplemented(format!(
+                "transfer coding '{other}' is not supported"
+            )));
         }
-        return Err(HttpError::BadRequest(format!(
-            "unsupported transfer-encoding '{te}'"
-        )));
+        if codings.len() > 1 {
+            return Err(HttpError::BadRequest(
+                "chunked must be the final transfer coding, applied once".to_string(),
+            ));
+        }
+        return Ok(BodyKind::Chunked);
     }
     match head.header("content-length") {
         Some(v) => {
@@ -522,6 +553,7 @@ pub fn reason(status: u16) -> &'static str {
         422 => "Unprocessable Content",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "",
     }
@@ -703,16 +735,87 @@ mod tests {
         assert_eq!(head.query_param("missing"), None);
     }
 
-    #[test]
-    fn keep_alive_defaults() {
-        let mut head = RequestHead {
+    fn head_with(headers: &[(&str, &str)]) -> RequestHead {
+        RequestHead {
             method: "GET".to_string(),
             path: "/".to_string(),
             raw_query: String::new(),
-            headers: Vec::new(),
-        };
+            headers: headers
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn keep_alive_defaults() {
+        let mut head = head_with(&[]);
         assert!(head.keep_alive());
         head.headers.push(("connection".to_string(), "close".to_string()));
         assert!(!head.keep_alive());
+    }
+
+    #[test]
+    fn connection_header_is_a_token_list() {
+        // `close` anywhere in the list closes, case-insensitively.
+        assert!(!head_with(&[("connection", "close, te")]).keep_alive());
+        assert!(!head_with(&[("connection", "te, Close")]).keep_alive());
+        assert!(!head_with(&[("connection", " keep-alive ,CLOSE")]).keep_alive());
+        // Tokens merely *containing* "close" do not close.
+        assert!(head_with(&[("connection", "closed")]).keep_alive());
+        assert!(head_with(&[("connection", "keep-alive")]).keep_alive());
+        // Repeated Connection headers are one combined list.
+        assert!(!head_with(&[("connection", "te"), ("connection", "close")]).keep_alive());
+    }
+
+    #[test]
+    fn transfer_encoding_coding_list() {
+        // Plain chunked, any case and padding.
+        assert_eq!(
+            body_kind(&head_with(&[("transfer-encoding", "chunked")])).unwrap(),
+            BodyKind::Chunked
+        );
+        assert_eq!(
+            body_kind(&head_with(&[("transfer-encoding", "  Chunked ")])).unwrap(),
+            BodyKind::Chunked
+        );
+        // Unknown codings are 501, even alongside a final chunked.
+        assert!(matches!(
+            body_kind(&head_with(&[("transfer-encoding", "gzip, chunked")])),
+            Err(HttpError::NotImplemented(_))
+        ));
+        assert!(matches!(
+            body_kind(&head_with(&[("transfer-encoding", "identity")])),
+            Err(HttpError::NotImplemented(_))
+        ));
+        // `chunked` token substrings don't count as chunked.
+        assert!(matches!(
+            body_kind(&head_with(&[("transfer-encoding", "notchunked")])),
+            Err(HttpError::NotImplemented(_))
+        ));
+        // chunked-not-final (or applied twice) is unambiguous framing
+        // abuse: 400, not 501.
+        assert!(matches!(
+            body_kind(&head_with(&[("transfer-encoding", "chunked, chunked")])),
+            Err(HttpError::BadRequest(_))
+        ));
+        // Repeated headers form one list.
+        assert!(matches!(
+            body_kind(&head_with(&[
+                ("transfer-encoding", "gzip"),
+                ("transfer-encoding", "chunked"),
+            ])),
+            Err(HttpError::NotImplemented(_))
+        ));
+        // An empty Transfer-Encoding contributes no codings: fall back
+        // to Content-Length / no body.
+        assert_eq!(
+            body_kind(&head_with(&[("transfer-encoding", "")])).unwrap(),
+            BodyKind::None
+        );
+        assert_eq!(
+            body_kind(&head_with(&[("content-length", "12")])).unwrap(),
+            BodyKind::Length(12)
+        );
     }
 }

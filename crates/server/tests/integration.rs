@@ -211,6 +211,50 @@ fn prune_chunked_roundtrip_streams_response() {
 }
 
 #[test]
+fn transfer_coding_list_and_connection_tokens() {
+    let srv = TestServer::start(small_config());
+    let id = srv.register_dtd(BIB_DTD, "bib");
+    let target = format!("/v1/prune?dtd={id}&query={}", urlencode("/bib/book/title"));
+
+    // A transfer coding this server does not implement → 501, before
+    // any body byte is consumed.
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            &target,
+            &[("transfer-encoding", "gzip, chunked")],
+            Some(BIB_DOC.as_bytes()),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 501, "{}", resp.body_str());
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "not-implemented");
+
+    // `chunked` applied anywhere but last is a framing error, not 501.
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            &target,
+            &[("transfer-encoding", "chunked, chunked")],
+            Some(BIB_DOC.as_bytes()),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+
+    // A `close` token in a Connection list closes even when it is not
+    // the whole header value.
+    let mut c = srv.client();
+    let resp = c
+        .request("GET", "/healthz", &[("connection", "close, te")], None)
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("close"));
+
+    srv.shutdown();
+}
+
+#[test]
 fn oversized_header_rejected_431() {
     let config = ServerConfig { max_header_bytes: 256, ..small_config() };
     let srv = TestServer::start(config);

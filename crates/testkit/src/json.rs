@@ -5,8 +5,9 @@
 //! reports). Tests need to *parse* that output without pulling in
 //! `serde`, so this module implements the small recursive-descent
 //! reader the JSON grammar needs: strict on structure, numbers kept as
-//! `f64`, strings fully unescaped (including `\uXXXX`, without surrogate
-//! pairing — the workspace never emits non-BMP escapes).
+//! `f64`, strings fully unescaped (including `\uXXXX` with UTF-16
+//! surrogate pairing, so non-BMP escapes like `"😀"` decode;
+//! lone or mismatched surrogates are rejected).
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -212,16 +213,35 @@ impl Parser<'_> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            self.pos += 4;
-                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            let cp = self.hex4()?;
+                            let c = match cp {
+                                // High surrogate: a low surrogate escape
+                                // must follow; combine them (RFC 8259 §7).
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                        return Err(format!(
+                                            "lone high surrogate \\u{cp:04X}"
+                                        ));
+                                    }
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(format!(
+                                            "high surrogate \\u{cp:04X} followed by \\u{lo:04X}, not a low surrogate"
+                                        ));
+                                    }
+                                    let combined =
+                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                        .expect("paired surrogates are a valid scalar")
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(format!("lone low surrogate \\u{cp:04X}"));
+                                }
+                                _ => char::from_u32(cp)
+                                    .expect("non-surrogate BMP code points are scalars"),
+                            };
+                            out.push(c);
                         }
                         other => {
                             return Err(format!("bad escape '\\{}'", other as char));
@@ -245,6 +265,18 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Reads the 4 hex digits of a `\u` escape (cursor past the `\u`).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(cp)
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -290,6 +322,25 @@ mod tests {
     fn unicode_escapes() {
         let v = parse_json(r#""caf\u00e9 \u2192 bar""#).unwrap();
         assert_eq!(v.as_str(), Some("café → bar"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // U+1F600 GRINNING FACE as a UTF-16 surrogate pair.
+        let v = parse_json("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        // Mid-string, adjacent pairs, mixed hex case.
+        let v = parse_json("\"a\\uD83D\\uDE00b\\ud83c\\udf89c\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\u{1F600}b\u{1F389}c"));
+    }
+
+    #[test]
+    fn lone_surrogates_rejected() {
+        assert!(parse_json("\"\\ud83d\"").is_err()); // lone high at end
+        assert!(parse_json("\"\\ud83d rest\"").is_err()); // high not followed by \u
+        assert!(parse_json("\"\\ud83d\\u0041\"").is_err()); // high + non-low escape
+        assert!(parse_json("\"\\ud83d\\ud83d\"").is_err()); // high + high
+        assert!(parse_json("\"\\ude00\"").is_err()); // lone low
     }
 
     #[test]

@@ -440,27 +440,45 @@ fn opt(raw: u32) -> Option<NodeId> {
 }
 
 /// Escapes character data for element content.
+///
+/// Scans for the next special byte and bulk-copies the clean run
+/// before it, so text with no markup characters (the common case) is a
+/// single `push_str`.
 pub fn escape_text(s: &str, out: &mut String) {
-    for ch in s.chars() {
-        match ch {
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '&' => out.push_str("&amp;"),
-            c => out.push(c),
-        }
-    }
+    escape_runs(s, out, |b| matches!(b, b'<' | b'>' | b'&'), |b| match b {
+        b'<' => "&lt;",
+        b'>' => "&gt;",
+        _ => "&amp;",
+    });
 }
 
 /// Escapes character data for a double-quoted attribute value.
 pub fn escape_attr(s: &str, out: &mut String) {
-    for ch in s.chars() {
-        match ch {
-            '<' => out.push_str("&lt;"),
-            '&' => out.push_str("&amp;"),
-            '"' => out.push_str("&quot;"),
-            c => out.push(c),
+    escape_runs(s, out, |b| matches!(b, b'<' | b'&' | b'"'), |b| match b {
+        b'<' => "&lt;",
+        b'"' => "&quot;",
+        _ => "&amp;",
+    });
+}
+
+/// Shared run-copying escape loop. The special set is pure ASCII, so
+/// slicing at special-byte positions always lands on char boundaries.
+fn escape_runs(
+    s: &str,
+    out: &mut String,
+    is_special: impl Fn(u8) -> bool,
+    escape: impl Fn(u8) -> &'static str,
+) {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if is_special(b) {
+            out.push_str(&s[start..i]);
+            out.push_str(escape(b));
+            start = i + 1;
         }
     }
+    out.push_str(&s[start..]);
 }
 
 /// Iterator over the children of a node.

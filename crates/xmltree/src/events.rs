@@ -352,6 +352,125 @@ impl<'a> XmlReader<'a> {
             .unwrap_or(self.rest().len());
         self.bump(n);
     }
+
+    /// Skips the rest of the current element's subtree with raw byte
+    /// scanning — no tokenization, no entity decoding, just delimiter
+    /// matching and a depth counter. Must be called immediately after
+    /// [`Self::next_event`] returned a non-self-closing
+    /// [`Event::StartElement`]; on success the reader is positioned just
+    /// past the element's end tag, with the element popped from the
+    /// stack, exactly as if every subtree event had been pulled.
+    ///
+    /// Only delimiter structure is checked (comments/CDATA/PIs must
+    /// close, tags must balance *by count*): end-tag names, attribute
+    /// syntax, and entity validity inside the skipped region are **not**
+    /// verified. Callers that need full well-formedness or validation
+    /// must pull events normally instead.
+    pub fn skip_subtree(&mut self) -> Result<(), ParseError> {
+        debug_assert!(
+            self.pending_end.is_none(),
+            "skip_subtree after a self-closing tag"
+        );
+        let mut depth = 1usize;
+        while depth > 0 {
+            // `str::find(char)` lowers to a memchr-style byte scan: this
+            // is the only per-byte work on skipped content.
+            let rel = match self.rest().find('<') {
+                Some(i) => i,
+                None => return self.err("unexpected end of input inside skipped subtree"),
+            };
+            self.pos += rel;
+            if self.starts_with("<!--") {
+                let start = self.pos + 4;
+                match self.input[start..].find("-->") {
+                    Some(i) => self.pos = start + i + 3,
+                    None => return self.err("unterminated comment"),
+                }
+            } else if self.starts_with("<![CDATA[") {
+                let start = self.pos + 9;
+                match self.input[start..].find("]]>") {
+                    Some(i) => self.pos = start + i + 3,
+                    None => return self.err("unterminated CDATA section"),
+                }
+            } else if self.starts_with("<?") {
+                let start = self.pos + 2;
+                match self.input[start..].find("?>") {
+                    Some(i) => self.pos = start + i + 2,
+                    None => return self.err("unterminated processing instruction"),
+                }
+            } else if self.starts_with("</") {
+                let start = self.pos + 2;
+                match self.input[start..].find('>') {
+                    Some(i) => self.pos = start + i + 1,
+                    None => return self.err("unterminated end tag"),
+                }
+                depth -= 1;
+            } else if self.starts_with("<!") {
+                let start = self.pos + 2;
+                match self.input[start..].find('>') {
+                    Some(i) => self.pos = start + i + 1,
+                    None => return self.err("unterminated markup declaration"),
+                }
+            } else {
+                // A start tag: quote-aware scan to its '>', watching for
+                // the '/' of an empty-element tag.
+                let bytes = self.input.as_bytes();
+                let mut i = self.pos + 1;
+                let mut quote: Option<u8> = None;
+                let mut prev = 0u8;
+                loop {
+                    if i >= bytes.len() {
+                        return self.err("unterminated start tag");
+                    }
+                    let b = bytes[i];
+                    match quote {
+                        Some(q) => {
+                            if b == q {
+                                quote = None;
+                            }
+                        }
+                        None => match b {
+                            b'"' | b'\'' => quote = Some(b),
+                            b'>' => break,
+                            _ => {}
+                        },
+                    }
+                    prev = b;
+                    i += 1;
+                }
+                self.pos = i + 1;
+                if prev != b'/' {
+                    depth += 1;
+                }
+            }
+        }
+        self.stack.pop();
+        Ok(())
+    }
+}
+
+/// True iff `c` is in the XML 1.0 `Char` production:
+/// `#x9 | #xA | #xD | [#x20-#xD7FF] | [#xE000-#xFFFD] | [#x10000-#x10FFFF]`.
+///
+/// Surrogate code points can never reach this predicate through a
+/// `char`, but the control range below `#x20` and the two non-characters
+/// `#xFFFE`/`#xFFFF` can — a character reference to any of them makes the
+/// document ill-formed.
+pub fn is_xml_char(c: char) -> bool {
+    matches!(
+        c,
+        '\u{9}' | '\u{A}' | '\u{D}' | '\u{20}'..='\u{D7FF}' | '\u{E000}'..='\u{FFFD}' | '\u{10000}'..='\u{10FFFF}'
+    )
+}
+
+/// Resolves a numeric character reference, enforcing the XML 1.0 `Char`
+/// production (`&#0;`, `&#x1F;`, surrogates, `&#xFFFF;` are all
+/// ill-formed even though some pass `char::from_u32`). Shared by both the
+/// pull reader and the push tokenizer so the two reject identically.
+fn char_ref(code: u32) -> Result<char, String> {
+    char::from_u32(code)
+        .filter(|&c| is_xml_char(c))
+        .ok_or_else(|| format!("character reference to non-XML-Char code point {code:#x}"))
 }
 
 /// Decodes the five predefined entities and numeric character references.
@@ -379,17 +498,13 @@ pub fn decode_entities(raw: &str) -> Result<Cow<'_, str>, String> {
             _ if ent.starts_with("#x") || ent.starts_with("#X") => {
                 let code = u32::from_str_radix(&ent[2..], 16)
                     .map_err(|_| format!("bad character reference &{ent};"))?;
-                out.push(
-                    char::from_u32(code).ok_or_else(|| format!("invalid code point {code}"))?,
-                );
+                out.push(char_ref(code)?);
             }
             _ if ent.starts_with('#') => {
                 let code: u32 = ent[1..]
                     .parse()
                     .map_err(|_| format!("bad character reference &{ent};"))?;
-                out.push(
-                    char::from_u32(code).ok_or_else(|| format!("invalid code point {code}"))?,
-                );
+                out.push(char_ref(code)?);
             }
             _ => return Err(format!("unknown entity &{ent};")),
         }
@@ -532,5 +647,48 @@ mod tests {
         r.next_event().unwrap(); // <a>
         r.next_event().unwrap(); // </a>
         assert!(r.next_event().is_err());
+    }
+
+    #[test]
+    fn non_xml_char_references_rejected() {
+        for bad in ["&#0;", "&#x1F;", "&#8;", "&#xFFFE;", "&#xFFFF;", "&#xD800;", "&#x110000;"] {
+            let doc = format!("<a>{bad}</a>");
+            let mut r = XmlReader::new(&doc);
+            r.next_event().unwrap();
+            assert!(r.next_event().is_err(), "{bad} should be rejected");
+        }
+        // The boundary cases that *are* Chars still decode.
+        let ev = collect("<a>&#x9;&#xA;&#xD;&#x20;&#xD7FF;&#xE000;&#xFFFD;&#x10000;</a>");
+        assert!(matches!(ev[1], Event::Text(_)));
+    }
+
+    /// Drives `skip_subtree` against the event stream on the same input:
+    /// the reader must land exactly where pulling all events would.
+    #[test]
+    fn skip_subtree_lands_after_end_tag() {
+        let doc = "<r><skip a=\"1 > 0\" b='/'><x><!-- </skip> --><![CDATA[</skip>]]>\
+                   <?pi </skip> ?><y/>&bogus-not-decoded;</x><empty/></skip><keep/></r>";
+        let mut r = XmlReader::new(doc);
+        assert!(matches!(r.next_event().unwrap(), Event::StartElement { name: "r", .. }));
+        assert!(matches!(
+            r.next_event().unwrap(),
+            Event::StartElement { name: "skip", self_closing: false, .. }
+        ));
+        r.skip_subtree().unwrap();
+        assert_eq!(r.depth(), 1);
+        assert!(matches!(r.next_event().unwrap(), Event::StartElement { name: "keep", .. }));
+        assert!(matches!(r.next_event().unwrap(), Event::EndElement { name: "keep" }));
+        assert!(matches!(r.next_event().unwrap(), Event::EndElement { name: "r" }));
+        assert_eq!(r.next_event().unwrap(), Event::Eof);
+    }
+
+    #[test]
+    fn skip_subtree_errors_on_truncated_input() {
+        for doc in ["<r><s><x>", "<r><s><!-- never closed", "<r><s><![CDATA[open", "<r><s><x attr=\"unterminated"] {
+            let mut r = XmlReader::new(doc);
+            r.next_event().unwrap();
+            r.next_event().unwrap();
+            assert!(r.skip_subtree().is_err(), "{doc:?} should fail to skip");
+        }
     }
 }

@@ -85,6 +85,45 @@ enum TokenKind {
     Doctype,
 }
 
+/// Where the raw-scanning skip mode is within the markup of a skipped
+/// subtree. Partial delimiter matches are encoded in the state itself, so
+/// a chunk boundary can fall anywhere (even inside `]]>` or `-->`)
+/// without buffering a single byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SkipState {
+    /// Character data: scanning for the next `<`.
+    Content,
+    /// Saw `<`.
+    Lt,
+    /// Saw `<!`.
+    LtBang,
+    /// Saw `<!-`.
+    LtBangDash,
+    /// Saw `<![` plus `n` bytes of `CDATA[`.
+    CdataOpen(u8),
+    /// Inside `<!-- … -->`; `n` = trailing `-` count (capped at 2).
+    InComment(u8),
+    /// Inside `<![CDATA[ … ]]>`; `n` = trailing `]` count (capped at 2).
+    InCdata(u8),
+    /// Inside `<? … ?>`; `true` iff the previous byte was `?`.
+    InPi(bool),
+    /// Inside a start tag; quote context plus whether the previous
+    /// unquoted byte was the `/` of an empty-element tag.
+    InStartTag { quote: Option<u8>, slash: bool },
+    /// Inside `</ … >`.
+    InEndTag,
+    /// Inside an unrecognised `<! … >` declaration (permissive).
+    InMisc,
+}
+
+/// Progress of an active pruned-subtree fast-forward.
+#[derive(Debug, Clone, Copy)]
+struct SkipScan {
+    /// Unclosed element count within the skipped subtree (starts at 1).
+    depth: usize,
+    state: SkipState,
+}
+
 /// A resumable chunk-at-a-time XML tokenizer.
 ///
 /// ```
@@ -99,6 +138,12 @@ enum TokenKind {
 /// assert_eq!(events.len(), 3); // start, text, end
 /// assert!(matches!(&events[1], PushEvent::Text(s) if s == "hi"));
 /// ```
+///
+/// Besides batch [`Self::feed`], the tokenizer has an incremental form —
+/// [`Self::push_bytes`] then [`Self::next_event`] until `None` — which
+/// lets a driver react to an event *before* the rest of the chunk is
+/// tokenized. That is what makes [`Self::skip_current_subtree`]
+/// (pruned-subtree fast-forward) possible.
 #[derive(Debug, Default)]
 pub struct PushTokenizer {
     /// Bytes of the (single) incomplete token at the end of the input
@@ -108,6 +153,11 @@ pub struct PushTokenizer {
     consumed: usize,
     /// Open-element stack, for well-formedness checking.
     stack: Vec<String>,
+    /// End event synthesized after a self-closing start tag, waiting to
+    /// be returned by the next [`Self::next_event`] call.
+    pending_end: Option<String>,
+    /// Active pruned-subtree fast-forward, if any.
+    skip: Option<SkipScan>,
     seen_root: bool,
     finished: bool,
     /// Largest single complete token seen, in bytes: the memory bound.
@@ -145,6 +195,12 @@ impl PushTokenizer {
         self.stack.len()
     }
 
+    /// True while a [`Self::skip_current_subtree`] fast-forward is still
+    /// consuming input (the skipped subtree's end tag has not arrived).
+    pub fn is_skipping(&self) -> bool {
+        self.skip.is_some()
+    }
+
     /// Total bytes consumed so far (fed minus still buffered).
     pub fn offset(&self) -> usize {
         self.consumed
@@ -162,14 +218,224 @@ impl PushTokenizer {
     /// Events arrive in document order; a chunk may complete zero events
     /// (its bytes were all mid-token) or many.
     pub fn feed(&mut self, chunk: &[u8]) -> Result<Vec<PushEvent>, ParseError> {
+        self.push_bytes(chunk)?;
+        let mut out = Vec::new();
+        while let Some(ev) = self.next_event()? {
+            out.push(ev);
+        }
+        Ok(out)
+    }
+
+    /// Makes one chunk available for tokenization without pulling any
+    /// events yet — the incremental half of [`Self::feed`]. While a
+    /// [`Self::skip_current_subtree`] fast-forward is active the chunk is
+    /// raw-scanned immediately and **not** buffered; any suffix past the
+    /// skipped subtree's end tag resumes normal tokenization.
+    pub fn push_bytes(&mut self, chunk: &[u8]) -> Result<(), ParseError> {
         if self.finished {
             return self.err("feed after finish");
         }
-        self.buf.extend_from_slice(chunk);
+        let rest = self.skip_scan(chunk);
+        self.buf.extend_from_slice(rest);
         self.peak_buffered = self.peak_buffered.max(self.buf.len());
-        let mut out = Vec::new();
-        self.drain_complete(&mut out)?;
-        Ok(out)
+        Ok(())
+    }
+
+    /// Pulls the next event completed by the bytes pushed so far, or
+    /// `None` when the remaining bytes are mid-token (push more). Always
+    /// `None` while a subtree fast-forward is in progress.
+    pub fn next_event(&mut self) -> Result<Option<PushEvent>, ParseError> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(Some(PushEvent::EndElement { name }));
+        }
+        loop {
+            if self.skip.is_some() {
+                return Ok(None);
+            }
+            match self.classify() {
+                Token::Incomplete => return Ok(None),
+                Token::Complete { kind, len } => {
+                    self.max_token = self.max_token.max(len);
+                    // Zero-event tokens (the XML declaration, whitespace
+                    // outside the root) loop on to the next token.
+                    if let Some(ev) = self.emit(kind, len)? {
+                        return Ok(Some(ev));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Engages pruned-subtree **fast-forward**: every byte until the end
+    /// tag closing the current element is consumed by a raw scan —
+    /// delimiter matching and a depth counter, no tokenization, no
+    /// buffering — exactly like `XmlReader::skip_subtree`.
+    ///
+    /// Must be called immediately after [`Self::next_event`] returned a
+    /// non-self-closing [`PushEvent::StartElement`]. Already-buffered
+    /// bytes are scanned right away; if the subtree extends past them the
+    /// skip stays active across subsequent [`Self::push_bytes`] /
+    /// [`Self::feed`] calls (a chunk boundary may fall anywhere, even
+    /// inside `-->` or `]]>`: partial delimiter matches live in the scan
+    /// state, not in the buffer). End-tag names, attribute syntax and
+    /// entity validity inside the skipped region are **not** checked, so
+    /// this must stay off when validation is requested.
+    pub fn skip_current_subtree(&mut self) -> Result<(), ParseError> {
+        if self.finished {
+            return self.err("skip_current_subtree after finish");
+        }
+        if self.pending_end.is_some() {
+            return self.err("skip_current_subtree after a self-closing tag");
+        }
+        if self.skip.is_some() {
+            return self.err("skip_current_subtree while already skipping");
+        }
+        if self.stack.is_empty() {
+            return self.err("skip_current_subtree with no open element");
+        }
+        self.skip = Some(SkipScan {
+            depth: 1,
+            state: SkipState::Content,
+        });
+        let buffered = std::mem::take(&mut self.buf);
+        let rest = self.skip_scan(&buffered);
+        self.buf.extend_from_slice(rest);
+        Ok(())
+    }
+
+    /// Runs the skip-mode scanner over `chunk`, returning the unscanned
+    /// suffix (all of `chunk` when no skip is active, empty when the
+    /// whole chunk fell inside the skipped subtree). Bytes scanned here
+    /// count as consumed immediately — they are never buffered.
+    fn skip_scan<'c>(&mut self, chunk: &'c [u8]) -> &'c [u8] {
+        use SkipState::*;
+        let Some(mut scan) = self.skip.take() else {
+            return chunk;
+        };
+        const CDATA_OPEN: &[u8] = b"CDATA[";
+        let mut i = 0;
+        loop {
+            if scan.state == Content {
+                // Bulk-scan character data for the next '<': the only
+                // per-byte work on skipped text.
+                match memfind(chunk, b'<', i) {
+                    Some(j) => {
+                        self.consumed += j + 1 - i;
+                        i = j + 1;
+                        scan.state = Lt;
+                    }
+                    None => {
+                        self.consumed += chunk.len() - i;
+                        self.skip = Some(scan);
+                        return &[];
+                    }
+                }
+                continue;
+            }
+            if i >= chunk.len() {
+                self.skip = Some(scan);
+                return &[];
+            }
+            let b = chunk[i];
+            i += 1;
+            self.consumed += 1;
+            scan.state = match scan.state {
+                Content => unreachable!("handled above"),
+                Lt => match b {
+                    b'/' => InEndTag,
+                    b'?' => InPi(false),
+                    b'!' => LtBang,
+                    b'>' => {
+                        scan.depth += 1;
+                        Content
+                    }
+                    _ => InStartTag {
+                        quote: None,
+                        slash: false,
+                    },
+                },
+                LtBang => match b {
+                    b'-' => LtBangDash,
+                    b'[' => CdataOpen(0),
+                    b'>' => Content,
+                    _ => InMisc,
+                },
+                LtBangDash => match b {
+                    b'-' => InComment(0),
+                    b'>' => Content,
+                    _ => InMisc,
+                },
+                CdataOpen(n) => {
+                    if b == CDATA_OPEN[n as usize] {
+                        if n as usize + 1 == CDATA_OPEN.len() {
+                            InCdata(0)
+                        } else {
+                            CdataOpen(n + 1)
+                        }
+                    } else if b == b'>' {
+                        Content
+                    } else {
+                        InMisc
+                    }
+                }
+                InComment(n) => match b {
+                    b'-' => InComment((n + 1).min(2)),
+                    b'>' if n >= 2 => Content,
+                    _ => InComment(0),
+                },
+                InCdata(n) => match b {
+                    b']' => InCdata((n + 1).min(2)),
+                    b'>' if n >= 2 => Content,
+                    _ => InCdata(0),
+                },
+                InPi(prev) => match b {
+                    b'>' if prev => Content,
+                    _ => InPi(b == b'?'),
+                },
+                InStartTag { quote, slash } => match quote {
+                    Some(q) => InStartTag {
+                        quote: if b == q { None } else { quote },
+                        slash: false,
+                    },
+                    None => match b {
+                        b'"' | b'\'' => InStartTag {
+                            quote: Some(b),
+                            slash: false,
+                        },
+                        b'>' => {
+                            if !slash {
+                                scan.depth += 1;
+                            }
+                            Content
+                        }
+                        b'/' => InStartTag {
+                            quote: None,
+                            slash: true,
+                        },
+                        _ => InStartTag {
+                            quote: None,
+                            slash: false,
+                        },
+                    },
+                },
+                InEndTag => match b {
+                    b'>' => {
+                        scan.depth -= 1;
+                        if scan.depth == 0 {
+                            // Subtree done: the skipped element closes.
+                            self.stack.pop();
+                            return &chunk[i..];
+                        }
+                        Content
+                    }
+                    _ => InEndTag,
+                },
+                InMisc => match b {
+                    b'>' => Content,
+                    _ => InMisc,
+                },
+            };
+        }
     }
 
     /// Signals end of input, returning any final events (a trailing text
@@ -181,6 +447,9 @@ impl PushTokenizer {
         }
         self.finished = true;
         let mut out = Vec::new();
+        if let Some(name) = self.pending_end.take() {
+            out.push(PushEvent::EndElement { name });
+        }
         if !self.buf.is_empty() {
             if self.buf[0] == b'<' {
                 if let Some(open) = self.stack.last() {
@@ -193,25 +462,16 @@ impl PushTokenizer {
             // Trailing text run.
             let len = self.buf.len();
             self.max_token = self.max_token.max(len);
-            self.emit_text_token(len, &mut out)?;
+            if let Some(ev) = self.emit_text_token(len)? {
+                out.push(ev);
+            }
         }
+        // An unfinished fast-forward is caught here too: the skipped
+        // element is still on the stack.
         if let Some(open) = self.stack.last() {
             return self.err(format!("unexpected end of input, <{open}> not closed"));
         }
         Ok(out)
-    }
-
-    /// Extracts and emits every complete token at the front of the buffer.
-    fn drain_complete(&mut self, out: &mut Vec<PushEvent>) -> Result<(), ParseError> {
-        loop {
-            match self.classify() {
-                Token::Incomplete => return Ok(()),
-                Token::Complete { kind, len } => {
-                    self.max_token = self.max_token.max(len);
-                    self.emit(kind, len, out)?;
-                }
-            }
-        }
     }
 
     /// Looks for one complete token at the front of the buffer. Never
@@ -359,18 +619,15 @@ impl PushTokenizer {
     }
 
     /// Parses the complete `len`-byte token at the front of the buffer,
-    /// pushes the resulting events, and drains it.
-    fn emit(
-        &mut self,
-        kind: TokenKind,
-        len: usize,
-        out: &mut Vec<PushEvent>,
-    ) -> Result<(), ParseError> {
+    /// drains it, and returns its event (`None` for tokens that produce
+    /// no event). A self-closing start tag returns its start event and
+    /// queues the synthesized end event in `pending_end`.
+    fn emit(&mut self, kind: TokenKind, len: usize) -> Result<Option<PushEvent>, ParseError> {
         match kind {
-            TokenKind::Text => return self.emit_text_token(len, out),
+            TokenKind::Text => return self.emit_text_token(len),
             TokenKind::XmlDecl => {
                 self.drain(len);
-                return Ok(());
+                return Ok(None);
             }
             _ => {}
         }
@@ -422,14 +679,13 @@ impl PushTokenizer {
                     })?;
                 self.seen_root = true;
                 if self_closing {
-                    out.push(PushEvent::StartElement {
-                        name: name.clone(),
+                    self.drain(len);
+                    self.pending_end = Some(name.clone());
+                    return Ok(Some(PushEvent::StartElement {
+                        name,
                         attrs,
                         self_closing: true,
-                    });
-                    self.drain(len);
-                    out.push(PushEvent::EndElement { name });
-                    return Ok(());
+                    }));
                 }
                 self.stack.push(name.clone());
                 PushEvent::StartElement {
@@ -441,29 +697,27 @@ impl PushTokenizer {
             TokenKind::Text | TokenKind::XmlDecl => unreachable!("handled above"),
         };
         self.drain(len);
-        out.push(ev);
-        Ok(())
+        Ok(Some(ev))
     }
 
     /// Emits a text token, matching `XmlReader::read_text`: whitespace
     /// outside the root element is silently dropped; everything else is
     /// entity-decoded.
-    fn emit_text_token(&mut self, len: usize, out: &mut Vec<PushEvent>) -> Result<(), ParseError> {
+    fn emit_text_token(&mut self, len: usize) -> Result<Option<PushEvent>, ParseError> {
         let raw = match std::str::from_utf8(&self.buf[..len]) {
             Ok(s) => s,
             Err(e) => return self.err(format!("invalid UTF-8 in text: {e}")),
         };
         if self.stack.is_empty() && raw.trim().is_empty() {
             self.drain(len);
-            return Ok(());
+            return Ok(None);
         }
         let offset = self.consumed;
         let decoded = decode_entities(raw)
             .map_err(|m| ParseError { offset, message: m })?
             .into_owned();
         self.drain(len);
-        out.push(PushEvent::Text(decoded));
-        Ok(())
+        Ok(Some(PushEvent::Text(decoded)))
     }
 
     fn drain(&mut self, len: usize) {
@@ -805,5 +1059,125 @@ mod tests {
         t.finish().unwrap();
         assert!(t.feed(b"x").is_err());
         assert!(t.finish().unwrap().is_empty()); // idempotent
+    }
+
+    #[test]
+    fn incremental_api_matches_feed() {
+        let doc = b"<a x=\"1\"><b/>text &amp; more<!--c--></a>";
+        let mut batch = PushTokenizer::new();
+        let mut expected = batch.feed(doc).unwrap();
+        expected.extend(batch.finish().unwrap());
+        let mut t = PushTokenizer::new();
+        let mut got = Vec::new();
+        for b in doc {
+            t.push_bytes(std::slice::from_ref(b)).unwrap();
+            while let Some(ev) = t.next_event().unwrap() {
+                got.push(ev);
+            }
+        }
+        got.extend(t.finish().unwrap());
+        assert_eq!(got, expected);
+    }
+
+    /// A skipped subtree full of fake end tags, consumed at every
+    /// possible two-chunk split *and* as 1-byte chunks: the scanner's
+    /// partial-delimiter states must survive any boundary.
+    #[test]
+    fn skip_subtree_survives_every_split() {
+        let doc: &str = "<r><s a=\"x > y\" b='/'><t><!-- </s> --><![CDATA[</s>]]]]>\
+                         <?pi </s> ?><u/>raw &broken; text</t><v></v></s><k/></r>";
+        let bytes = doc.as_bytes();
+        let run = |chunks: &[&[u8]]| {
+            let mut t = PushTokenizer::new();
+            let mut after_skip = Vec::new();
+            let mut skipped = false;
+            for chunk in chunks {
+                t.push_bytes(chunk).unwrap();
+                while let Some(ev) = t.next_event().unwrap() {
+                    if skipped {
+                        after_skip.push(ev);
+                    } else if matches!(&ev, PushEvent::StartElement { name, self_closing: false, .. } if name == "s")
+                    {
+                        t.skip_current_subtree().unwrap();
+                        skipped = true;
+                    }
+                }
+            }
+            after_skip.extend(t.finish().unwrap());
+            assert!(skipped);
+            after_skip
+        };
+        let whole = run(&[bytes]);
+        assert_eq!(
+            whole,
+            vec![
+                PushEvent::StartElement {
+                    name: "k".into(),
+                    attrs: vec![],
+                    self_closing: true
+                },
+                PushEvent::EndElement { name: "k".into() },
+                PushEvent::EndElement { name: "r".into() },
+            ]
+        );
+        for at in 0..=bytes.len() {
+            let got = run(&[&bytes[..at], &bytes[at..]]);
+            assert_eq!(got, whole, "two-chunk split at byte {at}");
+        }
+        let one_byte: Vec<&[u8]> = (0..bytes.len()).map(|i| &bytes[i..i + 1]).collect();
+        assert_eq!(run(&one_byte), whole, "1-byte chunks");
+    }
+
+    #[test]
+    fn skip_never_buffers() {
+        let mut t = PushTokenizer::new();
+        t.push_bytes(b"<r><s>").unwrap();
+        while let Some(ev) = t.next_event().unwrap() {
+            if matches!(&ev, PushEvent::StartElement { name, .. } if name == "s") {
+                t.skip_current_subtree().unwrap();
+            }
+        }
+        let before = t.peak_buffered();
+        let filler = "<x>some long run of text</x>".repeat(100);
+        t.push_bytes(filler.as_bytes()).unwrap();
+        assert!(t.is_skipping());
+        assert_eq!(t.buffered(), 0, "skip mode must not buffer");
+        assert_eq!(t.peak_buffered(), before);
+        t.push_bytes(b"</s><k/></r>").unwrap();
+        assert!(!t.is_skipping());
+        let mut names = Vec::new();
+        while let Some(ev) = t.next_event().unwrap() {
+            if let PushEvent::StartElement { name, .. } = &ev {
+                names.push(name.clone());
+            }
+        }
+        t.finish().unwrap();
+        assert_eq!(names, ["k"]);
+    }
+
+    #[test]
+    fn eof_mid_skip_errors_at_finish() {
+        let mut t = PushTokenizer::new();
+        t.push_bytes(b"<r><s>").unwrap();
+        while let Some(ev) = t.next_event().unwrap() {
+            if matches!(&ev, PushEvent::StartElement { name, .. } if name == "s") {
+                t.skip_current_subtree().unwrap();
+            }
+        }
+        t.push_bytes(b"<x>never closed").unwrap();
+        let err = t.finish().unwrap_err();
+        assert!(err.message.contains("<s> not closed"), "{err}");
+    }
+
+    #[test]
+    fn skip_after_self_closing_rejected() {
+        let mut t = PushTokenizer::new();
+        t.push_bytes(b"<r><s/>").unwrap();
+        let ev = t.next_event().unwrap().unwrap();
+        assert!(matches!(&ev, PushEvent::StartElement { name, .. } if name == "r"));
+        let ev = t.next_event().unwrap().unwrap();
+        assert!(matches!(&ev, PushEvent::StartElement { self_closing: true, .. }));
+        // The synthesized </s> is pending: skipping now would desync.
+        assert!(t.skip_current_subtree().is_err());
     }
 }

@@ -148,3 +148,50 @@ forall! {
         assert_eq!(starts, doc.element_count());
     }
 }
+
+/// Both tokenizers must agree on character-reference validity — the
+/// pull reader and the push tokenizer share `decode_entities`, and a
+/// chunk boundary landing anywhere inside the reference (even between
+/// `&#` and the digits) must not change the verdict.
+#[test]
+fn char_ref_validity_is_split_point_invariant() {
+    use xproj_xmltree::push::PushTokenizer;
+    let cases: &[(&str, bool)] = &[
+        ("<a>&#48;</a>", true),          // '0' — fine
+        ("<a>&#x9;&#xA;&#xD;</a>", true), // the three control Chars
+        ("<a>&#x10FFFF;</a>", true),     // top of the range
+        ("<a>&#0;</a>", false),          // NUL is not a Char
+        ("<a>&#x1F;</a>", false),        // C0 control
+        ("<a>&#8;</a>", false),          // backspace
+        ("<a>&#xFFFE;</a>", false),      // non-character
+        ("<a>&#xD800;</a>", false),      // surrogate
+        ("<a>&#x110000;</a>", false),    // beyond Unicode
+        ("<a b=\"&#0;\"/>", false),      // in an attribute value too
+    ];
+    for &(xml, ok) in cases {
+        // Pull reader verdict.
+        let mut reader = xproj_xmltree::XmlReader::new(xml);
+        let pull = loop {
+            match reader.next_event() {
+                Ok(xproj_xmltree::Event::Eof) => break Ok(()),
+                Ok(_) => {}
+                Err(e) => break Err(e),
+            }
+        };
+        assert_eq!(pull.is_ok(), ok, "pull reader on {xml}");
+
+        // Push tokenizer, split at every byte boundary.
+        for at in 0..=xml.len() {
+            let mut tok = PushTokenizer::new();
+            let fed = tok
+                .feed(&xml.as_bytes()[..at])
+                .and_then(|_| tok.feed(&xml.as_bytes()[at..]))
+                .and_then(|_| tok.finish());
+            assert_eq!(
+                fed.is_ok(),
+                ok,
+                "push tokenizer disagrees on {xml} split at {at}: {fed:?}"
+            );
+        }
+    }
+}

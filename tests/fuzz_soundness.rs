@@ -21,7 +21,9 @@
 //! use tens of thousands).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use xml_projection::core::{prune_document, prune_str, prune_validate_str, StaticAnalyzer};
+use xml_projection::core::{
+    prune_document, prune_str, prune_str_fast, prune_validate_str, StaticAnalyzer,
+};
 use xml_projection::dtd::generate::{
     generate, random_dtd, GenConfig, RandomDtdConfig, RANDOM_DTD_TAGS,
 };
@@ -148,6 +150,16 @@ fn run_case(seed: u64) {
     let validated = prune_validate_str(&xml, &dtd, &projector)
         .unwrap_or_else(|e| panic!("prune_validate_str rejected a valid doc: {e}"));
     assert_eq!(validated.output, pruned_xml, "validating pruner diverged for {q}");
+    // The fast path (pruned-subtree raw fast-forward) must stay
+    // byte-identical too, with matching counters except `text_pruned`
+    // (never-tokenized text is never counted).
+    let fast = prune_str_fast(&xml, &dtd, &projector)
+        .unwrap_or_else(|e| panic!("prune_str_fast failed on valid doc: {e}"));
+    assert_eq!(fast.output, pruned_xml, "fast-path pruner diverged for {q}");
+    assert_eq!(fast.elements_kept, streamed.elements_kept, "for {q}");
+    assert_eq!(fast.elements_pruned, streamed.elements_pruned, "for {q}");
+    assert_eq!(fast.text_kept, streamed.text_kept, "for {q}");
+    assert_eq!(fast.max_depth, streamed.max_depth, "for {q}");
 
     // --- the pruned document stays interpretable, restricting interp ---
     let pruned_interp =
