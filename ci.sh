@@ -64,7 +64,7 @@ cargo test -q --offline --locked -p xproj-server --test integration \
 cargo test -q --offline --locked -p xproj-server --test integration \
     graceful_shutdown_drains_in_flight_load
 
-echo "== pipeline bench smoke (fast-path throughput guard) =="
+echo "== pipeline bench smoke (fast-path + chunked throughput guards) =="
 # Smoke-mode run of the consolidated pipeline bench: the emitted JSON
 # must parse; the fast path must hold the ISSUE's >= 1.5x bar over
 # chunked-prune throughput at retention <= 30%; and the fast-path
@@ -72,6 +72,12 @@ echo "== pipeline bench smoke (fast-path throughput guard) =="
 # across the (scale, query) cells shared with the committed
 # BENCH_pipeline.json) must not regress by more than 15%. Ratios, not
 # absolute MB/s, so the guard is meaningful across machines.
+#
+# The committed baseline itself must show the chunked-streaming
+# acceptance: fast-forward at least as fast as plain chunked on every
+# row, and the in-memory fast path no more than 2.5x the chunked fast
+# path. The smoke run then guards the chunked_fast/fast ratio the same
+# way fast/prune is guarded: geomean must not worsen by more than 15%.
 XPROJ_BENCH_SAMPLES=3 XPROJ_BENCH_WARMUP=1 XPROJ_BENCH_SCALES=0.5 \
 XPROJ_BENCH_OUT=/tmp/BENCH_pipeline.smoke.json \
     ./target/release/pipeline > /dev/null
@@ -84,18 +90,30 @@ for r in smoke['runs']:
     if r['retention'] <= 0.30:
         assert r['fast_mbps'] >= 1.5 * r['chunked_mbps'], \
             f"fast path below 1.5x chunked-prune: {r}"
-def ratios(doc):
-    return {(r['scale'], r['query']): r['fast_mbps'] / r['prune_mbps']
-            for r in doc['runs']}
-b, s = ratios(base), ratios(smoke)
+for r in base['runs']:
+    assert r['chunked_fast_mbps'] >= r['chunked_mbps'], \
+        f"baseline has a fast-forward inversion: {r}"
+    assert r['fast_mbps'] <= 2.5 * r['chunked_fast_mbps'], \
+        f"baseline chunked fast path outside 2.5x of in-memory fast: {r}"
+def ratios(doc, num, den):
+    return {(r['scale'], r['query']): r[num] / r[den] for r in doc['runs']}
+def geomean(d, keys):
+    return math.exp(sum(math.log(d[k]) for k in keys) / len(keys))
+b = ratios(base, 'fast_mbps', 'prune_mbps')
+s = ratios(smoke, 'fast_mbps', 'prune_mbps')
 common = sorted(set(b) & set(s))
 assert common, "smoke run shares no (scale, query) cells with the baseline"
-gb = math.exp(sum(math.log(b[k]) for k in common) / len(common))
-gs = math.exp(sum(math.log(s[k]) for k in common) / len(common))
+gb, gs = geomean(b, common), geomean(s, common)
 assert gs >= 0.85 * gb, \
     f"fast-path speedup regressed >15%: {gs:.3f}x vs baseline {gb:.3f}x"
+cb = ratios(base, 'chunked_fast_mbps', 'fast_mbps')
+cs = ratios(smoke, 'chunked_fast_mbps', 'fast_mbps')
+gcb, gcs = geomean(cb, common), geomean(cs, common)
+assert gcs >= 0.85 * gcb, \
+    f"chunked_fast/fast ratio worsened >15%: {gcs:.3f} vs baseline {gcb:.3f}"
 print(f"pipeline bench smoke: fast-path speedup {gs:.2f}x "
-      f"(baseline {gb:.2f}x) over {len(common)} cells")
+      f"(baseline {gb:.2f}x), chunked_fast/fast {gcs:.2f} "
+      f"(baseline {gcb:.2f}) over {len(common)} cells")
 PY
 
 echo "ci: OK"

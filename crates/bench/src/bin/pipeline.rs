@@ -156,6 +156,14 @@ fn main() {
                 &projector,
                 true,
             );
+            // Regression guard for the fast-forward inversion: engaging
+            // fast-forward must never cost throughput on any row (the
+            // 0.9 factor absorbs run-to-run noise).
+            assert!(
+                chunked_fast_mbps >= 0.9 * chunked_mbps,
+                "chunked fast-forward slower than plain chunked on {query} at scale {scale}: \
+                 {chunked_fast_mbps:.1} < {chunked_mbps:.1} MB/s"
+            );
             runs.push(Run {
                 scale,
                 query: query.to_string(),

@@ -12,7 +12,8 @@ use crate::projector::{Projector, ProjectorTable, Verdict};
 use std::fmt::Write as _;
 use xproj_dtd::{Dtd, NameId};
 use xproj_xmltree::document::{escape_attr, escape_text};
-use xproj_xmltree::events::{Event, XmlReader};
+use xproj_xmltree::events::{decode_entities, Event, XmlReader};
+use xproj_xmltree::push::RawAttrs;
 
 /// Outcome of a streaming prune.
 #[derive(Debug, Clone)]
@@ -228,6 +229,65 @@ impl<'p> PruneMachine<'p> {
                 for (aname, avalue) in attrs {
                     let _ = write!(out, " {aname}=\"");
                     escape_attr(avalue, out);
+                    out.push('"');
+                }
+                self.open_pending = true;
+                Ok(StartOutcome::Kept)
+            }
+            Verdict::PruneDescend => {
+                self.counters.elements_pruned += 1;
+                self.skip_depth = 1;
+                Ok(StartOutcome::Pruned)
+            }
+            Verdict::PruneSubtree => {
+                self.counters.elements_pruned += 1;
+                self.skip_depth = 1;
+                Ok(StartOutcome::PrunedSubtree)
+            }
+        }
+    }
+
+    /// [`Self::start_element`] for drivers that hold the start tag as
+    /// raw bytes (the chunked engine): `attrs_raw` is the unparsed
+    /// attribute region from `xproj_xmltree::push::split_start_tag`.
+    /// Attributes are only parsed — and their values only decoded, and
+    /// even then only when they contain an entity — for *kept*
+    /// elements, so pruned start tags cost one verdict lookup and zero
+    /// allocation. The caller is expected to have validated attribute
+    /// syntax and entities already (the engine does, to report precise
+    /// parse errors); syntax errors surfacing here still fail cleanly.
+    pub fn start_element_raw(
+        &mut self,
+        name: &str,
+        attrs_raw: &str,
+        out: &mut String,
+    ) -> Result<StartOutcome, StreamPruneError> {
+        self.saw_root = true;
+        if self.skip_depth > 0 {
+            self.skip_depth += 1;
+            return Ok(StartOutcome::Pruned);
+        }
+        let nm = self
+            .dtd
+            .name_of_tag_str(name)
+            .ok_or_else(|| StreamPruneError::UndeclaredElement(name.to_string()))?;
+        match self.table.verdict(nm) {
+            Verdict::Keep => {
+                if self.open_pending {
+                    out.push('>');
+                }
+                self.stack.push(nm);
+                self.counters.max_depth = self.counters.max_depth.max(self.stack.len());
+                self.counters.elements_kept += 1;
+                out.push('<');
+                out.push_str(name);
+                for a in RawAttrs::new(attrs_raw) {
+                    let (aname, raw) = a.map_err(StreamPruneError::Xml)?;
+                    out.push(' ');
+                    out.push_str(aname);
+                    out.push_str("=\"");
+                    let decoded = decode_entities(raw).map_err(StreamPruneError::Xml)?;
+                    escape_attr(&decoded, out);
                     out.push('"');
                 }
                 self.open_pending = true;
@@ -702,6 +762,49 @@ mod tests {
         assert_eq!(fast.output, slow.output);
         assert_eq!(fast.output, "<bib><book id=\"b1\"><title>T</title></book></bib>");
         assert_eq!(fast.elements_pruned, slow.elements_pruned);
+    }
+
+    /// Driving the machine through `start_element_raw` with unparsed
+    /// attribute regions must produce byte-identical output and counters
+    /// to the decoded-attribute path.
+    #[test]
+    fn raw_start_path_matches_decoded_path() {
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let mut sa = StaticAnalyzer::new(&dtd);
+        let doc = "<bib><book id=\"a &gt; b\"><title>T&amp;T</title>\
+                   <author>A</author><price>9</price></book></bib>";
+        for q in ["/bib/book/title", "//price", "/bib"] {
+            let p = sa.project_query(q).unwrap();
+            let expected = prune_str(doc, &dtd, &p).unwrap();
+            let mut machine = PruneMachine::new(&dtd, &p);
+            let mut out = String::new();
+            let mut reader = XmlReader::new(doc);
+            loop {
+                match reader.next_event().unwrap() {
+                    Event::StartElement { name, .. } => {
+                        // Re-derive the raw attribute region from the
+                        // source bytes: everything the tag held.
+                        let tag_end = doc[..reader.offset()].rfind('>').unwrap();
+                        let tag_start = doc[..tag_end].rfind('<').unwrap();
+                        let token = &doc[tag_start..=tag_end];
+                        let (n2, attrs_raw, _) =
+                            xproj_xmltree::push::split_start_tag(token).unwrap();
+                        assert_eq!(n2, name);
+                        machine.start_element_raw(name, attrs_raw, &mut out).unwrap();
+                    }
+                    Event::EndElement { name } => machine.end_element(name, &mut out),
+                    Event::Text(t) => machine.text(&t, &mut out),
+                    Event::Comment(_)
+                    | Event::ProcessingInstruction(_)
+                    | Event::Doctype { .. } => {}
+                    Event::Eof => break,
+                }
+            }
+            let c = machine.finish().unwrap();
+            assert_eq!(out, expected.output, "query {q}");
+            assert_eq!(c.elements_kept, expected.elements_kept, "query {q}");
+            assert_eq!(c.text_kept, expected.text_kept, "query {q}");
+        }
     }
 
     #[test]

@@ -16,8 +16,10 @@ use std::io::{Read, Write};
 use std::time::Instant;
 use xproj_core::{PruneMachine, Projector, StartOutcome, StreamPruneError};
 use xproj_dtd::Dtd;
-use xproj_xmltree::events::ParseError;
-use xproj_xmltree::push::{PushEvent, PushTokenizer};
+use xproj_xmltree::events::{decode_entities, validate_entities, ParseError};
+use xproj_xmltree::push::{
+    parse_end_tag_name, split_start_tag, PushEvent, PushTokenizer, RawAttrs, RawKind,
+};
 
 /// Default chunk size for [`prune_reader`].
 pub const DEFAULT_CHUNK_SIZE: usize = 64 * 1024;
@@ -158,40 +160,89 @@ impl<'p, W: Write> ChunkedPruner<'p, W> {
         self.pump()
     }
 
-    /// Drains every completed event through the machine, engaging
+    /// Drains every completed token through the machine, engaging
     /// fast-forward at eligible subtree roots, then flushes the scratch.
+    ///
+    /// This is the zero-copy loop: tokens are *peeked* as borrowed slices
+    /// of the tokenizer buffer, fed to the machine's raw entry points,
+    /// and then advanced past — no per-event `String`/`Vec` allocation.
     fn pump(&mut self) -> Result<(), EngineError> {
         let t1 = Instant::now();
-        while let Some(ev) = self.tokenizer.next_event()? {
-            self.stats.events += 1;
-            match &ev {
-                PushEvent::StartElement {
-                    name,
-                    attrs,
-                    self_closing,
-                } => {
-                    let outcome = self.machine.start_element(
-                        name,
-                        attrs.iter().map(|a| (a.name.as_str(), a.value.as_str())),
-                        &mut self.scratch,
-                    )?;
-                    // A self-closing element has no raw subtree; its
-                    // synthesized end event flows through normally.
-                    if self.fast_forward
-                        && outcome == StartOutcome::PrunedSubtree
-                        && !self_closing
-                    {
-                        self.tokenizer.skip_current_subtree()?;
+        while let Some(tok) = self.tokenizer.peek_token()? {
+            match tok.kind {
+                RawKind::StartTag { self_closing } => {
+                    let offset = self.tokenizer.offset();
+                    let raw = self.tokenizer.token_str(&tok);
+                    let (name, attrs_raw, _) = split_start_tag(raw)
+                        .map_err(|message| ParseError { offset, message })?;
+                    // Attribute syntax and entity validity are checked
+                    // for every start tag — kept or pruned — matching
+                    // the full parse this raw path replaces.
+                    for attr in RawAttrs::new(attrs_raw) {
+                        let (_, rawv) =
+                            attr.map_err(|message| ParseError { offset, message })?;
+                        validate_entities(rawv)
+                            .map_err(|message| ParseError { offset, message })?;
+                    }
+                    let outcome =
+                        self.machine
+                            .start_element_raw(name, attrs_raw, &mut self.scratch)?;
+                    self.stats.events += 1;
+                    if self_closing {
+                        // A self-closing element has no raw subtree; its
+                        // synthesized end event flows through normally.
+                        self.stats.events += 1;
                         self.machine.end_element(name, &mut self.scratch);
+                        self.tokenizer.advance(tok)?;
+                    } else if self.fast_forward && outcome == StartOutcome::PrunedSubtree {
+                        self.machine.end_element(name, &mut self.scratch);
+                        self.stats.subtrees_fast_forwarded += 1;
+                        self.tokenizer.advance(tok)?;
+                        self.tokenizer.skip_current_subtree()?;
+                    } else {
+                        self.tokenizer.advance(tok)?;
                     }
                 }
-                PushEvent::EndElement { name } => {
-                    self.machine.end_element(name, &mut self.scratch)
+                RawKind::EndTag => {
+                    let offset = self.tokenizer.offset();
+                    let raw = self.tokenizer.token_str(&tok);
+                    let name = parse_end_tag_name(raw)
+                        .map_err(|message| ParseError { offset, message })?;
+                    self.machine.end_element(name, &mut self.scratch);
+                    self.stats.events += 1;
+                    // advance re-checks the name against the open-element
+                    // stack, so mismatched tags still fail here.
+                    self.tokenizer.advance(tok)?;
                 }
-                PushEvent::Text(t) => self.machine.text(t, &mut self.scratch),
-                PushEvent::Comment(_)
-                | PushEvent::ProcessingInstruction(_)
-                | PushEvent::Doctype { .. } => {}
+                RawKind::Text => {
+                    let offset = self.tokenizer.offset();
+                    let raw = self.tokenizer.token_str(&tok);
+                    // Whitespace outside the root element is dropped,
+                    // matching XmlReader.
+                    if self.tokenizer.depth() == 0 && raw.trim().is_empty() {
+                        self.tokenizer.advance(tok)?;
+                        continue;
+                    }
+                    let decoded = decode_entities(raw)
+                        .map_err(|message| ParseError { offset, message })?;
+                    self.machine.text(&decoded, &mut self.scratch);
+                    self.stats.events += 1;
+                    self.tokenizer.advance(tok)?;
+                }
+                RawKind::Cdata => {
+                    let raw = self.tokenizer.token_str(&tok);
+                    let inner = &raw["<![CDATA[".len()..raw.len() - "]]>".len()];
+                    self.machine.text(inner, &mut self.scratch);
+                    self.stats.events += 1;
+                    self.tokenizer.advance(tok)?;
+                }
+                RawKind::Comment | RawKind::Pi | RawKind::Doctype => {
+                    self.stats.events += 1;
+                    self.tokenizer.advance(tok)?;
+                }
+                RawKind::XmlDecl => {
+                    self.tokenizer.advance(tok)?;
+                }
             }
         }
         let t2 = Instant::now();
@@ -388,6 +439,43 @@ mod tests {
             stats.peak_resident_bytes,
             doc.len()
         );
+    }
+
+    #[test]
+    fn fast_forward_engages_at_high_retention_and_matches() {
+        // A //keyword-style workload: retention well above 25% with many
+        // small pruned subtrees. Fast-forward must still engage (this is
+        // the regression test for the inversion where entering it at
+        // high retention cost throughput) and stay byte-identical to
+        // the fully tokenized run.
+        let dtd = parse_dtd(DTD, "bib").unwrap();
+        let mut sa = StaticAnalyzer::new(&dtd);
+        let p = sa.project_query("/bib/book/title").unwrap();
+        let run = |ff: bool| {
+            let mut out = Vec::new();
+            let mut pruner = ChunkedPruner::new(&dtd, &p, &mut out);
+            pruner.set_fast_forward(ff);
+            for chunk in DOC.as_bytes().chunks(16) {
+                pruner.feed(chunk).unwrap();
+            }
+            let stats = pruner.finish().unwrap();
+            (String::from_utf8(out).unwrap(), stats)
+        };
+        let (fast_out, fast_stats) = run(true);
+        let (plain_out, plain_stats) = run(false);
+        assert!(
+            fast_stats.retention() >= 0.25,
+            "retention {:.2} should be well above the FF-entry threshold",
+            fast_stats.retention()
+        );
+        assert_eq!(fast_out, plain_out);
+        assert!(fast_stats.subtrees_fast_forwarded > 0);
+        assert_eq!(plain_stats.subtrees_fast_forwarded, 0);
+        assert_eq!(
+            fast_stats.counters.elements_kept,
+            plain_stats.counters.elements_kept
+        );
+        assert_eq!(fast_stats.bytes_out, plain_stats.bytes_out);
     }
 
     #[test]

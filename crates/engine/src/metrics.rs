@@ -60,6 +60,9 @@ pub struct EngineStats {
     pub peak_resident_bytes: usize,
     /// Largest single token seen (the dominant term of the bound).
     pub max_token_bytes: usize,
+    /// Pruned subtrees consumed by the raw fast-forward scanner instead
+    /// of the tokenizer (0 when fast-forward is off or never eligible).
+    pub subtrees_fast_forwarded: u64,
     /// Per-stage wall-clock timings.
     pub timings: StageTimings,
     /// Documents aggregated into this stats object (1 for a single run).
@@ -90,6 +93,7 @@ impl EngineStats {
         self.counters.max_depth = self.counters.max_depth.max(other.counters.max_depth);
         self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
         self.max_token_bytes = self.max_token_bytes.max(other.max_token_bytes);
+        self.subtrees_fast_forwarded += other.subtrees_fast_forwarded;
         self.timings.accumulate(&other.timings);
         self.documents += other.documents;
         self.cache.hits += other.cache.hits;
@@ -106,6 +110,7 @@ impl EngineStats {
              \"bytes_in\":{},\"bytes_out\":{},\"retention\":{:.4},\
              \"elements_kept\":{},\"elements_pruned\":{},\"text_kept\":{},\"text_pruned\":{},\
              \"max_depth\":{},\"peak_resident_bytes\":{},\"max_token_bytes\":{},\
+             \"subtrees_fast_forwarded\":{},\
              \"tokenize_ns\":{},\"prune_ns\":{},\"write_ns\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{}}}",
             self.documents,
@@ -120,6 +125,7 @@ impl EngineStats {
             self.counters.max_depth,
             self.peak_resident_bytes,
             self.max_token_bytes,
+            self.subtrees_fast_forwarded,
             self.timings.tokenize.as_nanos(),
             self.timings.prune.as_nanos(),
             self.timings.write.as_nanos(),

@@ -38,17 +38,23 @@ fn random_query(rng: &mut SplitMix64) -> String {
     format!("/{}", parts.join("/"))
 }
 
-/// Splits `xml` into random chunks; every fourth case uses 1-byte
-/// chunks so every split point in the document gets exercised over the
+/// Fixed chunk sizes every triple rotates through (`usize::MAX` means
+/// the whole document in one feed): tiny sizes force splits inside
+/// every delimiter, a prime avoids aliasing with token lengths, and
+/// 4096 matches a realistic read size.
+const FIXED_CHUNK_SIZES: &[usize] = &[1, 2, 3, 7, 101, 4096, usize::MAX];
+
+/// Splits `xml` into chunks: half the cases rotate through
+/// [`FIXED_CHUNK_SIZES`], the rest use random chunk lengths, so both
+/// systematic and adversarial split points get exercised over the
 /// corpus.
 fn random_chunks<'a>(rng: &mut SplitMix64, xml: &'a [u8], case: u64) -> Vec<&'a [u8]> {
-    let mut chunks = Vec::new();
-    if case.is_multiple_of(4) {
-        for i in 0..xml.len() {
-            chunks.push(&xml[i..i + 1]);
-        }
-        return chunks;
+    if case.is_multiple_of(2) {
+        let idx = (case / 2) as usize % FIXED_CHUNK_SIZES.len();
+        let size = FIXED_CHUNK_SIZES[idx].min(xml.len().max(1));
+        return xml.chunks(size).collect();
     }
+    let mut chunks = Vec::new();
     let mut pos = 0;
     while pos < xml.len() {
         let max = (xml.len() - pos).min(1 + rng.below(97));

@@ -445,7 +445,7 @@ fn opt(raw: u32) -> Option<NodeId> {
 /// before it, so text with no markup characters (the common case) is a
 /// single `push_str`.
 pub fn escape_text(s: &str, out: &mut String) {
-    escape_runs(s, out, |b| matches!(b, b'<' | b'>' | b'&'), |b| match b {
+    escape_runs(s, out, b'<', b'>', b'&', |b| match b {
         b'<' => "&lt;",
         b'>' => "&gt;",
         _ => "&amp;",
@@ -454,29 +454,25 @@ pub fn escape_text(s: &str, out: &mut String) {
 
 /// Escapes character data for a double-quoted attribute value.
 pub fn escape_attr(s: &str, out: &mut String) {
-    escape_runs(s, out, |b| matches!(b, b'<' | b'&' | b'"'), |b| match b {
+    escape_runs(s, out, b'<', b'&', b'"', |b| match b {
         b'<' => "&lt;",
         b'"' => "&quot;",
         _ => "&amp;",
     });
 }
 
-/// Shared run-copying escape loop. The special set is pure ASCII, so
-/// slicing at special-byte positions always lands on char boundaries.
-fn escape_runs(
-    s: &str,
-    out: &mut String,
-    is_special: impl Fn(u8) -> bool,
-    escape: impl Fn(u8) -> &'static str,
-) {
+/// Shared run-copying escape loop: bulk-scan to the next special byte,
+/// copy the clean run before it in one `push_str`. The special set is
+/// pure ASCII, so slicing at special-byte positions always lands on
+/// char boundaries.
+fn escape_runs(s: &str, out: &mut String, s1: u8, s2: u8, s3: u8, escape: impl Fn(u8) -> &'static str) {
     let bytes = s.as_bytes();
     let mut start = 0;
-    for (i, &b) in bytes.iter().enumerate() {
-        if is_special(b) {
-            out.push_str(&s[start..i]);
-            out.push_str(escape(b));
-            start = i + 1;
-        }
+    while let Some(j) = crate::scan::memchr3(s1, s2, s3, &bytes[start..]) {
+        let i = start + j;
+        out.push_str(&s[start..i]);
+        out.push_str(escape(bytes[i]));
+        start = i + 1;
     }
     out.push_str(&s[start..]);
 }

@@ -12,6 +12,7 @@
 //! crate can parse it). The five predefined entities and numeric character
 //! references are decoded.
 
+use crate::scan;
 use std::borrow::Cow;
 use std::fmt;
 
@@ -412,31 +413,40 @@ impl<'a> XmlReader<'a> {
                     None => return self.err("unterminated markup declaration"),
                 }
             } else {
-                // A start tag: quote-aware scan to its '>', watching for
-                // the '/' of an empty-element tag.
+                // A start tag: quote-aware jumps to its '>', watching for
+                // the '/' of an empty-element tag. `prev` is the last
+                // byte consumed, so the `/` of `/>` survives the jumps.
                 let bytes = self.input.as_bytes();
                 let mut i = self.pos + 1;
                 let mut quote: Option<u8> = None;
                 let mut prev = 0u8;
                 loop {
-                    if i >= bytes.len() {
-                        return self.err("unterminated start tag");
-                    }
-                    let b = bytes[i];
                     match quote {
-                        Some(q) => {
-                            if b == q {
+                        Some(q) => match scan::memchr(q, &bytes[i..]) {
+                            Some(j) => {
+                                i += j + 1;
                                 quote = None;
+                                prev = q;
                             }
-                        }
-                        None => match b {
-                            b'"' | b'\'' => quote = Some(b),
-                            b'>' => break,
-                            _ => {}
+                            None => return self.err("unterminated start tag"),
+                        },
+                        None => match scan::memchr3(b'>', b'"', b'\'', &bytes[i..]) {
+                            Some(j) => {
+                                let b = bytes[i + j];
+                                if j > 0 {
+                                    prev = bytes[i + j - 1];
+                                }
+                                i += j;
+                                if b == b'>' {
+                                    break;
+                                }
+                                quote = Some(b);
+                                prev = b;
+                                i += 1;
+                            }
+                            None => return self.err("unterminated start tag"),
                         },
                     }
-                    prev = b;
-                    i += 1;
                 }
                 self.pos = i + 1;
                 if prev != b'/' {
@@ -512,6 +522,42 @@ pub fn decode_entities(raw: &str) -> Result<Cow<'_, str>, String> {
     }
     out.push_str(rest);
     Ok(Cow::Owned(out))
+}
+
+/// Checks that `raw` would decode cleanly with [`decode_entities`],
+/// without allocating the decoded text — the validation half of the
+/// decoder, for callers (the chunked pruning engine) that copy the raw
+/// encoded bytes through to their output. The two functions accept and
+/// reject identically, with identical error messages.
+pub fn validate_entities(raw: &str) -> Result<(), String> {
+    let Some(first) = raw.find('&') else {
+        return Ok(());
+    };
+    let mut rest = &raw[first..];
+    while let Some(amp) = rest.find('&') {
+        rest = &rest[amp..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity reference".to_string())?;
+        let ent = &rest[1..semi];
+        match ent {
+            "lt" | "gt" | "amp" | "apos" | "quot" => {}
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let code = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| format!("bad character reference &{ent};"))?;
+                char_ref(code)?;
+            }
+            _ if ent.starts_with('#') => {
+                let code: u32 = ent[1..]
+                    .parse()
+                    .map_err(|_| format!("bad character reference &{ent};"))?;
+                char_ref(code)?;
+            }
+            _ => return Err(format!("unknown entity &{ent};")),
+        }
+        rest = &rest[semi + 1..];
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -680,6 +726,27 @@ mod tests {
         assert!(matches!(r.next_event().unwrap(), Event::EndElement { name: "keep" }));
         assert!(matches!(r.next_event().unwrap(), Event::EndElement { name: "r" }));
         assert_eq!(r.next_event().unwrap(), Event::Eof);
+    }
+
+    #[test]
+    fn validate_entities_agrees_with_decode() {
+        for s in [
+            "",
+            "plain text",
+            "a &amp; b &lt;&gt;&apos;&quot;",
+            "&#65;&#x42;&#x10000;",
+            "&broken",
+            "&nope;",
+            "&#xZZ;",
+            "&#99999999999;",
+            "&#0;",
+            "&#xFFFF;",
+            "mixed &amp; &bad; tail",
+            "& lone;",
+        ] {
+            let decoded = decode_entities(s).map(|_| ());
+            assert_eq!(validate_entities(s), decoded, "input {s:?}");
+        }
     }
 
     #[test]

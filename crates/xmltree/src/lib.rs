@@ -24,6 +24,7 @@ pub mod events;
 pub mod interner;
 pub mod parser;
 pub mod push;
+pub mod scan;
 
 pub use document::{Attribute, Document, Node, NodeId, NodeKind};
 pub use events::{Event, XmlReader};

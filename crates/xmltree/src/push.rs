@@ -10,16 +10,31 @@
 //! sequence — and the event stream is identical to what `XmlReader`
 //! produces on the concatenated input.
 //!
+//! The hot loop is *bulk-scanning*, not byte-stepping: tokens are
+//! delimited by finding the next structural byte (`<`, `>`, quotes,
+//! `-`, `]`, `?` depending on state) with the word-at-a-time scanners
+//! in [`crate::scan`], and the buffer keeps a cursor instead of
+//! draining per token, so consuming a token is O(1). Two front-ends
+//! sit on top of the same scanner:
+//!
+//! * the owned [`Self::next_event`] stream of [`PushEvent`]s
+//!   (allocation per event — convenient, not hot), and
+//! * the raw [`Self::peek_token`] / [`Self::token_str`] /
+//!   [`Self::advance`] interface, which exposes each complete token as
+//!   a borrowed `&str` so a driver (the chunked pruning engine) can
+//!   copy whole runs to its output without per-event allocations.
+//!
 //! The memory contract that makes constant-memory pruning possible
 //! (paper §6): the tokenizer retains only the bytes of the single
-//! incomplete token at the end of the last chunk. Every complete token is
-//! drained from the buffer as soon as it is recognised, so resident
-//! buffering is bounded by the largest single token in the document
-//! (one tag, one comment, one text run, …), never by the document size.
+//! incomplete token at the end of the last chunk. The consumed prefix
+//! is compacted away on the next push, so resident buffering is bounded
+//! by the largest single token in the document plus one chunk (one tag,
+//! one comment, one text run, …), never by the document size.
 //! [`PushTokenizer::buffered`] and [`PushTokenizer::max_token_bytes`]
 //! expose the accounting so downstream code can *assert* the bound.
 
 use crate::events::{decode_entities, ParseError};
+use crate::scan;
 
 /// One attribute of an owned [`PushEvent::StartElement`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,12 +79,12 @@ pub enum PushEvent {
     },
 }
 
-/// What kind of token starts at the front of the buffer, and where it
-/// ends (exclusive, relative to the buffer) once fully buffered.
+/// What kind of token starts at the cursor, and where it ends
+/// (exclusive, relative to the cursor) once fully buffered.
 enum Token {
     /// Not enough bytes yet to finish (or even classify) the token.
     Incomplete,
-    /// A complete token of `len` bytes at the front of the buffer.
+    /// A complete token of `len` bytes at the cursor.
     Complete { kind: TokenKind, len: usize },
 }
 
@@ -83,6 +98,47 @@ enum TokenKind {
     Pi,
     XmlDecl,
     Doctype,
+}
+
+/// Classification of a raw token exposed by [`PushTokenizer::peek_token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawKind {
+    /// A character-data run (still entity-encoded; may be pure
+    /// whitespace between top-level constructs).
+    Text,
+    /// `<![CDATA[ … ]]>`, delimiters included.
+    Cdata,
+    /// `<name …>` or `<name …/>`. Only the self-closing flag has been
+    /// computed; name and attributes are parsed on demand with
+    /// [`split_start_tag`] / [`RawAttrs`].
+    StartTag {
+        /// Whether the token ends in `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`; validated against the open-element stack by
+    /// [`PushTokenizer::advance`].
+    EndTag,
+    /// `<!-- … -->`, delimiters included.
+    Comment,
+    /// `<? … ?>`, delimiters included (not the XML declaration).
+    Pi,
+    /// The `<?xml … ?>` declaration (produces no event downstream).
+    XmlDecl,
+    /// `<!DOCTYPE … >`; syntax is checked by [`PushTokenizer::advance`].
+    Doctype,
+}
+
+/// A complete raw token at the front of the tokenizer's buffer, handed
+/// out by [`PushTokenizer::peek_token`]. Its text is read with
+/// [`PushTokenizer::token_str`] and it is consumed with
+/// [`PushTokenizer::advance`].
+#[derive(Debug, Clone, Copy)]
+pub struct RawToken {
+    /// What the token is.
+    pub kind: RawKind,
+    /// Token length in bytes (private: only `peek_token` may mint one,
+    /// which is what guarantees the UTF-8 check already ran).
+    len: usize,
 }
 
 /// Where the raw-scanning skip mode is within the markup of a skipped
@@ -109,7 +165,12 @@ enum SkipState {
     InPi(bool),
     /// Inside a start tag; quote context plus whether the previous
     /// unquoted byte was the `/` of an empty-element tag.
-    InStartTag { quote: Option<u8>, slash: bool },
+    InStartTag {
+        /// Active attribute-value quote, if any.
+        quote: Option<u8>,
+        /// Previous unquoted byte was `/`.
+        slash: bool,
+    },
     /// Inside `</ … >`.
     InEndTag,
     /// Inside an unrecognised `<! … >` declaration (permissive).
@@ -122,6 +183,250 @@ struct SkipScan {
     /// Unclosed element count within the skipped subtree (starts at 1).
     depth: usize,
     state: SkipState,
+}
+
+/// Result of driving the skip scanner over one byte run.
+struct SkipOutcome {
+    /// Bytes of the run consumed by the scan (all of it unless `done`).
+    consumed: usize,
+    /// The skipped subtree's end tag was fully consumed.
+    done: bool,
+}
+
+/// Advances the skip scanner over `chunk` with bulk scans: each state
+/// knows the single byte that can change it (`<` in content, the quote
+/// or `>` in a tag, `-`/`]`/`?` before a closing delimiter) and jumps
+/// straight to it. Returns how much was consumed and whether the
+/// subtree closed; the caller pops the element stack on `done`.
+fn run_skip(scan: &mut SkipScan, chunk: &[u8]) -> SkipOutcome {
+    use SkipState::*;
+    const CDATA_OPEN: &[u8] = b"CDATA[";
+    let n = chunk.len();
+    let mut i = 0;
+    while i < n {
+        match scan.state {
+            Content => match scan::memchr(b'<', &chunk[i..]) {
+                Some(j) => {
+                    i += j + 1;
+                    scan.state = Lt;
+                }
+                None => i = n,
+            },
+            Lt => {
+                let b = chunk[i];
+                i += 1;
+                scan.state = match b {
+                    b'/' => InEndTag,
+                    b'?' => InPi(false),
+                    b'!' => LtBang,
+                    b'>' => {
+                        scan.depth += 1;
+                        Content
+                    }
+                    _ => InStartTag {
+                        quote: None,
+                        slash: false,
+                    },
+                };
+            }
+            LtBang => {
+                let b = chunk[i];
+                i += 1;
+                scan.state = match b {
+                    b'-' => LtBangDash,
+                    b'[' => CdataOpen(0),
+                    b'>' => Content,
+                    _ => InMisc,
+                };
+            }
+            LtBangDash => {
+                let b = chunk[i];
+                i += 1;
+                scan.state = match b {
+                    b'-' => InComment(0),
+                    b'>' => Content,
+                    _ => InMisc,
+                };
+            }
+            CdataOpen(k) => {
+                let b = chunk[i];
+                i += 1;
+                scan.state = if b == CDATA_OPEN[k as usize] {
+                    if k as usize + 1 == CDATA_OPEN.len() {
+                        InCdata(0)
+                    } else {
+                        CdataOpen(k + 1)
+                    }
+                } else if b == b'>' {
+                    Content
+                } else {
+                    InMisc
+                };
+            }
+            InComment(k) => {
+                if k >= 1 {
+                    let b = chunk[i];
+                    i += 1;
+                    scan.state = match b {
+                        b'-' => InComment(2),
+                        b'>' if k >= 2 => Content,
+                        _ => InComment(0),
+                    };
+                } else {
+                    // No partial `-->`: jump to the next '-'.
+                    match scan::memchr(b'-', &chunk[i..]) {
+                        Some(j) => {
+                            i += j + 1;
+                            scan.state = InComment(1);
+                        }
+                        None => i = n,
+                    }
+                }
+            }
+            InCdata(k) => {
+                if k >= 1 {
+                    let b = chunk[i];
+                    i += 1;
+                    scan.state = match b {
+                        b']' => InCdata(2),
+                        b'>' if k >= 2 => Content,
+                        _ => InCdata(0),
+                    };
+                } else {
+                    match scan::memchr(b']', &chunk[i..]) {
+                        Some(j) => {
+                            i += j + 1;
+                            scan.state = InCdata(1);
+                        }
+                        None => i = n,
+                    }
+                }
+            }
+            InPi(prev) => {
+                if prev {
+                    let b = chunk[i];
+                    i += 1;
+                    scan.state = if b == b'>' { Content } else { InPi(b == b'?') };
+                } else {
+                    match scan::memchr(b'?', &chunk[i..]) {
+                        Some(j) => {
+                            i += j + 1;
+                            scan.state = InPi(true);
+                        }
+                        None => i = n,
+                    }
+                }
+            }
+            InStartTag { quote: Some(q), .. } => match scan::memchr(q, &chunk[i..]) {
+                Some(j) => {
+                    i += j + 1;
+                    scan.state = InStartTag {
+                        quote: None,
+                        slash: false,
+                    };
+                }
+                None => i = n,
+            },
+            InStartTag { quote: None, slash } => {
+                match scan::memchr3(b'>', b'"', b'\'', &chunk[i..]) {
+                    Some(j) => {
+                        let b = chunk[i + j];
+                        // Whether the byte *before* the structural one
+                        // was the '/' of an empty-element tag; at the
+                        // very front of the run that is the carried
+                        // cross-chunk state.
+                        let prev_slash = if j == 0 { slash } else { chunk[i + j - 1] == b'/' };
+                        i += j + 1;
+                        scan.state = if b == b'>' {
+                            if !prev_slash {
+                                scan.depth += 1;
+                            }
+                            Content
+                        } else {
+                            InStartTag {
+                                quote: Some(b),
+                                slash: false,
+                            }
+                        };
+                    }
+                    None => {
+                        scan.state = InStartTag {
+                            quote: None,
+                            slash: chunk[n - 1] == b'/',
+                        };
+                        i = n;
+                    }
+                }
+            }
+            InEndTag => match scan::memchr(b'>', &chunk[i..]) {
+                Some(j) => {
+                    i += j + 1;
+                    scan.depth -= 1;
+                    if scan.depth == 0 {
+                        return SkipOutcome {
+                            consumed: i,
+                            done: true,
+                        };
+                    }
+                    scan.state = Content;
+                }
+                None => i = n,
+            },
+            InMisc => match scan::memchr(b'>', &chunk[i..]) {
+                Some(j) => {
+                    i += j + 1;
+                    scan.state = Content;
+                }
+                None => i = n,
+            },
+        }
+    }
+    SkipOutcome {
+        consumed: n,
+        done: false,
+    }
+}
+
+/// Open-element stack stored as one contiguous arena (all names
+/// concatenated, `ends[i]` = end offset of the i-th), so pushing a name
+/// never allocates once warm — the per-element `String` churn of a
+/// `Vec<String>` stack is what this replaces.
+#[derive(Debug, Default)]
+struct NameStack {
+    bytes: String,
+    ends: Vec<u32>,
+}
+
+impl NameStack {
+    fn push(&mut self, name: &str) {
+        self.bytes.push_str(name);
+        self.ends.push(self.bytes.len() as u32);
+    }
+
+    fn pop(&mut self) {
+        if self.ends.pop().is_some() {
+            let start = self.ends.last().copied().unwrap_or(0) as usize;
+            self.bytes.truncate(start);
+        }
+    }
+
+    fn top(&self) -> Option<&str> {
+        let &end = self.ends.last()?;
+        let start = if self.ends.len() >= 2 {
+            self.ends[self.ends.len() - 2] as usize
+        } else {
+            0
+        };
+        Some(&self.bytes[start..end as usize])
+    }
+
+    fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
 }
 
 /// A resumable chunk-at-a-time XML tokenizer.
@@ -143,16 +448,22 @@ struct SkipScan {
 /// [`Self::push_bytes`] then [`Self::next_event`] until `None` — which
 /// lets a driver react to an event *before* the rest of the chunk is
 /// tokenized. That is what makes [`Self::skip_current_subtree`]
-/// (pruned-subtree fast-forward) possible.
+/// (pruned-subtree fast-forward) possible. The raw layer underneath —
+/// [`Self::peek_token`], [`Self::token_str`], [`Self::advance`] — gives
+/// the same stream as borrowed, still-encoded tokens for drivers that
+/// copy runs straight to an output buffer.
 #[derive(Debug, Default)]
 pub struct PushTokenizer {
-    /// Bytes of the (single) incomplete token at the end of the input
-    /// seen so far. Complete tokens are drained eagerly.
+    /// The incomplete-token tail of the input plus the latest chunk.
+    /// `buf[pos..]` is the unconsumed part; the consumed prefix is
+    /// compacted away on the next push (never `drain`ed per token).
     buf: Vec<u8>,
-    /// Absolute offset of `buf[0]` in the overall stream (for errors).
+    /// Cursor: start of the unconsumed bytes within `buf`.
+    pos: usize,
+    /// Absolute offset of `buf[pos]` in the overall stream (for errors).
     consumed: usize,
     /// Open-element stack, for well-formedness checking.
-    stack: Vec<String>,
+    stack: NameStack,
     /// End event synthesized after a self-closing start tag, waiting to
     /// be returned by the next [`Self::next_event`] call.
     pending_end: Option<String>,
@@ -172,20 +483,21 @@ impl PushTokenizer {
         PushTokenizer::default()
     }
 
-    /// Bytes currently buffered (the incomplete-token tail).
+    /// Bytes currently buffered (the unconsumed tail).
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 
-    /// High-water mark of [`Self::buffered`] over the whole run.
+    /// High-water mark of resident buffer bytes over the whole run
+    /// (incomplete-token tail plus the freshest chunk).
     pub fn peak_buffered(&self) -> usize {
         self.peak_buffered
     }
 
     /// Size in bytes of the largest single complete token seen so far.
-    /// After a successful [`Self::finish`] this dominates
-    /// [`Self::peak_buffered`]: the buffer only ever held one partial
-    /// token, and every partial token eventually completed.
+    /// After a successful [`Self::finish`], resident buffering only ever
+    /// held one partial token plus one chunk, and every partial token
+    /// eventually completed.
     pub fn max_token_bytes(&self) -> usize {
         self.max_token
     }
@@ -235,9 +547,156 @@ impl PushTokenizer {
         if self.finished {
             return self.err("feed after finish");
         }
-        let rest = self.skip_scan(chunk);
+        let mut rest = chunk;
+        if let Some(scan) = self.skip.as_mut() {
+            let outcome = run_skip(scan, chunk);
+            self.consumed += outcome.consumed;
+            if outcome.done {
+                self.skip = None;
+                self.stack.pop();
+                rest = &chunk[outcome.consumed..];
+            } else {
+                debug_assert_eq!(outcome.consumed, chunk.len());
+                return Ok(());
+            }
+        }
+        // Compact: drop the consumed prefix in one move so the buffer
+        // holds only the incomplete-token tail plus this chunk.
+        if self.pos > 0 {
+            let tail = self.buf.len() - self.pos;
+            self.buf.copy_within(self.pos.., 0);
+            self.buf.truncate(tail);
+            self.pos = 0;
+        }
         self.buf.extend_from_slice(rest);
         self.peak_buffered = self.peak_buffered.max(self.buf.len());
+        Ok(())
+    }
+
+    /// Looks at the next complete token without consuming it: `None`
+    /// when the buffered bytes are mid-token (push more) or a subtree
+    /// fast-forward is active. The returned token's text is UTF-8
+    /// checked and readable via [`Self::token_str`]; pass the token to
+    /// [`Self::advance`] to consume it.
+    ///
+    /// Structural errors that need no parsing (invalid UTF-8, CDATA or
+    /// content outside the root element) surface here; name/attribute
+    /// syntax and tag matching surface in [`Self::advance`] or in the
+    /// parsing helpers ([`split_start_tag`], [`RawAttrs`],
+    /// [`parse_end_tag_name`]).
+    pub fn peek_token(&mut self) -> Result<Option<RawToken>, ParseError> {
+        if self.skip.is_some() {
+            return Ok(None);
+        }
+        let Token::Complete { kind, len } = self.classify() else {
+            return Ok(None);
+        };
+        self.max_token = self.max_token.max(len);
+        let t = &self.buf[self.pos..self.pos + len];
+        let raw = if kind == TokenKind::Text {
+            if let Err(e) = std::str::from_utf8(t) {
+                return self.err(format!("invalid UTF-8 in text: {e}"));
+            }
+            RawKind::Text
+        } else {
+            // All markup tokens are delimited by ASCII, so a complete
+            // token over valid UTF-8 input is itself valid UTF-8.
+            if let Err(e) = std::str::from_utf8(t) {
+                return self.err(format!("invalid UTF-8 in markup: {e}"));
+            }
+            match kind {
+                TokenKind::Cdata => {
+                    if self.stack.is_empty() {
+                        return self.err("CDATA outside the root element");
+                    }
+                    RawKind::Cdata
+                }
+                TokenKind::StartOrEmptyTag => {
+                    if self.stack.is_empty() && self.seen_root {
+                        return self.err("content after the root element");
+                    }
+                    RawKind::StartTag {
+                        self_closing: t.ends_with(b"/>"),
+                    }
+                }
+                TokenKind::EndTag => RawKind::EndTag,
+                TokenKind::Comment => RawKind::Comment,
+                TokenKind::Pi => RawKind::Pi,
+                TokenKind::XmlDecl => RawKind::XmlDecl,
+                TokenKind::Doctype => RawKind::Doctype,
+                TokenKind::Text => unreachable!("handled above"),
+            }
+        };
+        Ok(Some(RawToken { kind: raw, len }))
+    }
+
+    /// The raw text of a token minted by [`Self::peek_token`] (and not
+    /// yet advanced past), delimiters included, entities still encoded.
+    pub fn token_str(&self, tok: &RawToken) -> &str {
+        token_slice(&self.buf, self.pos, tok.len)
+    }
+
+    /// Consumes a token minted by [`Self::peek_token`], running the
+    /// well-formedness checks that need the element stack: end tags are
+    /// matched against the open element (and popped), start tags are
+    /// pushed, DOCTYPE syntax is validated. Attribute *syntax* of start
+    /// tags is **not** checked here — callers that care iterate
+    /// [`RawAttrs`] themselves (as both [`Self::next_event`] and the
+    /// pruning engine do).
+    pub fn advance(&mut self, tok: RawToken) -> Result<(), ParseError> {
+        match tok.kind {
+            RawKind::Doctype => {
+                parse_doctype(token_slice(&self.buf, self.pos, tok.len)).map_err(|m| {
+                    ParseError {
+                        offset: self.consumed,
+                        message: m,
+                    }
+                })?;
+            }
+            RawKind::EndTag => {
+                let name = parse_end_tag_name(token_slice(&self.buf, self.pos, tok.len))
+                    .map_err(|m| ParseError {
+                        offset: self.consumed,
+                        message: m,
+                    })?;
+                match self.stack.top() {
+                    Some(open) if open == name => {}
+                    Some(open) => {
+                        return Err(ParseError {
+                            offset: self.consumed,
+                            message: format!(
+                                "mismatched end tag </{name}>, expected </{open}>"
+                            ),
+                        })
+                    }
+                    None => {
+                        return Err(ParseError {
+                            offset: self.consumed,
+                            message: format!("end tag </{name}> with no open element"),
+                        })
+                    }
+                }
+                self.stack.pop();
+            }
+            RawKind::StartTag { self_closing } => {
+                let (name, _, _) = split_start_tag(token_slice(&self.buf, self.pos, tok.len))
+                    .map_err(|m| ParseError {
+                        offset: self.consumed,
+                        message: m,
+                    })?;
+                self.seen_root = true;
+                if !self_closing {
+                    self.stack.push(name);
+                }
+            }
+            RawKind::Text
+            | RawKind::Cdata
+            | RawKind::Comment
+            | RawKind::Pi
+            | RawKind::XmlDecl => {}
+        }
+        self.pos += tok.len;
+        self.consumed += tok.len;
         Ok(())
     }
 
@@ -249,20 +708,87 @@ impl PushTokenizer {
             return Ok(Some(PushEvent::EndElement { name }));
         }
         loop {
-            if self.skip.is_some() {
+            let Some(tok) = self.peek_token()? else {
                 return Ok(None);
-            }
-            match self.classify() {
-                Token::Incomplete => return Ok(None),
-                Token::Complete { kind, len } => {
-                    self.max_token = self.max_token.max(len);
-                    // Zero-event tokens (the XML declaration, whitespace
-                    // outside the root) loop on to the next token.
-                    if let Some(ev) = self.emit(kind, len)? {
-                        return Ok(Some(ev));
+            };
+            let ev = match tok.kind {
+                RawKind::XmlDecl => {
+                    // The declaration produces no event.
+                    self.advance(tok)?;
+                    continue;
+                }
+                RawKind::Text => {
+                    let raw = self.token_str(&tok);
+                    // Matches XmlReader::read_text: whitespace outside
+                    // the root element is silently dropped.
+                    if self.stack.is_empty() && raw.trim().is_empty() {
+                        self.advance(tok)?;
+                        continue;
+                    }
+                    let offset = self.consumed;
+                    let decoded = decode_entities(raw)
+                        .map_err(|m| ParseError { offset, message: m })?
+                        .into_owned();
+                    self.advance(tok)?;
+                    PushEvent::Text(decoded)
+                }
+                RawKind::Cdata => {
+                    let t = self.token_str(&tok);
+                    let inner = t["<![CDATA[".len()..t.len() - "]]>".len()].to_string();
+                    self.advance(tok)?;
+                    PushEvent::Text(inner)
+                }
+                RawKind::Comment => {
+                    let t = self.token_str(&tok);
+                    let inner = t["<!--".len()..t.len() - "-->".len()].to_string();
+                    self.advance(tok)?;
+                    PushEvent::Comment(inner)
+                }
+                RawKind::Pi => {
+                    let t = self.token_str(&tok);
+                    let inner = t["<?".len()..t.len() - "?>".len()].to_string();
+                    self.advance(tok)?;
+                    PushEvent::ProcessingInstruction(inner)
+                }
+                RawKind::Doctype => {
+                    let ev = parse_doctype(self.token_str(&tok)).map_err(|m| ParseError {
+                        offset: self.consumed,
+                        message: m,
+                    })?;
+                    self.advance(tok)?;
+                    ev
+                }
+                RawKind::EndTag => {
+                    let name = parse_end_tag_name(self.token_str(&tok))
+                        .map_err(|m| ParseError {
+                            offset: self.consumed,
+                            message: m,
+                        })?
+                        .to_string();
+                    // `advance` performs the match-against-open-element
+                    // check; on mismatch the error surfaces here and no
+                    // event is returned.
+                    self.advance(tok)?;
+                    PushEvent::EndElement { name }
+                }
+                RawKind::StartTag { self_closing } => {
+                    let (name, attrs, _) =
+                        parse_start_tag(self.token_str(&tok)).map_err(|m| ParseError {
+                            offset: self.consumed,
+                            message: m,
+                        })?;
+                    self.advance(tok)?;
+                    if self_closing {
+                        self.pending_end = Some(name.clone());
+                    }
+                    PushEvent::StartElement {
+                        name,
+                        attrs,
+                        self_closing,
                     }
                 }
-            }
+            };
+            return Ok(Some(ev));
         }
     }
 
@@ -272,9 +798,10 @@ impl PushTokenizer {
     /// buffering — exactly like `XmlReader::skip_subtree`.
     ///
     /// Must be called immediately after [`Self::next_event`] returned a
-    /// non-self-closing [`PushEvent::StartElement`]. Already-buffered
-    /// bytes are scanned right away; if the subtree extends past them the
-    /// skip stays active across subsequent [`Self::push_bytes`] /
+    /// non-self-closing [`PushEvent::StartElement`] (or [`Self::advance`]
+    /// consumed the equivalent raw token). Already-buffered bytes are
+    /// scanned right away; if the subtree extends past them the skip
+    /// stays active across subsequent [`Self::push_bytes`] /
     /// [`Self::feed`] calls (a chunk boundary may fall anywhere, even
     /// inside `-->` or `]]>`: partial delimiter matches live in the scan
     /// state, not in the buffer). End-tag names, attribute syntax and
@@ -293,149 +820,24 @@ impl PushTokenizer {
         if self.stack.is_empty() {
             return self.err("skip_current_subtree with no open element");
         }
-        self.skip = Some(SkipScan {
+        let mut scan = SkipScan {
             depth: 1,
             state: SkipState::Content,
-        });
-        let buffered = std::mem::take(&mut self.buf);
-        let rest = self.skip_scan(&buffered);
-        self.buf.extend_from_slice(rest);
-        Ok(())
-    }
-
-    /// Runs the skip-mode scanner over `chunk`, returning the unscanned
-    /// suffix (all of `chunk` when no skip is active, empty when the
-    /// whole chunk fell inside the skipped subtree). Bytes scanned here
-    /// count as consumed immediately — they are never buffered.
-    fn skip_scan<'c>(&mut self, chunk: &'c [u8]) -> &'c [u8] {
-        use SkipState::*;
-        let Some(mut scan) = self.skip.take() else {
-            return chunk;
         };
-        const CDATA_OPEN: &[u8] = b"CDATA[";
-        let mut i = 0;
-        loop {
-            if scan.state == Content {
-                // Bulk-scan character data for the next '<': the only
-                // per-byte work on skipped text.
-                match memfind(chunk, b'<', i) {
-                    Some(j) => {
-                        self.consumed += j + 1 - i;
-                        i = j + 1;
-                        scan.state = Lt;
-                    }
-                    None => {
-                        self.consumed += chunk.len() - i;
-                        self.skip = Some(scan);
-                        return &[];
-                    }
-                }
-                continue;
-            }
-            if i >= chunk.len() {
-                self.skip = Some(scan);
-                return &[];
-            }
-            let b = chunk[i];
-            i += 1;
-            self.consumed += 1;
-            scan.state = match scan.state {
-                Content => unreachable!("handled above"),
-                Lt => match b {
-                    b'/' => InEndTag,
-                    b'?' => InPi(false),
-                    b'!' => LtBang,
-                    b'>' => {
-                        scan.depth += 1;
-                        Content
-                    }
-                    _ => InStartTag {
-                        quote: None,
-                        slash: false,
-                    },
-                },
-                LtBang => match b {
-                    b'-' => LtBangDash,
-                    b'[' => CdataOpen(0),
-                    b'>' => Content,
-                    _ => InMisc,
-                },
-                LtBangDash => match b {
-                    b'-' => InComment(0),
-                    b'>' => Content,
-                    _ => InMisc,
-                },
-                CdataOpen(n) => {
-                    if b == CDATA_OPEN[n as usize] {
-                        if n as usize + 1 == CDATA_OPEN.len() {
-                            InCdata(0)
-                        } else {
-                            CdataOpen(n + 1)
-                        }
-                    } else if b == b'>' {
-                        Content
-                    } else {
-                        InMisc
-                    }
-                }
-                InComment(n) => match b {
-                    b'-' => InComment((n + 1).min(2)),
-                    b'>' if n >= 2 => Content,
-                    _ => InComment(0),
-                },
-                InCdata(n) => match b {
-                    b']' => InCdata((n + 1).min(2)),
-                    b'>' if n >= 2 => Content,
-                    _ => InCdata(0),
-                },
-                InPi(prev) => match b {
-                    b'>' if prev => Content,
-                    _ => InPi(b == b'?'),
-                },
-                InStartTag { quote, slash } => match quote {
-                    Some(q) => InStartTag {
-                        quote: if b == q { None } else { quote },
-                        slash: false,
-                    },
-                    None => match b {
-                        b'"' | b'\'' => InStartTag {
-                            quote: Some(b),
-                            slash: false,
-                        },
-                        b'>' => {
-                            if !slash {
-                                scan.depth += 1;
-                            }
-                            Content
-                        }
-                        b'/' => InStartTag {
-                            quote: None,
-                            slash: true,
-                        },
-                        _ => InStartTag {
-                            quote: None,
-                            slash: false,
-                        },
-                    },
-                },
-                InEndTag => match b {
-                    b'>' => {
-                        scan.depth -= 1;
-                        if scan.depth == 0 {
-                            // Subtree done: the skipped element closes.
-                            self.stack.pop();
-                            return &chunk[i..];
-                        }
-                        Content
-                    }
-                    _ => InEndTag,
-                },
-                InMisc => match b {
-                    b'>' => Content,
-                    _ => InMisc,
-                },
-            };
+        let outcome = run_skip(&mut scan, &self.buf[self.pos..]);
+        self.pos += outcome.consumed;
+        self.consumed += outcome.consumed;
+        if outcome.done {
+            self.stack.pop();
+        } else {
+            // The whole tail fell inside the skipped subtree: nothing
+            // stays buffered while the fast-forward is active.
+            debug_assert_eq!(self.pos, self.buf.len());
+            self.buf.clear();
+            self.pos = 0;
+            self.skip = Some(scan);
         }
+        Ok(())
     }
 
     /// Signals end of input, returning any final events (a trailing text
@@ -450,41 +852,57 @@ impl PushTokenizer {
         if let Some(name) = self.pending_end.take() {
             out.push(PushEvent::EndElement { name });
         }
-        if !self.buf.is_empty() {
-            if self.buf[0] == b'<' {
-                if let Some(open) = self.stack.last() {
-                    return self.err(format!(
-                        "unexpected end of input inside markup, <{open}> not closed"
-                    ));
+        let tail_len = self.buf.len() - self.pos;
+        if tail_len > 0 {
+            if self.buf[self.pos] == b'<' {
+                if let Some(open) = self.stack.top() {
+                    return Err(ParseError {
+                        offset: self.consumed,
+                        message: format!(
+                            "unexpected end of input inside markup, <{open}> not closed"
+                        ),
+                    });
                 }
                 return self.err("unexpected end of input inside markup");
             }
             // Trailing text run.
-            let len = self.buf.len();
-            self.max_token = self.max_token.max(len);
-            if let Some(ev) = self.emit_text_token(len)? {
-                out.push(ev);
+            self.max_token = self.max_token.max(tail_len);
+            let raw = match std::str::from_utf8(&self.buf[self.pos..]) {
+                Ok(s) => s,
+                Err(e) => return self.err(format!("invalid UTF-8 in text: {e}")),
+            };
+            if !(self.stack.is_empty() && raw.trim().is_empty()) {
+                let offset = self.consumed;
+                let decoded = decode_entities(raw)
+                    .map_err(|m| ParseError { offset, message: m })?
+                    .into_owned();
+                out.push(PushEvent::Text(decoded));
             }
+            self.pos = self.buf.len();
+            self.consumed += tail_len;
         }
         // An unfinished fast-forward is caught here too: the skipped
         // element is still on the stack.
-        if let Some(open) = self.stack.last() {
-            return self.err(format!("unexpected end of input, <{open}> not closed"));
+        if let Some(open) = self.stack.top() {
+            return Err(ParseError {
+                offset: self.consumed,
+                message: format!("unexpected end of input, <{open}> not closed"),
+            });
         }
         Ok(out)
     }
 
-    /// Looks for one complete token at the front of the buffer. Never
-    /// consumes anything; `emit` drains on success.
+    /// Looks for one complete token at the cursor. Never consumes
+    /// anything; [`Self::advance`] moves the cursor on success.
     fn classify(&self) -> Token {
-        let buf = &self.buf;
+        let buf = &self.buf[self.pos..];
         if buf.is_empty() {
             return Token::Incomplete;
         }
         if buf[0] != b'<' {
             // Text run: complete once the next '<' is visible ('<' is
             // ASCII, so it can never be a UTF-8 continuation byte).
-            return match memfind(buf, b'<', 0) {
+            return match scan::memchr(b'<', buf) {
                 Some(i) => Token::Complete {
                     kind: TokenKind::Text,
                     len: i,
@@ -503,7 +921,7 @@ impl PushTokenizer {
                 if buf.len() < opener.len() {
                     return Token::Incomplete;
                 }
-                return match memfind_seq(buf, closer, opener.len()) {
+                return match scan::find_seq(buf, closer, opener.len()) {
                     Some(i) => Token::Complete {
                         kind,
                         len: i + closer.len(),
@@ -518,7 +936,8 @@ impl PushTokenizer {
             }
             // '>' ends the DOCTYPE only outside quotes and outside the
             // `[…]` internal subset — mirroring XmlReader::read_doctype,
-            // which treats the subset as raw up to the first ']'.
+            // which treats the subset as raw up to the first ']'. At
+            // most one DOCTYPE per document: per-byte is fine here.
             let mut in_subset = false;
             let mut quote: Option<u8> = None;
             for (i, &b) in buf.iter().enumerate().skip(b"<!DOCTYPE".len()) {
@@ -550,7 +969,7 @@ impl PushTokenizer {
             if buf.len() < b"<?xml".len() {
                 return Token::Incomplete;
             }
-            return match memfind_seq(buf, b"?>", 2) {
+            return match scan::find_seq(buf, b"?>", 2) {
                 Some(i) => Token::Complete {
                     kind: TokenKind::XmlDecl,
                     len: i + 2,
@@ -559,7 +978,7 @@ impl PushTokenizer {
             };
         }
         if buf.len() >= 2 && buf[1] == b'?' {
-            return match memfind_seq(buf, b"?>", 2) {
+            return match scan::find_seq(buf, b"?>", 2) {
                 Some(i) => Token::Complete {
                     kind: TokenKind::Pi,
                     len: i + 2,
@@ -578,16 +997,17 @@ impl PushTokenizer {
             }
             // Complete enough to know it matches no opener: report at
             // the '>' (scan like a tag) so the parse error is precise.
-            return match memfind(buf, b'>', 1) {
+            return match scan::memchr(b'>', &buf[1..]) {
                 Some(i) => Token::Complete {
                     kind: TokenKind::StartOrEmptyTag,
-                    len: i + 1,
+                    len: i + 2,
                 },
                 None => Token::Incomplete,
             };
         }
         // Start or end tag: ends at the first '>' outside quotes
-        // (attribute values may legally contain '>').
+        // (attribute values may legally contain '>'). Jump from
+        // structural byte to structural byte instead of stepping.
         let kind = if buf.len() >= 2 && buf[1] == b'/' {
             TokenKind::EndTag
         } else if buf.len() < 2 {
@@ -595,135 +1015,38 @@ impl PushTokenizer {
         } else {
             TokenKind::StartOrEmptyTag
         };
+        let mut i = 1;
         let mut quote: Option<u8> = None;
-        for (i, &b) in buf.iter().enumerate().skip(1) {
+        loop {
             match quote {
-                Some(q) => {
-                    if b == q {
+                Some(q) => match scan::memchr(q, &buf[i..]) {
+                    Some(j) => {
+                        i += j + 1;
                         quote = None;
                     }
-                }
-                None => match b {
-                    b'"' | b'\'' => quote = Some(b),
-                    b'>' => {
-                        return Token::Complete {
-                            kind,
-                            len: i + 1,
+                    None => return Token::Incomplete,
+                },
+                None => match scan::memchr3(b'>', b'"', b'\'', &buf[i..]) {
+                    Some(j) => {
+                        let b = buf[i + j];
+                        i += j + 1;
+                        if b == b'>' {
+                            return Token::Complete { kind, len: i };
                         }
+                        quote = Some(b);
                     }
-                    _ => {}
+                    None => return Token::Incomplete,
                 },
             }
         }
-        Token::Incomplete
     }
+}
 
-    /// Parses the complete `len`-byte token at the front of the buffer,
-    /// drains it, and returns its event (`None` for tokens that produce
-    /// no event). A self-closing start tag returns its start event and
-    /// queues the synthesized end event in `pending_end`.
-    fn emit(&mut self, kind: TokenKind, len: usize) -> Result<Option<PushEvent>, ParseError> {
-        match kind {
-            TokenKind::Text => return self.emit_text_token(len),
-            TokenKind::XmlDecl => {
-                self.drain(len);
-                return Ok(None);
-            }
-            _ => {}
-        }
-        // All markup tokens are delimited by ASCII, so a complete token
-        // over valid UTF-8 input is itself valid UTF-8.
-        let token = match std::str::from_utf8(&self.buf[..len]) {
-            Ok(s) => s,
-            Err(e) => return self.err(format!("invalid UTF-8 in markup: {e}")),
-        };
-        let ev = match kind {
-            TokenKind::Comment => {
-                PushEvent::Comment(token["<!--".len()..len - "-->".len()].to_string())
-            }
-            TokenKind::Cdata => {
-                if self.stack.is_empty() {
-                    return self.err("CDATA outside the root element");
-                }
-                PushEvent::Text(token["<![CDATA[".len()..len - "]]>".len()].to_string())
-            }
-            TokenKind::Pi => {
-                PushEvent::ProcessingInstruction(token["<?".len()..len - "?>".len()].to_string())
-            }
-            TokenKind::Doctype => parse_doctype(token).map_err(|m| ParseError {
-                offset: self.consumed,
-                message: m,
-            })?,
-            TokenKind::EndTag => {
-                let name = parse_end_tag(token).map_err(|m| ParseError {
-                    offset: self.consumed,
-                    message: m,
-                })?;
-                match self.stack.pop() {
-                    Some(open) if open == name => PushEvent::EndElement { name },
-                    Some(open) => {
-                        return self
-                            .err(format!("mismatched end tag </{name}>, expected </{open}>"))
-                    }
-                    None => return self.err(format!("end tag </{name}> with no open element")),
-                }
-            }
-            TokenKind::StartOrEmptyTag => {
-                if self.stack.is_empty() && self.seen_root {
-                    return self.err("content after the root element");
-                }
-                let (name, attrs, self_closing) =
-                    parse_start_tag(token).map_err(|m| ParseError {
-                        offset: self.consumed,
-                        message: m,
-                    })?;
-                self.seen_root = true;
-                if self_closing {
-                    self.drain(len);
-                    self.pending_end = Some(name.clone());
-                    return Ok(Some(PushEvent::StartElement {
-                        name,
-                        attrs,
-                        self_closing: true,
-                    }));
-                }
-                self.stack.push(name.clone());
-                PushEvent::StartElement {
-                    name,
-                    attrs,
-                    self_closing: false,
-                }
-            }
-            TokenKind::Text | TokenKind::XmlDecl => unreachable!("handled above"),
-        };
-        self.drain(len);
-        Ok(Some(ev))
-    }
-
-    /// Emits a text token, matching `XmlReader::read_text`: whitespace
-    /// outside the root element is silently dropped; everything else is
-    /// entity-decoded.
-    fn emit_text_token(&mut self, len: usize) -> Result<Option<PushEvent>, ParseError> {
-        let raw = match std::str::from_utf8(&self.buf[..len]) {
-            Ok(s) => s,
-            Err(e) => return self.err(format!("invalid UTF-8 in text: {e}")),
-        };
-        if self.stack.is_empty() && raw.trim().is_empty() {
-            self.drain(len);
-            return Ok(None);
-        }
-        let offset = self.consumed;
-        let decoded = decode_entities(raw)
-            .map_err(|m| ParseError { offset, message: m })?
-            .into_owned();
-        self.drain(len);
-        Ok(Some(PushEvent::Text(decoded)))
-    }
-
-    fn drain(&mut self, len: usize) {
-        self.buf.drain(..len);
-        self.consumed += len;
-    }
+/// Reborrows token bytes as `&str` from the buffer alone, so callers can
+/// mutate other tokenizer fields while the token text is alive. UTF-8
+/// was validated when `peek_token` minted the token.
+fn token_slice(buf: &[u8], pos: usize, len: usize) -> &str {
+    std::str::from_utf8(&buf[pos..pos + len]).expect("token UTF-8 validated in peek_token")
 }
 
 /// `haystack` starts with `prefix`, or is a proper prefix of it (i.e.
@@ -740,60 +1063,99 @@ fn prefix_of_any(buf: &[u8], candidates: &[&[u8]]) -> bool {
         .any(|c| buf.len() < c.len() && c[..buf.len()] == *buf)
 }
 
-fn memfind(buf: &[u8], needle: u8, from: usize) -> Option<usize> {
-    buf[from..].iter().position(|&b| b == needle).map(|i| i + from)
-}
-
-fn memfind_seq(buf: &[u8], needle: &[u8], from: usize) -> Option<usize> {
-    if buf.len() < from + needle.len() {
-        return None;
-    }
-    (from..=buf.len() - needle.len()).find(|&i| &buf[i..i + needle.len()] == needle)
-}
-
-/// Parses a complete `</name>` token.
-fn parse_end_tag(token: &str) -> Result<String, String> {
+/// Extracts the name from a complete `</name>` token without allocating.
+pub fn parse_end_tag_name(token: &str) -> Result<&str, String> {
     let inner = &token[2..token.len() - 1];
     let (name, rest) = read_name(inner)?;
     if !rest.trim_start().is_empty() {
         return Err(format!("unexpected '{}' in end tag", rest.trim_start()));
     }
-    Ok(name.to_string())
+    Ok(name)
 }
 
-/// Parses a complete `<name a="v" …>` / `<name …/>` token.
-fn parse_start_tag(token: &str) -> Result<(String, Vec<OwnedAttribute>, bool), String> {
+/// Splits a complete `<name a="v" …>` / `<name …/>` token into its name,
+/// the raw (unparsed) attribute region, and the self-closing flag —
+/// without allocating. Iterate the attribute region with [`RawAttrs`].
+pub fn split_start_tag(token: &str) -> Result<(&str, &str, bool), String> {
     let self_closing = token.ends_with("/>");
     let inner = &token[1..token.len() - if self_closing { 2 } else { 1 }];
-    let (name, mut rest) = read_name(inner)?;
-    let mut attrs = Vec::new();
-    loop {
-        let trimmed = rest.trim_start();
-        if trimmed.is_empty() {
-            return Ok((name.to_string(), attrs, self_closing));
+    let (name, rest) = read_name(inner)?;
+    Ok((name, rest, self_closing))
+}
+
+/// Iterator over the raw attribute region of a start tag (the middle
+/// value of [`split_start_tag`]), yielding `(name, raw_value)` pairs
+/// with the value still entity-encoded and borrowed from the token.
+/// Fuses after yielding an error.
+#[derive(Debug, Clone)]
+pub struct RawAttrs<'a> {
+    rest: &'a str,
+    failed: bool,
+}
+
+impl<'a> RawAttrs<'a> {
+    /// Starts iterating an attribute region.
+    pub fn new(attrs_rest: &'a str) -> Self {
+        RawAttrs {
+            rest: attrs_rest,
+            failed: false,
         }
-        let (aname, after) = read_name(trimmed)?;
-        let after = after.trim_start();
-        let Some(after) = after.strip_prefix('=') else {
-            return Err(format!("expected '=' after attribute name '{aname}'"));
-        };
-        let after = after.trim_start();
-        let mut chars = after.chars();
-        let quote = match chars.next() {
-            Some(q @ ('"' | '\'')) => q,
-            _ => return Err("expected quoted attribute value".to_string()),
-        };
-        let vstart = &after[1..];
-        let Some(vlen) = vstart.find(quote) else {
-            return Err("unterminated attribute value".to_string());
-        };
-        let value = decode_entities(&vstart[..vlen])?.into_owned();
+    }
+}
+
+impl<'a> Iterator for RawAttrs<'a> {
+    type Item = Result<(&'a str, &'a str), String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let trimmed = self.rest.trim_start();
+        if trimmed.is_empty() {
+            return None;
+        }
+        let step = (|| {
+            let (aname, after) = read_name(trimmed)?;
+            let after = after.trim_start();
+            let Some(after) = after.strip_prefix('=') else {
+                return Err(format!("expected '=' after attribute name '{aname}'"));
+            };
+            let after = after.trim_start();
+            let quote = match after.bytes().next() {
+                Some(q @ (b'"' | b'\'')) => q,
+                _ => return Err("expected quoted attribute value".to_string()),
+            };
+            let vstart = &after[1..];
+            let Some(vlen) = scan::memchr(quote, vstart.as_bytes()) else {
+                return Err("unterminated attribute value".to_string());
+            };
+            Ok((aname, &vstart[..vlen], &vstart[vlen + 1..]))
+        })();
+        match step {
+            Ok((aname, value, rest)) => {
+                self.rest = rest;
+                Some(Ok((aname, value)))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Parses a complete `<name a="v" …>` / `<name …/>` token to owned form.
+fn parse_start_tag(token: &str) -> Result<(String, Vec<OwnedAttribute>, bool), String> {
+    let (name, rest, self_closing) = split_start_tag(token)?;
+    let mut attrs = Vec::new();
+    for a in RawAttrs::new(rest) {
+        let (aname, raw) = a?;
         attrs.push(OwnedAttribute {
             name: aname.to_string(),
-            value,
+            value: decode_entities(raw)?.into_owned(),
         });
-        rest = &vstart[vlen + 1..];
     }
+    Ok((name.to_string(), attrs, self_closing))
 }
 
 /// Parses a complete `<!DOCTYPE …>` token, mirroring
@@ -1077,6 +1439,60 @@ mod tests {
         }
         got.extend(t.finish().unwrap());
         assert_eq!(got, expected);
+    }
+
+    /// The raw token interface must reconstruct the document verbatim:
+    /// concatenating `token_str` over the stream (at any chunking) gives
+    /// back the input bytes.
+    #[test]
+    fn raw_tokens_roundtrip_the_input() {
+        let doc = "<?xml version=\"1.0\"?><a x=\"1&amp;2\"><b/>text &amp; more\
+                   <![CDATA[raw]]><!--c--><?pi d?></a>";
+        let bytes = doc.as_bytes();
+        for chunk_len in [1usize, 3, 7, bytes.len()] {
+            let mut t = PushTokenizer::new();
+            let mut rebuilt = String::new();
+            for chunk in bytes.chunks(chunk_len) {
+                t.push_bytes(chunk).unwrap();
+                while let Some(tok) = t.peek_token().unwrap() {
+                    rebuilt.push_str(t.token_str(&tok));
+                    t.advance(tok).unwrap();
+                }
+            }
+            t.finish().unwrap();
+            assert_eq!(rebuilt, doc, "chunk_len {chunk_len}");
+        }
+    }
+
+    /// `split_start_tag` + `RawAttrs` agree with the owned parser,
+    /// including on every syntax error.
+    #[test]
+    fn raw_attr_iterator_matches_owned_parser() {
+        for token in [
+            r#"<a>"#,
+            r#"<a/>"#,
+            r#"<a b="1" c='x "y"'/>"#,
+            r#"<a b = "1">"#,
+            r#"<ns:tag attr="&lt;&gt;">"#,
+            r#"<a b>"#,
+            r#"<a b=>"#,
+            r#"<a b=unquoted>"#,
+            r#"<1bad>"#,
+        ] {
+            let owned = parse_start_tag(token);
+            let raw = split_start_tag(token).and_then(|(name, rest, sc)| {
+                let mut attrs = Vec::new();
+                for a in RawAttrs::new(rest) {
+                    let (aname, v) = a?;
+                    attrs.push(OwnedAttribute {
+                        name: aname.to_string(),
+                        value: decode_entities(v)?.into_owned(),
+                    });
+                }
+                Ok((name.to_string(), attrs, sc))
+            });
+            assert_eq!(owned, raw, "token {token:?}");
+        }
     }
 
     /// A skipped subtree full of fake end tags, consumed at every

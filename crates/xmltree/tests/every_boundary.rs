@@ -1,0 +1,208 @@
+//! The every-boundary differential wall for the push tokenizer.
+//!
+//! The bulk-scan tokenizer's one dangerous property is that chunk
+//! boundaries can land *anywhere*: mid-tag, mid-entity, between the two
+//! dashes closing a comment, inside the `]]>` of a CDATA section, in the
+//! middle of a multi-byte UTF-8 scalar, or while a pruned-subtree
+//! fast-forward is mid-flight. These tests take a corpus chosen to hit
+//! every scanner state and check that *every* byte offset is a safe
+//! split point: the event stream must be byte-for-byte what the pull
+//! [`XmlReader`] produces on the whole input.
+//!
+//! On top of the exhaustive 2-split sweep, a deterministic fuzzer draws
+//! random 3-chunk splits (replayable with `TESTKIT_SEED=0x…`, scaled
+//! with `TESTKIT_FUZZ_CASES=n`).
+
+use std::borrow::Cow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use xproj_testkit::{case_seed, SplitMix64};
+use xproj_xmltree::events::{Event, XmlReader};
+use xproj_xmltree::push::{OwnedAttribute, PushEvent, PushTokenizer};
+
+/// Documents picked so that split offsets land in every scanner state:
+/// tag names, attribute quotes (with `>`/`/` inside), entities, CDATA
+/// (with lone `]]`), comments (with lone `--`-adjacent dashes), PIs, the
+/// XML declaration, DOCTYPE internal subsets, and multi-byte UTF-8.
+const CORPUS: &[&str] = &[
+    "<catalog><product-item/></catalog>",
+    r#"<a long="some >< value" b='x "y" z' c="tail/"><b k="&lt;&#65;"/></a>"#,
+    "<a>fish &amp; chips &#65;&#x42; &quot;done&quot;</a>",
+    "<a><![CDATA[raw < & > ]] stuff]]><b/><![CDATA[]]></a>",
+    "<a><!-- a -- b --><?pi some data?><!--x--><!-----></a>",
+    "<!DOCTYPE site [<!ELEMENT site (a)*><!ELEMENT a EMPTY>]><site><a/></site>",
+    r#"<!DOCTYPE site SYSTEM "auction.dtd"><site/>"#,
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<a>x</a>",
+    "<a>héllo wörld — ₤ €</a>",
+    "<a attr=\"héllo — ₤\">…</a>",
+    " \n <root> <mid\nattr = 'v' >text</mid > </root> \n ",
+    "<d><e><f><g>deep</g></f></e><e/><e></e></d>",
+];
+
+/// Reference events via the pull reader, converted to owned form.
+fn pull_events(input: &str) -> Vec<PushEvent> {
+    let mut r = XmlReader::new(input);
+    let mut out = Vec::new();
+    loop {
+        match r.next_event().expect("reference parse must succeed") {
+            Event::StartElement {
+                name,
+                attrs,
+                self_closing,
+            } => out.push(PushEvent::StartElement {
+                name: name.to_string(),
+                attrs: attrs
+                    .into_iter()
+                    .map(|a| OwnedAttribute {
+                        name: a.name.to_string(),
+                        value: a.value.into_owned(),
+                    })
+                    .collect(),
+                self_closing,
+            }),
+            Event::EndElement { name } => out.push(PushEvent::EndElement {
+                name: name.to_string(),
+            }),
+            Event::Text(t) => out.push(PushEvent::Text(match t {
+                Cow::Borrowed(s) => s.to_string(),
+                Cow::Owned(s) => s,
+            })),
+            Event::Comment(c) => out.push(PushEvent::Comment(c.to_string())),
+            Event::ProcessingInstruction(p) => {
+                out.push(PushEvent::ProcessingInstruction(p.to_string()))
+            }
+            Event::Doctype {
+                name,
+                internal_subset,
+            } => out.push(PushEvent::Doctype {
+                name: name.to_string(),
+                internal_subset: internal_subset.map(str::to_string),
+            }),
+            Event::Eof => break,
+        }
+    }
+    out
+}
+
+/// Feeds `input` in the given chunks and returns the full event stream.
+fn push_events(chunks: &[&[u8]]) -> Vec<PushEvent> {
+    let mut t = PushTokenizer::new();
+    let mut out = Vec::new();
+    for chunk in chunks {
+        out.extend(t.feed(chunk).expect("push parse must succeed"));
+    }
+    out.extend(t.finish().expect("finish must succeed"));
+    out
+}
+
+#[test]
+fn every_two_chunk_split_matches_the_pull_reader() {
+    for doc in CORPUS {
+        let expected = pull_events(doc);
+        let bytes = doc.as_bytes();
+        for at in 0..=bytes.len() {
+            let got = push_events(&[&bytes[..at], &bytes[at..]]);
+            assert_eq!(got, expected, "two-chunk split at byte {at} of {doc:?}");
+        }
+    }
+}
+
+#[test]
+fn one_byte_chunks_match_the_pull_reader() {
+    for doc in CORPUS {
+        let expected = pull_events(doc);
+        let chunks: Vec<&[u8]> = doc.as_bytes().chunks(1).collect();
+        assert_eq!(push_events(&chunks), expected, "1-byte chunks of {doc:?}");
+    }
+}
+
+#[test]
+fn random_three_chunk_splits_match_the_pull_reader() {
+    let name = "random_three_chunk_splits_match_the_pull_reader";
+    let run = |seed: u64| {
+        let mut rng = SplitMix64::new(seed);
+        let doc = *rng.pick(CORPUS);
+        let n = doc.len();
+        let mut a = rng.range_incl(0, n);
+        let mut b = rng.range_incl(0, n);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let bytes = doc.as_bytes();
+        let got = push_events(&[&bytes[..a], &bytes[a..b], &bytes[b..]]);
+        assert_eq!(
+            got,
+            pull_events(doc),
+            "3-chunk split at ({a},{b}) of {doc:?}"
+        );
+    };
+    if let Some(seed) = xproj_testkit::runner::parse_seed_env() {
+        run(seed);
+        return;
+    }
+    let cases = std::env::var("TESTKIT_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(500);
+    for i in 0..cases {
+        let seed = case_seed(name, i as u32);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(seed))) {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "split fuzzer failed at case {i}/{cases}:\n{msg}\n\
+                 [testkit] replay: TESTKIT_SEED={seed:#x} cargo test {name}"
+            );
+        }
+    }
+}
+
+/// A subtree whose raw bytes contain every skip-scanner hazard: fake end
+/// tags inside CDATA, comments, PI data and attribute values, a nested
+/// same-name element, quoted `>` and `/`, and a self-closing tag.
+const SKIP_BODY: &str = "<x q=\"> ' /\">text</x>\
+    <![CDATA[</skipme> ]] >]]>\
+    <!-- </skipme> -- almost -->\
+    <?pi </skipme> ?>\
+    <skipme><y/></skipme>\
+    <z a='/'/>";
+
+#[test]
+fn skip_state_survives_every_boundary() {
+    let tail = "</skipme><keep>t</keep></a>";
+    let rest = format!("{SKIP_BODY}{tail}");
+    let expected = [
+        PushEvent::StartElement {
+            name: "keep".to_string(),
+            attrs: Vec::new(),
+            self_closing: false,
+        },
+        PushEvent::Text("t".to_string()),
+        PushEvent::EndElement {
+            name: "keep".to_string(),
+        },
+        PushEvent::EndElement {
+            name: "a".to_string(),
+        },
+    ];
+    let bytes = rest.as_bytes();
+    for at in 0..=bytes.len() {
+        let mut t = PushTokenizer::new();
+        // Open <a><skipme>, then fast-forward: the whole skipme subtree
+        // is raw-scanned, with the split landing anywhere inside it.
+        let opened = t.feed(b"<a><skipme>").unwrap();
+        assert_eq!(opened.len(), 2, "both start tags should surface");
+        t.skip_current_subtree().unwrap();
+        let mut got = t.feed(&bytes[..at]).unwrap_or_else(|e| {
+            panic!("skip split at {at}: {e}");
+        });
+        got.extend(t.feed(&bytes[at..]).unwrap());
+        got.extend(t.finish().unwrap());
+        assert_eq!(got, expected, "skip-state split at byte {at}");
+        // Nothing from the skipped subtree may linger in the buffer
+        // accounting: the peak is bounded by the unskipped suffix.
+        assert!(t.max_token_bytes() <= tail.len().max("<a><skipme>".len()));
+    }
+}

@@ -11,7 +11,10 @@
 //!    the in-memory pruner, with and without single-pass validation;
 //! 3. the pruned document still has a (tag-local) interpretation that
 //!    restricts the original one;
-//! 4. the XQuery evaluates identically on the original and on the
+//! 4. the chunked push engine, fed the document at a drawn chunk size
+//!    (1-byte through whole-document), emits the same bytes in both
+//!    fast-forward modes;
+//! 5. the XQuery evaluates identically on the original and on the
 //!    document pruned with the projector of its extracted paths.
 //!
 //! Runs `FUZZ_CASES` (default 500) deterministic cases. On failure it
@@ -169,6 +172,30 @@ fn run_case(seed: u64) {
             pruned_interp.name_of(n),
             interp.name_of(pruned.src_id(n)),
             "pruned interpretation is not a restriction of the original"
+        );
+    }
+
+    // --- chunked engine leg: the push pipeline, fed the same document
+    // at a drawn chunk size (1-byte up to whole-document), must emit
+    // prune_str's exact bytes in both fast-forward modes ---
+    let sizes: &[usize] = &[1, 2, 3, 7, 101, 4096, usize::MAX];
+    let chunk_size = sizes[rng.below(sizes.len())].min(xml.len().max(1));
+    for fast_forward in [true, false] {
+        let mut out: Vec<u8> = Vec::new();
+        let mut pruner = xml_projection::engine::ChunkedPruner::new(&dtd, &projector, &mut out);
+        pruner.set_fast_forward(fast_forward);
+        for chunk in xml.as_bytes().chunks(chunk_size) {
+            pruner.feed(chunk).unwrap_or_else(|e| {
+                panic!("chunked feed (size {chunk_size}, ff={fast_forward}) failed for {q}: {e}")
+            });
+        }
+        pruner.finish().unwrap_or_else(|e| {
+            panic!("chunked finish (size {chunk_size}, ff={fast_forward}) failed for {q}: {e}")
+        });
+        assert_eq!(
+            String::from_utf8(out).expect("engine output is UTF-8"),
+            pruned_xml,
+            "chunked engine (size {chunk_size}, ff={fast_forward}) diverged for {q}\ndoc: {xml}"
         );
     }
 
