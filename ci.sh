@@ -58,11 +58,28 @@ echo "== server smoke (xmlpruned binary: health, prune round-trip, drain) =="
 # testkit client, then asserts graceful shutdown exits cleanly.
 cargo test -q --offline --locked -p xproj-server --test binary_smoke
 
-echo "== server differential + shutdown-under-load =="
-cargo test -q --offline --locked -p xproj-server --test integration \
-    differential_http_prune_matches_prune_str
-cargo test -q --offline --locked -p xproj-server --test integration \
-    graceful_shutdown_drains_in_flight_load
+echo "== server integration matrix (reactor + threaded modes) =="
+# The mode_matrix! macro expands every integration test twice — once
+# against the epoll reactor core and once against the blocking
+# --threaded fallback — so one run covers chunked round-trips,
+# 431/413, pipelining, mid-body disconnects, structured errors, the
+# 24-case HTTP-vs-prune_str differential, slowloris 408s, slow-reader
+# backpressure, and drain-under-load in both serving cores.
+cargo test -q --offline --locked -p xproj-server --test integration
+
+echo "== reactor sweep smoke (1k mostly-idle keep-alive connections) =="
+# Short run of the bench concurrency sweep at 1000 connections, both
+# fleet styles, with the bench's own cross-cell checks fatal
+# (XPROJ_BENCH_ASSERT=1): the reactor must drain with zero aborted
+# connections, sustain >= 5x the blocking core's requests/sec against
+# a pool-style idle fleet, and keep p99 no worse than the blocking
+# core's best case (shed-style fleet) — all ratios against the
+# --threaded run on the same machine, so the gate is
+# machine-independent.
+XPROJ_BENCH_SCALE=0.005 XPROJ_BENCH_CLIENTS=2 XPROJ_BENCH_REQUESTS=5 \
+XPROJ_BENCH_SWEEP=1000 XPROJ_BENCH_CELL_MS=2000 XPROJ_BENCH_ASSERT=1 \
+    ./target/release/server > /tmp/BENCH_server.smoke.jsonl
+grep -q '"bench":"sweep","mode":"reactor"' /tmp/BENCH_server.smoke.jsonl
 
 echo "== pipeline bench smoke (fast-path + chunked throughput guards) =="
 # Smoke-mode run of the consolidated pipeline bench: the emitted JSON

@@ -1,20 +1,57 @@
-//! Benchmark of the `xmlpruned` HTTP serving layer: an in-process
-//! server, the XMark auction DTD registered over HTTP, and a pool of
-//! keep-alive clients pruning generated auction documents as fast as
-//! they can. Records requests/sec and p50/p99 latency as JSON lines:
+//! Benchmark of the `xmlpruned` HTTP serving layer, in two parts:
+//!
+//! 1. **Throughput**: a small pool of keep-alive clients pruning
+//!    generated auction documents as fast as they can (requests/sec,
+//!    p50/p99 latency per query).
+//! 2. **Concurrency sweep**: the serving-core comparison behind the
+//!    epoll reactor. Each cell opens N keep-alive connections (default
+//!    100 / 1 000 / 10 000) of which all but a small hot subset sit
+//!    idle, then measures the hot subset's request rate for a fixed
+//!    window — once against the reactor event loop and once against
+//!    the blocking `--threaded` worker pool, at equal worker count.
+//!    Idle connections are *maintained*: a fleet thread re-opens any
+//!    connection the server drops, the way a long-lived client pool
+//!    would. Each cell runs in two fleet styles, because they bracket
+//!    the threaded core's behavior:
+//!
+//!    - `shed`: every (re)opened idle connection is warmed with one
+//!      request before parking. This is the blocking core's *best*
+//!      case — its yield-to-waiters defense recognizes warmed
+//!      keep-alive connections and sheds them under pressure, so it
+//!      survives on reconnect churn instead of pinning workers.
+//!    - `pool`: replacements are opened silently, awaiting their next
+//!      use like any pre-established pool connection. A blocking
+//!      worker that picks one up has nothing to read and no yield
+//!      escape until the read deadline — a handful of these pin the
+//!      whole pool and throughput collapses. The reactor holds them
+//!      for the cost of an epoll registration either way.
+//!
+//! Results stream as JSON lines:
 //!
 //! ```sh
 //! cargo run --release -p xproj-bench --bin server | grep '^{'
 //! ```
 //!
-//! Knobs: `XPROJ_BENCH_SCALE` (XMark scale factor, default 0.02),
-//! `XPROJ_BENCH_CLIENTS` (keep-alive connections, default 4),
-//! `XPROJ_BENCH_REQUESTS` (requests per client, default 50).
+//! Knobs: `XPROJ_BENCH_SCALE` (XMark scale for part 1, default 0.02),
+//! `XPROJ_BENCH_CLIENTS` / `XPROJ_BENCH_REQUESTS` (part 1 pool),
+//! `XPROJ_BENCH_SWEEP` (comma list of connection counts, default
+//! `100,1000,10000`), `XPROJ_BENCH_HOT` (hot subset size, default 16),
+//! `XPROJ_BENCH_CELL_MS` (measurement window per cell, default 5000),
+//! `XPROJ_BENCH_SWEEP_SCALE` (XMark scale of the hot-request document;
+//! 0, the default, substitutes a ~1 KiB hand-written auction snippet so
+//! the cell measures connection handling rather than prune CPU — the
+//! XMark generator's smallest output is ~21 KiB, enough for engine
+//! time to dominate on small machines), `XPROJ_BENCH_IDLE_BACKOFF_MS`
+//! (delay before re-opening a dropped idle connection, default 0 —
+//! a pool that wants N warm connections replaces drops immediately).
 
-use std::sync::Arc;
+use std::io::Read;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use xproj_engine::parallel_map;
-use xproj_server::{Server, ServerConfig};
+use xproj_server::{ServeMode, Server, ServerConfig};
 use xproj_testkit::{urlencode, HttpClient};
 use xproj_xmark::{auction_dtd, generate_auction, XMarkConfig};
 
@@ -28,6 +65,331 @@ fn quantile(sorted: &[Duration], q: f64) -> Duration {
     }
     let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Pulls `"key":<digits>` out of the metrics JSON without a parser.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    body.find(&pat)
+        .and_then(|i| {
+            let digits: String = body[i + pat.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+fn mode_name(mode: ServeMode) -> &'static str {
+    match mode {
+        ServeMode::Reactor => "reactor",
+        ServeMode::Threaded => "threaded",
+    }
+}
+
+/// One maintained idle connection: open + warmed (one served request,
+/// so the threaded core's yield logic treats it as genuinely idle
+/// keep-alive), re-opened with a small backoff when the server drops it.
+struct IdleConn {
+    client: Option<HttpClient>,
+    retry_at: Instant,
+    ever_connected: bool,
+}
+
+fn open_idle(addr: SocketAddr, warm: bool) -> std::io::Result<HttpClient> {
+    let mut c = HttpClient::connect(addr)?;
+    c.set_timeout(Duration::from_secs(2))?;
+    if warm {
+        let resp = c.request("GET", "/healthz", &[], None)?;
+        if resp.status != 200 {
+            return Err(std::io::Error::other("warm-up request failed"));
+        }
+    }
+    // Nonblocking from here on: liveness is probed with a zero-budget
+    // read (`WouldBlock` = still parked, anything else = recycle).
+    c.stream_ref().set_nonblocking(true)?;
+    Ok(c)
+}
+
+fn probe_alive(c: &HttpClient) -> bool {
+    let mut b = [0u8; 64];
+    match (&mut c.stream_ref()).read(&mut b) {
+        Ok(_) => false, // EOF or an unsolicited byte (408/yield close)
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => true,
+        Err(_) => false,
+    }
+}
+
+struct CellResult {
+    requests: usize,
+    errors: usize,
+    hot_reconnects: usize,
+    latencies: Vec<Duration>,
+    wall: Duration,
+}
+
+/// Key numbers from a sweep cell, for cross-cell assertions.
+struct CellStats {
+    rps: f64,
+    p99_us: u128,
+    requests: usize,
+    aborted: u64,
+}
+
+/// One sweep cell: a fresh server in `mode`, `idle_target` maintained
+/// idle connections, `hot` clients hammering `target` for `cell_ms`.
+/// With `silent_reopen`, dropped idle connections are replaced without
+/// a warm-up request (`pool` fleet style); otherwise every replacement
+/// is warmed first (`shed` style).
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    mode: ServeMode,
+    conns: usize,
+    hot: usize,
+    cell_ms: u64,
+    workers: usize,
+    idle_backoff: Duration,
+    silent_reopen: bool,
+    dtd_text: &str,
+    query: &str,
+    xml: &str,
+) -> CellStats {
+    let idle_target = conns.saturating_sub(hot);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        mode,
+        workers,
+        // Long enough that the reactor never expires a parked
+        // connection mid-cell; warmed threaded connections yield on
+        // pressure well before this.
+        read_timeout: Duration::from_secs(60),
+        drain_deadline: Duration::from_secs(20),
+        ..Default::default()
+    };
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let state = server.state();
+    let serve = std::thread::spawn(move || server.serve().expect("serve"));
+
+    // Register the DTD for the hot subset's prune requests.
+    let mut admin = HttpClient::connect(addr).expect("connect");
+    let resp = admin
+        .request("POST", "/v1/dtd?root=site", &[], Some(dtd_text.as_bytes()))
+        .expect("register dtd");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let id = resp
+        .body_str()
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("id in registration response")
+        .to_string();
+    let target = format!("/v1/prune?dtd={id}&query={}", urlencode(query));
+    drop(admin);
+
+    let stop = AtomicBool::new(false);
+    let alive = AtomicUsize::new(0);
+    let idle_reconnects = AtomicUsize::new(0);
+    let mut fleet: Vec<IdleConn> = (0..idle_target)
+        .map(|_| IdleConn {
+            client: None,
+            retry_at: Instant::now(),
+            ever_connected: false,
+        })
+        .collect();
+    let maintainers = 8usize.min(idle_target.max(1));
+
+    let cell = std::thread::scope(|scope| {
+        // Idle-fleet maintainers: connect + warm their share, then keep
+        // probing and re-opening what the server drops.
+        let chunk = idle_target.div_ceil(maintainers).max(1);
+        for shard in fleet.chunks_mut(chunk) {
+            let (stop, alive, reconnects) = (&stop, &alive, &idle_reconnects);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for slot in shard.iter_mut() {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        match &slot.client {
+                            Some(c) if !probe_alive(c) => {
+                                slot.client = None;
+                                alive.fetch_sub(1, Ordering::Relaxed);
+                                slot.retry_at = Instant::now() + idle_backoff;
+                            }
+                            Some(_) => {}
+                            None if Instant::now() >= slot.retry_at => {
+                                // First open is always warmed — the fleet
+                                // models keep-alive connections that have
+                                // served traffic. Pool-style replacements
+                                // go back silent, awaiting their next use.
+                                let warm = !(silent_reopen && slot.ever_connected);
+                                match open_idle(addr, warm) {
+                                    Ok(c) => {
+                                        slot.client = Some(c);
+                                        alive.fetch_add(1, Ordering::Relaxed);
+                                        if slot.ever_connected {
+                                            reconnects.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        slot.ever_connected = true;
+                                    }
+                                    Err(_) => {
+                                        slot.retry_at = Instant::now() + idle_backoff;
+                                    }
+                                }
+                            }
+                            None => {}
+                        }
+                    }
+                    // Scale the probe cadence with fleet size so the
+                    // client side doesn't monopolize small machines.
+                    std::thread::sleep(Duration::from_millis(
+                        5u64.max(idle_target as u64 / 100),
+                    ));
+                }
+            });
+        }
+
+        // Setup barrier: wait for the fleet to (mostly) come up, or for
+        // its size to plateau — the threaded core sheds idle
+        // connections by design, so 95% may be unreachable there.
+        let setup_deadline = Instant::now() + Duration::from_secs(60);
+        let mut peak = 0usize;
+        let mut peak_at = Instant::now();
+        loop {
+            let a = alive.load(Ordering::Relaxed);
+            if a > peak {
+                (peak, peak_at) = (a, Instant::now());
+            }
+            let enough = a * 100 >= idle_target * 95;
+            let plateaued = peak_at.elapsed() > Duration::from_secs(5);
+            if enough || plateaued || Instant::now() >= setup_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let idle_at_start = alive.load(Ordering::Relaxed);
+
+        // Hot phase.
+        let results: Mutex<CellResult> = Mutex::new(CellResult {
+            requests: 0,
+            errors: 0,
+            hot_reconnects: 0,
+            latencies: Vec::new(),
+            wall: Duration::ZERO,
+        });
+        let t0 = Instant::now();
+        let deadline = t0 + Duration::from_millis(cell_ms);
+        std::thread::scope(|hot_scope| {
+            for _ in 0..hot {
+                let (results, target, xml) = (&results, &target, xml);
+                hot_scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    let (mut ok, mut errs, mut reconnects) = (0usize, 0usize, 0usize);
+                    let mut client: Option<HttpClient> = None;
+                    let mut ever_connected = false;
+                    while Instant::now() < deadline {
+                        let c = match &mut client {
+                            Some(c) => c,
+                            None => match HttpClient::connect(addr) {
+                                Ok(c) => {
+                                    let _ = c.set_timeout(Duration::from_secs(2));
+                                    if ever_connected {
+                                        reconnects += 1;
+                                    }
+                                    ever_connected = true;
+                                    client.insert(c)
+                                }
+                                Err(_) => {
+                                    errs += 1;
+                                    std::thread::sleep(Duration::from_millis(10));
+                                    continue;
+                                }
+                            },
+                        };
+                        let t = Instant::now();
+                        match c.request("POST", target, &[], Some(xml.as_bytes())) {
+                            Ok(resp) if resp.status == 200 => {
+                                ok += 1;
+                                lat.push(t.elapsed());
+                            }
+                            Ok(_) => {
+                                errs += 1;
+                                client = None;
+                            }
+                            Err(_) => {
+                                // A quick failure is the threaded core
+                                // yield-closing between requests — normal
+                                // shedding, reconnect and retry. A slow
+                                // one is a real stall (client timeout).
+                                if t.elapsed() > Duration::from_secs(1) {
+                                    errs += 1;
+                                }
+                                client = None;
+                            }
+                        }
+                    }
+                    let mut r = results.lock().unwrap();
+                    r.requests += ok;
+                    r.errors += errs;
+                    r.hot_reconnects += reconnects;
+                    r.latencies.extend(lat);
+                });
+            }
+        });
+        let wall = t0.elapsed();
+
+        // Metrics snapshot while the fleet is still up.
+        let metrics = HttpClient::connect(addr)
+            .and_then(|mut c| {
+                c.set_timeout(Duration::from_secs(5))?;
+                c.request("GET", "/metrics", &[], None)
+            })
+            .map(|r| r.body_str().to_string())
+            .unwrap_or_default();
+        let idle_at_end = alive.load(Ordering::Relaxed);
+
+        stop.store(true, Ordering::Relaxed);
+        let mut cell = results.into_inner().unwrap();
+        cell.wall = wall;
+        (cell, idle_at_start, idle_at_end, metrics)
+    });
+    let (mut cell, idle_at_start, idle_at_end, metrics) = cell;
+
+    // Close the fleet client-side before asking the server to drain.
+    drop(fleet);
+    state.trigger_shutdown();
+    let report = serve.join().expect("serve thread");
+
+    cell.latencies.sort();
+    let rps = cell.requests as f64 / cell.wall.as_secs_f64();
+    let p99 = quantile(&cell.latencies, 0.99).as_micros();
+    println!(
+        "{{\"group\":\"server\",\"bench\":\"sweep\",\"mode\":\"{}\",\"idle_style\":\"{}\",\
+         \"conns\":{conns},\
+         \"idle_target\":{idle_target},\"idle_at_start\":{idle_at_start},\
+         \"idle_at_end\":{idle_at_end},\"idle_reconnects\":{},\
+         \"hot\":{hot},\"workers\":{workers},\"duration_ms\":{},\
+         \"requests\":{},\"errors\":{},\"hot_reconnects\":{},\
+         \"requests_per_sec\":{rps:.2},\"p50_us\":{},\"p99_us\":{p99},\
+         \"doc_bytes\":{},\"max_conn_resident\":{},\"registered_fds\":{},\
+         \"drained\":{},\"aborted\":{}}}",
+        mode_name(mode),
+        if silent_reopen { "pool" } else { "shed" },
+        idle_reconnects.load(Ordering::Relaxed),
+        cell.wall.as_millis(),
+        cell.requests,
+        cell.errors,
+        cell.hot_reconnects,
+        quantile(&cell.latencies, 0.50).as_micros(),
+        xml.len(),
+        json_u64(&metrics, "max_conn_resident"),
+        json_u64(&metrics, "registered_fds"),
+        report.drained,
+        report.aborted,
+    );
+    CellStats { rps, p99_us: p99, requests: cell.requests, aborted: report.aborted }
 }
 
 fn main() {
@@ -117,4 +479,126 @@ fn main() {
         report.requests, report.drained, report.aborted
     );
     assert_eq!(report.aborted, 0, "bench load must drain cleanly");
+
+    // ------------------------------------------------------------------
+    // Concurrency sweep: reactor vs threaded under mostly-idle
+    // keep-alive fleets.
+    // ------------------------------------------------------------------
+    let sweep: Vec<usize> = std::env::var("XPROJ_BENCH_SWEEP")
+        .unwrap_or_else(|_| "100,1000,10000".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let hot: usize = env_or("XPROJ_BENCH_HOT", 16usize).max(1);
+    let cell_ms: u64 = env_or("XPROJ_BENCH_CELL_MS", 5000u64).max(100);
+    let sweep_scale: f64 = env_or("XPROJ_BENCH_SWEEP_SCALE", 0.0);
+    let workers: usize = env_or("XPROJ_BENCH_WORKERS", 4usize).max(1);
+    let idle_backoff = Duration::from_millis(env_or("XPROJ_BENCH_IDLE_BACKOFF_MS", 0u64));
+    let sweep_xml = if sweep_scale > 0.0 {
+        generate_auction(&dtd, &XMarkConfig::at_scale(sweep_scale)).to_xml()
+    } else {
+        // Small enough that prune CPU is noise next to connection
+        // handling: the sweep compares serving cores, not the engine.
+        let mut s = String::from("<site><open_auctions>");
+        for i in 0..6 {
+            s.push_str(&format!(
+                "<open_auction id=\"oa{i}\"><annotation><description><text>\
+                 considerable reserves of <keyword>dust</keyword> and \
+                 <keyword>echo</keyword> remain</text></description>\
+                 </annotation></open_auction>"
+            ));
+        }
+        s.push_str("</open_auctions></site>");
+        s
+    };
+    let query = "//keyword";
+
+    if let Some(max) = sweep.iter().max() {
+        // Both socket ends of every connection live in this process.
+        let want = (2 * max + 512) as u64;
+        match xproj_reactor::raise_nofile_limit(want) {
+            Ok(lim) if lim < want => {
+                eprintln!("# warning: fd limit {lim} < {want}; large cells may fail to connect")
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("# warning: raise_nofile_limit: {e}"),
+        }
+    }
+    eprintln!(
+        "# sweep: conns {sweep:?}, hot {hot}, {workers} workers, {cell_ms} ms cells, \
+         {:.1} KiB hot document",
+        sweep_xml.len() as f64 / 1024.0
+    );
+    let mut check_failures: Vec<String> = Vec::new();
+    for &conns in &sweep {
+        let mut stats: Vec<(ServeMode, bool, CellStats)> = Vec::new();
+        for silent_reopen in [false, true] {
+            for mode in [ServeMode::Reactor, ServeMode::Threaded] {
+                let style = if silent_reopen { "pool" } else { "shed" };
+                eprintln!("# sweep cell: {} x {conns} conns ({style} fleet)", mode_name(mode));
+                let cell = run_cell(
+                    mode,
+                    conns,
+                    hot,
+                    cell_ms,
+                    workers,
+                    idle_backoff,
+                    silent_reopen,
+                    &dtd_text,
+                    query,
+                    &sweep_xml,
+                );
+                stats.push((mode, silent_reopen, cell));
+            }
+        }
+
+        // Cross-cell checks at this connection count, enforced when
+        // XPROJ_BENCH_ASSERT=1 (the CI smoke step): the reactor must
+        // drain cleanly, beat the blocking core's collapse mode by a
+        // wide margin, and stay no worse on tail latency even against
+        // the blocking core's best case.
+        let get = |m: ServeMode, silent: bool| {
+            stats.iter().find(|(sm, ss, _)| *sm == m && *ss == silent).map(|(_, _, c)| c)
+        };
+        if let (Some(r_shed), Some(r_pool), Some(t_shed), Some(t_pool)) = (
+            get(ServeMode::Reactor, false),
+            get(ServeMode::Reactor, true),
+            get(ServeMode::Threaded, false),
+            get(ServeMode::Threaded, true),
+        ) {
+            let pool_ratio = if t_pool.rps > 0.0 { r_pool.rps / t_pool.rps } else { f64::INFINITY };
+            eprintln!(
+                "# {conns} conns: reactor {:.0}/{:.0} rps (shed/pool), \
+                 threaded {:.0}/{:.0}; pool ratio {:.1}x; \
+                 reactor p99 {}us vs threaded shed p99 {}us",
+                r_shed.rps, r_pool.rps, t_shed.rps, t_pool.rps, pool_ratio, r_shed.p99_us,
+                t_shed.p99_us,
+            );
+            if r_shed.aborted != 0 || r_pool.aborted != 0 {
+                check_failures
+                    .push(format!("{conns} conns: reactor aborted connections at shutdown"));
+            }
+            if pool_ratio < 5.0 {
+                check_failures.push(format!(
+                    "{conns} conns: reactor only {pool_ratio:.1}x threaded (pool fleet)"
+                ));
+            }
+            // Tail-latency comparison is only meaningful when the
+            // threaded cell actually served a sample worth of load.
+            if t_shed.requests >= 100 && r_shed.p99_us > t_shed.p99_us {
+                check_failures.push(format!(
+                    "{conns} conns: reactor p99 {}us worse than threaded {}us (shed fleet)",
+                    r_shed.p99_us, t_shed.p99_us
+                ));
+            }
+        }
+    }
+    if !check_failures.is_empty() {
+        for f in &check_failures {
+            eprintln!("# sweep check failed: {f}");
+        }
+        if env_or("XPROJ_BENCH_ASSERT", 0u8) == 1 {
+            panic!("sweep checks failed: {check_failures:?}");
+        }
+    }
 }

@@ -267,7 +267,15 @@ impl<'p, W: Write> ChunkedPruner<'p, W> {
     /// the events sharing its feed) serialized to. A violated assertion
     /// means some path buffered the document, which is exactly the bug
     /// this engine exists to rule out.
-    pub fn finish(mut self) -> Result<EngineStats, EngineError> {
+    pub fn finish(self) -> Result<EngineStats, EngineError> {
+        self.finish_with_sink().map(|(stats, _)| stats)
+    }
+
+    /// [`Self::finish`], additionally handing the sink back to the
+    /// caller. Owned-sink drivers (the server's [`crate::PruneSession`])
+    /// need this: the trailing kept bytes are flushed into the sink
+    /// during finish, so dropping it here would lose them.
+    pub fn finish_with_sink(mut self) -> Result<(EngineStats, W), EngineError> {
         self.pump()?;
         let t0 = Instant::now();
         // Only a trailing text run or a pending synthesized end event can
@@ -325,12 +333,23 @@ impl<'p, W: Write> ChunkedPruner<'p, W> {
             max_chunk,
             stats.counters.max_depth,
         );
-        Ok(stats)
+        Ok((stats, sink))
     }
 
     /// Engine-resident bytes right now (tokenizer tail + scratch).
     pub fn resident_bytes(&self) -> usize {
         self.tokenizer.buffered() + self.scratch.len()
+    }
+
+    /// The sink, for owned-sink drivers that drain kept output between
+    /// feeds (e.g. a `Vec<u8>` sink emptied onto a socket).
+    pub fn sink_mut(&mut self) -> &mut W {
+        &mut self.sink
+    }
+
+    /// Read-only view of the sink (backpressure checks).
+    pub fn sink_ref(&self) -> &W {
+        &self.sink
     }
 }
 

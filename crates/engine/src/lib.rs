@@ -45,6 +45,7 @@ pub mod batch;
 pub mod cache;
 pub mod chunked;
 pub mod metrics;
+pub mod session;
 
 pub use batch::{parallel_map, parallel_map_init, run_batch, BatchJob, BatchReport, EngineFailure};
 pub use cache::{dtd_fingerprint, normalize_query, CacheStats, ProjectorCache};
@@ -52,3 +53,4 @@ pub use chunked::{
     prune_reader, prune_reader_buffered, ChunkedPruner, EngineError, DEFAULT_CHUNK_SIZE,
 };
 pub use metrics::{error_json_line, EngineStats, StageTimings};
+pub use session::PruneSession;

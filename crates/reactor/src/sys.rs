@@ -1,0 +1,281 @@
+//! The minimal FFI shim under the reactor: raw declarations of the
+//! handful of Linux syscall wrappers the event loop needs (`epoll_*`,
+//! `eventfd`, `setrlimit`) plus the kernel ABI structs they take.
+//!
+//! The workspace rule is *no external crates*, so there is no `libc`
+//! here — `std` already links the platform C library on every supported
+//! target, which makes these symbols available to plain `extern "C"`
+//! declarations. Everything is gated on `target_os = "linux"`; on other
+//! platforms [`supported`] returns `false` and the server falls back to
+//! its blocking `--threaded` loop.
+
+#![allow(clippy::missing_safety_doc)]
+
+use std::io;
+
+/// Whether this build has a real epoll backend.
+pub const fn supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+/// `EPOLLIN`: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `EPOLLOUT`: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `EPOLLERR`: error condition (always reported, no need to register).
+pub const EPOLLERR: u32 = 0x008;
+/// `EPOLLHUP`: hang-up (always reported, no need to register).
+pub const EPOLLHUP: u32 = 0x010;
+/// `EPOLLRDHUP`: peer shut down the writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// `EPOLLET`: edge-triggered delivery.
+pub const EPOLLET: u32 = 1 << 31;
+
+/// `EPOLL_CTL_ADD`
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// `EPOLL_CTL_DEL`
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// `EPOLL_CTL_MOD`
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs it
+/// (12 bytes); other architectures use natural alignment (16 bytes).
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready/interest bit set (`EPOLLIN | …`).
+    pub events: u32,
+    /// Caller-owned cookie, returned verbatim with each event.
+    pub data: u64,
+}
+
+/// The kernel's `struct epoll_event` (naturally aligned variant).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready/interest bit set (`EPOLLIN | …`).
+    pub events: u32,
+    /// Caller-owned cookie, returned verbatim with each event.
+    pub data: u64,
+}
+
+#[cfg(target_os = "linux")]
+mod ffi {
+    use super::EpollEvent;
+
+    #[repr(C)]
+    pub struct Rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+
+    pub const RLIMIT_NOFILE: i32 = 7;
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32)
+            -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: i32) -> i32;
+        pub fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        pub fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+}
+
+fn last_err() -> io::Error {
+    io::Error::last_os_error()
+}
+
+#[cfg_attr(target_os = "linux", allow(dead_code))]
+fn unsupported() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Unsupported,
+        "the epoll reactor is only available on Linux (use the blocking --threaded server)",
+    )
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)` → epoll fd.
+pub fn epoll_create() -> io::Result<i32> {
+    #[cfg(target_os = "linux")]
+    {
+        // SAFETY: plain syscall wrapper, no pointers involved.
+        let fd = unsafe { ffi::epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(last_err());
+        }
+        Ok(fd)
+    }
+    #[cfg(not(target_os = "linux"))]
+    Err(unsupported())
+}
+
+/// `epoll_ctl` with an interest mask and cookie (ADD/MOD), or DEL.
+pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+    #[cfg(target_os = "linux")]
+    {
+        let mut ev = EpollEvent { events, data };
+        let evp = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut EpollEvent
+        };
+        // SAFETY: `evp` is either null (DEL ignores it) or points to a
+        // live, properly laid-out EpollEvent for the duration of the call.
+        if unsafe { ffi::epoll_ctl(epfd, op, fd, evp) } < 0 {
+            return Err(last_err());
+        }
+        Ok(())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (epfd, op, fd, events, data);
+        Err(unsupported())
+    }
+}
+
+/// `epoll_wait` into `events`, returning how many fired. `timeout_ms < 0`
+/// blocks indefinitely. `EINTR` is reported as `Ok(0)` so callers treat
+/// signals as a spurious wake-up.
+pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    #[cfg(target_os = "linux")]
+    {
+        // SAFETY: the pointer/len pair describes the caller's live
+        // slice; the kernel writes at most `len` entries.
+        let n = unsafe {
+            ffi::epoll_wait(
+                epfd,
+                events.as_mut_ptr(),
+                events.len().min(i32::MAX as usize) as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let e = last_err();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(n as usize)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (epfd, events, timeout_ms);
+        Err(unsupported())
+    }
+}
+
+/// A nonblocking close-on-exec `eventfd` for cross-thread wake-ups.
+pub fn eventfd() -> io::Result<i32> {
+    #[cfg(target_os = "linux")]
+    {
+        // SAFETY: plain syscall wrapper, no pointers involved.
+        let fd = unsafe { ffi::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(last_err());
+        }
+        Ok(fd)
+    }
+    #[cfg(not(target_os = "linux"))]
+    Err(unsupported())
+}
+
+/// Writes one `u64` increment to an eventfd (the wake signal). A full
+/// counter (`EAGAIN`) means a wake is already pending — success.
+pub fn eventfd_write(fd: i32) -> io::Result<()> {
+    #[cfg(target_os = "linux")]
+    {
+        let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from a live u64.
+        let n = unsafe { ffi::write(fd, &one as *const u64 as *const u8, 8) };
+        if n < 0 {
+            let e = last_err();
+            if e.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = fd;
+        Err(unsupported())
+    }
+}
+
+/// Drains an eventfd's counter (resetting it to zero). Returns whether
+/// any wake was pending.
+pub fn eventfd_drain(fd: i32) -> io::Result<bool> {
+    #[cfg(target_os = "linux")]
+    {
+        let mut buf = 0u64;
+        // SAFETY: reads exactly 8 bytes into a live u64.
+        let n = unsafe { ffi::read(fd, &mut buf as *mut u64 as *mut u8, 8) };
+        if n < 0 {
+            let e = last_err();
+            if e.kind() == io::ErrorKind::WouldBlock {
+                return Ok(false);
+            }
+            return Err(e);
+        }
+        Ok(buf > 0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = fd;
+        Err(unsupported())
+    }
+}
+
+/// `close(fd)`, ignoring errors (used from Drop impls).
+pub fn close(fd: i32) {
+    #[cfg(target_os = "linux")]
+    // SAFETY: plain syscall wrapper; double-close is prevented by the
+    // owning types in `poll.rs`.
+    unsafe {
+        ffi::close(fd);
+    }
+    #[cfg(not(target_os = "linux"))]
+    let _ = fd;
+}
+
+/// Raises `RLIMIT_NOFILE` toward `want` fds (capped at the hard limit)
+/// and returns the resulting soft limit. Benchmarks opening thousands of
+/// keep-alive connections call this first.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let mut lim = ffi::Rlimit { rlim_cur: 0, rlim_max: 0 };
+        // SAFETY: the pointer targets a live Rlimit the kernel fills in.
+        if unsafe { ffi::getrlimit(ffi::RLIMIT_NOFILE, &mut lim) } < 0 {
+            return Err(last_err());
+        }
+        if lim.rlim_cur >= want {
+            return Ok(lim.rlim_cur);
+        }
+        let new = ffi::Rlimit {
+            rlim_cur: want.min(lim.rlim_max),
+            rlim_max: lim.rlim_max,
+        };
+        // SAFETY: the pointer targets a live, initialized Rlimit.
+        if unsafe { ffi::setrlimit(ffi::RLIMIT_NOFILE, &new) } < 0 {
+            return Err(last_err());
+        }
+        Ok(new.rlim_cur)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = want;
+        Err(unsupported())
+    }
+}

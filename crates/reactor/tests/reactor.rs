@@ -1,0 +1,212 @@
+//! Readiness, waker, and edge/level behavior against real sockets.
+
+#![cfg(target_os = "linux")]
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use xproj_reactor::{Event, Interest, Mode, Reactor, Token};
+
+fn pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let a = TcpStream::connect(addr).unwrap();
+    let (b, _) = listener.accept().unwrap();
+    (a, b)
+}
+
+fn poll_until(
+    reactor: &mut Reactor,
+    deadline: Duration,
+    pred: impl Fn(&[Event]) -> bool,
+) -> Vec<Event> {
+    let start = Instant::now();
+    let mut events = Vec::new();
+    while start.elapsed() < deadline {
+        reactor
+            .poll(Some(Duration::from_millis(50)), &mut events)
+            .unwrap();
+        if pred(&events) {
+            return events;
+        }
+    }
+    panic!("no matching event within {deadline:?}; got {events:?}");
+}
+
+#[test]
+fn supported_on_linux() {
+    assert!(xproj_reactor::supported());
+}
+
+#[test]
+fn level_readable_fires_until_drained() {
+    let (mut a, b) = pair();
+    b.set_nonblocking(true).unwrap();
+    let mut reactor = Reactor::new().unwrap();
+    reactor
+        .register(b.as_raw_fd(), Token(1), Interest::READABLE, Mode::Level)
+        .unwrap();
+
+    // Nothing readable yet: a short poll stays quiet.
+    let mut events = Vec::new();
+    reactor
+        .poll(Some(Duration::from_millis(20)), &mut events)
+        .unwrap();
+    assert!(events.is_empty(), "{events:?}");
+
+    a.write_all(b"hello").unwrap();
+    let events = poll_until(&mut reactor, Duration::from_secs(2), |e| !e.is_empty());
+    assert!(events.iter().any(|e| e.token == Token(1) && e.readable));
+
+    // Level mode: still ready on the next poll because we didn't read.
+    let events = poll_until(&mut reactor, Duration::from_secs(2), |e| !e.is_empty());
+    assert!(events.iter().any(|e| e.token == Token(1) && e.readable));
+
+    // Drain; readiness stops.
+    let mut buf = [0u8; 16];
+    let mut clone = b.try_clone().unwrap();
+    let n = clone.read(&mut buf).unwrap();
+    assert_eq!(&buf[..n], b"hello");
+    let mut events = Vec::new();
+    reactor
+        .poll(Some(Duration::from_millis(20)), &mut events)
+        .unwrap();
+    assert!(events.is_empty(), "{events:?}");
+
+    reactor.deregister(b.as_raw_fd()).unwrap();
+}
+
+#[test]
+fn edge_readable_fires_once_per_arrival() {
+    let (mut a, b) = pair();
+    b.set_nonblocking(true).unwrap();
+    let mut reactor = Reactor::new().unwrap();
+    reactor
+        .register(b.as_raw_fd(), Token(2), Interest::READABLE, Mode::Edge)
+        .unwrap();
+
+    a.write_all(b"x").unwrap();
+    let events = poll_until(&mut reactor, Duration::from_secs(2), |e| !e.is_empty());
+    assert!(events.iter().any(|e| e.token == Token(2) && e.readable));
+
+    // Edge mode without reading: no repeat until new bytes arrive.
+    let mut events = Vec::new();
+    reactor
+        .poll(Some(Duration::from_millis(30)), &mut events)
+        .unwrap();
+    assert!(events.is_empty(), "edge event repeated: {events:?}");
+
+    a.write_all(b"y").unwrap();
+    let events = poll_until(&mut reactor, Duration::from_secs(2), |e| !e.is_empty());
+    assert!(events.iter().any(|e| e.token == Token(2) && e.readable));
+}
+
+#[test]
+fn hangup_is_reported_as_readable_close() {
+    let (a, b) = pair();
+    b.set_nonblocking(true).unwrap();
+    let mut reactor = Reactor::new().unwrap();
+    reactor
+        .register(b.as_raw_fd(), Token(3), Interest::READABLE, Mode::Level)
+        .unwrap();
+    drop(a);
+    let events = poll_until(&mut reactor, Duration::from_secs(2), |e| {
+        e.iter().any(|ev| ev.hangup)
+    });
+    let ev = events.iter().find(|e| e.hangup).unwrap();
+    // A reader that acts on `readable` will see EOF — half-close maps
+    // onto the normal read path.
+    assert!(ev.readable);
+    assert_eq!(ev.token, Token(3));
+}
+
+#[test]
+fn writable_after_modify() {
+    let (_a, b) = pair();
+    b.set_nonblocking(true).unwrap();
+    let mut reactor = Reactor::new().unwrap();
+    reactor
+        .register(b.as_raw_fd(), Token(4), Interest::NONE, Mode::Level)
+        .unwrap();
+
+    // Parked: no events even though the socket is trivially writable.
+    let mut events = Vec::new();
+    reactor
+        .poll(Some(Duration::from_millis(20)), &mut events)
+        .unwrap();
+    assert!(events.is_empty(), "{events:?}");
+
+    reactor
+        .modify(b.as_raw_fd(), Token(4), Interest::WRITABLE, Mode::Level)
+        .unwrap();
+    let events = poll_until(&mut reactor, Duration::from_secs(2), |e| !e.is_empty());
+    assert!(events.iter().any(|e| e.token == Token(4) && e.writable));
+}
+
+#[test]
+fn waker_interrupts_a_blocked_poll_from_another_thread() {
+    let mut reactor = Reactor::new().unwrap();
+    let waker = reactor.waker();
+    let handle = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(50));
+        waker.wake().unwrap();
+    });
+    let start = Instant::now();
+    let mut events = Vec::new();
+    // Long timeout: only the waker can end this poll early.
+    let woken = reactor
+        .poll(Some(Duration::from_secs(10)), &mut events)
+        .unwrap();
+    handle.join().unwrap();
+    assert!(woken);
+    assert!(events.is_empty(), "waker leaked as an event: {events:?}");
+    assert!(start.elapsed() < Duration::from_secs(5));
+    assert_eq!(reactor.metrics().wakes.load(Ordering::Relaxed), 1);
+
+    // Coalescing: several wakes before one poll deliver one interrupt,
+    // and the drained eventfd goes quiet afterwards.
+    let waker = reactor.waker();
+    waker.wake().unwrap();
+    waker.wake().unwrap();
+    let woken = reactor
+        .poll(Some(Duration::from_millis(100)), &mut events)
+        .unwrap();
+    assert!(woken);
+    let woken = reactor
+        .poll(Some(Duration::from_millis(20)), &mut events)
+        .unwrap();
+    assert!(!woken, "stale wake");
+}
+
+#[test]
+fn deregister_stops_events_and_metrics_track_registrations() {
+    let (mut a, b) = pair();
+    b.set_nonblocking(true).unwrap();
+    let mut reactor = Reactor::new().unwrap();
+    let metrics = reactor.metrics();
+    reactor
+        .register(b.as_raw_fd(), Token(5), Interest::READABLE, Mode::Level)
+        .unwrap();
+    assert_eq!(metrics.registered.load(Ordering::Relaxed), 1);
+    reactor.deregister(b.as_raw_fd()).unwrap();
+    assert_eq!(metrics.registered.load(Ordering::Relaxed), 0);
+
+    a.write_all(b"ignored").unwrap();
+    let mut events = Vec::new();
+    reactor
+        .poll(Some(Duration::from_millis(30)), &mut events)
+        .unwrap();
+    assert!(events.is_empty(), "{events:?}");
+}
+
+#[test]
+fn raise_nofile_limit_is_idempotent() {
+    let got = xproj_reactor::raise_nofile_limit(1024).unwrap();
+    assert!(got >= 1024);
+    let again = xproj_reactor::raise_nofile_limit(1024).unwrap();
+    assert_eq!(got.max(1024), again.max(1024));
+}

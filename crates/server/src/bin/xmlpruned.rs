@@ -4,6 +4,7 @@
 //! xmlpruned [--addr HOST:PORT] [--workers N] [--chunk-size BYTES]
 //!           [--cache N] [--max-header-bytes N] [--max-body-bytes N]
 //!           [--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]
+//!           [--threaded] [--max-connections N] [--out-buffer-cap BYTES]
 //!           [--port-file PATH]
 //! ```
 //!
@@ -14,7 +15,7 @@
 
 use std::process::ExitCode;
 use std::time::Duration;
-use xproj_server::{Server, ServerConfig};
+use xproj_server::{ServeMode, Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,6 +82,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 config.drain_deadline =
                     Duration::from_millis(parse_num("--drain-ms", &next("--drain-ms")?)?)
             }
+            "--threaded" => config.mode = ServeMode::Threaded,
+            "--max-connections" => {
+                config.max_connections =
+                    parse_num("--max-connections", &next("--max-connections")?)?.max(1) as usize
+            }
+            "--out-buffer-cap" => {
+                config.out_buffer_cap =
+                    parse_num("--out-buffer-cap", &next("--out-buffer-cap")?)?.max(1) as usize
+            }
             "--port-file" => port_file = Some(next("--port-file")?),
             "--help" | "-h" => {
                 println!("{}", USAGE.trim());
@@ -114,6 +124,7 @@ const USAGE: &str = r#"
 usage: xmlpruned [--addr HOST:PORT] [--workers N] [--chunk-size BYTES]
                  [--cache N] [--max-header-bytes N] [--max-body-bytes N]
                  [--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]
+                 [--threaded] [--max-connections N] [--out-buffer-cap BYTES]
                  [--port-file PATH]
 
 Serves type-based XML projection over HTTP/1.1:
@@ -126,4 +137,12 @@ Serves type-based XML projection over HTTP/1.1:
 --addr with port 0 picks an ephemeral port (printed on stdout and, with
 --port-file, written to PATH). --chunk-size sets the engine feed size for
 both request decoding and the response buffer threshold.
+
+By default connections are driven by the epoll reactor (one event-loop
+thread owning every connection; workers only execute CPU work), so
+--workers bounds CPU parallelism while --max-connections bounds admission
+(over it: 503 + Retry-After). --out-buffer-cap bounds per-connection
+response residency against slow readers. --threaded selects the blocking
+accept-loop + worker-pool mode instead, where --workers is also the
+concurrent-connection limit.
 "#;

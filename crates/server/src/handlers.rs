@@ -53,6 +53,233 @@ enum Handled {
     Close,
 }
 
+/// A fully-decided response, independent of how it reaches the wire.
+/// The blocking loop writes it straight to the socket; the reactor
+/// serializes it into a connection's output buffer. Both serve modes
+/// build their responses here, which is what keeps them byte-identical
+/// under the differential tests.
+pub(crate) enum Reply {
+    /// A success payload. Whether the connection stays open is the
+    /// caller's keep-alive decision.
+    Ok {
+        /// HTTP status (2xx).
+        status: u16,
+        /// `content-type` header value.
+        content_type: &'static str,
+        /// Response body.
+        body: String,
+    },
+    /// A structured JSON error. Always closes the connection (the
+    /// request body may be half-read, so framing cannot be trusted).
+    Err {
+        /// HTTP status (4xx/5xx).
+        status: u16,
+        /// Stable machine-readable code.
+        code: String,
+        /// Human-oriented message.
+        message: String,
+    },
+}
+
+impl Reply {
+    fn err(status: u16, code: &str, message: impl Into<String>) -> Reply {
+        Reply::Err {
+            status,
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+
+    fn json(body: impl Into<String>) -> Reply {
+        Reply::Ok {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+}
+
+/// `GET /healthz` body.
+pub(crate) const HEALTHZ_BODY: &str = "{\"status\":\"ok\"}";
+/// `POST /admin/shutdown` body.
+pub(crate) const SHUTDOWN_BODY: &str =
+    "{\"status\":\"draining\",\"message\":\"no longer accepting connections\"}";
+
+/// Builds the `GET /metrics` response.
+pub(crate) fn metrics_reply(state: &ServerState, head: &RequestHead) -> Reply {
+    if head.query_param("format").as_deref() == Some("prometheus") {
+        Reply::Ok {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: state.metrics.render_prometheus(state.cache.stats()),
+        }
+    } else {
+        Reply::json(state.metrics.render_json(state.cache.stats()))
+    }
+}
+
+/// Builds the `POST /v1/dtd` response from the (complete) body.
+pub(crate) fn dtd_reply(state: &ServerState, head: &RequestHead, body: &[u8]) -> Reply {
+    let Some(root) = head.query_param("root").filter(|r| !r.is_empty()) else {
+        return Reply::err(
+            400,
+            codes::BAD_REQUEST,
+            "the 'root' query parameter (DOCTYPE name) is required",
+        );
+    };
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Reply::err(400, codes::DTD_PARSE, "DTD text is not UTF-8");
+    };
+    match xproj_dtd::parse_dtd(text, &root) {
+        Ok(dtd) => {
+            let (id, names) = state.register_dtd(dtd);
+            Reply::json(format!(
+                "{{\"id\":\"{id:016x}\",\"root\":\"{}\",\"names\":{names}}}",
+                crate::http::json_escape(&root)
+            ))
+        }
+        Err(e) => Reply::err(400, codes::DTD_PARSE, e.to_string()),
+    }
+}
+
+/// Builds the `POST /v1/analyze` response from the (complete) optional
+/// sample body.
+pub(crate) fn analyze_reply(state: &ServerState, head: &RequestHead, body: &[u8]) -> Reply {
+    let (_dtd_id, dtd) = match lookup_dtd(state, head) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    let queries: Vec<String> = head
+        .query_params()
+        .into_iter()
+        .filter(|(k, v)| k == "query" && !v.is_empty())
+        .map(|(_, v)| v)
+        .collect();
+    if queries.is_empty() {
+        return Reply::err(
+            400,
+            codes::BAD_REQUEST,
+            "at least one 'query' parameter (XPath/XQuery workload) is required",
+        );
+    }
+    let sample = if body.is_empty() {
+        None
+    } else {
+        match std::str::from_utf8(body) {
+            Ok(s) => Some(s),
+            Err(_) => {
+                return Reply::err(400, codes::BAD_REQUEST, "the sample document is not UTF-8")
+            }
+        }
+    };
+    let opts = xproj_analyzer::AnalysisOptions {
+        sample,
+        ..xproj_analyzer::AnalysisOptions::default()
+    };
+    match xproj_analyzer::analyze(&dtd, &queries, &opts) {
+        Ok(analysis) => Reply::Ok {
+            status: 200,
+            content_type: "application/x-ndjson",
+            body: xproj_analyzer::render_json_lines(&analysis),
+        },
+        Err(e) => Reply::err(400, e.code().as_str(), e.to_string()),
+    }
+}
+
+/// Resolves `?dtd=<id>` to a registered DTD.
+fn lookup_dtd(
+    state: &ServerState,
+    head: &RequestHead,
+) -> Result<(u64, std::sync::Arc<xproj_dtd::Dtd>), Reply> {
+    let Some(id_hex) = head.query_param("dtd") else {
+        return Err(Reply::err(
+            400,
+            codes::BAD_REQUEST,
+            "the 'dtd' query parameter (id from POST /v1/dtd) is required",
+        ));
+    };
+    let Ok(id) = u64::from_str_radix(id_hex.trim_start_matches("0x"), 16) else {
+        return Err(Reply::err(
+            400,
+            codes::BAD_REQUEST,
+            format!("'{id_hex}' is not a DTD id (expected 16 hex digits)"),
+        ));
+    };
+    let Some(dtd) = state.dtd(id) else {
+        return Err(Reply::err(
+            404,
+            codes::UNKNOWN_DTD,
+            format!("no DTD registered under id {id_hex} (register via POST /v1/dtd)"),
+        ));
+    };
+    Ok((id, dtd))
+}
+
+/// Validates a `POST /v1/prune` request's parameters: resolves the DTD
+/// and projector (through the shared cache) or decides the error reply.
+pub(crate) fn prune_setup(
+    state: &ServerState,
+    head: &RequestHead,
+) -> Result<
+    (
+        std::sync::Arc<xproj_dtd::Dtd>,
+        std::sync::Arc<xproj_core::Projector>,
+    ),
+    Reply,
+> {
+    let (_, dtd) = lookup_dtd(state, head)?;
+    let Some(query) = head.query_param("query").filter(|q| !q.is_empty()) else {
+        return Err(Reply::err(
+            400,
+            codes::BAD_REQUEST,
+            "the 'query' parameter (XPath/XQuery workload) is required",
+        ));
+    };
+    match state.cache.get_or_compute(&dtd, &query) {
+        Ok(p) => Ok((dtd, std::sync::Arc::new(p))),
+        Err(e) => Err(Reply::err(400, ErrorCode::BadQuery.as_str(), e)),
+    }
+}
+
+/// The reply for a protocol-level [`HttpError`], or `None` when no
+/// response is possible (I/O failure, clean close).
+pub(crate) fn reply_for_http_error(e: &HttpError) -> Option<Reply> {
+    match e {
+        HttpError::BadRequest(m) => Some(Reply::err(400, codes::BAD_REQUEST, m.clone())),
+        HttpError::BodyTooLarge => Some(Reply::err(
+            413,
+            codes::BODY_TOO_LARGE,
+            "request body exceeds the configured limit",
+        )),
+        HttpError::HeadersTooLarge => Some(Reply::err(
+            431,
+            codes::HEADERS_TOO_LARGE,
+            "request head exceeds the configured limit",
+        )),
+        HttpError::NotImplemented(m) => Some(Reply::err(501, codes::NOT_IMPLEMENTED, m.clone())),
+        HttpError::Timeout => Some(Reply::err(408, codes::TIMEOUT, "body read timed out")),
+        HttpError::Io(_) | HttpError::Closed => None,
+    }
+}
+
+/// The reply for an engine failure (only usable before response headers
+/// are on the wire).
+pub(crate) fn reply_for_engine_error(e: &EngineError) -> Reply {
+    let status = match e.code() {
+        ErrorCode::MalformedXml => 400,
+        ErrorCode::UndeclaredElement => 422,
+        ErrorCode::BadQuery => 400,
+        ErrorCode::Io => 500,
+        _ => 500,
+    };
+    Reply::err(status, e.code().as_str(), e.to_string())
+}
+
+/// Routes a parsed head to its endpoint (shared by both serve modes).
+pub(crate) fn route_endpoint(head: &RequestHead) -> Endpoint {
+    route(head)
+}
+
 /// Serves one accepted connection to completion: a keep-alive loop of
 /// parse → route → respond. Returns when the peer closes, an error
 /// forces a close, or shutdown drains it.
@@ -162,38 +389,18 @@ fn handle(
     // been fully consumed; handlers that bail early must close.
     let method = head.method.as_str();
     match (endpoint, method) {
-        (Endpoint::Healthz, "GET") => {
-            respond_after_drain(conn, head, state, 200, "{\"status\":\"ok\"}")
-        }
-        (Endpoint::Metrics, "GET") => {
-            let keep = drain_body(conn, head, state);
-            let body;
-            let content_type;
-            if head.query_param("format").as_deref() == Some("prometheus") {
-                body = state.metrics.render_prometheus(state.cache.stats());
-                content_type = "text/plain; version=0.0.4";
-            } else {
-                body = state.metrics.render_json(state.cache.stats());
-                content_type = "application/json";
-            }
-            match keep {
-                Some(keep) => write_or_close(conn, 200, content_type, body.as_bytes(), keep),
-                None => Handled::Close,
-            }
-        }
+        (Endpoint::Healthz, "GET") => respond_after_drain(conn, head, state, 200, HEALTHZ_BODY),
+        (Endpoint::Metrics, "GET") => match drain_body(conn, head, state) {
+            Some(keep) => send_reply(conn, state, metrics_reply(state, head), keep),
+            None => Handled::Close,
+        },
         (Endpoint::Dtd, "POST") => handle_dtd(conn, head, state),
         (Endpoint::Prune, "POST") => handle_prune(conn, head, state, scratch),
         (Endpoint::Analyze, "POST") => handle_analyze(conn, head, state),
         (Endpoint::Shutdown, "POST") => {
             // Write the response first: this request itself must drain
             // cleanly before the trigger stops the accept loop.
-            let handled = respond_after_drain(
-                conn,
-                head,
-                state,
-                200,
-                "{\"status\":\"draining\",\"message\":\"no longer accepting connections\"}",
-            );
+            let handled = respond_after_drain(conn, head, state, 200, SHUTDOWN_BODY);
             state.trigger_shutdown();
             handled
         }
@@ -210,39 +417,30 @@ fn handle(
     }
 }
 
+/// Writes a decided [`Reply`] to a blocking connection.
+fn send_reply(conn: &mut Conn, state: &ServerState, reply: Reply, keep_alive: bool) -> Handled {
+    match reply {
+        Reply::Ok {
+            status,
+            content_type,
+            body,
+        } => write_or_close(conn, status, content_type, body.as_bytes(), keep_alive),
+        Reply::Err {
+            status,
+            code,
+            message,
+        } => error_response(conn, state, status, &code, &message),
+    }
+}
+
 /// `POST /v1/dtd?root=NAME`: registers the body as a DTD, keyed by its
 /// FNV fingerprint. Idempotent — re-registering returns the same id.
 fn handle_dtd(conn: &mut Conn, head: &RequestHead, state: &ServerState) -> Handled {
-    let Some(root) = head.query_param("root").filter(|r| !r.is_empty()) else {
-        return error_response(
-            conn,
-            state,
-            400,
-            codes::BAD_REQUEST,
-            "the 'root' query parameter (DOCTYPE name) is required",
-        );
-    };
     let text = match read_full_body(conn, head, state) {
         Ok(t) => t,
         Err(h) => return h,
     };
-    let text = match String::from_utf8(text) {
-        Ok(t) => t,
-        Err(_) => {
-            return error_response(conn, state, 400, codes::DTD_PARSE, "DTD text is not UTF-8")
-        }
-    };
-    match xproj_dtd::parse_dtd(&text, &root) {
-        Ok(dtd) => {
-            let (id, names) = state.register_dtd(dtd);
-            let body = format!(
-                "{{\"id\":\"{id:016x}\",\"root\":\"{}\",\"names\":{names}}}",
-                crate::http::json_escape(&root)
-            );
-            write_or_close(conn, 200, "application/json", body.as_bytes(), head.keep_alive())
-        }
-        Err(e) => error_response(conn, state, 400, codes::DTD_PARSE, &e.to_string()),
-    }
+    send_reply(conn, state, dtd_reply(state, head, &text), head.keep_alive())
 }
 
 /// `POST /v1/prune?dtd=<id>&query=<path>`: streams the request body
@@ -257,47 +455,9 @@ fn handle_prune(
     state: &ServerState,
     scratch: &mut Vec<u8>,
 ) -> Handled {
-    let Some(id_hex) = head.query_param("dtd") else {
-        return error_response(
-            conn,
-            state,
-            400,
-            codes::BAD_REQUEST,
-            "the 'dtd' query parameter (id from POST /v1/dtd) is required",
-        );
-    };
-    let Ok(id) = u64::from_str_radix(id_hex.trim_start_matches("0x"), 16) else {
-        return error_response(
-            conn,
-            state,
-            400,
-            codes::BAD_REQUEST,
-            &format!("'{id_hex}' is not a DTD id (expected 16 hex digits)"),
-        );
-    };
-    let Some(dtd) = state.dtd(id) else {
-        return error_response(
-            conn,
-            state,
-            404,
-            codes::UNKNOWN_DTD,
-            &format!("no DTD registered under id {id_hex} (register via POST /v1/dtd)"),
-        );
-    };
-    let Some(query) = head.query_param("query").filter(|q| !q.is_empty()) else {
-        return error_response(
-            conn,
-            state,
-            400,
-            codes::BAD_REQUEST,
-            "the 'query' parameter (XPath/XQuery workload) is required",
-        );
-    };
-    let projector = match state.cache.get_or_compute(&dtd, &query) {
-        Ok(p) => p,
-        Err(e) => {
-            return error_response(conn, state, 400, ErrorCode::BadQuery.as_str(), &e);
-        }
+    let (dtd, projector) = match prune_setup(state, head) {
+        Ok(pair) => pair,
+        Err(reply) => return send_reply(conn, state, reply, false),
     };
 
     let kind = match body_kind(head) {
@@ -390,88 +550,17 @@ fn handle_prune(
 /// witnesses, predicted retention, lints). An optional request body is
 /// treated as a sample document that calibrates the retention model.
 fn handle_analyze(conn: &mut Conn, head: &RequestHead, state: &ServerState) -> Handled {
-    let Some(id_hex) = head.query_param("dtd") else {
-        return error_response(
-            conn,
-            state,
-            400,
-            codes::BAD_REQUEST,
-            "the 'dtd' query parameter (id from POST /v1/dtd) is required",
-        );
-    };
-    let Ok(id) = u64::from_str_radix(id_hex.trim_start_matches("0x"), 16) else {
-        return error_response(
-            conn,
-            state,
-            400,
-            codes::BAD_REQUEST,
-            &format!("'{id_hex}' is not a DTD id (expected 16 hex digits)"),
-        );
-    };
-    let Some(dtd) = state.dtd(id) else {
-        return error_response(
-            conn,
-            state,
-            404,
-            codes::UNKNOWN_DTD,
-            &format!("no DTD registered under id {id_hex} (register via POST /v1/dtd)"),
-        );
-    };
-    let queries: Vec<String> = head
-        .query_params()
-        .into_iter()
-        .filter(|(k, v)| k == "query" && !v.is_empty())
-        .map(|(_, v)| v)
-        .collect();
-    if queries.is_empty() {
-        return error_response(
-            conn,
-            state,
-            400,
-            codes::BAD_REQUEST,
-            "at least one 'query' parameter (XPath/XQuery workload) is required",
-        );
-    }
-
     // The body, if any, is a sample document for calibration.
     let sample_bytes = match read_full_body(conn, head, state) {
         Ok(b) => b,
         Err(h) => return h,
     };
-    let sample = if sample_bytes.is_empty() {
-        None
-    } else {
-        match String::from_utf8(sample_bytes) {
-            Ok(s) => Some(s),
-            Err(_) => {
-                return error_response(
-                    conn,
-                    state,
-                    400,
-                    codes::BAD_REQUEST,
-                    "the sample document is not UTF-8",
-                )
-            }
-        }
-    };
-
-    let opts = xproj_analyzer::AnalysisOptions {
-        sample: sample.as_deref(),
-        ..xproj_analyzer::AnalysisOptions::default()
-    };
-    match xproj_analyzer::analyze(&dtd, &queries, &opts) {
-        Ok(analysis) => {
-            let body = xproj_analyzer::render_json_lines(&analysis);
-            write_or_close(
-                conn,
-                200,
-                "application/x-ndjson",
-                body.as_bytes(),
-                head.keep_alive() && !state.is_shutting_down(),
-            )
-        }
-        Err(e) => error_response(conn, state, 400, e.code().as_str(), &e.to_string()),
-    }
+    send_reply(
+        conn,
+        state,
+        analyze_reply(state, head, &sample_bytes),
+        head.keep_alive() && !state.is_shutting_down(),
+    )
 }
 
 /// Why a prune stream stopped early.
@@ -564,27 +653,9 @@ fn error_response(
 /// Maps a protocol-level [`HttpError`] to its response (when one is
 /// still possible) and closes.
 fn protocol_error(conn: &mut Conn, state: &ServerState, e: HttpError) -> Handled {
-    match e {
-        HttpError::BadRequest(m) => error_response(conn, state, 400, codes::BAD_REQUEST, &m),
-        HttpError::BodyTooLarge => error_response(
-            conn,
-            state,
-            413,
-            codes::BODY_TOO_LARGE,
-            "request body exceeds the configured limit",
-        ),
-        HttpError::HeadersTooLarge => error_response(
-            conn,
-            state,
-            431,
-            codes::HEADERS_TOO_LARGE,
-            "request head exceeds the configured limit",
-        ),
-        HttpError::NotImplemented(m) => {
-            error_response(conn, state, 501, codes::NOT_IMPLEMENTED, &m)
-        }
-        HttpError::Timeout => error_response(conn, state, 408, codes::TIMEOUT, "body read timed out"),
-        HttpError::Io(_) | HttpError::Closed => {
+    match reply_for_http_error(&e) {
+        Some(reply) => send_reply(conn, state, reply, false),
+        None => {
             state.metrics.errors.fetch_add(1, Ordering::Relaxed);
             Handled::Close
         }
@@ -594,12 +665,5 @@ fn protocol_error(conn: &mut Conn, state: &ServerState, e: HttpError) -> Handled
 /// Maps an engine failure to its structured response, used only before
 /// response headers have been written.
 fn engine_error_response(conn: &mut Conn, state: &ServerState, e: &EngineError) -> Handled {
-    let status = match e.code() {
-        ErrorCode::MalformedXml => 400,
-        ErrorCode::UndeclaredElement => 422,
-        ErrorCode::BadQuery => 400,
-        ErrorCode::Io => 500,
-        _ => 500,
-    };
-    error_response(conn, state, status, e.code().as_str(), &e.to_string())
+    send_reply(conn, state, reply_for_engine_error(e), false)
 }

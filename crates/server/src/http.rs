@@ -79,6 +79,11 @@ pub struct Conn<'f> {
     buf: Vec<u8>,
     pos: usize,
     yield_waiters: Option<&'f std::sync::atomic::AtomicUsize>,
+    /// Absolute deadline for the *current operation* (set while a head
+    /// is being read). Without it, each `fill` call would restart its
+    /// own clock, and a client trickling one header byte per poll tick
+    /// could hold a worker forever (slowloris).
+    op_deadline: Option<Instant>,
 }
 
 impl<'f> Conn<'f> {
@@ -99,6 +104,7 @@ impl<'f> Conn<'f> {
             buf: Vec::new(),
             pos: 0,
             yield_waiters: None,
+            op_deadline: None,
         })
     }
 
@@ -129,7 +135,11 @@ impl<'f> Conn<'f> {
             self.buf.clear();
             self.pos = 0;
         }
-        let start = Instant::now();
+        // A rolling per-call deadline (body reads make progress each
+        // call), unless an absolute operation deadline is in force.
+        let deadline = self
+            .op_deadline
+            .unwrap_or_else(|| Instant::now() + self.read_deadline);
         let mut chunk = [0u8; 16 * 1024];
         loop {
             if self.flags.hard_abort.load(Ordering::Relaxed) {
@@ -158,7 +168,7 @@ impl<'f> Conn<'f> {
                     return Ok(());
                 }
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if start.elapsed() >= self.read_deadline {
+                    if Instant::now() >= deadline {
                         return Err(if idle { HttpError::Closed } else { HttpError::Timeout });
                     }
                 }
@@ -268,7 +278,10 @@ pub fn percent_decode(s: &str) -> String {
 }
 
 /// Reads one request head off the connection, enforcing
-/// `max_header_bytes` on the whole head (request line + headers).
+/// `max_header_bytes` on the whole head (request line + headers) and an
+/// *absolute* deadline from the first head byte to the final `CRLFCRLF`
+/// — a trickling client gets a 408 when the configured read deadline
+/// elapses, no matter how often it sends one more byte.
 pub fn read_head(conn: &mut Conn, max_header_bytes: usize) -> Result<RequestHead, HttpError> {
     // Find the end-of-head marker, reading as needed.
     let head_end = loop {
@@ -276,17 +289,31 @@ pub fn read_head(conn: &mut Conn, max_header_bytes: usize) -> Result<RequestHead
             break i;
         }
         if conn.buffered().len() > max_header_bytes {
+            conn.op_deadline = None;
             return Err(HttpError::HeadersTooLarge);
         }
         let idle = conn.buffered().is_empty();
-        conn.fill(idle)?;
+        if !idle && conn.op_deadline.is_none() {
+            conn.op_deadline = Some(Instant::now() + conn.read_deadline);
+        }
+        if let Err(e) = conn.fill(idle) {
+            conn.op_deadline = None;
+            return Err(e);
+        }
     };
+    conn.op_deadline = None;
     if head_end > max_header_bytes {
         return Err(HttpError::HeadersTooLarge);
     }
     let head = String::from_utf8_lossy(&conn.buffered()[..head_end]).into_owned();
     conn.pos += head_end + 4;
+    parse_head_str(&head)
+}
 
+/// Parses a complete request head (everything before `CRLFCRLF`). Shared
+/// by the blocking [`read_head`] and the reactor's buffer-level
+/// [`crate::wire::parse_head`].
+pub(crate) fn parse_head_str(head: &str) -> Result<RequestHead, HttpError> {
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_ascii_whitespace();
@@ -325,7 +352,7 @@ pub fn read_head(conn: &mut Conn, max_header_bytes: usize) -> Result<RequestHead
     })
 }
 
-fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+pub(crate) fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack
         .windows(needle.len())
         .position(|w| w == needle)
@@ -559,6 +586,38 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Serializes a complete `Content-Length`-framed response. The single
+/// source of the response wire format: the blocking [`write_response`]
+/// and the reactor's output buffers both go through here, which is what
+/// keeps the two serve modes byte-identical.
+pub(crate) fn render_response(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Serializes the structured JSON error body:
+/// `{"error":{"code":"…","message":"…"}}` (always `connection: close`).
+pub(crate) fn render_json_error(status: u16, code: &str, message: &str) -> Vec<u8> {
+    let body = format!(
+        "{{\"error\":{{\"code\":\"{code}\",\"message\":\"{}\"}}}}",
+        json_escape(message)
+    );
+    render_response(status, "application/json", body.as_bytes(), false)
+}
+
 /// Writes a complete `Content-Length`-framed response.
 pub fn write_response(
     stream: &mut TcpStream,
@@ -567,14 +626,7 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
-        reason(status),
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    stream.write_all(&render_response(status, content_type, body, keep_alive))?;
     stream.flush()
 }
 
@@ -588,11 +640,24 @@ pub fn write_json_error(
     code: &str,
     message: &str,
 ) -> std::io::Result<()> {
-    let body = format!(
-        "{{\"error\":{{\"code\":\"{code}\",\"message\":\"{}\"}}}}",
-        json_escape(message)
-    );
-    write_response(stream, status, "application/json", body.as_bytes(), false)
+    stream.write_all(&render_json_error(status, code, message))?;
+    stream.flush()
+}
+
+/// The head of a prune response that committed to chunked streaming.
+pub(crate) fn streaming_prune_head(keep_alive: bool) -> String {
+    format!(
+        "HTTP/1.1 200 OK\r\ncontent-type: application/xml\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+}
+
+/// The head of a prune response whose whole output fit in the buffer.
+pub(crate) fn buffered_prune_head(body_len: usize, keep_alive: bool) -> String {
+    format!(
+        "HTTP/1.1 200 OK\r\ncontent-type: application/xml\r\ncontent-length: {body_len}\r\nconnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" },
+    )
 }
 
 /// The prune endpoint's response body: buffers pruned output until it
@@ -639,10 +704,7 @@ impl<'s> StreamingBody<'s> {
     }
 
     fn start_streaming(&mut self) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 200 OK\r\ncontent-type: application/xml\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n\r\n",
-            if self.keep_alive { "keep-alive" } else { "close" },
-        );
+        let head = streaming_prune_head(self.keep_alive);
         self.stream.write_all(head.as_bytes())?;
         self.streaming = true;
         if !self.buffer.is_empty() {
@@ -668,11 +730,7 @@ impl<'s> StreamingBody<'s> {
         if self.streaming {
             self.stream.write_all(b"0\r\n\r\n")?;
         } else {
-            let head = format!(
-                "HTTP/1.1 200 OK\r\ncontent-type: application/xml\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
-                self.buffer.len(),
-                if self.keep_alive { "keep-alive" } else { "close" },
-            );
+            let head = buffered_prune_head(self.buffer.len(), self.keep_alive);
             self.stream.write_all(head.as_bytes())?;
             self.stream.write_all(&self.buffer)?;
         }

@@ -45,10 +45,13 @@
 pub mod handlers;
 pub mod http;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+mod reactor_serve;
 pub mod state;
+pub mod wire;
 
 pub use metrics::{Endpoint, LatencyHistogram, ServerMetrics};
-pub use state::{ServerConfig, ServerState};
+pub use state::{ServeMode, ServerConfig, ServerState};
 
 use std::net::TcpListener;
 use std::sync::atomic::Ordering;
@@ -94,8 +97,29 @@ impl Server {
         Arc::clone(&self.state)
     }
 
-    /// Runs the accept loop and worker pool until shutdown, then drains
-    /// and reports. Blocks the calling thread.
+    /// Runs the server until shutdown, then drains and reports. Blocks
+    /// the calling thread.
+    ///
+    /// Dispatches on [`ServerConfig::mode`]: the default
+    /// [`ServeMode::Reactor`] runs the epoll event loop (one thread
+    /// owns every connection as a state machine; the worker pool only
+    /// executes CPU work), while [`ServeMode::Threaded`] runs the
+    /// blocking accept loop + worker pool. On non-Linux targets the
+    /// reactor is unavailable and both modes take the threaded path.
+    pub fn serve(self) -> std::io::Result<ShutdownReport> {
+        match self.state.config.mode {
+            #[cfg(target_os = "linux")]
+            ServeMode::Reactor => {
+                let Server { listener, state } = self;
+                reactor_serve::serve(listener, &state)
+            }
+            #[cfg(not(target_os = "linux"))]
+            ServeMode::Reactor => self.serve_threaded(),
+            ServeMode::Threaded => self.serve_threaded(),
+        }
+    }
+
+    /// The blocking accept loop + fixed worker pool (`--threaded`).
     ///
     /// The pool is `config.workers` scoped threads consuming accepted
     /// connections from a channel (the same zero-dependency
@@ -105,7 +129,7 @@ impl Server {
     /// finishes its in-flight request (counted *drained*); when the
     /// drain deadline passes, remaining requests are counted *aborted*
     /// and their connections torn down via the hard-abort flag.
-    pub fn serve(self) -> std::io::Result<ShutdownReport> {
+    fn serve_threaded(self) -> std::io::Result<ShutdownReport> {
         let Server { listener, state } = self;
         let (tx, rx) = mpsc::channel::<std::net::TcpStream>();
         let rx = Mutex::new(rx);

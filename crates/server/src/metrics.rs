@@ -9,9 +9,10 @@
 use crate::http::json_escape;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use xproj_engine::{CacheStats, EngineStats};
+use xproj_reactor::ReactorMetrics;
 
 /// The endpoints tracked individually (everything else is `other`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +149,22 @@ pub struct ServerMetrics {
     pub drained: AtomicU64,
     /// Requests still in flight when the drain deadline expired.
     pub aborted: AtomicU64,
+    /// Connections refused at admission (`503` + `Retry-After`) because
+    /// `max_connections` was reached (reactor mode).
+    pub admission_rejects: AtomicU64,
+    /// CPU jobs handed to the executor pool (reactor mode).
+    pub executor_jobs: AtomicU64,
+    /// CPU jobs currently queued or running on the executor pool.
+    pub executor_queue_depth: AtomicUsize,
+    /// High-water mark of one connection's application-level residency
+    /// (input + output buffers + the engine session), in bytes
+    /// (reactor mode). The backpressure design bounds this by
+    /// O(out_buffer_cap + chunk + document depth) regardless of
+    /// document size or client behavior.
+    pub max_conn_resident: AtomicU64,
+    /// The event loop's own counters, installed once by reactor mode;
+    /// absent under `--threaded`.
+    reactor: OnceLock<Arc<ReactorMetrics>>,
     engine: Mutex<EngineStats>,
     latency: [LatencyHistogram; 7],
 }
@@ -163,9 +180,25 @@ impl ServerMetrics {
             in_flight: AtomicUsize::new(0),
             drained: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
+            admission_rejects: AtomicU64::new(0),
+            executor_jobs: AtomicU64::new(0),
+            executor_queue_depth: AtomicUsize::new(0),
+            max_conn_resident: AtomicU64::new(0),
+            reactor: OnceLock::new(),
             engine: Mutex::new(EngineStats::default()),
             latency: Default::default(),
         }
+    }
+
+    /// Links the event loop's counters into `/metrics` (reactor mode
+    /// calls this once at startup).
+    pub fn set_reactor(&self, metrics: Arc<ReactorMetrics>) {
+        let _ = self.reactor.set(metrics);
+    }
+
+    /// The event loop's counters, if this server runs the reactor.
+    pub fn reactor(&self) -> Option<&Arc<ReactorMetrics>> {
+        self.reactor.get()
     }
 
     /// Folds one completed prune run into the aggregate.
@@ -225,6 +258,24 @@ impl ServerMetrics {
             engine.peak_resident_bytes,
             engine.max_token_bytes,
         );
+        if let Some(r) = self.reactor() {
+            let _ = write!(
+                out,
+                "\"reactor\":{{\"registered_fds\":{},\"ready_events\":{},\"polls\":{},\
+                 \"wakes\":{},\"timer_fires\":{},\"executor_jobs\":{},\
+                 \"executor_queue_depth\":{},\"admission_rejects\":{},\
+                 \"max_conn_resident\":{}}},",
+                r.registered.load(Ordering::Relaxed),
+                r.ready_events.load(Ordering::Relaxed),
+                r.polls.load(Ordering::Relaxed),
+                r.wakes.load(Ordering::Relaxed),
+                r.timer_fires.load(Ordering::Relaxed),
+                self.executor_jobs.load(Ordering::Relaxed),
+                self.executor_queue_depth.load(Ordering::Relaxed),
+                self.admission_rejects.load(Ordering::Relaxed),
+                self.max_conn_resident.load(Ordering::Relaxed),
+            );
+        }
         let _ = write!(
             out,
             "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"hit_rate\":{:.4}}},",
@@ -317,12 +368,58 @@ impl ServerMetrics {
             "Projector cache evictions.",
             engine.cache.evictions,
         );
+        if let Some(r) = self.reactor() {
+            counter(
+                "xmlpruned_reactor_ready_events_total",
+                "Readiness events delivered by epoll.",
+                r.ready_events.load(Ordering::Relaxed),
+            );
+            counter(
+                "xmlpruned_reactor_polls_total",
+                "epoll_wait calls that returned.",
+                r.polls.load(Ordering::Relaxed),
+            );
+            counter(
+                "xmlpruned_reactor_wakes_total",
+                "eventfd waker interrupts observed.",
+                r.wakes.load(Ordering::Relaxed),
+            );
+            counter(
+                "xmlpruned_reactor_timer_fires_total",
+                "Timer-wheel deadlines fired.",
+                r.timer_fires.load(Ordering::Relaxed),
+            );
+            counter(
+                "xmlpruned_executor_jobs_total",
+                "CPU jobs handed to the executor pool.",
+                self.executor_jobs.load(Ordering::Relaxed),
+            );
+            counter(
+                "xmlpruned_admission_rejects_total",
+                "Connections refused 503 at the admission limit.",
+                self.admission_rejects.load(Ordering::Relaxed),
+            );
+        }
         let _ = write!(
             out,
             "# HELP xmlpruned_in_flight Requests currently being processed.\n\
              # TYPE xmlpruned_in_flight gauge\nxmlpruned_in_flight {}\n",
             self.in_flight.load(Ordering::Relaxed)
         );
+        if let Some(r) = self.reactor() {
+            let _ = write!(
+                out,
+                "# HELP xmlpruned_reactor_registered_fds Currently registered fds.\n\
+                 # TYPE xmlpruned_reactor_registered_fds gauge\nxmlpruned_reactor_registered_fds {}\n\
+                 # HELP xmlpruned_executor_queue_depth CPU jobs queued or running.\n\
+                 # TYPE xmlpruned_executor_queue_depth gauge\nxmlpruned_executor_queue_depth {}\n\
+                 # HELP xmlpruned_max_conn_resident_bytes High-water per-connection residency.\n\
+                 # TYPE xmlpruned_max_conn_resident_bytes gauge\nxmlpruned_max_conn_resident_bytes {}\n",
+                r.registered.load(Ordering::Relaxed),
+                self.executor_queue_depth.load(Ordering::Relaxed),
+                self.max_conn_resident.load(Ordering::Relaxed),
+            );
+        }
         let _ = write!(
             out,
             "# HELP xmlpruned_request_duration_seconds Request latency by endpoint.\n\

@@ -11,6 +11,20 @@ use std::time::Duration;
 use xproj_dtd::Dtd;
 use xproj_engine::{dtd_fingerprint, ProjectorCache, DEFAULT_CHUNK_SIZE};
 
+/// How the server drives its connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// The epoll reactor: one event-loop thread owns every connection
+    /// as a state machine; the worker pool only pumps CPU work. The
+    /// default on Linux (elsewhere it falls back to `Threaded`).
+    #[default]
+    Reactor,
+    /// The blocking accept loop + fixed worker pool (`--threaded`):
+    /// each worker owns one connection at a time. Kept for differential
+    /// testing and non-Linux targets.
+    Threaded,
+}
+
 /// Tunables of one server instance. `Default` is the configuration the
 /// `xmlpruned` binary starts with; every field has a CLI flag.
 #[derive(Debug, Clone)]
@@ -39,6 +53,18 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// How long graceful shutdown waits for in-flight requests.
     pub drain_deadline: Duration,
+    /// Connection driving strategy (reactor vs blocking pool).
+    pub mode: ServeMode,
+    /// Reactor-mode admission limit: connections past this many are
+    /// answered `503` + `Retry-After` and closed. (The threaded mode's
+    /// admission limit is implicitly its worker count.)
+    pub max_connections: usize,
+    /// Reactor-mode per-connection output-buffer cap: once this many
+    /// response bytes are waiting on a slow client, the connection
+    /// stops feeding the pruner and stops reading — TCP pushes back on
+    /// the sender. The residency bound per connection is
+    /// O(this + chunk + depth).
+    pub out_buffer_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +80,9 @@ impl Default for ServerConfig {
             response_buffer_bytes: DEFAULT_CHUNK_SIZE,
             cache_capacity: 64,
             drain_deadline: Duration::from_secs(5),
+            mode: ServeMode::default(),
+            max_connections: 16 * 1024,
+            out_buffer_cap: 256 * 1024,
         }
     }
 }
@@ -73,6 +102,11 @@ pub struct ServerState {
     dtds: Mutex<HashMap<u64, Arc<Dtd>>>,
     flags: ConnFlags,
     local_addr: SocketAddr,
+    /// How `trigger_shutdown` wakes the serve loop. The reactor
+    /// installs its eventfd waker here; without a hook the threaded
+    /// loop falls back to the self-connect trick that unblocks a
+    /// blocking `accept`.
+    wake_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl ServerState {
@@ -86,7 +120,13 @@ impl ServerState {
             dtds: Mutex::new(HashMap::new()),
             flags: ConnFlags::new(),
             local_addr,
+            wake_hook: Mutex::new(None),
         }
+    }
+
+    /// Installs the serve loop's wake callback (reactor mode only).
+    pub(crate) fn set_wake_hook(&self, hook: Box<dyn Fn() + Send + Sync>) {
+        *self.wake_hook.lock().unwrap() = Some(hook);
     }
 
     /// The address the listener is actually bound to.
@@ -129,9 +169,14 @@ impl ServerState {
     /// thread (and from the `/admin/shutdown` handler); idempotent.
     pub fn trigger_shutdown(&self) {
         if !self.flags.shutdown.swap(true, Ordering::SeqCst) {
-            // Wake the accept loop: a throwaway connection to
-            // ourselves unblocks the blocking accept immediately.
-            let _ = TcpStream::connect(self.local_addr);
+            if let Some(hook) = self.wake_hook.lock().unwrap().as_ref() {
+                hook();
+            } else {
+                // No waker installed (threaded mode): a throwaway
+                // connection to ourselves unblocks the blocking
+                // accept immediately.
+                let _ = TcpStream::connect(self.local_addr);
+            }
         }
     }
 

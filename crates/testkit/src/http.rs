@@ -70,6 +70,17 @@ impl HttpClient {
         })
     }
 
+    /// Wraps an already-connected socket (e.g. a `try_clone` of a
+    /// stream whose write half another thread drives), so tests can
+    /// read responses concurrently with raw writes.
+    pub fn from_stream(stream: TcpStream) -> HttpClient {
+        HttpClient {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
     /// Overrides both socket timeouts.
     pub fn set_timeout(&self, t: Duration) -> std::io::Result<()> {
         self.stream.set_read_timeout(Some(t))?;
@@ -79,6 +90,12 @@ impl HttpClient {
     /// The peer address of the underlying connection.
     pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
         self.stream.peer_addr()
+    }
+
+    /// The underlying socket, for tests that need socket-level control
+    /// (buffer sizing, raw fd access) beyond what this client models.
+    pub fn stream_ref(&self) -> &TcpStream {
+        &self.stream
     }
 
     /// Sends a request with an optional `Content-Length` body and reads
