@@ -19,6 +19,13 @@ echo "== soundness fuzzer smoke (deterministic, 200 cases) =="
 TESTKIT_FUZZ_CASES=200 cargo test -q --offline --locked \
     -p xml-projection --test fuzz_soundness
 
+echo "== query-pipeline fuzzer smoke (every-2-chunk-split differential) =="
+# The one-pass QueryMachine must answer byte-identically to the
+# reference evaluator over the *unpruned* tree, at every 2-chunk split
+# of the document, in both fast-forward modes, XPath and XQuery.
+TESTKIT_FUZZ_CASES=30 cargo test -q --offline --locked \
+    -p xml-projection --test query_pipeline
+
 echo "== engine smoke (chunked-vs-whole differential + 100-case fuzz) =="
 # The xmark differential: generated auction document streamed at several
 # chunk sizes must be byte-identical to the whole-string pruner, with the
@@ -131,6 +138,34 @@ assert gcs >= 0.85 * gcb, \
 print(f"pipeline bench smoke: fast-path speedup {gs:.2f}x "
       f"(baseline {gb:.2f}x), chunked_fast/fast {gcs:.2f} "
       f"(baseline {gcb:.2f}) over {len(common)} cells")
+PY
+
+echo "== query bench smoke (one-pass vs prune-then-eval ratio gate) =="
+# Smoke-mode run of the one-pass query bench. The bench itself asserts
+# byte-identical answers before timing; here the emitted JSON must
+# parse and the one-pass machine must hold the >= 1.3x bar over
+# prune-then-eval at retention <= 30% — in the smoke run and in the
+# committed BENCH_query.json. The gate is a ratio of the two pipelines
+# on the same machine, so it is machine-independent.
+XPROJ_BENCH_SAMPLES=3 XPROJ_BENCH_WARMUP=1 XPROJ_BENCH_SCALES=0.5 \
+XPROJ_BENCH_OUT=/tmp/BENCH_query.smoke.json \
+    ./target/release/query > /dev/null
+python3 - <<'PY'
+import json, math
+base = json.load(open('BENCH_query.json'))
+smoke = json.load(open('/tmp/BENCH_query.smoke.json'))
+assert base['runs'] and smoke['runs']
+def gate(doc, name):
+    rows = [r for r in doc['runs'] if r['retention'] <= 0.30]
+    assert rows, f"{name}: no rows at retention <= 30%"
+    g = math.exp(sum(math.log(r['ratio']) for r in rows) / len(rows))
+    assert g >= 1.3, \
+        f"{name}: one-pass speedup {g:.2f}x below the 1.3x gate"
+    return g, len(rows)
+gb, nb = gate(base, 'committed baseline')
+gs, ns = gate(smoke, 'smoke run')
+print(f"query bench smoke: one-pass speedup {gs:.2f}x over {ns} rows "
+      f"(committed baseline {gb:.2f}x over {nb} rows)")
 PY
 
 echo "ci: OK"

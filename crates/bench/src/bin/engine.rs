@@ -22,7 +22,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.1);
     let timer = Timer::from_env();
-    let dtd = auction_dtd();
+    let dtd = std::sync::Arc::new(auction_dtd());
     let xml = generate_auction(&dtd, &XMarkConfig::at_scale(scale)).to_xml();
     eprintln!(
         "# engine bench: xmark scale {scale}, {:.1} MiB document",

@@ -1,48 +1,23 @@
 //! Projector cache: one analysis, many (DTD, query) lookups.
 //!
-//! The query-update-independence line of work (Bidoit-Tollu, Colazzo,
-//! Ulliana — see PAPERS.md) reuses projector inference across many
-//! documents; a server doing the same wants the inference memoised. Keys
-//! combine a **DTD fingerprint** (a hash of the grammar's canonical DTD
-//! syntax plus root name, so any `<!ELEMENT …>` edit misses) with a
+//! Since the compiled-query pipeline landed, this is a thin facade over
+//! the query compiler's [`ArtifactCache`] (`xproj-qc`): a lookup returns
+//! the projector slice of the full [`xproj_qc::QueryArtifact`], so a
+//! prune request and a `/v1/query` request for the same (DTD, query)
+//! pair share one cache entry, one compile, and one set of counters.
+//! Keys combine a **DTD fingerprint** (a hash of the grammar's canonical
+//! DTD syntax plus root name, so any `<!ELEMENT …>` edit misses) with a
 //! **normalized query** (the pretty-printed XQuery AST, so `/a/b`,
 //! `  /a/b ` and `/child::a/child::b` share one entry). Eviction is LRU;
 //! hit/miss counters feed the pipeline metrics.
 
-use std::collections::HashMap;
-use std::sync::Mutex;
-use xproj_core::{Projector, StaticAnalyzer};
+use std::sync::Arc;
+
+use xproj_core::Projector;
 use xproj_dtd::Dtd;
-use xproj_xquery::{parse_xquery, project_xquery};
+use xproj_qc::ArtifactCache;
 
-/// A 64-bit FNV-1a fingerprint of a DTD: its canonical `<!ELEMENT …>`
-/// serialization plus the root name. Any grammar edit changes it.
-pub fn dtd_fingerprint(dtd: &Dtd) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |s: &str| {
-        for b in s.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-        h ^= 0xff;
-        h = h.wrapping_mul(PRIME);
-    };
-    eat(dtd.label(dtd.root()));
-    eat(&dtd.to_dtd_syntax());
-    h
-}
-
-/// Normalizes a workload query to its canonical form: parse as XQuery
-/// (of which XPath is a sub-language here) and pretty-print the AST.
-/// Whitespace and axis abbreviations disappear; semantically-identical
-/// spellings share a cache entry.
-pub fn normalize_query(query: &str) -> Result<String, String> {
-    parse_xquery(query)
-        .map(|q| q.to_string())
-        .map_err(|e| e.to_string())
-}
+pub use xproj_qc::{dtd_fingerprint, normalize_query, ArtifactCacheStats, QueryArtifact};
 
 /// Hit/miss/size counters of a [`ProjectorCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -81,98 +56,59 @@ impl CacheStats {
     }
 }
 
-#[derive(Clone)]
-struct Entry {
-    projector: Projector,
-    last_used: u64,
-}
-
-struct Inner {
-    map: HashMap<(u64, String), Entry>,
-    tick: u64,
-    stats: CacheStats,
-}
-
-/// An LRU cache of inferred projectors keyed by
-/// `(DTD fingerprint, normalized query)`.
+/// An LRU cache of compiled query artifacts keyed by
+/// `(DTD fingerprint, normalized query)`, presented through its
+/// projector face for the pruning endpoints.
 ///
 /// Lookups are thread-safe (the batch driver shares one cache across
-/// workers). The analysis for a miss runs *outside* the lock, so
+/// workers). The compile for a miss runs *outside* the lock, so
 /// concurrent misses on different keys do not serialize; two concurrent
 /// misses on the *same* key may both compute, and the second insert
-/// wins — harmless, because inference is deterministic.
+/// wins — harmless, because compilation is deterministic.
 pub struct ProjectorCache {
-    inner: Mutex<Inner>,
-    capacity: usize,
+    artifacts: ArtifactCache,
 }
 
 impl ProjectorCache {
-    /// Creates a cache holding at most `capacity` projectors.
+    /// Creates a cache holding at most `capacity` artifacts.
     pub fn new(capacity: usize) -> Self {
         ProjectorCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                tick: 0,
-                stats: CacheStats::default(),
-            }),
-            capacity: capacity.max(1),
+            artifacts: ArtifactCache::new(capacity),
         }
     }
 
-    /// Returns the projector for `query` against `dtd`, running the
-    /// static analysis only on a cache miss.
-    pub fn get_or_compute(&self, dtd: &Dtd, query: &str) -> Result<Projector, String> {
-        let ast = parse_xquery(query).map_err(|e| e.to_string())?;
-        let key = (dtd_fingerprint(dtd), ast.to_string());
-        {
-            let mut inner = self.inner.lock().unwrap();
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some(e) = inner.map.get_mut(&key) {
-                e.last_used = tick;
-                let p = e.projector.clone();
-                inner.stats.hits += 1;
-                inner.stats.entries = inner.map.len();
-                return Ok(p);
-            }
-            inner.stats.misses += 1;
-        }
-        // Compute outside the lock: misses on different keys parallelize.
-        let mut sa = StaticAnalyzer::new(dtd);
-        let projector = project_xquery(&mut sa, &ast);
-        let mut inner = self.inner.lock().unwrap();
-        inner.tick += 1;
-        let tick = inner.tick;
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
-            // Evict the least-recently-used entry (O(n) scan; serving
-            // caches are tens of entries, not millions).
-            if let Some(victim) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                inner.map.remove(&victim);
-                inner.stats.evictions += 1;
-            }
-        }
-        inner.map.insert(
-            key,
-            Entry {
-                projector: projector.clone(),
-                last_used: tick,
-            },
-        );
-        inner.stats.entries = inner.map.len();
-        Ok(projector)
+    /// Returns the projector for `query` against `dtd`, compiling the
+    /// full artifact only on a cache miss.
+    pub fn get_or_compute(&self, dtd: &Arc<Dtd>, query: &str) -> Result<Projector, String> {
+        self.artifacts
+            .get_or_compile(dtd, query)
+            .map(|a| a.projector.clone())
     }
 
-    /// Counters snapshot.
+    /// Returns the whole compiled artifact (the `/v1/query` path).
+    pub fn get_artifact(
+        &self,
+        dtd: &Arc<Dtd>,
+        query: &str,
+    ) -> Result<Arc<QueryArtifact>, String> {
+        self.artifacts.get_or_compile(dtd, query)
+    }
+
+    /// The underlying artifact cache (warm-restart save/load, full
+    /// observability counters).
+    pub fn artifacts(&self) -> &ArtifactCache {
+        &self.artifacts
+    }
+
+    /// Counters snapshot, in the legacy projector-cache shape.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
-        let mut s = inner.stats;
-        s.entries = inner.map.len();
-        s
+        let s = self.artifacts.stats();
+        CacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            entries: s.entries,
+        }
     }
 }
 
@@ -181,12 +117,14 @@ mod tests {
     use super::*;
     use xproj_dtd::parse_dtd;
 
-    fn dtd() -> Dtd {
-        parse_dtd(
-            "<!ELEMENT a (b, c)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>",
-            "a",
+    fn dtd() -> Arc<Dtd> {
+        Arc::new(
+            parse_dtd(
+                "<!ELEMENT a (b, c)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>",
+                "a",
+            )
+            .unwrap(),
         )
-        .unwrap()
     }
 
     #[test]
@@ -198,6 +136,17 @@ mod tests {
         assert_eq!(p1, p2);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn prune_and_query_lookups_share_one_entry() {
+        let cache = ProjectorCache::new(8);
+        let d = dtd();
+        let p = cache.get_or_compute(&d, "/a/b").unwrap();
+        let art = cache.get_artifact(&d, "/a/b").unwrap();
+        assert_eq!(p, art.projector);
+        let s = cache.artifacts().stats();
+        assert_eq!((s.hits, s.misses, s.compiles, s.entries), (1, 1, 1, 1));
     }
 
     #[test]

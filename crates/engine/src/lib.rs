@@ -12,7 +12,13 @@
 //!   O(depth + max single-token length), never O(document).
 //! * [`cache`] — an LRU [`ProjectorCache`] over `(DTD fingerprint,
 //!   normalized query)` with hit/miss counters, so repeated workloads
-//!   skip re-inference ("analyse once, prune many documents").
+//!   skip re-inference ("analyse once, prune many documents"). Backed
+//!   by the query compiler's artifact cache (`xproj-qc`), so prune and
+//!   query requests share entries.
+//! * [`query`] — the compiled-query [`QueryMachine`]: prune **and
+//!   answer** in one streaming pass, executing the artifact's compiled
+//!   plan (NFA program or prune-then-eval fallback) against the raw
+//!   token stream.
 //! * [`batch`] — a zero-dependency scoped-thread parallel driver for
 //!   pruning many documents concurrently.
 //! * [`metrics`] — [`EngineStats`] threaded through all of the above:
@@ -20,13 +26,14 @@
 //!   per-stage timings; serialized as the workspace's JSON-lines format.
 //!
 //! ```
+//! use std::sync::Arc;
 //! use xproj_engine::{prune_reader, ProjectorCache};
 //!
-//! let dtd = xproj_dtd::parse_dtd(
+//! let dtd = Arc::new(xproj_dtd::parse_dtd(
 //!     "<!ELEMENT bib (book*)> <!ELEMENT book (title, author*)>\
 //!      <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>",
 //!     "bib",
-//! ).unwrap();
+//! ).unwrap());
 //! let cache = ProjectorCache::new(32);
 //! let projector = cache.get_or_compute(&dtd, "/bib/book/title").unwrap();
 //!
@@ -45,12 +52,16 @@ pub mod batch;
 pub mod cache;
 pub mod chunked;
 pub mod metrics;
+pub mod query;
 pub mod session;
 
 pub use batch::{parallel_map, parallel_map_init, run_batch, BatchJob, BatchReport, EngineFailure};
-pub use cache::{dtd_fingerprint, normalize_query, CacheStats, ProjectorCache};
+pub use cache::{
+    dtd_fingerprint, normalize_query, ArtifactCacheStats, CacheStats, ProjectorCache, QueryArtifact,
+};
 pub use chunked::{
     prune_reader, prune_reader_buffered, ChunkedPruner, EngineError, DEFAULT_CHUNK_SIZE,
 };
 pub use metrics::{error_json_line, EngineStats, StageTimings};
+pub use query::{json_escape_into, run_query, QueryError, QueryMachine, QueryOutput, QueryStats};
 pub use session::PruneSession;

@@ -1,0 +1,1252 @@
+//! One-pass compiled query execution: prune **and answer** in the same
+//! streaming pass.
+//!
+//! The classic pipeline is two passes over the data: stream-prune into a
+//! buffer, then parse the pruned document and run the evaluator. A
+//! [`QueryMachine`] collapses that for the path-shaped fragment the
+//! compiler (`xproj-qc`) lowers to [`Plan::Streaming`]: the compiled
+//! [`PathProgram`] is executed as an NFA directly over the raw token
+//! stream, candidate subtrees are serialized into per-match capture
+//! buffers as their bytes flow past, and everything outside π is
+//! fast-forwarded exactly like the pruner. Engine-resident state stays
+//! O(depth + chunk); only the answer itself (the open captures and the
+//! not-yet-drained output frames) scales with the result.
+//!
+//! Out-of-fragment artifacts carry [`Plan::Fallback`]: the same feed
+//! loop prunes into an in-memory buffer (sound by the paper's Thm 4.6 —
+//! pruning preserves answers), and `finish` parses the pruned tree and
+//! runs the reference evaluator. Both plans produce **byte-identical**
+//! output to evaluating the query on the unpruned document; the
+//! differential fuzzer in `tests/query_pipeline.rs` holds them to that.
+//!
+//! ## The NFA
+//!
+//! State `k` at a node means "the first `k` steps matched a root-to-here
+//! path ending at this node"; a node is an answer when state
+//! `steps.len()` is reached. Each open element carries two `u64` masks:
+//! *anchored* states (`a`, matched ending exactly here) and *searching*
+//! states (`s`, a descendant-axis step begun at some ancestor that may
+//! still fire anywhere below). Transitions run per start-tag in O(set
+//! bits); a `self`/`descendant-or-self` closure loop handles
+//! self-matching steps. An optional existential guard (the one-predicate
+//! `//a[b]` form) runs as a second NFA instance per open candidate,
+//! scoped to its subtree.
+//!
+//! Output is x-ndjson *match frames* (`{"match":i,"atom":…,"value":…}`
+//! per result item, then one `{"done":true,…}` summary) or, for the CLI,
+//! the plain concatenated answer — identical to the reference
+//! serializer's sequence form.
+
+use std::sync::Arc;
+
+use crate::chunked::{ChunkedPruner, EngineError};
+use xproj_core::{ErrorCode, ProjectorTable, StreamPruneError, Verdict};
+use xproj_dtd::{Dtd, NameId};
+use xproj_qc::{Plan, QueryArtifact, StepAxis, StepInstr, StepTest};
+use xproj_xmltree::document::{escape_attr, escape_text};
+use xproj_xmltree::events::{decode_entities, validate_entities, ParseError};
+use xproj_xmltree::push::{
+    parse_end_tag_name, split_start_tag, PushEvent, PushTokenizer, RawAttrs, RawKind,
+};
+use xproj_xmltree::{parse_with_options, Document, ParseOptions};
+use xproj_xquery::{evaluate_query_items, serialize_item};
+
+/// Errors from a [`QueryMachine`].
+#[derive(Debug)]
+pub enum QueryError {
+    /// The streaming pass failed (malformed XML, undeclared element,
+    /// I/O) — same failure surface as the pruning engine.
+    Engine(EngineError),
+    /// The reference evaluator rejected the query against this document
+    /// (fallback plan only; e.g. a type error in a comparison).
+    Eval(String),
+}
+
+impl QueryError {
+    /// Stable machine-readable code (CLI `--stats`, HTTP 4xx bodies).
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            QueryError::Engine(e) => e.code(),
+            QueryError::Eval(_) => ErrorCode::BadQuery,
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Engine(e) => write!(f, "{e}"),
+            QueryError::Eval(e) => write!(f, "query evaluation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<EngineError> for QueryError {
+    fn from(e: EngineError) -> Self {
+        QueryError::Engine(e)
+    }
+}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Engine(EngineError::Xml(e))
+    }
+}
+
+impl From<StreamPruneError> for QueryError {
+    fn from(e: StreamPruneError) -> Self {
+        QueryError::Engine(EngineError::Prune(e))
+    }
+}
+
+/// What a [`QueryMachine`] writes to its output buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutput {
+    /// x-ndjson match frames plus a final summary frame (`/v1/query`).
+    Frames,
+    /// The bare serialized result sequence, exactly as
+    /// [`xproj_xquery::serialize_items`] would produce it (CLI).
+    Answer,
+}
+
+/// End-of-document statistics for one query execution.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryStats {
+    /// Which plan ran: `"streaming"` or `"fallback"`.
+    pub plan: &'static str,
+    /// Result items emitted.
+    pub matches: u64,
+    /// Parse events processed (undercounts inside fast-forwarded
+    /// subtrees, exactly like the pruner).
+    pub events: u64,
+    /// Input bytes fed.
+    pub bytes_in: u64,
+    /// Output bytes produced (frames or answer).
+    pub bytes_out: u64,
+    /// Pruned subtrees consumed by raw delimiter scan.
+    pub subtrees_fast_forwarded: u64,
+    /// Maximum element nesting depth seen.
+    pub max_depth: usize,
+    /// Peak engine-resident bytes (tokenizer tail + scratch) — the
+    /// O(depth + chunk) side of the ledger.
+    pub peak_resident_bytes: usize,
+    /// Peak answer-resident bytes (open captures + undrained output; for
+    /// the fallback plan, the buffered pruned document). Scales with the
+    /// answer, not the input.
+    pub peak_answer_bytes: usize,
+}
+
+impl QueryStats {
+    /// One JSON object with every field (CLI `--stats` output).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"plan\":\"{}\",\"matches\":{},\"events\":{},\"bytes_in\":{},\"bytes_out\":{},\
+             \"fast_forwarded\":{},\"max_depth\":{},\"peak_resident_bytes\":{},\
+             \"peak_answer_bytes\":{}}}",
+            self.plan,
+            self.matches,
+            self.events,
+            self.bytes_in,
+            self.bytes_out,
+            self.subtrees_fast_forwarded,
+            self.max_depth,
+            self.peak_resident_bytes,
+            self.peak_answer_bytes,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// NFA primitives (shared by the main program and guard instances)
+// ---------------------------------------------------------------------
+
+/// Computes the (anchored, searching) state sets for a child node from
+/// its parent's sets. `matches` is the node-kind test (element with a
+/// given name, text, …); `mask` keeps the accept state out of the
+/// transition loops.
+#[inline]
+fn child_transition(
+    steps: &[StepInstr],
+    mask: u64,
+    pa: u64,
+    ps: u64,
+    matches: impl Fn(StepTest) -> bool,
+) -> (u64, u64) {
+    // Searching states: any live state whose next step is a
+    // descendant-flavored axis keeps searching in every child.
+    let mut s = 0u64;
+    let mut live = (pa | ps) & mask;
+    while live != 0 {
+        let k = live.trailing_zeros() as usize;
+        live &= live - 1;
+        if matches!(
+            steps[k].axis,
+            StepAxis::Descendant | StepAxis::DescendantOrSelf
+        ) {
+            s |= 1 << k;
+        }
+    }
+    let mut a = 0u64;
+    // Child-axis steps fire from the parent's anchored states only.
+    let mut anchored = pa & mask;
+    while anchored != 0 {
+        let k = anchored.trailing_zeros() as usize;
+        anchored &= anchored - 1;
+        if steps[k].axis == StepAxis::Child && matches(steps[k].test) {
+            a |= 1 << (k + 1);
+        }
+    }
+    // Searching steps fire at any matching node below their origin.
+    let mut searching = s;
+    while searching != 0 {
+        let k = searching.trailing_zeros() as usize;
+        searching &= searching - 1;
+        if matches(steps[k].test) {
+            a |= 1 << (k + 1);
+        }
+    }
+    (a, s)
+}
+
+/// Fixpoint closure over `self`/`descendant-or-self` steps that match
+/// the current node itself (chains like `//self::a//…` need the loop).
+#[inline]
+fn closure(steps: &[StepInstr], mask: u64, a: &mut u64, matches: impl Fn(StepTest) -> bool) {
+    loop {
+        let mut added = 0u64;
+        let mut live = *a & mask;
+        while live != 0 {
+            let k = live.trailing_zeros() as usize;
+            live &= live - 1;
+            if matches!(steps[k].axis, StepAxis::SelfStep | StepAxis::DescendantOrSelf)
+                && matches(steps[k].test)
+            {
+                added |= 1 << (k + 1);
+            }
+        }
+        if added & !*a == 0 {
+            return;
+        }
+        *a |= added;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Guard NFA: one instance per open candidate with a `[rel-path]` guard
+// ---------------------------------------------------------------------
+
+/// The existential guard NFA for one candidate: anchored at the
+/// candidate node, it walks the candidate's subtree in lockstep with the
+/// main pass; the candidate is an answer iff the accept state is
+/// reached anywhere in that subtree.
+struct GuardExec {
+    satisfied: bool,
+    /// (anchored, searching) per open element, candidate first. Frozen
+    /// (and no longer balanced) once `satisfied` — it is never read
+    /// again.
+    stack: Vec<(u64, u64)>,
+}
+
+impl GuardExec {
+    fn start(guard: &[StepInstr], mask: u64, accept: u64, matches: impl Fn(StepTest) -> bool) -> GuardExec {
+        let mut a = 1u64;
+        closure(guard, mask, &mut a, matches);
+        GuardExec {
+            satisfied: a & accept != 0,
+            stack: vec![(a, 0)],
+        }
+    }
+
+    fn enter_element(&mut self, guard: &[StepInstr], mask: u64, accept: u64, name: NameId) {
+        if self.satisfied {
+            return;
+        }
+        let (pa, ps) = *self.stack.last().expect("guard stack never empty");
+        let (mut a, s) = child_transition(guard, mask, pa, ps, |t| t.matches_element(name));
+        closure(guard, mask, &mut a, |t| t.matches_element(name));
+        if a & accept != 0 {
+            self.satisfied = true;
+            return;
+        }
+        self.stack.push((a, s));
+    }
+
+    fn leave_element(&mut self) {
+        if !self.satisfied {
+            self.stack.pop();
+        }
+    }
+
+    fn visit_text(&mut self, guard: &[StepInstr], mask: u64, accept: u64) {
+        if self.satisfied {
+            return;
+        }
+        let (pa, ps) = *self.stack.last().expect("guard stack never empty");
+        let (mut a, _) = child_transition(guard, mask, pa, ps, |t| t.matches_text());
+        closure(guard, mask, &mut a, |t| t.matches_text());
+        if a & accept != 0 {
+            self.satisfied = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Captures
+// ---------------------------------------------------------------------
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum CapState {
+    Open,
+    Done,
+    Failed,
+}
+
+/// One in-flight result item, serialized incrementally as its bytes
+/// stream past. Captures are created in document (start-tag) order and
+/// emitted in that same order once complete — nested matches simply hold
+/// the front of the queue until they close.
+struct Capture {
+    buf: String,
+    /// Matcher stack length *including* the candidate's own frame (the
+    /// virtual document frame counts, so the whole-document capture has
+    /// `start_depth == 1`). Text captures are born complete and never
+    /// consult it.
+    start_depth: usize,
+    state: CapState,
+    guard: Option<GuardExec>,
+}
+
+// ---------------------------------------------------------------------
+// The streaming matcher
+// ---------------------------------------------------------------------
+
+/// One open element (plus the virtual document node at the bottom).
+#[derive(Clone, Copy)]
+struct MatchFrame {
+    a: u64,
+    s: u64,
+    /// The start tag has been written to captures but not yet closed
+    /// with `>` — resolved to `/>` if the element ends childless.
+    open_pending: bool,
+}
+
+struct Matcher {
+    dtd: &'static Dtd,
+    table: &'static ProjectorTable,
+    steps: &'static [StepInstr],
+    guard: &'static [StepInstr],
+    accept: u64,
+    mask: u64,
+    gaccept: u64,
+    gmask: u64,
+    stack: Vec<MatchFrame>,
+    caps: Vec<Capture>,
+    /// Index of the first not-yet-emitted capture.
+    head: usize,
+    /// Captures in `CapState::Open` (fast path: zero means no capture
+    /// bookkeeping at all for this event).
+    open_count: usize,
+    scratch: String,
+    saw_root: bool,
+    max_depth: usize,
+}
+
+fn append_open(caps: &mut [Capture], s: &str) {
+    for c in caps {
+        if c.state == CapState::Open {
+            c.buf.push_str(s);
+        }
+    }
+}
+
+impl Matcher {
+    fn new(dtd: &'static Dtd, table: &'static ProjectorTable, steps: &'static [StepInstr], guard: &'static [StepInstr]) -> Matcher {
+        let accept = 1u64 << steps.len();
+        let mask = accept - 1;
+        let gaccept = 1u64 << guard.len();
+        let gmask = gaccept - 1;
+        let mut m = Matcher {
+            dtd,
+            table,
+            steps,
+            guard,
+            accept,
+            mask,
+            gaccept,
+            gmask,
+            stack: Vec::with_capacity(16),
+            caps: Vec::new(),
+            head: 0,
+            open_count: 0,
+            scratch: String::new(),
+            saw_root: false,
+            max_depth: 0,
+        };
+        // The virtual document node: state 0, closed over self-matching
+        // steps. `/descendant-or-self::node()/…` (the `//` expansion)
+        // anchors here.
+        let mut a = 1u64;
+        closure(steps, mask, &mut a, |t| t.matches_document());
+        if a & accept != 0 {
+            // The document node itself is an answer (`/self::node()` et
+            // al.): capture the whole serialized content.
+            let guard_exec = if guard.is_empty() {
+                None
+            } else {
+                Some(GuardExec::start(guard, gmask, gaccept, |t| {
+                    t.matches_document()
+                }))
+            };
+            m.caps.push(Capture {
+                buf: String::new(),
+                start_depth: 1,
+                state: CapState::Open,
+                guard: guard_exec,
+            });
+            m.open_count = 1;
+        }
+        m.stack.push(MatchFrame {
+            a,
+            s: 0,
+            open_pending: false,
+        });
+        m
+    }
+
+    /// Sum of not-yet-emitted capture bytes (answer-resident gauge).
+    fn capture_bytes(&self) -> usize {
+        self.caps[self.head..].iter().map(|c| c.buf.len()).sum()
+    }
+
+    /// Processes a start tag. Returns true when the whole subtree is
+    /// skippable: the projector says nothing under this name is in π,
+    /// no capture is recording, and the node itself is not an answer —
+    /// by Thm 4.6 no answer (or guard witness) can live inside it on a
+    /// valid document.
+    fn start_element(&mut self, name_str: &str, attrs_raw: &str) -> Result<bool, StreamPruneError> {
+        let name = self
+            .dtd
+            .name_of_tag_str(name_str)
+            .ok_or_else(|| StreamPruneError::UndeclaredElement(name_str.to_string()))?;
+        self.saw_root = true;
+        let parent = *self.stack.last().expect("document frame always present");
+        let (mut a, s) =
+            child_transition(self.steps, self.mask, parent.a, parent.s, |t| {
+                t.matches_element(name)
+            });
+        closure(self.steps, self.mask, &mut a, |t| t.matches_element(name));
+        let matched = a & self.accept != 0;
+        let can_ff = self.table.verdict(name) == Verdict::PruneSubtree
+            && !matched
+            && self.open_count == 0;
+
+        if self.open_count > 0 {
+            if parent.open_pending {
+                append_open(&mut self.caps[self.head..], ">");
+                self.stack
+                    .last_mut()
+                    .expect("document frame always present")
+                    .open_pending = false;
+            }
+            if !self.guard.is_empty() {
+                for cap in &mut self.caps[self.head..] {
+                    if cap.state == CapState::Open {
+                        if let Some(g) = &mut cap.guard {
+                            g.enter_element(self.guard, self.gmask, self.gaccept, name);
+                        }
+                    }
+                }
+            }
+        }
+        if matched {
+            let guard_exec = if self.guard.is_empty() {
+                None
+            } else {
+                Some(GuardExec::start(self.guard, self.gmask, self.gaccept, |t| {
+                    t.matches_element(name)
+                }))
+            };
+            self.caps.push(Capture {
+                buf: String::new(),
+                start_depth: self.stack.len() + 1,
+                state: CapState::Open,
+                guard: guard_exec,
+            });
+            self.open_count += 1;
+        }
+        if self.open_count > 0 {
+            // Render `<name a="v" …` (no closing `>` yet) once, append
+            // to every recording capture. Values are decoded then
+            // re-escaped — byte-identical to the reference serializer.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            scratch.push('<');
+            scratch.push_str(name_str);
+            for attr in RawAttrs::new(attrs_raw) {
+                let (an, rawv) = attr.map_err(StreamPruneError::Xml)?;
+                let decoded = decode_entities(rawv).map_err(StreamPruneError::Xml)?;
+                scratch.push(' ');
+                scratch.push_str(an);
+                scratch.push_str("=\"");
+                escape_attr(&decoded, &mut scratch);
+                scratch.push('"');
+            }
+            append_open(&mut self.caps[self.head..], &scratch);
+            self.scratch = scratch;
+        }
+        self.stack.push(MatchFrame {
+            a,
+            s,
+            open_pending: true,
+        });
+        self.max_depth = self.max_depth.max(self.stack.len() - 1);
+        Ok(can_ff)
+    }
+
+    fn end_element(&mut self, name_str: &str) {
+        let depth = self.stack.len();
+        let top = self.stack.pop().expect("end_element below document");
+        if self.open_count == 0 {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        if top.open_pending {
+            scratch.push_str("/>");
+        } else {
+            scratch.push_str("</");
+            scratch.push_str(name_str);
+            scratch.push('>');
+        }
+        for cap in &mut self.caps[self.head..] {
+            if cap.state != CapState::Open {
+                continue;
+            }
+            cap.buf.push_str(&scratch);
+            if cap.start_depth == depth {
+                // The candidate itself is closing: its guard verdict is
+                // final.
+                let ok = cap.guard.as_ref().map(|g| g.satisfied).unwrap_or(true);
+                cap.state = if ok { CapState::Done } else { CapState::Failed };
+                self.open_count -= 1;
+            } else if let Some(g) = &mut cap.guard {
+                g.leave_element();
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    fn text(&mut self, decoded: &str) {
+        // The reference parser drops whitespace-only text nodes and text
+        // directly under the document node; match that node set exactly.
+        if self.stack.len() == 1 || decoded.trim().is_empty() {
+            return;
+        }
+        let top = *self.stack.last().expect("document frame always present");
+        if self.open_count > 0 && top.open_pending {
+            append_open(&mut self.caps[self.head..], ">");
+            self.stack
+                .last_mut()
+                .expect("document frame always present")
+                .open_pending = false;
+        }
+        let (mut a, _) = child_transition(self.steps, self.mask, top.a, top.s, |t| {
+            t.matches_text()
+        });
+        closure(self.steps, self.mask, &mut a, |t| t.matches_text());
+        if self.open_count > 0 && !self.guard.is_empty() {
+            for cap in &mut self.caps[self.head..] {
+                if cap.state == CapState::Open {
+                    if let Some(g) = &mut cap.guard {
+                        g.visit_text(self.guard, self.gmask, self.gaccept);
+                    }
+                }
+            }
+        }
+        if a & self.accept != 0 {
+            // A text node answer is born complete — serialize and settle
+            // its guard (which can only hold via self-matching steps) on
+            // the spot.
+            let ok = if self.guard.is_empty() {
+                true
+            } else {
+                let g = GuardExec::start(self.guard, self.gmask, self.gaccept, |t| {
+                    t.matches_text()
+                });
+                g.satisfied
+            };
+            if ok {
+                let mut buf = String::new();
+                escape_text(decoded, &mut buf);
+                self.caps.push(Capture {
+                    buf,
+                    start_depth: usize::MAX,
+                    state: CapState::Done,
+                    guard: None,
+                });
+            }
+        }
+        if self.open_count > 0 {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            escape_text(decoded, &mut scratch);
+            append_open(&mut self.caps[self.head..], &scratch);
+            self.scratch = scratch;
+        }
+    }
+
+    fn finish_document(&mut self) -> Result<(), StreamPruneError> {
+        if !self.saw_root {
+            return Err(StreamPruneError::Xml(
+                "document has no root element".to_string(),
+            ));
+        }
+        for cap in &mut self.caps[self.head..] {
+            if cap.state == CapState::Open && cap.start_depth == 1 {
+                let ok = cap.guard.as_ref().map(|g| g.satisfied).unwrap_or(true);
+                cap.state = if ok { CapState::Done } else { CapState::Failed };
+                self.open_count -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves every completed front-of-queue capture into `ready`,
+    /// preserving document order. Stops at the first still-open capture.
+    fn drain_ready(&mut self, ready: &mut Vec<String>) {
+        while self.head < self.caps.len() {
+            match self.caps[self.head].state {
+                CapState::Open => break,
+                CapState::Failed => {
+                    self.caps[self.head].buf = String::new();
+                    self.head += 1;
+                }
+                CapState::Done => {
+                    ready.push(std::mem::take(&mut self.caps[self.head].buf));
+                    self.head += 1;
+                }
+            }
+        }
+        if self.head > 64 {
+            self.caps.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution backends
+// ---------------------------------------------------------------------
+
+struct StreamExec {
+    tokenizer: PushTokenizer,
+    m: Matcher,
+    fast_forward: bool,
+    events: u64,
+    bytes_in: u64,
+    ff_subtrees: u64,
+    peak_resident: usize,
+}
+
+impl StreamExec {
+    fn pump(&mut self) -> Result<(), EngineError> {
+        while let Some(tok) = self.tokenizer.peek_token()? {
+            match tok.kind {
+                RawKind::StartTag { self_closing } => {
+                    let offset = self.tokenizer.offset();
+                    let raw = self.tokenizer.token_str(&tok);
+                    let (name, attrs_raw, _) = split_start_tag(raw)
+                        .map_err(|message| ParseError { offset, message })?;
+                    for attr in RawAttrs::new(attrs_raw) {
+                        let (_, rawv) =
+                            attr.map_err(|message| ParseError { offset, message })?;
+                        validate_entities(rawv)
+                            .map_err(|message| ParseError { offset, message })?;
+                    }
+                    let can_ff = self.m.start_element(name, attrs_raw)?;
+                    self.events += 1;
+                    if self_closing {
+                        self.events += 1;
+                        self.m.end_element(name);
+                        self.tokenizer.advance(tok)?;
+                    } else if self.fast_forward && can_ff {
+                        self.m.end_element(name);
+                        self.ff_subtrees += 1;
+                        self.tokenizer.advance(tok)?;
+                        self.tokenizer.skip_current_subtree()?;
+                    } else {
+                        self.tokenizer.advance(tok)?;
+                    }
+                }
+                RawKind::EndTag => {
+                    let offset = self.tokenizer.offset();
+                    let raw = self.tokenizer.token_str(&tok);
+                    let name = parse_end_tag_name(raw)
+                        .map_err(|message| ParseError { offset, message })?;
+                    self.m.end_element(name);
+                    self.events += 1;
+                    self.tokenizer.advance(tok)?;
+                }
+                RawKind::Text => {
+                    let offset = self.tokenizer.offset();
+                    let raw = self.tokenizer.token_str(&tok);
+                    if self.tokenizer.depth() == 0 && raw.trim().is_empty() {
+                        self.tokenizer.advance(tok)?;
+                        continue;
+                    }
+                    let decoded = decode_entities(raw)
+                        .map_err(|message| ParseError { offset, message })?;
+                    self.m.text(&decoded);
+                    self.events += 1;
+                    self.tokenizer.advance(tok)?;
+                }
+                RawKind::Cdata => {
+                    let raw = self.tokenizer.token_str(&tok);
+                    let inner = &raw["<![CDATA[".len()..raw.len() - "]]>".len()];
+                    self.m.text(inner);
+                    self.events += 1;
+                    self.tokenizer.advance(tok)?;
+                }
+                RawKind::Comment | RawKind::Pi | RawKind::Doctype => {
+                    self.events += 1;
+                    self.tokenizer.advance(tok)?;
+                }
+                RawKind::XmlDecl => {
+                    self.tokenizer.advance(tok)?;
+                }
+            }
+        }
+        self.peak_resident = self
+            .peak_resident
+            .max(self.tokenizer.peak_buffered() + self.m.scratch.len());
+        Ok(())
+    }
+
+    fn finish_stream(&mut self) -> Result<(), EngineError> {
+        self.pump()?;
+        let events = self.tokenizer.finish()?;
+        self.events += events.len() as u64;
+        for ev in &events {
+            match ev {
+                PushEvent::EndElement { name } => self.m.end_element(name),
+                PushEvent::Text(t) => self.m.text(t),
+                _ => {}
+            }
+        }
+        self.m.finish_document()?;
+        self.peak_resident = self.peak_resident.max(self.tokenizer.peak_buffered());
+        Ok(())
+    }
+}
+
+struct FallbackExec {
+    // Declared before the machine's `artifact` field (drop order); the
+    // pruner borrows the artifact's DTD and projector.
+    pruner: ChunkedPruner<'static, Vec<u8>>,
+    bytes_in: u64,
+}
+
+enum Exec {
+    Streaming(Box<StreamExec>),
+    Fallback(Box<FallbackExec>),
+    Done,
+}
+
+// ---------------------------------------------------------------------
+// The machine
+// ---------------------------------------------------------------------
+
+/// An owned, movable one-document query execution: feed chunks, drain
+/// output, finish for stats. Mirrors [`crate::PruneSession`]'s shape so
+/// both serving cores drive it identically (including backpressure via
+/// [`Self::pending_output`]).
+pub struct QueryMachine {
+    // Declared before `artifact` so it drops first — both backends hold
+    // `&'static` borrows into the artifact's heap allocation.
+    exec: Exec,
+    out: Vec<u8>,
+    mode: QueryOutput,
+    emitted: u64,
+    prev_atom: bool,
+    bytes_out: u64,
+    peak_answer: usize,
+    artifact: Arc<QueryArtifact>,
+}
+
+impl QueryMachine {
+    /// Starts an execution of `artifact` for one document.
+    pub fn new(artifact: Arc<QueryArtifact>, mode: QueryOutput) -> QueryMachine {
+        // SAFETY: extending the borrow of the Arc contents to 'static is
+        // sound because (a) an Arc's pointee is heap-allocated and never
+        // moves for the Arc's lifetime, (b) this struct owns a clone of
+        // the Arc, keeping the pointee alive at least as long as itself,
+        // and (c) `exec` is declared before `artifact`, so Rust's
+        // declaration-order drop rule destroys the borrower before the
+        // owner. The references never escape: every public method
+        // returns owned data.
+        let art: &'static QueryArtifact = unsafe { &*Arc::as_ptr(&artifact) };
+        let exec = match &art.plan {
+            Plan::Streaming(p) => Exec::Streaming(Box::new(StreamExec {
+                tokenizer: PushTokenizer::new(),
+                m: Matcher::new(&art.dtd, &art.table, &p.steps, &p.guard),
+                fast_forward: true,
+                events: 0,
+                bytes_in: 0,
+                ff_subtrees: 0,
+                peak_resident: 0,
+            })),
+            Plan::Fallback => Exec::Fallback(Box::new(FallbackExec {
+                pruner: ChunkedPruner::new(&art.dtd, &art.projector, Vec::new()),
+                bytes_in: 0,
+            })),
+        };
+        QueryMachine {
+            exec,
+            out: Vec::new(),
+            mode,
+            emitted: 0,
+            prev_atom: false,
+            bytes_out: 0,
+            peak_answer: 0,
+            artifact,
+        }
+    }
+
+    /// The artifact this machine executes.
+    pub fn artifact(&self) -> &Arc<QueryArtifact> {
+        &self.artifact
+    }
+
+    /// Which plan is running: `"streaming"` or `"fallback"`.
+    pub fn plan_label(&self) -> &'static str {
+        self.artifact.plan.label()
+    }
+
+    /// Enables or disables pruned-subtree fast-forward (default on).
+    /// Answers are identical either way on valid documents; with it off,
+    /// the pass doubles as a full well-formedness check.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        match &mut self.exec {
+            Exec::Streaming(s) => s.fast_forward = on,
+            Exec::Fallback(f) => f.pruner.set_fast_forward(on),
+            Exec::Done => {}
+        }
+    }
+
+    /// Feeds one chunk of the serialized document. Completed match
+    /// frames accumulate in the output buffer — drain with
+    /// [`Self::take_output`].
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<(), QueryError> {
+        let mut ready = Vec::new();
+        match &mut self.exec {
+            Exec::Streaming(s) => {
+                s.bytes_in += chunk.len() as u64;
+                s.tokenizer
+                    .push_bytes(chunk)
+                    .map_err(EngineError::from)?;
+                s.pump()?;
+                s.m.drain_ready(&mut ready);
+            }
+            Exec::Fallback(f) => {
+                f.bytes_in += chunk.len() as u64;
+                f.pruner.feed(chunk)?;
+            }
+            Exec::Done => panic!("query machine already finished"),
+        }
+        for v in &ready {
+            self.emit_match(false, v);
+        }
+        self.note_answer_peak();
+        Ok(())
+    }
+
+    /// Ends the document: final matches (all of them, for the fallback
+    /// plan) and the summary frame land in the output buffer; drain with
+    /// a last [`Self::take_output`].
+    pub fn finish(&mut self) -> Result<QueryStats, QueryError> {
+        let mut stats = match std::mem::replace(&mut self.exec, Exec::Done) {
+            Exec::Streaming(mut s) => {
+                s.finish_stream()?;
+                let mut ready = Vec::new();
+                s.m.drain_ready(&mut ready);
+                for v in &ready {
+                    self.emit_match(false, v);
+                }
+                QueryStats {
+                    plan: "streaming",
+                    matches: 0,
+                    events: s.events,
+                    bytes_in: s.bytes_in,
+                    bytes_out: 0,
+                    subtrees_fast_forwarded: s.ff_subtrees,
+                    max_depth: s.m.max_depth,
+                    peak_resident_bytes: s.peak_resident,
+                    peak_answer_bytes: 0,
+                }
+            }
+            Exec::Fallback(f) => {
+                let bytes_in = f.bytes_in;
+                let (estats, pruned) = f.pruner.finish_with_sink()?;
+                let pruned_len = pruned.len();
+                let text = String::from_utf8(pruned)
+                    .expect("pruned output re-serializes validated UTF-8 tokens");
+                // A fully pruned document (π empty) still evaluates: the
+                // query may construct output without reading any node.
+                let doc = if text.trim().is_empty() {
+                    Document::new()
+                } else {
+                    parse_with_options(
+                        &text,
+                        ParseOptions {
+                            ignore_whitespace_text: true,
+                            interner: Some(self.artifact.dtd.tags.clone()),
+                        },
+                    )
+                    .map_err(EngineError::Xml)?
+                };
+                let items = evaluate_query_items(&doc, &self.artifact.ast)
+                    .map_err(|e| QueryError::Eval(e.to_string()))?;
+                for it in &items {
+                    let v = serialize_item(&doc, it);
+                    self.emit_match(it.is_atom(), &v);
+                }
+                self.peak_answer = self.peak_answer.max(pruned_len + self.out.len());
+                QueryStats {
+                    plan: "fallback",
+                    matches: 0,
+                    events: estats.events,
+                    bytes_in,
+                    bytes_out: 0,
+                    subtrees_fast_forwarded: estats.subtrees_fast_forwarded,
+                    max_depth: estats.counters.max_depth,
+                    peak_resident_bytes: estats.peak_resident_bytes,
+                    peak_answer_bytes: 0,
+                }
+            }
+            Exec::Done => panic!("query machine already finished"),
+        };
+        if self.mode == QueryOutput::Frames {
+            let summary = format!(
+                "{{\"done\":true,\"plan\":\"{}\",\"matches\":{},\"events\":{},\"bytes_in\":{},\
+                 \"fast_forwarded\":{}}}\n",
+                stats.plan, self.emitted, stats.events, stats.bytes_in,
+                stats.subtrees_fast_forwarded,
+            );
+            self.out.extend_from_slice(summary.as_bytes());
+            self.bytes_out += summary.len() as u64;
+        }
+        self.note_answer_peak();
+        stats.matches = self.emitted;
+        stats.bytes_out = self.bytes_out;
+        stats.peak_answer_bytes = self.peak_answer;
+        Ok(stats)
+    }
+
+    /// Appends all pending output to `dst`, clearing it here.
+    pub fn take_output(&mut self, dst: &mut Vec<u8>) {
+        dst.append(&mut self.out);
+    }
+
+    /// Bytes of output waiting to be taken — the backpressure signal.
+    pub fn pending_output(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Total resident bytes right now: engine-side buffers plus the
+    /// answer-side captures and undrained output.
+    pub fn resident_bytes(&self) -> usize {
+        let exec = match &self.exec {
+            Exec::Streaming(s) => s.tokenizer.buffered() + s.m.capture_bytes(),
+            Exec::Fallback(f) => f.pruner.resident_bytes() + f.pruner.sink_ref().len(),
+            Exec::Done => 0,
+        };
+        exec + self.out.len()
+    }
+
+    fn emit_match(&mut self, atom: bool, value: &str) {
+        let before = self.out.len();
+        match self.mode {
+            QueryOutput::Frames => {
+                use std::io::Write as _;
+                let _ = write!(self.out, "{{\"match\":{},\"atom\":{},\"value\":\"", self.emitted, atom);
+                json_escape_into(value, &mut self.out);
+                self.out.extend_from_slice(b"\"}\n");
+            }
+            QueryOutput::Answer => {
+                // The sequence-level spacing rule: one space between
+                // adjacent atoms, nothing elsewhere.
+                if self.prev_atom && atom {
+                    self.out.push(b' ');
+                }
+                self.out.extend_from_slice(value.as_bytes());
+                self.prev_atom = atom;
+            }
+        }
+        self.bytes_out += (self.out.len() - before) as u64;
+        self.emitted += 1;
+    }
+
+    fn note_answer_peak(&mut self) {
+        let caps = match &self.exec {
+            Exec::Streaming(s) => s.m.capture_bytes(),
+            _ => 0,
+        };
+        self.peak_answer = self.peak_answer.max(caps + self.out.len());
+    }
+}
+
+/// Escapes `s` into `out` as JSON string contents (UTF-8 passes through
+/// verbatim; only quotes, backslashes and control bytes are escaped).
+pub fn json_escape_into(s: &str, out: &mut Vec<u8>) {
+    for &b in s.as_bytes() {
+        match b {
+            b'"' => out.extend_from_slice(b"\\\""),
+            b'\\' => out.extend_from_slice(b"\\\\"),
+            b'\n' => out.extend_from_slice(b"\\n"),
+            b'\r' => out.extend_from_slice(b"\\r"),
+            b'\t' => out.extend_from_slice(b"\\t"),
+            0x00..=0x1f => {
+                use std::io::Write as _;
+                let _ = write!(out, "\\u{:04x}", b);
+            }
+            _ => out.push(b),
+        }
+    }
+}
+
+/// Convenience driver: runs `artifact` over a whole in-memory document,
+/// returning the output and stats. Test and CLI entry point; the servers
+/// drive [`QueryMachine`] incrementally instead.
+pub fn run_query(
+    artifact: &Arc<QueryArtifact>,
+    doc: &[u8],
+    mode: QueryOutput,
+    fast_forward: bool,
+    chunk_size: usize,
+) -> Result<(Vec<u8>, QueryStats), QueryError> {
+    let mut machine = QueryMachine::new(Arc::clone(artifact), mode);
+    machine.set_fast_forward(fast_forward);
+    let mut out = Vec::new();
+    for chunk in doc.chunks(chunk_size.max(1)) {
+        machine.feed(chunk)?;
+        machine.take_output(&mut out);
+    }
+    let stats = machine.finish()?;
+    machine.take_output(&mut out);
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xproj_dtd::parse_dtd;
+    use xproj_xquery::{evaluate_query, parse_xquery};
+
+    const DTD: &str = "\
+        <!ELEMENT bib (book*)>\
+        <!ELEMENT book (title, author*, price?)>\
+        <!ATTLIST book id CDATA #IMPLIED>\
+        <!ELEMENT title (#PCDATA)>\
+        <!ELEMENT author (#PCDATA)>\
+        <!ELEMENT price (#PCDATA)>";
+
+    const DOC: &str = "<bib>\
+        <book id=\"b1\"><title>T1 &amp; more</title><author>A</author><price>10</price></book>\
+        <book id=\"b2\"><title>T2</title></book>\
+        </bib>";
+
+    fn artifact(query: &str) -> Arc<QueryArtifact> {
+        let dtd = Arc::new(parse_dtd(DTD, "bib").unwrap());
+        QueryArtifact::compile(&dtd, query).unwrap()
+    }
+
+    fn reference(query: &str, doc: &str) -> String {
+        let tree = xproj_xmltree::parse(doc).unwrap();
+        evaluate_query(&tree, &parse_xquery(query).unwrap()).unwrap()
+    }
+
+    fn answer(query: &str, doc: &str, ff: bool, chunk: usize) -> (String, QueryStats) {
+        let art = artifact(query);
+        let (out, stats) =
+            run_query(&art, doc.as_bytes(), QueryOutput::Answer, ff, chunk).unwrap();
+        (String::from_utf8(out).unwrap(), stats)
+    }
+
+    #[test]
+    fn streaming_answers_match_reference_at_every_chunk_size() {
+        for q in [
+            "/bib/book/title",
+            "//title",
+            "//book[price]",
+            "/bib/book",
+            "//title/text()",
+            "//author",
+            "/bib/node()",
+            "//zzz",
+        ] {
+            let want = reference(q, DOC);
+            for chunk in [1, 2, 3, 7, 64, 4096] {
+                for ff in [true, false] {
+                    let (got, stats) = answer(q, DOC, ff, chunk);
+                    assert_eq!(got, want, "query {q}, chunk {chunk}, ff {ff}");
+                    assert_eq!(stats.plan, "streaming", "{q} should stream");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_answers_match_reference() {
+        for q in [
+            "for $b in /bib/book where $b/price return <cheap>{$b/title}</cheap>",
+            "/bib/book[1]/title",
+            "//book[price]/title",
+            "count(//book)",
+        ] {
+            let want = reference(q, DOC);
+            for chunk in [3, 4096] {
+                let art = artifact(q);
+                let (out, stats) =
+                    run_query(&art, DOC.as_bytes(), QueryOutput::Answer, true, chunk).unwrap();
+                assert_eq!(String::from_utf8(out).unwrap(), want, "query {q}");
+                assert_eq!(stats.plan, "fallback");
+            }
+        }
+    }
+
+    #[test]
+    fn frames_mode_emits_one_frame_per_match_plus_summary() {
+        let art = artifact("//title");
+        let (out, stats) =
+            run_query(&art, DOC.as_bytes(), QueryOutput::Frames, true, 4096).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"match\":0,\"atom\":false,\"value\":\"<title>T1 &amp; more</title>\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"match\":1,\"atom\":false,\"value\":\"<title>T2</title>\"}"
+        );
+        assert!(lines[2].starts_with("{\"done\":true,\"plan\":\"streaming\",\"matches\":2,"));
+        assert_eq!(stats.matches, 2);
+        assert_eq!(stats.bytes_out, text.len() as u64);
+    }
+
+    #[test]
+    fn guard_rejects_candidates_without_witness() {
+        // b2 has no price: `//book[price]` must emit only b1.
+        let (got, _) = answer("//book[price]", DOC, true, 5);
+        assert!(got.contains("id=\"b1\""));
+        assert!(!got.contains("id=\"b2\""));
+        // Guard satisfied on every candidate: both books captured.
+        let (got, stats) = answer("/bib/book[title]", DOC, false, 1);
+        assert!(got.contains("id=\"b1\"") && got.contains("id=\"b2\""));
+        assert_eq!(stats.plan, "streaming");
+    }
+
+    #[test]
+    fn fast_forward_skips_subtrees_and_preserves_answers() {
+        let (fast, fs) = answer("//title", DOC, true, 4096);
+        let (plain, ps) = answer("//title", DOC, false, 4096);
+        assert_eq!(fast, plain);
+        assert!(fs.subtrees_fast_forwarded > 0, "price/author subtrees skip");
+        assert_eq!(ps.subtrees_fast_forwarded, 0);
+        assert!(fs.events < ps.events);
+    }
+
+    #[test]
+    fn captures_stay_answer_bounded_not_document_bounded() {
+        // Many books, query selects only titles: answer-resident bytes
+        // must track the largest single title, not the document.
+        let body: String = (0..500)
+            .map(|i| format!("<book id=\"b{i}\"><title>T{i}</title><author>A{i}</author></book>"))
+            .collect();
+        let doc = format!("<bib>{body}</bib>");
+        let art = artifact("//title");
+        let mut machine = QueryMachine::new(art, QueryOutput::Frames);
+        let mut out = Vec::new();
+        let mut peak_waiting = 0usize;
+        for chunk in doc.as_bytes().chunks(64) {
+            machine.feed(chunk).unwrap();
+            peak_waiting = peak_waiting.max(machine.pending_output());
+            machine.take_output(&mut out);
+        }
+        let stats = machine.finish().unwrap();
+        machine.take_output(&mut out);
+        assert_eq!(stats.matches, 500);
+        assert!(
+            stats.peak_resident_bytes < 2048,
+            "engine-resident {} should be token-scale",
+            stats.peak_resident_bytes
+        );
+        assert!(
+            peak_waiting < 1024,
+            "undrained output {} should be chunk-scale when drained per feed",
+            peak_waiting
+        );
+    }
+
+    #[test]
+    fn undeclared_element_and_malformed_input_error() {
+        let art = artifact("//title");
+        let err = run_query(&art, b"<bib><zzz/></bib>", QueryOutput::Answer, false, 7)
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::UndeclaredElement);
+        let err =
+            run_query(&art, b"<bib><book>", QueryOutput::Answer, true, 7).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::MalformedXml);
+        let err = run_query(&art, b"", QueryOutput::Answer, true, 7).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::MalformedXml);
+    }
+
+    #[test]
+    fn cdata_and_entities_round_trip_through_captures() {
+        let doc = "<bib><book id=\"x&amp;y\"><title>a<![CDATA[<raw>]]>b</title>\
+                   <author>&lt;A&gt;</author></book></bib>";
+        for q in ["//title", "//author", "/bib/book"] {
+            let want = reference(q, doc);
+            let (got, _) = answer(q, doc, true, 3);
+            assert_eq!(got, want, "query {q}");
+        }
+    }
+
+    #[test]
+    fn whole_document_match_is_supported() {
+        let q = "/descendant-or-self::node()";
+        let want = reference(q, DOC);
+        let (got, stats) = answer(q, DOC, true, 9);
+        assert_eq!(got, want);
+        assert_eq!(stats.plan, "streaming");
+    }
+
+    #[test]
+    fn machine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<QueryMachine>();
+    }
+
+    #[test]
+    fn machine_survives_thread_hops_between_feeds() {
+        let art = artifact("//title");
+        let mut machine = QueryMachine::new(art, QueryOutput::Answer);
+        machine.feed(&DOC.as_bytes()[..20]).unwrap();
+        let mut machine = std::thread::spawn(move || {
+            machine.feed(&DOC.as_bytes()[20..]).unwrap();
+            machine
+        })
+        .join()
+        .unwrap();
+        machine.finish().unwrap();
+        let mut out = Vec::new();
+        machine.take_output(&mut out);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            reference("//title", DOC)
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //!   never served for a changed grammar.
 //! * A cached projector prunes exactly like a freshly-inferred one.
 
+use std::sync::Arc;
 use xproj_core::{prune_str, StaticAnalyzer};
 use xproj_dtd::parse_dtd;
 use xproj_engine::{dtd_fingerprint, normalize_query, ProjectorCache};
@@ -16,7 +17,7 @@ const BIB: &str = "<!ELEMENT bib (book*)> <!ELEMENT book (title, author*, year?)
 
 #[test]
 fn equivalent_spellings_share_one_entry() {
-    let dtd = parse_dtd(BIB, "bib").unwrap();
+    let dtd = Arc::new(parse_dtd(BIB, "bib").unwrap());
     let cache = ProjectorCache::new(8);
 
     // All four spellings of the same path…
@@ -49,15 +50,15 @@ fn equivalent_spellings_share_one_entry() {
 
 #[test]
 fn dtd_edit_changes_fingerprint_and_misses() {
-    let dtd_v1 = parse_dtd(BIB, "bib").unwrap();
+    let dtd_v1 = Arc::new(parse_dtd(BIB, "bib").unwrap());
     // Same tag alphabet, one content-model edit: year becomes mandatory.
-    let dtd_v2 = parse_dtd(
+    let dtd_v2 = Arc::new(parse_dtd(
         "<!ELEMENT bib (book*)> <!ELEMENT book (title, author*, year)>\
          <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>\
          <!ELEMENT year (#PCDATA)>",
         "bib",
     )
-    .unwrap();
+    .unwrap());
     assert_ne!(
         dtd_fingerprint(&dtd_v1),
         dtd_fingerprint(&dtd_v2),
@@ -82,7 +83,7 @@ fn dtd_edit_changes_fingerprint_and_misses() {
 
 #[test]
 fn cached_projector_prunes_like_a_fresh_one() {
-    let dtd = parse_dtd(BIB, "bib").unwrap();
+    let dtd = Arc::new(parse_dtd(BIB, "bib").unwrap());
     let cache = ProjectorCache::new(8);
     let doc = "<bib><book><title>T</title><author>A</author><year>1999</year></book></bib>";
 

@@ -1,0 +1,324 @@
+//! The artifact cache: compile once, serve many connections.
+//!
+//! Replaces the engine's per-request projector inference with an LRU of
+//! immutable [`QueryArtifact`]s keyed by `(DTD fingerprint, normalized
+//! query)`. Artifacts are `Arc`'d, so cache hits hand out shareable
+//! values with no copying and no lock held while a machine runs; the
+//! compile for a miss runs *outside* the lock, so concurrent misses on
+//! different keys do not serialize (two racing misses on the same key
+//! both compile and the second insert wins — harmless, compilation is
+//! deterministic).
+//!
+//! Beyond hit/miss/eviction counts the cache keeps the compile counter
+//! and cumulative compile time (the warm-restart test asserts the
+//! counter does **not** move when an artifact comes from disk) and a
+//! resident-bytes gauge fed by [`QueryArtifact::approx_bytes`]. With
+//! [`ArtifactCache::save_dir`] / [`ArtifactCache::load_dir`] the whole
+//! cache round-trips through a directory of `.xqa` files, which is how
+//! `xmlpruned --artifact-dir` boots warm.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::artifact::{dtd_fingerprint, QueryArtifact};
+use xproj_dtd::Dtd;
+use xproj_xquery::parse_xquery;
+
+/// Counter snapshot of an [`ArtifactCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArtifactCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to produce an artifact.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity.
+    pub evictions: u64,
+    /// Artifacts compiled (inference + lowering). Loads don't count.
+    pub compiles: u64,
+    /// Cumulative wall-clock microseconds spent compiling.
+    pub compile_micros: u64,
+    /// Artifacts restored from disk by `load_dir`.
+    pub loads: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Approximate bytes held by resident artifacts.
+    pub resident_bytes: usize,
+}
+
+impl ArtifactCacheStats {
+    /// Hit fraction over all lookups (1.0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+struct Entry {
+    artifact: Arc<QueryArtifact>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<(u64, String), Entry>,
+    tick: u64,
+    stats: ArtifactCacheStats,
+}
+
+impl Inner {
+    fn evict_for(&mut self, capacity: usize, key: &(u64, String)) {
+        if self.map.len() >= capacity && !self.map.contains_key(key) {
+            // LRU eviction (O(n) scan; serving caches are tens of
+            // entries, not millions).
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    fn refresh_gauges(&mut self) {
+        self.stats.entries = self.map.len();
+        self.stats.resident_bytes = self
+            .map
+            .values()
+            .map(|e| e.artifact.approx_bytes())
+            .sum();
+    }
+}
+
+/// An LRU cache of compiled [`QueryArtifact`]s. See the module docs.
+pub struct ArtifactCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ArtifactCache {
+    /// Creates a cache holding at most `capacity` artifacts.
+    pub fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                stats: ArtifactCacheStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the artifact for `query` against `dtd`, compiling only
+    /// on a cache miss. An unparsable query is an error and counts as
+    /// neither hit nor miss.
+    pub fn get_or_compile(
+        &self,
+        dtd: &Arc<Dtd>,
+        query: &str,
+    ) -> Result<Arc<QueryArtifact>, String> {
+        let normalized = parse_xquery(query)
+            .map(|q| q.to_string())
+            .map_err(|e| e.to_string())?;
+        let key = (dtd_fingerprint(dtd), normalized);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(e) = inner.map.get_mut(&key) {
+                e.last_used = tick;
+                let a = Arc::clone(&e.artifact);
+                inner.stats.hits += 1;
+                return Ok(a);
+            }
+            inner.stats.misses += 1;
+        }
+        // Compile outside the lock: misses on different keys
+        // parallelize across worker threads.
+        let artifact = QueryArtifact::compile(dtd, query)?;
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.stats.compiles += 1;
+        inner.stats.compile_micros += artifact.compile_micros;
+        inner.evict_for(self.capacity, &key);
+        inner.map.insert(
+            key,
+            Entry {
+                artifact: Arc::clone(&artifact),
+                last_used: tick,
+            },
+        );
+        inner.refresh_gauges();
+        Ok(artifact)
+    }
+
+    /// Inserts an already-built artifact (the warm-restart load path).
+    /// Does not touch the hit/miss/compile counters.
+    pub fn insert(&self, artifact: Arc<QueryArtifact>) {
+        let key = artifact.key();
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.evict_for(self.capacity, &key);
+        inner.map.insert(
+            key,
+            Entry {
+                artifact,
+                last_used: tick,
+            },
+        );
+        inner.refresh_gauges();
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> ArtifactCacheStats {
+        let mut inner = self.inner.lock().unwrap();
+        inner.refresh_gauges();
+        inner.stats
+    }
+
+    /// Writes every resident artifact into `dir` (created if missing)
+    /// as `<fingerprint>-<queryhash>.xqa`. Returns how many were
+    /// written.
+    pub fn save_dir(&self, dir: &Path) -> std::io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let artifacts: Vec<Arc<QueryArtifact>> = {
+            let inner = self.inner.lock().unwrap();
+            inner.map.values().map(|e| Arc::clone(&e.artifact)).collect()
+        };
+        for a in &artifacts {
+            std::fs::write(dir.join(a.file_name()), a.to_bytes())?;
+        }
+        Ok(artifacts.len())
+    }
+
+    /// Loads every `.xqa` file in `dir` (ignored if the directory does
+    /// not exist). Unreadable or corrupt files are skipped, not fatal —
+    /// a stale artifact dir must never stop the daemon from booting.
+    /// Returns how many artifacts were restored; each load bumps the
+    /// `loads` counter but leaves `compiles` untouched.
+    pub fn load_dir(&self, dir: &Path) -> std::io::Result<usize> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut loaded = 0usize;
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().map(|e| e != "xqa").unwrap_or(true) {
+                continue;
+            }
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            let Ok(artifact) = QueryArtifact::from_bytes(&bytes) else {
+                continue;
+            };
+            self.insert(artifact);
+            loaded += 1;
+        }
+        self.inner.lock().unwrap().stats.loads += loaded as u64;
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xproj_dtd::parse_dtd;
+
+    fn dtd() -> Arc<Dtd> {
+        Arc::new(
+            parse_dtd(
+                "<!ELEMENT a (b, c)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>",
+                "a",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_arc() {
+        let cache = ArtifactCache::new(8);
+        let d = dtd();
+        let a1 = cache.get_or_compile(&d, "/a/b").unwrap();
+        let a2 = cache.get_or_compile(&d, "/a/b").unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.compiles, s.entries), (1, 1, 1, 1));
+        assert!(s.resident_bytes > 0);
+    }
+
+    #[test]
+    fn equivalent_spellings_share_one_artifact() {
+        // The normalization satellite, at the cache level: a respelled
+        // query must be a *hit*, not a second compile.
+        let cache = ArtifactCache::new(8);
+        let d = dtd();
+        let a1 = cache.get_or_compile(&d, "//b [c]").unwrap();
+        let a2 = cache.get_or_compile(&d, "//b[c]").unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert_eq!(cache.stats().compiles, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = ArtifactCache::new(2);
+        let d = dtd();
+        cache.get_or_compile(&d, "/a/b").unwrap(); // miss
+        cache.get_or_compile(&d, "/a/c").unwrap(); // miss
+        cache.get_or_compile(&d, "/a/b").unwrap(); // hit: /a/b is MRU
+        cache.get_or_compile(&d, "/a").unwrap(); // miss, evicts /a/c
+        cache.get_or_compile(&d, "/a/b").unwrap(); // still a hit
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.entries), (1, 2));
+        cache.get_or_compile(&d, "/a/c").unwrap(); // evicted → miss again
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn unparsable_query_is_an_error_not_a_panic() {
+        let cache = ArtifactCache::new(2);
+        assert!(cache.get_or_compile(&dtd(), "///").is_err());
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn directory_round_trip_restores_without_compiling() {
+        let dir = std::env::temp_dir().join(format!("xqa-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cache = ArtifactCache::new(8);
+        let d = dtd();
+        cache.get_or_compile(&d, "/a/b").unwrap();
+        cache.get_or_compile(&d, "//c").unwrap();
+        assert_eq!(cache.save_dir(&dir).unwrap(), 2);
+
+        let warm = ArtifactCache::new(8);
+        assert_eq!(warm.load_dir(&dir).unwrap(), 2);
+        let before = warm.stats();
+        assert_eq!((before.compiles, before.loads, before.entries), (0, 2, 2));
+
+        // First request on the warm cache is a hit: no compile.
+        let a = warm.get_or_compile(&d, "/a/b").unwrap();
+        assert_eq!(a.fingerprint, dtd_fingerprint(&d));
+        let after = warm.stats();
+        assert_eq!((after.hits, after.misses, after.compiles), (1, 0, 0));
+
+        // A corrupt file is skipped, not fatal.
+        std::fs::write(dir.join("junk.xqa"), b"not an artifact").unwrap();
+        let tolerant = ArtifactCache::new(8);
+        assert_eq!(tolerant.load_dir(&dir).unwrap(), 2);
+
+        // A missing dir is an empty load, not an error.
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(ArtifactCache::new(8).load_dir(&dir).unwrap(), 0);
+    }
+}

@@ -5,7 +5,7 @@
 //!           [--cache N] [--max-header-bytes N] [--max-body-bytes N]
 //!           [--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]
 //!           [--threaded] [--max-connections N] [--out-buffer-cap BYTES]
-//!           [--port-file PATH]
+//!           [--artifact-dir DIR] [--port-file PATH]
 //! ```
 //!
 //! Binds, prints `listening on HOST:PORT`, and serves until
@@ -91,6 +91,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 config.out_buffer_cap =
                     parse_num("--out-buffer-cap", &next("--out-buffer-cap")?)?.max(1) as usize
             }
+            "--artifact-dir" => {
+                config.artifact_dir = Some(std::path::PathBuf::from(next("--artifact-dir")?))
+            }
             "--port-file" => port_file = Some(next("--port-file")?),
             "--help" | "-h" => {
                 println!("{}", USAGE.trim());
@@ -125,14 +128,20 @@ usage: xmlpruned [--addr HOST:PORT] [--workers N] [--chunk-size BYTES]
                  [--cache N] [--max-header-bytes N] [--max-body-bytes N]
                  [--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]
                  [--threaded] [--max-connections N] [--out-buffer-cap BYTES]
-                 [--port-file PATH]
+                 [--artifact-dir DIR] [--port-file PATH]
 
 Serves type-based XML projection over HTTP/1.1:
   POST /v1/dtd?root=NAME        register a DTD (body = DTD text) -> {"id":...}
   POST /v1/prune?dtd=ID&query=Q prune the request body (chunked bodies stream)
+  POST /v1/query?dtd=ID&query=Q prune AND answer in one pass (x-ndjson frames;
+                                fast_forward=0 disables subtree skipping)
   GET  /metrics                 JSON (or ?format=prometheus) live metrics
   GET  /healthz                 liveness
   POST /admin/shutdown          graceful shutdown (drain, then exit)
+
+--artifact-dir persists compiled query artifacts across restarts: loaded
+at startup, saved at graceful shutdown, so a restarted daemon answers
+repeat (DTD, query) pairs from the cache without recompiling.
 
 --addr with port 0 picks an ephemeral port (printed on stdout and, with
 --port-file, written to PATH). --chunk-size sets the engine feed size for

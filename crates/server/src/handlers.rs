@@ -19,7 +19,9 @@ use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 use xproj_core::ErrorCode;
-use xproj_engine::{ChunkedPruner, EngineError};
+use xproj_engine::{
+    ChunkedPruner, EngineError, QueryArtifact, QueryError, QueryMachine, QueryOutput,
+};
 
 /// HTTP-layer error codes (the engine-layer ones come from
 /// [`ErrorCode`]). Stable, like everything serialized in error bodies.
@@ -111,10 +113,12 @@ pub(crate) fn metrics_reply(state: &ServerState, head: &RequestHead) -> Reply {
         Reply::Ok {
             status: 200,
             content_type: "text/plain; version=0.0.4",
-            body: state.metrics.render_prometheus(state.cache.stats()),
+            body: state
+                .metrics
+                .render_prometheus(state.cache.artifacts().stats()),
         }
     } else {
-        Reply::json(state.metrics.render_json(state.cache.stats()))
+        Reply::json(state.metrics.render_json(state.cache.artifacts().stats()))
     }
 }
 
@@ -239,6 +243,43 @@ pub(crate) fn prune_setup(
         Ok(p) => Ok((dtd, std::sync::Arc::new(p))),
         Err(e) => Err(Reply::err(400, ErrorCode::BadQuery.as_str(), e)),
     }
+}
+
+/// Validates a `POST /v1/query` request's parameters: resolves the DTD
+/// and compiled artifact (through the shared cache) plus the
+/// fast-forward toggle, or decides the error reply.
+pub(crate) fn query_setup(
+    state: &ServerState,
+    head: &RequestHead,
+) -> Result<(std::sync::Arc<QueryArtifact>, bool), Reply> {
+    let (_, dtd) = lookup_dtd(state, head)?;
+    let Some(query) = head.query_param("query").filter(|q| !q.is_empty()) else {
+        return Err(Reply::err(
+            400,
+            codes::BAD_REQUEST,
+            "the 'query' parameter (XPath/XQuery) is required",
+        ));
+    };
+    let fast_forward = !matches!(
+        head.query_param("fast_forward").as_deref(),
+        Some("0") | Some("false")
+    );
+    match state.cache.get_artifact(&dtd, &query) {
+        Ok(artifact) => Ok((artifact, fast_forward)),
+        Err(e) => Err(Reply::err(400, ErrorCode::BadQuery.as_str(), e)),
+    }
+}
+
+/// The reply for a query failure (only usable before response headers
+/// are on the wire).
+pub(crate) fn reply_for_query_error(e: &QueryError) -> Reply {
+    let status = match e.code() {
+        ErrorCode::MalformedXml => 400,
+        ErrorCode::UndeclaredElement => 422,
+        ErrorCode::BadQuery | ErrorCode::BadDtd => 400,
+        _ => 500,
+    };
+    Reply::err(status, e.code().as_str(), e.to_string())
 }
 
 /// The reply for a protocol-level [`HttpError`], or `None` when no
@@ -372,6 +413,7 @@ fn route(head: &RequestHead) -> Endpoint {
         "/metrics" => Endpoint::Metrics,
         "/v1/dtd" => Endpoint::Dtd,
         "/v1/prune" => Endpoint::Prune,
+        "/v1/query" => Endpoint::Query,
         "/v1/analyze" => Endpoint::Analyze,
         "/admin/shutdown" => Endpoint::Shutdown,
         _ => Endpoint::Other,
@@ -396,6 +438,7 @@ fn handle(
         },
         (Endpoint::Dtd, "POST") => handle_dtd(conn, head, state),
         (Endpoint::Prune, "POST") => handle_prune(conn, head, state, scratch),
+        (Endpoint::Query, "POST") => handle_query(conn, head, state, scratch),
         (Endpoint::Analyze, "POST") => handle_analyze(conn, head, state),
         (Endpoint::Shutdown, "POST") => {
             // Write the response first: this request itself must drain
@@ -542,6 +585,116 @@ fn handle_prune(
             }
         }
     }
+}
+
+/// `POST /v1/query?dtd=<id>&query=<path>`: prunes **and answers** in
+/// one streaming pass. The body feeds the compiled [`QueryMachine`] as
+/// it arrives off the wire; match frames stream back as x-ndjson (one
+/// JSON object per match, then a summary line), so resident memory is
+/// O(depth + chunk + pending answers), never O(document).
+fn handle_query(
+    conn: &mut Conn,
+    head: &RequestHead,
+    state: &ServerState,
+    scratch: &mut Vec<u8>,
+) -> Handled {
+    let (artifact, fast_forward) = match query_setup(state, head) {
+        Ok(pair) => pair,
+        Err(reply) => return send_reply(conn, state, reply, false),
+    };
+
+    let kind = match body_kind(head) {
+        Ok(k) => k,
+        Err(e) => return protocol_error(conn, state, e),
+    };
+    if kind == BodyKind::None {
+        return error_response(
+            conn,
+            state,
+            400,
+            codes::BAD_REQUEST,
+            "a request body (the XML document) is required",
+        );
+    }
+    if head.expects_continue()
+        && conn.stream().write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err()
+    {
+        return Handled::Close;
+    }
+
+    let keep_alive = head.keep_alive() && !state.is_shutting_down();
+    let mut out_stream = match conn.stream().try_clone() {
+        Ok(s) => s,
+        Err(_) => return Handled::Close,
+    };
+    let mut response = StreamingBody::with_content_type(
+        &mut out_stream,
+        state.config.response_buffer_bytes,
+        keep_alive,
+        "application/x-ndjson",
+    );
+    let mut body = BodyReader::new(conn, kind, state.config.max_body_bytes);
+    let mut machine = QueryMachine::new(artifact, QueryOutput::Frames);
+    machine.set_fast_forward(fast_forward);
+    let want = state.config.chunk_size.max(1);
+    if scratch.len() != want {
+        scratch.resize(want, 0);
+    }
+    let chunk = &mut scratch[..];
+
+    let mut frames: Vec<u8> = Vec::new();
+    let fed = loop {
+        match body.read_some(chunk) {
+            Ok(0) => break Ok(()),
+            Ok(n) => {
+                if let Err(e) = machine.feed(&chunk[..n]) {
+                    break Err(QueryAbort::Engine(e));
+                }
+                if machine.pending_output() > 0 {
+                    frames.clear();
+                    machine.take_output(&mut frames);
+                    if response.write_all(&frames).is_err() {
+                        break Err(QueryAbort::Protocol(HttpError::Closed));
+                    }
+                }
+            }
+            Err(e) => break Err(QueryAbort::Protocol(e)),
+        }
+    };
+    let finished = fed.and_then(|()| machine.finish().map_err(QueryAbort::Engine));
+    match finished {
+        Ok(_stats) => {
+            frames.clear();
+            machine.take_output(&mut frames);
+            if response.write_all(&frames).is_err() {
+                return Handled::Close;
+            }
+            match response.finish_ok() {
+                Ok(()) if keep_alive => Handled::KeepAlive,
+                _ => Handled::Close,
+            }
+        }
+        Err(abort) => {
+            let headers_sent = response.headers_sent();
+            drop(response);
+            if headers_sent {
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                return Handled::Close;
+            }
+            match abort {
+                QueryAbort::Engine(e) => send_reply(conn, state, reply_for_query_error(&e), false),
+                QueryAbort::Protocol(e) => protocol_error(conn, state, e),
+            }
+        }
+    }
+}
+
+/// Why a query stream stopped early.
+enum QueryAbort {
+    /// The machine rejected the document or the evaluation failed.
+    Engine(QueryError),
+    /// The HTTP body framing failed.
+    Protocol(HttpError),
 }
 
 /// `POST /v1/analyze?dtd=<id>&query=<path>[&query=…]`: runs the static

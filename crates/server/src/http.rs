@@ -644,18 +644,20 @@ pub fn write_json_error(
     stream.flush()
 }
 
-/// The head of a prune response that committed to chunked streaming.
-pub(crate) fn streaming_prune_head(keep_alive: bool) -> String {
+/// The head of a streaming-body response that committed to chunked
+/// transfer (prune bytes or query frames).
+pub(crate) fn streaming_prune_head(content_type: &str, keep_alive: bool) -> String {
     format!(
-        "HTTP/1.1 200 OK\r\ncontent-type: application/xml\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 200 OK\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n\r\n",
         if keep_alive { "keep-alive" } else { "close" },
     )
 }
 
-/// The head of a prune response whose whole output fit in the buffer.
-pub(crate) fn buffered_prune_head(body_len: usize, keep_alive: bool) -> String {
+/// The head of a streaming-body response whose whole output fit in the
+/// buffer.
+pub(crate) fn buffered_prune_head(content_type: &str, body_len: usize, keep_alive: bool) -> String {
     format!(
-        "HTTP/1.1 200 OK\r\ncontent-type: application/xml\r\ncontent-length: {body_len}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 200 OK\r\ncontent-type: {content_type}\r\ncontent-length: {body_len}\r\nconnection: {}\r\n\r\n",
         if keep_alive { "keep-alive" } else { "close" },
     )
 }
@@ -675,19 +677,32 @@ pub struct StreamingBody<'s> {
     threshold: usize,
     keep_alive: bool,
     streaming: bool,
+    content_type: &'static str,
     /// Largest buffered + in-transit byte count seen (for metrics).
     peak_buffered: usize,
 }
 
 impl<'s> StreamingBody<'s> {
-    /// A body writer for one prune response.
+    /// A body writer for one prune response (`application/xml`).
     pub fn new(stream: &'s mut TcpStream, threshold: usize, keep_alive: bool) -> Self {
+        Self::with_content_type(stream, threshold, keep_alive, "application/xml")
+    }
+
+    /// A body writer with an explicit content-type (the query endpoint
+    /// streams `application/x-ndjson` match frames).
+    pub fn with_content_type(
+        stream: &'s mut TcpStream,
+        threshold: usize,
+        keep_alive: bool,
+        content_type: &'static str,
+    ) -> Self {
         StreamingBody {
             stream,
             buffer: Vec::new(),
             threshold,
             keep_alive,
             streaming: false,
+            content_type,
             peak_buffered: 0,
         }
     }
@@ -704,7 +719,7 @@ impl<'s> StreamingBody<'s> {
     }
 
     fn start_streaming(&mut self) -> std::io::Result<()> {
-        let head = streaming_prune_head(self.keep_alive);
+        let head = streaming_prune_head(self.content_type, self.keep_alive);
         self.stream.write_all(head.as_bytes())?;
         self.streaming = true;
         if !self.buffer.is_empty() {
@@ -730,7 +745,7 @@ impl<'s> StreamingBody<'s> {
         if self.streaming {
             self.stream.write_all(b"0\r\n\r\n")?;
         } else {
-            let head = buffered_prune_head(self.buffer.len(), self.keep_alive);
+            let head = buffered_prune_head(self.content_type, self.buffer.len(), self.keep_alive);
             self.stream.write_all(head.as_bytes())?;
             self.stream.write_all(&self.buffer)?;
         }

@@ -14,6 +14,12 @@
 //!   A `Transfer-Encoding: chunked` body is decoded frame-by-frame into
 //!   the push tokenizer and the pruned output streams back as a chunked
 //!   response, so **document size never enters resident memory**;
+//! * `POST /v1/query?dtd=<id>&query=<q>` — prune **and answer** in one
+//!   pass: the compiled artifact's plan runs against the raw token
+//!   stream and match frames stream back as `application/x-ndjson`
+//!   (add `fast_forward=0` to disable subtree skipping). Artifacts are
+//!   cached alongside projectors and persist across restarts with
+//!   `--artifact-dir`;
 //! * `GET /metrics` — aggregated engine stats, cache counters and
 //!   per-endpoint latency histograms (JSON, or Prometheus text with
 //!   `?format=prometheus`);
@@ -83,6 +89,12 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let state = Arc::new(ServerState::new(config, local_addr));
+        // Warm restart: previously-saved compiled artifacts come back
+        // resident before the first request, so a repeat (DTD, query)
+        // is a cache hit with no compile. A missing dir loads nothing.
+        if let Some(dir) = state.config.artifact_dir.clone() {
+            state.cache.artifacts().load_dir(&dir)?;
+        }
         Ok(Server { listener, state })
     }
 
@@ -107,7 +119,8 @@ impl Server {
     /// blocking accept loop + worker pool. On non-Linux targets the
     /// reactor is unavailable and both modes take the threaded path.
     pub fn serve(self) -> std::io::Result<ShutdownReport> {
-        match self.state.config.mode {
+        let state = self.state();
+        let report = match self.state.config.mode {
             #[cfg(target_os = "linux")]
             ServeMode::Reactor => {
                 let Server { listener, state } = self;
@@ -116,7 +129,13 @@ impl Server {
             #[cfg(not(target_os = "linux"))]
             ServeMode::Reactor => self.serve_threaded(),
             ServeMode::Threaded => self.serve_threaded(),
+        }?;
+        // Persist the artifact cache for the next boot (best effort:
+        // a failed save must not turn a clean shutdown into an error).
+        if let Some(dir) = state.config.artifact_dir.as_ref() {
+            let _ = state.cache.artifacts().save_dir(dir);
         }
+        Ok(report)
     }
 
     /// The blocking accept loop + fixed worker pool (`--threaded`).

@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
-use xproj_engine::{CacheStats, EngineStats};
+use xproj_engine::{ArtifactCacheStats, CacheStats, EngineStats};
 use xproj_reactor::ReactorMetrics;
 
 /// The endpoints tracked individually (everything else is `other`).
@@ -25,6 +25,8 @@ pub enum Endpoint {
     Dtd,
     /// `POST /v1/prune`
     Prune,
+    /// `POST /v1/query`
+    Query,
     /// `POST /v1/analyze`
     Analyze,
     /// `POST /admin/shutdown`
@@ -41,17 +43,19 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::Dtd => "dtd",
             Endpoint::Prune => "prune",
+            Endpoint::Query => "query",
             Endpoint::Analyze => "analyze",
             Endpoint::Shutdown => "shutdown",
             Endpoint::Other => "other",
         }
     }
 
-    const ALL: [Endpoint; 7] = [
+    const ALL: [Endpoint; 8] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Dtd,
         Endpoint::Prune,
+        Endpoint::Query,
         Endpoint::Analyze,
         Endpoint::Shutdown,
         Endpoint::Other,
@@ -63,9 +67,10 @@ impl Endpoint {
             Endpoint::Metrics => 1,
             Endpoint::Dtd => 2,
             Endpoint::Prune => 3,
-            Endpoint::Analyze => 4,
-            Endpoint::Shutdown => 5,
-            Endpoint::Other => 6,
+            Endpoint::Query => 4,
+            Endpoint::Analyze => 5,
+            Endpoint::Shutdown => 6,
+            Endpoint::Other => 7,
         }
     }
 }
@@ -166,7 +171,7 @@ pub struct ServerMetrics {
     /// absent under `--threaded`.
     reactor: OnceLock<Arc<ReactorMetrics>>,
     engine: Mutex<EngineStats>,
-    latency: [LatencyHistogram; 7],
+    latency: [LatencyHistogram; 8],
 }
 
 impl ServerMetrics {
@@ -222,11 +227,12 @@ impl ServerMetrics {
     }
 
     /// The full metrics document as one JSON object. `cache` is the
-    /// live projector-cache counters (they are folded into the engine
-    /// object the same way `EngineStats::to_json_line` reports them).
-    pub fn render_json(&self, cache: CacheStats) -> String {
+    /// live artifact-cache counters (their hit/miss/eviction slice is
+    /// folded into the engine object the same way
+    /// `EngineStats::to_json_line` reports them).
+    pub fn render_json(&self, cache: ArtifactCacheStats) -> String {
         let mut engine = self.engine_snapshot();
-        engine.cache = cache;
+        engine.cache = legacy_cache(&cache);
         let mut out = String::with_capacity(1024);
         let _ = write!(
             out,
@@ -278,12 +284,18 @@ impl ServerMetrics {
         }
         let _ = write!(
             out,
-            "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"hit_rate\":{:.4}}},",
-            engine.cache.hits,
-            engine.cache.misses,
-            engine.cache.evictions,
-            engine.cache.entries,
-            engine.cache.hit_rate(),
+            "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"compiles\":{},\
+             \"compile_micros\":{},\"loads\":{},\"entries\":{},\"resident_bytes\":{},\
+             \"hit_rate\":{:.4}}},",
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.compiles,
+            cache.compile_micros,
+            cache.loads,
+            cache.entries,
+            cache.resident_bytes,
+            cache.hit_rate(),
         );
         out.push_str("\"endpoints\":{");
         let mut first = true;
@@ -313,9 +325,9 @@ impl ServerMetrics {
 
     /// The same metrics in the Prometheus text exposition format
     /// (counters, gauges, and per-endpoint latency summaries).
-    pub fn render_prometheus(&self, cache: CacheStats) -> String {
+    pub fn render_prometheus(&self, cache: ArtifactCacheStats) -> String {
         let mut engine = self.engine_snapshot();
-        engine.cache = cache;
+        engine.cache = legacy_cache(&cache);
         let mut out = String::with_capacity(2048);
         let mut counter = |name: &str, help: &str, v: u64| {
             let _ = write!(
@@ -355,18 +367,33 @@ impl ServerMetrics {
         );
         counter(
             "xmlpruned_cache_hits_total",
-            "Projector cache hits.",
-            engine.cache.hits,
+            "Artifact cache hits.",
+            cache.hits,
         );
         counter(
             "xmlpruned_cache_misses_total",
-            "Projector cache misses.",
-            engine.cache.misses,
+            "Artifact cache misses.",
+            cache.misses,
         );
         counter(
             "xmlpruned_cache_evictions_total",
-            "Projector cache evictions.",
-            engine.cache.evictions,
+            "Artifact cache evictions.",
+            cache.evictions,
+        );
+        counter(
+            "xmlpruned_cache_compiles_total",
+            "Query artifacts compiled (inference + lowering).",
+            cache.compiles,
+        );
+        counter(
+            "xmlpruned_cache_compile_micros_total",
+            "Wall-clock microseconds spent compiling artifacts.",
+            cache.compile_micros,
+        );
+        counter(
+            "xmlpruned_cache_loads_total",
+            "Artifacts restored from the on-disk artifact dir.",
+            cache.loads,
         );
         if let Some(r) = self.reactor() {
             counter(
@@ -403,8 +430,14 @@ impl ServerMetrics {
         let _ = write!(
             out,
             "# HELP xmlpruned_in_flight Requests currently being processed.\n\
-             # TYPE xmlpruned_in_flight gauge\nxmlpruned_in_flight {}\n",
-            self.in_flight.load(Ordering::Relaxed)
+             # TYPE xmlpruned_in_flight gauge\nxmlpruned_in_flight {}\n\
+             # HELP xmlpruned_cache_entries Artifacts currently resident.\n\
+             # TYPE xmlpruned_cache_entries gauge\nxmlpruned_cache_entries {}\n\
+             # HELP xmlpruned_cache_resident_bytes Approximate bytes held by resident artifacts.\n\
+             # TYPE xmlpruned_cache_resident_bytes gauge\nxmlpruned_cache_resident_bytes {}\n",
+            self.in_flight.load(Ordering::Relaxed),
+            cache.entries,
+            cache.resident_bytes,
         );
         if let Some(r) = self.reactor() {
             let _ = write!(
@@ -456,6 +489,17 @@ impl Default for ServerMetrics {
     }
 }
 
+/// The artifact-cache counters in the legacy projector-cache shape
+/// (what `EngineStats` embeds).
+fn legacy_cache(s: &ArtifactCacheStats) -> CacheStats {
+    CacheStats {
+        hits: s.hits,
+        misses: s.misses,
+        evictions: s.evictions,
+        entries: s.entries,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,12 +533,33 @@ mod tests {
         let m = ServerMetrics::new();
         m.requests.fetch_add(3, Ordering::Relaxed);
         m.record_latency(Endpoint::Prune, Duration::from_micros(400));
-        let json = m.render_json(CacheStats::default());
+        m.record_latency(Endpoint::Query, Duration::from_micros(250));
+        let cache = ArtifactCacheStats {
+            hits: 4,
+            misses: 2,
+            compiles: 2,
+            compile_micros: 1234,
+            loads: 1,
+            entries: 3,
+            resident_bytes: 4096,
+            ..Default::default()
+        };
+        let json = m.render_json(cache);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"requests\":3"));
         assert!(json.contains("\"prune\""));
-        let prom = m.render_prometheus(CacheStats::default());
+        assert!(json.contains("\"query\""));
+        assert!(json.contains("\"compiles\":2"));
+        assert!(json.contains("\"compile_micros\":1234"));
+        assert!(json.contains("\"loads\":1"));
+        assert!(json.contains("\"resident_bytes\":4096"));
+        let prom = m.render_prometheus(cache);
         assert!(prom.contains("xmlpruned_requests_total 3"));
         assert!(prom.contains("endpoint=\"prune\""));
+        assert!(prom.contains("endpoint=\"query\""));
+        assert!(prom.contains("xmlpruned_cache_compiles_total 2"));
+        assert!(prom.contains("xmlpruned_cache_compile_micros_total 1234"));
+        assert!(prom.contains("xmlpruned_cache_loads_total 1"));
+        assert!(prom.contains("xmlpruned_cache_resident_bytes 4096"));
     }
 }

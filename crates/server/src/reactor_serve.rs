@@ -45,8 +45,9 @@
 //! authoritative deadline moved re-arms itself lazily when it fires.
 
 use crate::handlers::{
-    analyze_reply, codes, dtd_reply, metrics_reply, prune_setup, reply_for_engine_error,
-    reply_for_http_error, route_endpoint, Reply, HEALTHZ_BODY, SHUTDOWN_BODY,
+    analyze_reply, codes, dtd_reply, metrics_reply, prune_setup, query_setup,
+    reply_for_engine_error, reply_for_http_error, reply_for_query_error, route_endpoint, Reply,
+    HEALTHZ_BODY, SHUTDOWN_BODY,
 };
 use crate::http::{
     body_kind, buffered_prune_head, render_json_error, render_response, streaming_prune_head,
@@ -64,7 +65,9 @@ use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use xproj_engine::{EngineError, EngineStats, PruneSession};
+use xproj_engine::{
+    EngineError, EngineStats, PruneSession, QueryArtifact, QueryError, QueryMachine, QueryOutput,
+};
 use xproj_reactor::{Event, Interest, Mode, Reactor, TimerEntry, TimerWheel, Token, DEFAULT_TICK};
 
 /// The listener's reactor token (`u64::MAX` is the reactor's waker).
@@ -98,11 +101,68 @@ enum RespFraming {
     Streaming,
 }
 
-/// An in-progress `POST /v1/prune`.
+/// The engine driving a streaming request: a prune session emitting
+/// pruned XML bytes, or a query machine emitting x-ndjson match
+/// frames. Same push interface, so the whole streaming phase —
+/// decode, feed jobs, framing, backpressure — is shared.
+enum StreamSession {
+    Prune(Box<PruneSession>),
+    Query(Box<QueryMachine>),
+}
+
+/// A streaming engine failure, tagged by which engine raised it.
+enum StreamError {
+    Prune(EngineError),
+    Query(QueryError),
+}
+
+impl StreamSession {
+    fn feed(&mut self, chunk: &[u8]) -> Result<(), StreamError> {
+        match self {
+            StreamSession::Prune(s) => s.feed(chunk).map_err(StreamError::Prune),
+            StreamSession::Query(m) => m.feed(chunk).map_err(StreamError::Query),
+        }
+    }
+
+    /// Finishes the stream; engine stats only exist on the prune side
+    /// (the query path reports through the cache + latency metrics).
+    fn finish(&mut self) -> Result<Option<EngineStats>, StreamError> {
+        match self {
+            StreamSession::Prune(s) => s.finish().map(Some).map_err(StreamError::Prune),
+            StreamSession::Query(m) => m.finish().map(|_| None).map_err(StreamError::Query),
+        }
+    }
+
+    fn take_output(&mut self, dst: &mut Vec<u8>) {
+        match self {
+            StreamSession::Prune(s) => s.take_output(dst),
+            StreamSession::Query(m) => m.take_output(dst),
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        match self {
+            StreamSession::Prune(s) => s.resident_bytes(),
+            StreamSession::Query(m) => m.resident_bytes(),
+        }
+    }
+
+    fn content_type(&self) -> &'static str {
+        match self {
+            StreamSession::Prune(_) => "application/xml",
+            StreamSession::Query(_) => "application/x-ndjson",
+        }
+    }
+}
+
+/// An in-progress `POST /v1/prune` or `POST /v1/query`.
 struct PruneState {
     /// The owned engine session; `None` while a feed job is on the
     /// executor (or after a worker panic destroyed it).
-    session: Option<Box<PruneSession>>,
+    session: Option<StreamSession>,
+    /// Response `content-type` (fixed by the session flavor; kept here
+    /// because the session is absent while a job is out).
+    content_type: &'static str,
     decoder: BodyDecoder,
     /// Decoded body bytes not yet fed to the engine.
     pending_in: Vec<u8>,
@@ -197,10 +257,12 @@ enum Job {
     },
     /// Resolve DTD + projector for a prune (cache misses compute).
     Setup { token: u64, head: RequestHead },
+    /// Resolve the compiled artifact for a query (cache misses compile).
+    QuerySetup { token: u64, head: RequestHead },
     /// Feed decoded body bytes to (and optionally finish) a session.
     Prune {
         token: u64,
-        session: Box<PruneSession>,
+        session: StreamSession,
         input: Vec<u8>,
         finish: bool,
         chunk: usize,
@@ -212,13 +274,14 @@ fn job_token(job: &Job) -> u64 {
         Job::Dtd { token, .. }
         | Job::Analyze { token, .. }
         | Job::Setup { token, .. }
+        | Job::QuerySetup { token, .. }
         | Job::Prune { token, .. } => *token,
     }
 }
 
-/// Why a prune job failed.
+/// Why a streaming feed/finish job failed.
 enum PruneFail {
-    Engine(EngineError),
+    Engine(StreamError),
     /// The worker panicked; the session is gone.
     Panic,
 }
@@ -234,9 +297,14 @@ enum Done {
         head: RequestHead,
         result: Result<(Arc<xproj_dtd::Dtd>, Arc<xproj_core::Projector>), Reply>,
     },
+    QuerySetup {
+        token: u64,
+        head: RequestHead,
+        result: Result<(Arc<QueryArtifact>, bool), Reply>,
+    },
     Prune {
         token: u64,
-        session: Option<Box<PruneSession>>,
+        session: Option<StreamSession>,
         result: Result<Option<EngineStats>, PruneFail>,
     },
 }
@@ -277,6 +345,13 @@ fn run_job(job: Job, state: &ServerState) -> Done {
             .unwrap_or_else(|_| Err(Reply::internal_error()));
             Done::Setup { token, head, result }
         }
+        Job::QuerySetup { token, head } => {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                query_setup(state, &head)
+            }))
+            .unwrap_or_else(|_| Err(Reply::internal_error()));
+            Done::QuerySetup { token, head, result }
+        }
         Job::Prune {
             token,
             session,
@@ -296,7 +371,7 @@ fn run_job(job: Job, state: &ServerState) -> Done {
                 }
                 if finish {
                     match session.finish() {
-                        Ok(stats) => (Some(session), Ok(Some(stats))),
+                        Ok(stats) => (Some(session), Ok(stats)),
                         Err(e) => (Some(session), Err(PruneFail::Engine(e))),
                     }
                 } else {
@@ -885,6 +960,14 @@ impl EventLoop<'_> {
                 self.refresh_deadline(token, now);
                 self.refresh_interest(token);
             }
+            (Endpoint::Query, "POST") => {
+                if let Some(conn) = self.conns.get_mut(token) {
+                    conn.phase = Phase::Setup;
+                }
+                self.dispatch(Job::QuerySetup { token, head });
+                self.refresh_deadline(token, now);
+                self.refresh_interest(token);
+            }
             (Endpoint::Other, _) => {
                 let reply = Reply::Err {
                     status: 404,
@@ -1016,7 +1099,9 @@ impl EventLoop<'_> {
                 self.refresh_deadline(token, now);
                 self.refresh_interest(token);
             }
-            Endpoint::Prune | Endpoint::Other => unreachable!("not buffered endpoints"),
+            Endpoint::Prune | Endpoint::Query | Endpoint::Other => {
+                unreachable!("not buffered endpoints")
+            }
         }
     }
 
@@ -1036,6 +1121,34 @@ impl EventLoop<'_> {
                 return;
             }
         };
+        let session = StreamSession::Prune(Box::new(PruneSession::new(dtd, projector)));
+        self.enter_stream(token, head, session, now);
+    }
+
+    /// Query setup finished on the executor: same framing dance, but
+    /// the session is a compiled [`QueryMachine`] streaming x-ndjson.
+    fn query_setup_done(
+        &mut self,
+        token: u64,
+        head: RequestHead,
+        result: Result<(Arc<QueryArtifact>, bool), Reply>,
+        now: Instant,
+    ) {
+        let (artifact, fast_forward) = match result {
+            Ok(pair) => pair,
+            Err(reply) => {
+                self.send_reply(token, reply, false, now);
+                return;
+            }
+        };
+        let mut machine = QueryMachine::new(artifact, QueryOutput::Frames);
+        machine.set_fast_forward(fast_forward);
+        self.enter_stream(token, head, StreamSession::Query(Box::new(machine)), now);
+    }
+
+    /// Shared tail of both setups: validate framing, send
+    /// `100 Continue` if asked, and enter the streaming phase.
+    fn enter_stream(&mut self, token: u64, head: RequestHead, session: StreamSession, now: Instant) {
         let kind = match body_kind(&head) {
             Ok(k) => k,
             Err(e) => {
@@ -1060,10 +1173,11 @@ impl EventLoop<'_> {
         }
         let keep_alive = head.keep_alive() && !self.state.is_shutting_down();
         let max_body = self.state.config.max_body_bytes;
-        let session = Box::new(PruneSession::new(dtd, projector));
+        let content_type = session.content_type();
         if let Some(conn) = self.conns.get_mut(token) {
             conn.phase = Phase::Prune(Box::new(PruneState {
                 session: Some(session),
+                content_type,
                 decoder: BodyDecoder::new(kind, max_body),
                 pending_in: Vec::new(),
                 body_done: false,
@@ -1176,7 +1290,7 @@ impl EventLoop<'_> {
     fn prune_done(
         &mut self,
         token: u64,
-        session: Option<Box<PruneSession>>,
+        session: Option<StreamSession>,
         result: Result<Option<EngineStats>, PruneFail>,
         now: Instant,
     ) {
@@ -1190,6 +1304,7 @@ impl EventLoop<'_> {
         p.job_out = false;
         p.session = session;
         let keep = p.keep_alive;
+        let content_type = p.content_type;
 
         // Collect pruned bytes out of the session's sink.
         let mut produced = Vec::new();
@@ -1206,7 +1321,7 @@ impl EventLoop<'_> {
                     // semantics — this holds even when the commit
                     // happens on the finishing job, so total output
                     // above the threshold is always chunked).
-                    frames.extend_from_slice(streaming_prune_head(keep).as_bytes());
+                    frames.extend_from_slice(streaming_prune_head(content_type, keep).as_bytes());
                     push_chunk_frame(&mut frames, buf);
                     buf.clear();
                     p.resp = RespFraming::Streaming;
@@ -1215,36 +1330,22 @@ impl EventLoop<'_> {
             RespFraming::Streaming => push_chunk_frame(&mut frames, &produced),
         }
         let headers_sent = p.headers_sent();
+        let finishing = p.finishing;
 
         match result {
+            Ok(Some(stats)) => {
+                self.state.metrics.record_engine(&stats);
+                self.finish_stream(token, frames, keep, content_type, now);
+            }
+            Ok(None) if finishing => {
+                // A finished query stream (no engine stats to fold in).
+                self.finish_stream(token, frames, keep, content_type, now);
+            }
             Ok(None) => {
                 if !frames.is_empty() {
                     self.push_out(token, &frames, now);
                 }
                 self.pump_prune(token, now);
-            }
-            Ok(Some(stats)) => {
-                self.state.metrics.record_engine(&stats);
-                let Some(conn) = self.conns.get_mut(token) else {
-                    return;
-                };
-                let Phase::Prune(p) = &mut conn.phase else {
-                    return;
-                };
-                match std::mem::replace(&mut p.resp, RespFraming::Streaming) {
-                    RespFraming::Buffering(buf) => {
-                        // Everything fit: Content-Length framing.
-                        let head = buffered_prune_head(buf.len(), keep);
-                        conn.out_buf.extend_from_slice(head.as_bytes());
-                        conn.out_buf.extend_from_slice(&buf);
-                    }
-                    RespFraming::Streaming => {
-                        conn.out_buf.extend_from_slice(&frames);
-                        conn.out_buf.extend_from_slice(b"0\r\n\r\n");
-                    }
-                }
-                self.complete_request(token, keep, now);
-                self.try_write(token, now);
             }
             Err(fail) => {
                 if headers_sent {
@@ -1255,13 +1356,47 @@ impl EventLoop<'_> {
                     self.abort_streaming(token, now);
                 } else {
                     let reply = match fail {
-                        PruneFail::Engine(e) => reply_for_engine_error(&e),
+                        PruneFail::Engine(StreamError::Prune(e)) => reply_for_engine_error(&e),
+                        PruneFail::Engine(StreamError::Query(e)) => reply_for_query_error(&e),
                         PruneFail::Panic => Reply::internal_error(),
                     };
                     self.send_reply(token, reply, false, now);
                 }
             }
         }
+    }
+
+    /// Queues a finished stream's terminating bytes: the buffered
+    /// Content-Length response if nothing streamed yet, else the last
+    /// frames plus the terminal chunk.
+    fn finish_stream(
+        &mut self,
+        token: u64,
+        frames: Vec<u8>,
+        keep: bool,
+        content_type: &'static str,
+        now: Instant,
+    ) {
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        let Phase::Prune(p) = &mut conn.phase else {
+            return;
+        };
+        match std::mem::replace(&mut p.resp, RespFraming::Streaming) {
+            RespFraming::Buffering(buf) => {
+                // Everything fit: Content-Length framing.
+                let head = buffered_prune_head(content_type, buf.len(), keep);
+                conn.out_buf.extend_from_slice(head.as_bytes());
+                conn.out_buf.extend_from_slice(&buf);
+            }
+            RespFraming::Streaming => {
+                conn.out_buf.extend_from_slice(&frames);
+                conn.out_buf.extend_from_slice(b"0\r\n\r\n");
+            }
+        }
+        self.complete_request(token, keep, now);
+        self.try_write(token, now);
     }
 
     /// Aborts a streaming prune mid-response: flush what is queued
@@ -1482,6 +1617,19 @@ impl EventLoop<'_> {
                     return;
                 }
                 self.setup_done(token, head, result, now);
+            }
+            Done::QuerySetup {
+                token,
+                head,
+                result,
+            } => {
+                if !matches!(
+                    self.conns.get_mut(token).map(|c| &c.phase),
+                    Some(Phase::Setup)
+                ) {
+                    return;
+                }
+                self.query_setup_done(token, head, result, now);
             }
             Done::Prune {
                 token,

@@ -65,6 +65,11 @@ pub struct ServerConfig {
     /// the sender. The residency bound per connection is
     /// O(this + chunk + depth).
     pub out_buffer_cap: usize,
+    /// Where compiled query artifacts persist (`--artifact-dir`).
+    /// Loaded at bind, saved at graceful shutdown, so a restarted
+    /// daemon answers its first repeat request from the cache without
+    /// recompiling.
+    pub artifact_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +88,7 @@ impl Default for ServerConfig {
             mode: ServeMode::default(),
             max_connections: 16 * 1024,
             out_buffer_cap: 256 * 1024,
+            artifact_dir: None,
         }
     }
 }

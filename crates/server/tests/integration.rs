@@ -16,9 +16,10 @@ use std::thread;
 use std::time::Duration;
 use xproj_dtd::generate::{generate, GenConfig, RANDOM_DTD_TAGS};
 use xproj_dtd::{parse_dtd, Dtd};
-use xproj_engine::ProjectorCache;
+use xproj_engine::{run_query, ProjectorCache, QueryArtifact, QueryOutput};
 use xproj_server::{ServeMode, Server, ServerConfig, ServerState, ShutdownReport};
 use xproj_testkit::{urlencode, HttpClient, SplitMix64};
+use xproj_xquery::{evaluate_query, parse_xquery};
 
 /// The paper's running-example grammar, as DTD text.
 const BIB_DTD: &str = "<!ELEMENT bib (book*)>\
@@ -150,7 +151,7 @@ fn prune_content_length_roundtrip(mode: ServeMode) {
     let srv = TestServer::start(small_config(mode));
     let id = srv.register_dtd(BIB_DTD, "bib");
 
-    let dtd = parse_dtd(BIB_DTD, "bib").unwrap();
+    let dtd = Arc::new(parse_dtd(BIB_DTD, "bib").unwrap());
     let cache = ProjectorCache::new(4);
     let query = "/bib/book/title";
     let projector = cache.get_or_compute(&dtd, query).unwrap();
@@ -178,7 +179,7 @@ fn prune_chunked_roundtrip_streams_response(mode: ServeMode) {
     let srv = TestServer::start(config);
     let id = srv.register_dtd(BIB_DTD, "bib");
 
-    let dtd = parse_dtd(BIB_DTD, "bib").unwrap();
+    let dtd = Arc::new(parse_dtd(BIB_DTD, "bib").unwrap());
     let cache = ProjectorCache::new(4);
     let query = "/bib/book/title";
     let projector = cache.get_or_compute(&dtd, query).unwrap();
@@ -378,7 +379,7 @@ fn pipelined_keep_alive_requests(mode: ServeMode) {
     let id = srv.register_dtd(BIB_DTD, "bib");
     let target = format!("/v1/prune?dtd={id}&query={}", urlencode("/bib/book/title"));
 
-    let dtd = parse_dtd(BIB_DTD, "bib").unwrap();
+    let dtd = Arc::new(parse_dtd(BIB_DTD, "bib").unwrap());
     let cache = ProjectorCache::new(4);
     let projector = cache.get_or_compute(&dtd, "/bib/book/title").unwrap();
     let expected = xproj_core::prune_str(BIB_DOC, &dtd, &projector).unwrap().output;
@@ -471,6 +472,7 @@ fn differential_http_prune_matches_prune_str(mode: ServeMode) {
         let xml = doc.to_xml();
         let query = random_query(&mut rng);
 
+        let dtd = Arc::new(dtd);
         let projector = match cache.get_or_compute(&dtd, &query) {
             Ok(p) => p,
             Err(_) => continue, // not a projectable query; skip
@@ -497,6 +499,140 @@ fn differential_http_prune_matches_prune_str(mode: ServeMode) {
             resp.body,
             expected.as_bytes(),
             "case {case}: HTTP prune diverged from prune_str\nquery: {query}\ndoc: {xml}"
+        );
+        cases += 1;
+    }
+    assert!(cases >= 16, "too many skipped cases: only {cases} ran");
+    let report = srv.shutdown();
+    assert_eq!(report.aborted, 0);
+}
+
+/// `/v1/query` answers in one pass: the response must be byte-for-byte
+/// the `QueryMachine`'s x-ndjson frame stream, under both fast-forward
+/// modes, and the endpoint must surface in the metrics (its own
+/// latency label plus the artifact-cache counters).
+fn query_one_pass_roundtrip_and_metrics(mode: ServeMode) {
+    let srv = TestServer::start(small_config(mode));
+    let id = srv.register_dtd(BIB_DTD, "bib");
+    let dtd = Arc::new(parse_dtd(BIB_DTD, "bib").unwrap());
+    let query = "//title";
+    let artifact = QueryArtifact::compile(&dtd, query).unwrap();
+
+    for ff in [true, false] {
+        let expected =
+            run_query(&artifact, BIB_DOC.as_bytes(), QueryOutput::Frames, ff, 7).unwrap().0;
+        let target = format!(
+            "/v1/query?dtd={id}&query={}{}",
+            urlencode(query),
+            if ff { "" } else { "&fast_forward=0" }
+        );
+        let mut c = srv.client();
+        let resp = c.request("POST", &target, &[], Some(BIB_DOC.as_bytes())).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        assert_eq!(
+            resp.header("content-type"),
+            Some("application/x-ndjson"),
+            "query responses are ndjson frames"
+        );
+        assert_eq!(resp.body, expected, "HTTP query diverged from QueryMachine (ff={ff})");
+    }
+
+    // Protocol edges: a missing query parameter and an unparseable
+    // query are both structured 400s, before any body is consumed.
+    let mut c = srv.client();
+    let resp = c
+        .request("POST", &format!("/v1/query?dtd={id}"), &[], Some(BIB_DOC.as_bytes()))
+        .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    let mut c = srv.client();
+    let resp = c
+        .request(
+            "POST",
+            &format!("/v1/query?dtd={id}&query={}", urlencode("///[")),
+            &[],
+            Some(BIB_DOC.as_bytes()),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    assert!(resp.body_str().contains("bad-query"), "{}", resp.body_str());
+    let mut c = srv.client();
+
+    // Observability: the query endpoint has its own latency label and
+    // the artifact cache reports compiles in both metric formats.
+    let resp = c.request("GET", "/metrics", &[], None).unwrap();
+    let body = resp.body_str();
+    assert!(body.contains("\"query\""), "metrics JSON missing query label: {body}");
+    assert!(body.contains("\"compiles\""), "metrics JSON missing compiles: {body}");
+    assert!(body.contains("\"resident_bytes\""), "{body}");
+    let resp = c.request("GET", "/metrics?format=prometheus", &[], None).unwrap();
+    let text = resp.body_str();
+    assert!(text.contains("xmlpruned_cache_compiles_total"), "{text}");
+    assert!(text.contains("endpoint=\"query\""), "{text}");
+
+    let report = srv.shutdown();
+    assert_eq!(report.aborted, 0);
+}
+
+/// The acceptance gate: `/v1/query` over HTTP (chunked bodies, varying
+/// chunk sizes) answers byte-identically to the `QueryMachine`, whose
+/// `Answer` form in turn matches the reference evaluator run over the
+/// **unpruned** in-memory tree, on random (DTD, document, query)
+/// triples — in both serving cores via the mode matrix.
+fn differential_http_query_matches_reference(mode: ServeMode) {
+    let srv = TestServer::start(small_config(mode));
+    let mut rng = SplitMix64::new(0x517cc1b727220a95);
+    let mut cases = 0;
+    for case in 0..24u64 {
+        let text = random_dtd_text(&mut rng);
+        let root = "r";
+        let dtd: Dtd = parse_dtd(&text, root)
+            .unwrap_or_else(|e| panic!("case {case}: generated DTD failed to parse: {e}\n{text}"));
+        let doc = generate(
+            &dtd,
+            rng.next_u64(),
+            &GenConfig { fanout: 1.6, max_depth: 7, text_words: 2 },
+        );
+        let xml = doc.to_xml();
+        let query = random_query(&mut rng);
+
+        let dtd = Arc::new(dtd);
+        let artifact = match QueryArtifact::compile(&dtd, &query) {
+            Ok(a) => a,
+            Err(_) => continue, // not a compilable query; skip
+        };
+        // The reference leg: the machine's answer must equal the
+        // evaluator over the unpruned tree (projection soundness).
+        let reference = match evaluate_query(&doc, &parse_xquery(&query).unwrap()) {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        let (answer, _) =
+            run_query(&artifact, xml.as_bytes(), QueryOutput::Answer, true, 101).unwrap();
+        assert_eq!(
+            String::from_utf8(answer).unwrap(),
+            reference,
+            "case {case}: one-pass answer diverged from unpruned reference\nquery: {query}\ndoc: {xml}"
+        );
+        let expected =
+            run_query(&artifact, xml.as_bytes(), QueryOutput::Frames, true, 101).unwrap().0;
+
+        let id = srv.register_dtd(&text, root);
+        let step = [1usize, 3, 7, 64, 255, 1024][case as usize % 6];
+        let chunks: Vec<&[u8]> = xml.as_bytes().chunks(step).collect();
+        let mut c = srv.client();
+        let resp = c
+            .request_chunked(
+                "POST",
+                &format!("/v1/query?dtd={id}&query={}", urlencode(&query)),
+                &[],
+                &chunks,
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200, "case {case} query {query}: {}", resp.body_str());
+        assert_eq!(
+            resp.body,
+            expected,
+            "case {case}: HTTP query diverged from QueryMachine\nquery: {query}\ndoc: {xml}"
         );
         cases += 1;
     }
@@ -608,7 +744,7 @@ fn graceful_shutdown_drains_in_flight_load(mode: ServeMode) {
     let id = srv.register_dtd(BIB_DTD, "bib");
     let target = format!("/v1/prune?dtd={id}&query={}", urlencode("/bib/book/title"));
 
-    let dtd = parse_dtd(BIB_DTD, "bib").unwrap();
+    let dtd = Arc::new(parse_dtd(BIB_DTD, "bib").unwrap());
     let cache = ProjectorCache::new(4);
     let projector = cache.get_or_compute(&dtd, "/bib/book/title").unwrap();
     let expected = xproj_core::prune_str(BIB_DOC, &dtd, &projector).unwrap().output;
@@ -800,7 +936,7 @@ fn slow_reader_backpressure_bounds_residency(mode: ServeMode) {
 
     let one_book = "<book><title>backpressure backpressure</title><author>A</author></book>";
     let books = 120_000; // ≈ 8.5 MB body
-    let dtd = parse_dtd(BIB_DTD, "bib").unwrap();
+    let dtd = Arc::new(parse_dtd(BIB_DTD, "bib").unwrap());
     let cache = ProjectorCache::new(4);
     let projector = cache.get_or_compute(&dtd, query).unwrap();
     let mut doc = String::with_capacity(books * one_book.len() + 16);
@@ -935,6 +1071,8 @@ mode_matrix!(
     pipelined_keep_alive_requests,
     mid_body_disconnect_leaves_server_healthy,
     differential_http_prune_matches_prune_str,
+    query_one_pass_roundtrip_and_metrics,
+    differential_http_query_matches_reference,
     idle_keep_alive_yields_worker_to_queued_connections,
     graceful_shutdown_drains_in_flight_load,
     analyze_endpoint_reports_and_calibrates,

@@ -121,35 +121,39 @@ pub fn evaluate_query_items(doc: &Document, q: &XQuery) -> Result<Vec<Item>, XQu
     eval(doc, q, &HashMap::new())
 }
 
+/// Serialises one result item in isolation — the per-frame form the
+/// streaming `/v1/query` endpoint ships as x-ndjson match frames. The
+/// caller owns the sequence-level spacing rule: a single space goes
+/// between *adjacent atoms* ([`Item::is_atom`]), nothing elsewhere, so
+/// concatenating per-item strings under that rule reproduces
+/// [`serialize_items`] exactly.
+pub fn serialize_item(doc: &Document, item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Node(n) => match n {
+            XNode::Tree(id) => out.push_str(&doc.subtree_to_xml(*id)),
+            XNode::Attr(id, i) => {
+                // serialise an attribute result as its value
+                let a = &doc.attributes(*id)[*i as usize];
+                escape_text(&a.value, &mut out);
+            }
+        },
+        Item::Built(t) => t.serialize_into(&mut out),
+        atom => escape_text(&atom.atom_string(doc), &mut out),
+    }
+    out
+}
+
 /// Serialises a result sequence.
 pub fn serialize_items(doc: &Document, items: &[Item]) -> String {
     let mut out = String::new();
     let mut prev_atom = false;
     for it in items {
-        match it {
-            Item::Node(n) => {
-                match n {
-                    XNode::Tree(id) => out.push_str(&doc.subtree_to_xml(*id)),
-                    XNode::Attr(id, i) => {
-                        // serialise an attribute result as its value
-                        let a = &doc.attributes(*id)[*i as usize];
-                        escape_text(&a.value, &mut out);
-                    }
-                }
-                prev_atom = false;
-            }
-            Item::Built(t) => {
-                t.serialize_into(&mut out);
-                prev_atom = false;
-            }
-            atom => {
-                if prev_atom {
-                    out.push(' ');
-                }
-                escape_text(&atom.atom_string(doc), &mut out);
-                prev_atom = true;
-            }
+        if prev_atom && it.is_atom() {
+            out.push(' ');
         }
+        out.push_str(&serialize_item(doc, it));
+        prev_atom = it.is_atom();
     }
     out
 }

@@ -29,6 +29,8 @@ pub mod extract;
 pub mod parser;
 
 pub use ast::XQuery;
-pub use eval::{evaluate_query, XQueryError};
+pub use eval::{
+    evaluate_query, evaluate_query_items, serialize_item, serialize_items, Item, XQueryError,
+};
 pub use extract::{extract_paths, project_xquery, project_xquery_str};
 pub use parser::{parse_xquery, XQueryParseError};

@@ -7,7 +7,7 @@
 //! xmlprune prune    --chunked --jobs 4 --stats --dtd auction.dtd --root site \
 //!                   --query QUERY -o outdir/ INPUT1.xml INPUT2.xml …
 //! xmlprune validate --dtd auction.dtd --root site INPUT.xml
-//! xmlprune query    --query QUERY INPUT.xml
+//! xmlprune query    [--dtd auction.dtd --root site] --query QUERY INPUT.xml
 //! xmlprune guide    INPUT.xml            # infer a dataguide DTD
 //! ```
 //!
@@ -196,6 +196,7 @@ fn run_chunked_prune(o: &Opts) -> Result<(), String> {
         );
     }
     let (dtd, source) = resolve_dtd(o, None)?;
+    let dtd = std::sync::Arc::new(dtd);
     eprintln!("using {source} ({} names)", dtd.name_count());
     // Query-derived projectors go through the same ProjectorCache the
     // server uses, so `--stats` reports the cache counters too.
@@ -477,6 +478,31 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 return Err("query: --query is required".to_string());
             }
             let xml = read_input(o.positional.first().map(|s| s.as_str()))?;
+            if o.dtd_path.is_some() {
+                // The compiled one-pass path: lower (DTD, query) to an
+                // artifact, then prune and answer in a single streaming
+                // pass — the same pipeline `/v1/query` serves.
+                use xml_projection::engine::{
+                    run_query, ProjectorCache, QueryOutput, DEFAULT_CHUNK_SIZE,
+                };
+                let (dtd, source) = resolve_dtd(&o, None)?;
+                let dtd = std::sync::Arc::new(dtd);
+                eprintln!("using {source} ({} names)", dtd.name_count());
+                let cache = ProjectorCache::new(o.queries.len().max(1));
+                let chunk = o.chunk_size.unwrap_or(DEFAULT_CHUNK_SIZE);
+                for q in &o.queries {
+                    let artifact = cache.get_artifact(&dtd, q)?;
+                    let (out, stats) =
+                        run_query(&artifact, xml.as_bytes(), QueryOutput::Answer, true, chunk)
+                            .map_err(|e| e.to_string())?;
+                    if o.stats {
+                        eprintln!("{}", stats.to_json());
+                    }
+                    println!("{}", String::from_utf8_lossy(&out));
+                }
+                return Ok(());
+            }
+            // No DTD: the legacy in-memory evaluator over the parsed tree.
             let doc = xml_projection::xmltree::parse(&xml).map_err(|e| e.to_string())?;
             for q in &o.queries {
                 let parsed = xml_projection::xquery::parse_xquery(q).map_err(|e| e.to_string())?;
@@ -511,7 +537,7 @@ usage:
   xmlprune prune    --chunked --dtd FILE --root NAME (--query QUERY | --projector PROJ)
                     [--chunk-size N] [--jobs N] [--stats] [-o OUT|DIR] [INPUT.xml ...]
   xmlprune validate [--dtd FILE --root NAME] [INPUT.xml]
-  xmlprune query    --query QUERY [INPUT.xml]
+  xmlprune query    [--dtd FILE --root NAME] --query QUERY [--stats] [INPUT.xml]
   xmlprune guide    [INPUT.xml]
 
 INPUT defaults to stdin. Without --dtd, prune/validate use the document's
@@ -523,6 +549,12 @@ concrete witnesses, a predicted retention ratio, and lints. --json switches
 to machine-readable JSON lines. --sample FILE calibrates the retention
 model against a real document (and can stand in for --dtd). --diff-dtd
 compares the projector against a second DTD version.
+
+query evaluates XPath/XQuery. With --dtd/--root it compiles the query into
+an artifact and prunes AND answers in one streaming pass (the same compiled
+pipeline the daemon's /v1/query serves); --stats prints the pass's JSON
+stats to stderr. Without a DTD it parses the whole document and evaluates
+in memory.
 
 --chunked streams through the O(depth)-memory engine instead of loading the
 document; it requires an explicit --dtd/--root. --chunk-size sets the read
