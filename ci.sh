@@ -6,6 +6,19 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== unsafe gate (grep: unsafe only in the two audited modules) =="
+# Every crate carries #![forbid(unsafe_code)] except the reactor and
+# the bench harness, which deny it crate-wide and scope an #[allow] to
+# exactly one audited module each: the raw epoll/eventfd/setsockopt
+# FFI (reactor/src/sys.rs) and the GlobalAlloc wrapper
+# (bench/src/counter.rs — allocator hooks cannot be safe Rust). This
+# gate fails if an `unsafe` expression/item appears anywhere else.
+if grep -rn --include='*.rs' -E 'unsafe (fn|impl|trait|\{)|unsafe\{' src crates \
+    | grep -vE '^crates/(reactor/src/sys|bench/src/counter)\.rs:'; then
+    echo "unsafe gate: found unsafe outside the audited modules" >&2
+    exit 1
+fi
+
 echo "== build (release, workspace, offline, locked) =="
 cargo build --release --workspace --offline --locked
 
@@ -18,6 +31,17 @@ cargo test -q --workspace --offline --locked
 echo "== soundness fuzzer smoke (deterministic, 200 cases) =="
 TESTKIT_FUZZ_CASES=200 cargo test -q --offline --locked \
     -p xml-projection --test fuzz_soundness
+
+echo "== independence fuzzer smoke (200 quadruples, differential) =="
+# Every statically-Independent (DTD, doc, query, update) quadruple must
+# answer byte-identically before and after applying the update, for
+# XPath and XQuery alike; every MayConflict must carry a witness. Set
+# TESTKIT_SEED to replay a failure printed by the test.
+TESTKIT_FUZZ_CASES=200 cargo test -q --offline --locked \
+    -p xml-projection --test fuzz_independence
+
+echo "== rustdoc (workspace, no deps, deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --locked
 
 echo "== query-pipeline fuzzer smoke (every-2-chunk-split differential) =="
 # The one-pass QueryMachine must answer byte-identically to the

@@ -25,18 +25,24 @@
 //! projector pipeline computes — [`provenance::trace_workload`] runs the
 //! *same* extraction and inference as `project_xquery`, with tracing on.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod independence;
 pub mod lints;
 pub mod provenance;
 pub mod report;
 pub mod retention;
 
 pub use diff::{diff_projectors, ProjectorDiff};
+pub use independence::{
+    check_independence, parse_update_footprint, update_footprint, IndependenceReport,
+    IndependenceVerdict, IndependenceWitness, UpdateFootprint,
+};
 pub use lints::{run_lints, Lint, LintLevel};
 pub use provenance::{trace_workload, ExtractedPath, Provenance, ProvenanceEntry};
-pub use report::{render_json_lines, render_text};
+pub use report::{render_independence_json, render_independence_text, render_json_lines, render_text};
 pub use retention::{
     calibrate, estimate, estimate_calibrated, NameWeight, RetentionEstimate, RetentionOptions,
     SampleStats,
@@ -56,13 +62,17 @@ pub enum AnalyzerError {
     /// A DTD failed to parse or does not fit the request (e.g. the
     /// second grammar of a projector diff).
     BadDtd(String),
+    /// An update failed to parse (independence analysis only).
+    BadUpdate(String),
 }
 
 impl AnalyzerError {
     /// The stable error code for this failure.
     pub fn code(&self) -> ErrorCode {
         match self {
-            AnalyzerError::BadQuery(_) => ErrorCode::BadQuery,
+            // Updates share the query wire code: both are "the
+            // workload side of the request failed to parse".
+            AnalyzerError::BadQuery(_) | AnalyzerError::BadUpdate(_) => ErrorCode::BadQuery,
             AnalyzerError::BadDtd(_) => ErrorCode::BadDtd,
         }
     }
@@ -73,6 +83,7 @@ impl std::fmt::Display for AnalyzerError {
         match self {
             AnalyzerError::BadQuery(m) => write!(f, "bad query: {m}"),
             AnalyzerError::BadDtd(m) => write!(f, "bad dtd: {m}"),
+            AnalyzerError::BadUpdate(m) => write!(f, "bad update: {m}"),
         }
     }
 }
@@ -142,7 +153,7 @@ pub fn analyze(
         }
         None => estimate(dtd, &provenance.projector, &opts.retention),
     };
-    let lints = run_lints(dtd, &provenance.projector, &provenance.paths, &retention);
+    let lints = run_lints(dtd, queries, &provenance.projector, &provenance.paths, &retention);
     Ok(Analysis {
         root: dtd.label(dtd.root()).to_string(),
         reachable: dtd.reachable_from_root().len(),

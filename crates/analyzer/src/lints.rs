@@ -44,9 +44,11 @@ pub struct Lint {
 /// Retention at or above this fraction flags the `weak-pruning` lint.
 pub const WEAK_PRUNING_THRESHOLD: f64 = 0.9;
 
-/// Runs every lint over an analysed workload.
+/// Runs every lint over an analysed workload. `queries` is the workload
+/// verbatim (one entry per request query) for the workload-level lints.
 pub fn run_lints(
     dtd: &Dtd,
+    queries: &[String],
     projector: &Projector,
     paths: &[ExtractedPath],
     retention: &RetentionEstimate,
@@ -55,6 +57,8 @@ pub fn run_lints(
     undeclared_tags(dtd, paths, &mut out);
     dead_names(dtd, projector, &mut out);
     recursive_blowup(dtd, projector, paths, &mut out);
+    duplicate_queries(queries, &mut out);
+    no_pruning(dtd, projector, &mut out);
     if retention.predicted >= WEAK_PRUNING_THRESHOLD {
         out.push(Lint {
             code: "weak-pruning",
@@ -268,6 +272,57 @@ fn recursive_blowup(
     });
 }
 
+/// Two queries in one request with identical *normalized* ASTs: they
+/// share a compiled-artifact cache key, so one of them is redundant —
+/// usually a copy-paste slip in the workload.
+fn duplicate_queries(queries: &[String], out: &mut Vec<Lint>) {
+    let mut normals: Vec<(String, usize)> = Vec::new();
+    let mut reported: Vec<String> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let Ok(ast) = xproj_xquery::parse_xquery(q) else {
+            continue;
+        };
+        let normal = ast.to_string();
+        if let Some((_, first)) = normals.iter().find(|(n, _)| *n == normal) {
+            if !reported.contains(&normal) {
+                reported.push(normal.clone());
+                out.push(Lint {
+                    code: "duplicate-query",
+                    level: LintLevel::Warning,
+                    message: format!(
+                        "queries #{first} and #{i} normalize to the same AST \
+                         ({normal}) — they share one cache key and one answer \
+                         serves both"
+                    ),
+                });
+            }
+        } else {
+            normals.push((normal, i));
+        }
+    }
+}
+
+/// The projector keeps every root-reachable name: pruning is the
+/// identity on valid documents and the pass is pure overhead. Stronger
+/// than `weak-pruning` (an estimate crossing a threshold) — this is a
+/// structural fact about π.
+fn no_pruning(dtd: &Dtd, projector: &Projector, out: &mut Vec<Lint>) {
+    let reachable = dtd.reachable_from_root();
+    let kept = projector.names();
+    if !reachable.is_empty() && reachable.iter().all(|n| kept.contains(n)) {
+        out.push(Lint {
+            code: "no-pruning",
+            level: LintLevel::Warning,
+            message: format!(
+                "the projector keeps all {} root-reachable names — pruning \
+                 is the identity on valid documents, the pass is pure \
+                 overhead for this workload",
+                reachable.len()
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,10 +331,15 @@ mod tests {
     use xproj_dtd::parse_dtd;
 
     fn lints_for(dtd_src: &str, root: &str, query: &str) -> Vec<Lint> {
+        lints_for_workload(dtd_src, root, &[query])
+    }
+
+    fn lints_for_workload(dtd_src: &str, root: &str, queries: &[&str]) -> Vec<Lint> {
         let d = parse_dtd(dtd_src, root).unwrap();
-        let p = trace_workload(&d, &[query.to_string()]).unwrap();
+        let qs: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
+        let p = trace_workload(&d, &qs).unwrap();
         let r = estimate(&d, &p.projector, &RetentionOptions::default());
-        run_lints(&d, &p.projector, &p.paths, &r)
+        run_lints(&d, &qs, &p.projector, &p.paths, &r)
     }
 
     #[test]
@@ -342,6 +402,54 @@ mod tests {
             "/part/name",
         );
         assert!(!ls.iter().any(|l| l.code == "recursive-blowup"), "{ls:?}");
+    }
+
+    #[test]
+    fn duplicate_spellings_of_one_query_are_flagged_once() {
+        // Same normalized AST under different spellings: one warning
+        // naming the first occurrence and the first duplicate index,
+        // not one per pair.
+        let ls = lints_for_workload(
+            "<!ELEMENT bib (book*)> <!ELEMENT book (#PCDATA)>",
+            "bib",
+            &["/bib/book", "//book", "/bib/child::book", "/bib/ child :: book"],
+        );
+        let dups: Vec<_> = ls.iter().filter(|l| l.code == "duplicate-query").collect();
+        assert_eq!(dups.len(), 1, "{ls:?}");
+        assert!(dups[0].message.contains("#0") && dups[0].message.contains("#2"));
+    }
+
+    #[test]
+    fn distinct_queries_are_not_flagged_as_duplicates() {
+        let ls = lints_for_workload(
+            "<!ELEMENT bib (book*)> <!ELEMENT book (#PCDATA)>",
+            "bib",
+            &["/bib/book", "//book"],
+        );
+        assert!(!ls.iter().any(|l| l.code == "duplicate-query"), "{ls:?}");
+    }
+
+    #[test]
+    fn full_retention_projector_is_flagged_no_pruning() {
+        // //node() keeps every name; weak-pruning (estimate) and
+        // no-pruning (structural) should both fire.
+        let ls = lints_for(
+            "<!ELEMENT bib (book*)> <!ELEMENT book (#PCDATA)>",
+            "bib",
+            "//node()",
+        );
+        assert!(ls.iter().any(|l| l.code == "no-pruning"), "{ls:?}");
+    }
+
+    #[test]
+    fn selective_projector_is_not_flagged_no_pruning() {
+        let ls = lints_for(
+            "<!ELEMENT bib (book*, note*)> <!ELEMENT book (#PCDATA)>\
+             <!ELEMENT note (#PCDATA)>",
+            "bib",
+            "/bib/book",
+        );
+        assert!(!ls.iter().any(|l| l.code == "no-pruning"), "{ls:?}");
     }
 
     #[test]

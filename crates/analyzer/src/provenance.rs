@@ -143,7 +143,7 @@ fn render_entry(
 
 /// Shortest `⇒E` chain root → `target` staying inside the projector
 /// (exists for every member of a normalised projector).
-fn root_chain(dtd: &Dtd, projector: &Projector, target: NameId) -> Vec<String> {
+pub(crate) fn root_chain(dtd: &Dtd, projector: &Projector, target: NameId) -> Vec<String> {
     let root = dtd.root();
     if target == root {
         return vec![dtd.label(root).to_string()];

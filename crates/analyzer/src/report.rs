@@ -250,6 +250,83 @@ pub fn render_text(a: &Analysis) -> String {
     out
 }
 
+/// Renders an independence report as one JSON object (single line) —
+/// the `POST /v1/independence` response body and the CLI `--json`
+/// output.
+pub fn render_independence_json(r: &crate::IndependenceReport) -> String {
+    let mut ws = Vec::new();
+    for w in &r.witnesses {
+        ws.push(format!(
+            "{{\"kind\":\"{}\",\"name\":\"{}\",\"role\":\"{}\",\
+             \"query_path\":\"{}\",\"query_step\":\"{}\",\
+             \"query_chain\":{},\"update_chain\":{}}}",
+            json_escape(w.kind),
+            json_escape(&w.name),
+            json_escape(&w.role),
+            json_escape(&w.query_path),
+            json_escape(&w.query_step),
+            json_str_list(&w.query_chain),
+            json_str_list(&w.update_chain),
+        ));
+    }
+    format!(
+        "{{\"type\":\"independence\",\"root\":\"{}\",\"query\":\"{}\",\
+         \"update\":\"{}\",\"verdict\":\"{}\",\"query_names\":{},\
+         \"updated_names\":{},\"overlap\":{},\"empty_target\":{},\
+         \"witnesses\":[{}]}}",
+        json_escape(&r.root),
+        json_escape(&r.query),
+        json_escape(&r.update),
+        r.verdict.as_str(),
+        r.query_names,
+        r.updated_names,
+        r.overlap,
+        r.empty_target,
+        ws.join(","),
+    )
+}
+
+/// Renders an independence report for humans.
+pub fn render_independence_text(r: &crate::IndependenceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "query:  {}", r.query);
+    let _ = writeln!(out, "update: {}", r.update);
+    let _ = writeln!(
+        out,
+        "verdict: {} (query uses {} names, update touches {}, overlap {})",
+        r.verdict.as_str(),
+        r.query_names,
+        r.updated_names,
+        r.overlap
+    );
+    if r.empty_target {
+        let _ = writeln!(
+            out,
+            "  the target path selects nothing in any valid document — the update is a no-op"
+        );
+    }
+    for w in &r.witnesses {
+        if w.kind == "undeclared-fragment-tag" {
+            let _ = writeln!(
+                out,
+                "  witness: fragment tag <{}> has no root-reachable declaration — \
+                 the updated document leaves the grammar, so independence is not claimed",
+                w.name
+            );
+            continue;
+        }
+        let _ = writeln!(out, "  witness: {} ({})", w.name, w.role);
+        let _ = writeln!(
+            out,
+            "    query needs it: {} at {}",
+            w.query_path, w.query_step
+        );
+        let _ = writeln!(out, "    query chain:  {}", w.query_chain.join(" => "));
+        let _ = writeln!(out, "    update chain: {}", w.update_chain.join(" => "));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,6 @@
 //! One-pass compiled query vs prune-then-eval, on XMark documents.
 //!
-//! The compiled pipeline's pitch: the [`QueryMachine`] answers a query
+//! The compiled pipeline's pitch: the [`QueryMachine`](xproj_engine::QueryMachine) answers a query
 //! *while* pruning — one pass over the raw token stream, capturing only
 //! answer nodes — where the classical pipeline prunes to a buffer,
 //! re-parses the pruned document into a tree, and evaluates over it.
@@ -75,7 +75,7 @@ struct Run {
 /// machine's `Answer` mode applies) and the pruned length.
 fn prune_then_eval(xml: &str, artifact: &Arc<QueryArtifact>) -> (Vec<u8>, usize) {
     let mut pruned: Vec<u8> = Vec::with_capacity(xml.len() / 2);
-    let mut pruner = ChunkedPruner::new(&artifact.dtd, &artifact.projector, &mut pruned);
+    let mut pruner = ChunkedPruner::new(&*artifact.dtd, &artifact.projector, &mut pruned);
     pruner.set_fast_forward(true);
     for chunk in xml.as_bytes().chunks(CHUNK) {
         pruner.feed(chunk).unwrap();

@@ -18,8 +18,13 @@
 //! configurable byte budget; document sizes are configurable scales of
 //! the synthetic XMark generator.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+// The only other `unsafe` in the workspace besides the reactor's
+// syscall shims: a `GlobalAlloc` wrapper cannot be written in safe
+// Rust. CI greps for `unsafe` outside these two audited files.
+#[allow(unsafe_code)]
 pub mod counter;
 pub mod harness;
 pub mod timing;

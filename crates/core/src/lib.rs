@@ -34,6 +34,7 @@
 //! assert_eq!(pruned.output, "<bib><book><title>T</title></book></bib>");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

@@ -9,6 +9,7 @@
 //! tag.
 
 use crate::projector::{Projector, ProjectorTable, Verdict};
+use std::borrow::Borrow;
 use std::fmt::Write as _;
 use xproj_dtd::{Dtd, NameId};
 use xproj_xmltree::document::{escape_attr, escape_text};
@@ -143,8 +144,13 @@ pub struct PruneCounters {
 /// hands in, which the caller may drain to an `io::Write` between
 /// events). Resident state is O(depth): one [`NameId`] per open kept
 /// element plus a skip counter for pruned subtrees.
-pub struct PruneMachine<'p> {
-    dtd: &'p Dtd,
+///
+/// `D` is how the machine holds its grammar: `&Dtd` for callers with a
+/// borrowed grammar on the stack (the free functions here), `Arc<Dtd>`
+/// for owned, movable machines (the engine's sessions) — the latter is
+/// what lets long-lived pruners avoid `unsafe` lifetime extension.
+pub struct PruneMachine<D: Borrow<Dtd>> {
+    dtd: D,
     /// Dense per-name verdicts: one indexed load per start tag / text
     /// node instead of bitset probes and text-children iteration.
     table: ProjectorTable,
@@ -176,16 +182,17 @@ pub enum StartOutcome {
     PrunedSubtree,
 }
 
-impl<'p> PruneMachine<'p> {
+impl<D: Borrow<Dtd>> PruneMachine<D> {
     /// Creates a machine for one document pass, precomputing the dense
     /// verdict table for this (DTD, π) pair.
-    pub fn new(dtd: &'p Dtd, projector: &'p Projector) -> Self {
-        Self::with_table(dtd, ProjectorTable::new(dtd, projector))
+    pub fn new(dtd: D, projector: &Projector) -> Self {
+        let table = ProjectorTable::new(dtd.borrow(), projector);
+        Self::with_table(dtd, table)
     }
 
     /// Creates a machine from an already-built verdict table (lets a
     /// cache share one table across many document passes).
-    pub fn with_table(dtd: &'p Dtd, table: ProjectorTable) -> Self {
+    pub fn with_table(dtd: D, table: ProjectorTable) -> Self {
         PruneMachine {
             dtd,
             table,
@@ -214,6 +221,7 @@ impl<'p> PruneMachine<'p> {
         }
         let nm = self
             .dtd
+            .borrow()
             .name_of_tag_str(name)
             .ok_or_else(|| StreamPruneError::UndeclaredElement(name.to_string()))?;
         match self.table.verdict(nm) {
@@ -269,6 +277,7 @@ impl<'p> PruneMachine<'p> {
         }
         let nm = self
             .dtd
+            .borrow()
             .name_of_tag_str(name)
             .ok_or_else(|| StreamPruneError::UndeclaredElement(name.to_string()))?;
         match self.table.verdict(nm) {

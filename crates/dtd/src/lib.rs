@@ -17,6 +17,7 @@
 //!   (\*-guardedness, non-recursivity, parent-unambiguity) that govern
 //!   when the static analysis is complete.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chains;

@@ -12,6 +12,7 @@
 //! [`ChunkedPruner::finish`] *asserts* the resulting bound.
 
 use crate::metrics::EngineStats;
+use std::borrow::Borrow;
 use std::io::{Read, Write};
 use std::time::Instant;
 use xproj_core::{PruneMachine, Projector, StartOutcome, StreamPruneError};
@@ -101,9 +102,9 @@ impl From<std::io::Error> for EngineError {
 /// p.finish().unwrap();
 /// assert_eq!(out, b"<a><b>keep</b></a>");
 /// ```
-pub struct ChunkedPruner<'p, W: Write> {
+pub struct ChunkedPruner<D: Borrow<Dtd>, W: Write> {
     tokenizer: PushTokenizer,
-    machine: PruneMachine<'p>,
+    machine: PruneMachine<D>,
     sink: W,
     /// Kept bytes of the current feed, drained to the sink afterwards.
     scratch: String,
@@ -118,11 +119,11 @@ pub struct ChunkedPruner<'p, W: Write> {
     fast_forward: bool,
 }
 
-impl<'p, W: Write> ChunkedPruner<'p, W> {
+impl<D: Borrow<Dtd>, W: Write> ChunkedPruner<D, W> {
     /// Creates a pruner for one document, writing kept bytes to `sink`.
     /// Pruned-subtree fast-forward is **on**; see
     /// [`Self::set_fast_forward`] for the tradeoff.
-    pub fn new(dtd: &'p Dtd, projector: &'p Projector, sink: W) -> Self {
+    pub fn new(dtd: D, projector: &Projector, sink: W) -> Self {
         ChunkedPruner {
             tokenizer: PushTokenizer::new(),
             machine: PruneMachine::new(dtd, projector),

@@ -46,6 +46,7 @@
 //! assert_eq!(cache.stats().hits, 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;

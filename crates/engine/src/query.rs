@@ -5,7 +5,7 @@
 //! buffer, then parse the pruned document and run the evaluator. A
 //! [`QueryMachine`] collapses that for the path-shaped fragment the
 //! compiler (`xproj-qc`) lowers to [`Plan::Streaming`]: the compiled
-//! [`PathProgram`] is executed as an NFA directly over the raw token
+//! [`PathProgram`](xproj_qc::PathProgram) is executed as an NFA directly over the raw token
 //! stream, candidate subtrees are serialized into per-match capture
 //! buffers as their bytes flow past, and everything outside π is
 //! fast-forwarded exactly like the pruner. Engine-resident state stays
@@ -333,10 +333,10 @@ struct MatchFrame {
 }
 
 struct Matcher {
-    dtd: &'static Dtd,
-    table: &'static ProjectorTable,
-    steps: &'static [StepInstr],
-    guard: &'static [StepInstr],
+    dtd: Arc<Dtd>,
+    table: ProjectorTable,
+    steps: Vec<StepInstr>,
+    guard: Vec<StepInstr>,
     accept: u64,
     mask: u64,
     gaccept: u64,
@@ -362,11 +362,35 @@ fn append_open(caps: &mut [Capture], s: &str) {
 }
 
 impl Matcher {
-    fn new(dtd: &'static Dtd, table: &'static ProjectorTable, steps: &'static [StepInstr], guard: &'static [StepInstr]) -> Matcher {
+    fn new(dtd: Arc<Dtd>, table: ProjectorTable, steps: Vec<StepInstr>, guard: Vec<StepInstr>) -> Matcher {
         let accept = 1u64 << steps.len();
         let mask = accept - 1;
         let gaccept = 1u64 << guard.len();
         let gmask = gaccept - 1;
+        // The virtual document node: state 0, closed over self-matching
+        // steps. `/descendant-or-self::node()/…` (the `//` expansion)
+        // anchors here.
+        let mut a = 1u64;
+        closure(&steps, mask, &mut a, |t| t.matches_document());
+        let doc_capture = if a & accept != 0 {
+            // The document node itself is an answer (`/self::node()` et
+            // al.): capture the whole serialized content.
+            let guard_exec = if guard.is_empty() {
+                None
+            } else {
+                Some(GuardExec::start(&guard, gmask, gaccept, |t| {
+                    t.matches_document()
+                }))
+            };
+            Some(Capture {
+                buf: String::new(),
+                start_depth: 1,
+                state: CapState::Open,
+                guard: guard_exec,
+            })
+        } else {
+            None
+        };
         let mut m = Matcher {
             dtd,
             table,
@@ -384,27 +408,8 @@ impl Matcher {
             saw_root: false,
             max_depth: 0,
         };
-        // The virtual document node: state 0, closed over self-matching
-        // steps. `/descendant-or-self::node()/…` (the `//` expansion)
-        // anchors here.
-        let mut a = 1u64;
-        closure(steps, mask, &mut a, |t| t.matches_document());
-        if a & accept != 0 {
-            // The document node itself is an answer (`/self::node()` et
-            // al.): capture the whole serialized content.
-            let guard_exec = if guard.is_empty() {
-                None
-            } else {
-                Some(GuardExec::start(guard, gmask, gaccept, |t| {
-                    t.matches_document()
-                }))
-            };
-            m.caps.push(Capture {
-                buf: String::new(),
-                start_depth: 1,
-                state: CapState::Open,
-                guard: guard_exec,
-            });
+        if let Some(cap) = doc_capture {
+            m.caps.push(cap);
             m.open_count = 1;
         }
         m.stack.push(MatchFrame {
@@ -433,10 +438,10 @@ impl Matcher {
         self.saw_root = true;
         let parent = *self.stack.last().expect("document frame always present");
         let (mut a, s) =
-            child_transition(self.steps, self.mask, parent.a, parent.s, |t| {
+            child_transition(&self.steps, self.mask, parent.a, parent.s, |t| {
                 t.matches_element(name)
             });
-        closure(self.steps, self.mask, &mut a, |t| t.matches_element(name));
+        closure(&self.steps, self.mask, &mut a, |t| t.matches_element(name));
         let matched = a & self.accept != 0;
         let can_ff = self.table.verdict(name) == Verdict::PruneSubtree
             && !matched
@@ -454,7 +459,7 @@ impl Matcher {
                 for cap in &mut self.caps[self.head..] {
                     if cap.state == CapState::Open {
                         if let Some(g) = &mut cap.guard {
-                            g.enter_element(self.guard, self.gmask, self.gaccept, name);
+                            g.enter_element(&self.guard, self.gmask, self.gaccept, name);
                         }
                     }
                 }
@@ -464,7 +469,7 @@ impl Matcher {
             let guard_exec = if self.guard.is_empty() {
                 None
             } else {
-                Some(GuardExec::start(self.guard, self.gmask, self.gaccept, |t| {
+                Some(GuardExec::start(&self.guard, self.gmask, self.gaccept, |t| {
                     t.matches_element(name)
                 }))
             };
@@ -552,15 +557,15 @@ impl Matcher {
                 .expect("document frame always present")
                 .open_pending = false;
         }
-        let (mut a, _) = child_transition(self.steps, self.mask, top.a, top.s, |t| {
+        let (mut a, _) = child_transition(&self.steps, self.mask, top.a, top.s, |t| {
             t.matches_text()
         });
-        closure(self.steps, self.mask, &mut a, |t| t.matches_text());
+        closure(&self.steps, self.mask, &mut a, |t| t.matches_text());
         if self.open_count > 0 && !self.guard.is_empty() {
             for cap in &mut self.caps[self.head..] {
                 if cap.state == CapState::Open {
                     if let Some(g) = &mut cap.guard {
-                        g.visit_text(self.guard, self.gmask, self.gaccept);
+                        g.visit_text(&self.guard, self.gmask, self.gaccept);
                     }
                 }
             }
@@ -572,7 +577,7 @@ impl Matcher {
             let ok = if self.guard.is_empty() {
                 true
             } else {
-                let g = GuardExec::start(self.guard, self.gmask, self.gaccept, |t| {
+                let g = GuardExec::start(&self.guard, self.gmask, self.gaccept, |t| {
                     t.matches_text()
                 });
                 g.satisfied
@@ -742,9 +747,7 @@ impl StreamExec {
 }
 
 struct FallbackExec {
-    // Declared before the machine's `artifact` field (drop order); the
-    // pruner borrows the artifact's DTD and projector.
-    pruner: ChunkedPruner<'static, Vec<u8>>,
+    pruner: ChunkedPruner<Arc<Dtd>, Vec<u8>>,
     bytes_in: u64,
 }
 
@@ -763,8 +766,6 @@ enum Exec {
 /// both serving cores drive it identically (including backpressure via
 /// [`Self::pending_output`]).
 pub struct QueryMachine {
-    // Declared before `artifact` so it drops first — both backends hold
-    // `&'static` borrows into the artifact's heap allocation.
     exec: Exec,
     out: Vec<u8>,
     mode: QueryOutput,
@@ -778,19 +779,11 @@ pub struct QueryMachine {
 impl QueryMachine {
     /// Starts an execution of `artifact` for one document.
     pub fn new(artifact: Arc<QueryArtifact>, mode: QueryOutput) -> QueryMachine {
-        // SAFETY: extending the borrow of the Arc contents to 'static is
-        // sound because (a) an Arc's pointee is heap-allocated and never
-        // moves for the Arc's lifetime, (b) this struct owns a clone of
-        // the Arc, keeping the pointee alive at least as long as itself,
-        // and (c) `exec` is declared before `artifact`, so Rust's
-        // declaration-order drop rule destroys the borrower before the
-        // owner. The references never escape: every public method
-        // returns owned data.
-        let art: &'static QueryArtifact = unsafe { &*Arc::as_ptr(&artifact) };
+        let art = &artifact;
         let exec = match &art.plan {
             Plan::Streaming(p) => Exec::Streaming(Box::new(StreamExec {
                 tokenizer: PushTokenizer::new(),
-                m: Matcher::new(&art.dtd, &art.table, &p.steps, &p.guard),
+                m: Matcher::new(Arc::clone(&art.dtd), art.table.clone(), p.steps.clone(), p.guard.clone()),
                 fast_forward: true,
                 events: 0,
                 bytes_in: 0,
@@ -798,7 +791,7 @@ impl QueryMachine {
                 peak_resident: 0,
             })),
             Plan::Fallback => Exec::Fallback(Box::new(FallbackExec {
-                pruner: ChunkedPruner::new(&art.dtd, &art.projector, Vec::new()),
+                pruner: ChunkedPruner::new(Arc::clone(&art.dtd), &art.projector, Vec::new()),
                 bytes_in: 0,
             })),
         };

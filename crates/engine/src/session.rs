@@ -7,12 +7,10 @@
 //! the socket) and a CPU worker (which pumps the parse) across `feed`
 //! calls, so the session has to be a self-contained `Send` value.
 //!
-//! [`PruneSession`] packages the pruner with `Arc`-owned copies of the
-//! DTD and projector it borrows from. The borrow is produced by an
-//! `unsafe` pointer-lifetime extension, justified by two structural
-//! facts (see the SAFETY comment): `Arc` contents never move, and the
-//! field order guarantees the pruner drops before the `Arc`s it borrows
-//! from. Nothing about the engine's memory-bound guarantees changes —
+//! [`PruneSession`] packages a pruner that *owns* its grammar — the
+//! `ChunkedPruner<Arc<Dtd>, _>` instantiation — so the session is a
+//! self-contained `Send` value with no lifetime ties to the caller's
+//! frame. Nothing about the engine's memory-bound guarantees changes —
 //! `finish` still runs the same assertion.
 
 use std::sync::Arc;
@@ -30,9 +28,7 @@ use xproj_dtd::Dtd;
 /// [`Self::pending_output`] to decide when to stop reading input
 /// (backpressure).
 pub struct PruneSession {
-    // Declared before the Arcs so it is dropped first — the pruner
-    // holds `&'static` borrows into their heap allocations.
-    pruner: Option<ChunkedPruner<'static, Vec<u8>>>,
+    pruner: Option<ChunkedPruner<Arc<Dtd>, Vec<u8>>>,
     /// Trailing kept bytes handed back by `finish` once the pruner is
     /// consumed, still drainable via `take_output`.
     finished_output: Vec<u8>,
@@ -43,18 +39,8 @@ pub struct PruneSession {
 impl PruneSession {
     /// Starts a session for one document under `dtd` and `projector`.
     pub fn new(dtd: Arc<Dtd>, projector: Arc<Projector>) -> PruneSession {
-        // SAFETY: extending the borrow of the Arc contents to 'static is
-        // sound because (a) an Arc's pointee is heap-allocated and never
-        // moves for the Arc's lifetime, (b) this struct owns clones of
-        // both Arcs, keeping the pointees alive at least as long as
-        // itself, and (c) `pruner` is declared before the Arcs, so Rust's
-        // declaration-order drop rule destroys the borrower before the
-        // owners. The references never escape: every public method
-        // returns owned data.
-        let (dtd_ref, proj_ref): (&'static Dtd, &'static Projector) =
-            unsafe { (&*Arc::as_ptr(&dtd), &*Arc::as_ptr(&projector)) };
         PruneSession {
-            pruner: Some(ChunkedPruner::new(dtd_ref, proj_ref, Vec::new())),
+            pruner: Some(ChunkedPruner::new(Arc::clone(&dtd), &projector, Vec::new())),
             finished_output: Vec::new(),
             dtd,
             projector,

@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use crate::program::{lower, Plan, PathProgram, StepAxis, StepInstr, StepTest};
 use xproj_core::{Projector, ProjectorTable, StaticAnalyzer, Verdict};
-use xproj_dtd::{parse_dtd, Dtd};
+use xproj_dtd::{parse_dtd, Dtd, NameSet};
 use xproj_xquery::{parse_xquery, project_xquery, XQuery};
 
 /// A 64-bit FNV-1a fingerprint of a DTD: its canonical `<!ELEMENT …>`
@@ -115,6 +115,16 @@ impl QueryArtifact {
     /// The cache key: `(DTD fingerprint, normalized query)`.
     pub fn key(&self) -> (u64, String) {
         (self.fingerprint, self.normalized_query.clone())
+    }
+
+    /// True when an update whose updated-name set is `updated` (as
+    /// inferred by the analyzer's independence checker against the
+    /// *same* DTD this artifact was compiled for) can change this
+    /// query's answers: the set intersects the artifact's projector.
+    /// `false` is a proof of independence — the cached artifact and
+    /// any answers derived from it stay valid across the update.
+    pub fn depends_on(&self, updated: &NameSet) -> bool {
+        self.projector.names().intersects(updated)
     }
 
     /// Approximate resident size, for the cache's size accounting:

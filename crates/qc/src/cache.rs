@@ -22,7 +22,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use crate::artifact::{dtd_fingerprint, QueryArtifact};
-use xproj_dtd::Dtd;
+use xproj_dtd::{Dtd, NameSet};
 use xproj_xquery::parse_xquery;
 
 /// Counter snapshot of an [`ArtifactCache`].
@@ -40,6 +40,9 @@ pub struct ArtifactCacheStats {
     pub compile_micros: u64,
     /// Artifacts restored from disk by `load_dir`.
     pub loads: u64,
+    /// Entries dropped by `invalidate_update` because a document
+    /// update overlapped their projector.
+    pub invalidations: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Approximate bytes held by resident artifacts.
@@ -176,6 +179,31 @@ impl ArtifactCache {
         inner.refresh_gauges();
     }
 
+    /// Drops every resident artifact compiled against the DTD with
+    /// `fingerprint` whose projector intersects `updated` — the
+    /// "does this update invalidate this cached artifact?" hook for
+    /// the independence analysis. `updated` must be a name set over
+    /// the *same* DTD (the analyzer's `UpdateFootprint` provides it);
+    /// artifacts for other DTD fingerprints are never touched, and an
+    /// artifact whose projector is disjoint from the update survives —
+    /// by Thm 4.6 the update cannot change its answers. Returns how
+    /// many entries were dropped.
+    pub fn invalidate_update(&self, fingerprint: u64, updated: &NameSet) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let victims: Vec<(u64, String)> = inner
+            .map
+            .iter()
+            .filter(|(k, e)| k.0 == fingerprint && e.artifact.depends_on(updated))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &victims {
+            inner.map.remove(k);
+        }
+        inner.stats.invalidations += victims.len() as u64;
+        inner.refresh_gauges();
+        victims.len()
+    }
+
     /// Counters snapshot.
     pub fn stats(&self) -> ArtifactCacheStats {
         let mut inner = self.inner.lock().unwrap();
@@ -281,6 +309,37 @@ mod tests {
         assert_eq!((s.evictions, s.entries), (1, 2));
         cache.get_or_compile(&d, "/a/c").unwrap(); // evicted → miss again
         assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn invalidate_update_drops_only_overlapping_artifacts() {
+        let cache = ArtifactCache::new(8);
+        let d = dtd();
+        let ab = cache.get_or_compile(&d, "/a/b").unwrap();
+        cache.get_or_compile(&d, "/a/c").unwrap();
+
+        // An update touching only `c` invalidates `/a/c` but not `/a/b`.
+        let mut touched = d.empty_set();
+        touched.insert(d.name_of_tag_str("c").unwrap());
+        assert!(!ab.depends_on(&touched));
+        assert_eq!(cache.invalidate_update(dtd_fingerprint(&d), &touched), 1);
+        let s = cache.stats();
+        assert_eq!((s.invalidations, s.entries), (1, 1));
+
+        // An independent update (empty footprint) drops nothing.
+        assert_eq!(cache.invalidate_update(dtd_fingerprint(&d), &d.empty_set()), 0);
+
+        // A different DTD's fingerprint never touches this grammar's
+        // artifacts, overlap or not.
+        let mut root = d.empty_set();
+        root.insert(d.root());
+        assert_eq!(cache.invalidate_update(dtd_fingerprint(&d) ^ 1, &root), 0);
+        assert_eq!(cache.stats().entries, 1);
+
+        // The root is in every projector: everything goes.
+        assert_eq!(cache.invalidate_update(dtd_fingerprint(&d), &root), 1);
+        let s = cache.stats();
+        assert_eq!((s.invalidations, s.entries), (2, 0));
     }
 
     #[test]

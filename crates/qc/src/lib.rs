@@ -36,6 +36,7 @@
 //! assert_eq!(cache.stats().compiles, 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;

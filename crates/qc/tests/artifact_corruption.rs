@@ -1,0 +1,141 @@
+//! `QueryArtifact::from_bytes` on hostile input: corrupt, truncated,
+//! and wrong-version artifact files must come back as structured
+//! `Err(String)` values — **never** a panic — because the daemon loads
+//! whatever `--artifact-dir` contains at boot, including files written
+//! by future versions, killed mid-write, or damaged on disk.
+//!
+//! Three layers:
+//!
+//! * every proper prefix of a valid artifact (all truncation points);
+//! * explicit bad-magic / bad-version / bad-plan-tag headers;
+//! * `TESTKIT_FUZZ_CASES` (default 300) seeded random mutations —
+//!   overwrites, flips, splices, and deletions at arbitrary offsets —
+//!   with a `TESTKIT_SEED=0x…` replay line on failure.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use xproj_dtd::parse_dtd;
+use xproj_qc::QueryArtifact;
+use xproj_testkit::{case_seed, SplitMix64};
+
+const FUZZ_CASES: u64 = 300;
+
+const DTD: &str = "<!ELEMENT bib (book*)>\
+                   <!ELEMENT book (title, author*, price?)>\
+                   <!ELEMENT title (#PCDATA)>\
+                   <!ELEMENT author (#PCDATA)>\
+                   <!ELEMENT price (#PCDATA)>";
+
+/// One streaming-plan artifact and one fallback-plan artifact, so the
+/// mutations hit both wire layouts.
+fn specimens() -> Vec<Vec<u8>> {
+    let dtd = Arc::new(parse_dtd(DTD, "bib").unwrap());
+    ["/bib/book/title", "for $b in /bib/book where $b/price > 10 return $b/title"]
+        .iter()
+        .map(|q| QueryArtifact::compile(&dtd, q).unwrap().to_bytes())
+        .collect()
+}
+
+/// Asserts `from_bytes` returns (either way) instead of panicking, and
+/// hands back the result. The panic message carries enough context to
+/// reproduce without the fuzzer.
+fn must_not_panic(bytes: &[u8], what: &str) -> Result<Arc<QueryArtifact>, String> {
+    catch_unwind(AssertUnwindSafe(|| QueryArtifact::from_bytes(bytes))).unwrap_or_else(|_| {
+        panic!(
+            "from_bytes panicked on {what} ({} bytes, head {:02x?})",
+            bytes.len(),
+            &bytes[..bytes.len().min(16)]
+        )
+    })
+}
+
+#[test]
+fn every_truncation_point_is_a_structured_error() {
+    for bytes in specimens() {
+        // A valid artifact must load; every proper prefix must not.
+        assert!(must_not_panic(&bytes, "the untruncated artifact").is_ok());
+        for cut in 0..bytes.len() {
+            let r = must_not_panic(&bytes[..cut], "a truncated artifact");
+            assert!(r.is_err(), "truncation at {cut}/{} loaded", bytes.len());
+        }
+    }
+}
+
+#[test]
+fn bad_headers_are_structured_errors() {
+    let bytes = &specimens()[0];
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xff;
+    assert!(must_not_panic(&bad_magic, "bad magic").is_err());
+
+    let mut bad_version = bytes.clone();
+    bad_version[4] = 0xfe; // VERSION lives right after the 4-byte magic
+    assert!(must_not_panic(&bad_version, "bad version").is_err());
+
+    assert!(must_not_panic(b"", "empty input").is_err());
+    assert!(must_not_panic(b"XPQA", "magic only").is_err());
+}
+
+fn run_case(seed: u64, specimens: &[Vec<u8>]) {
+    let mut rng = SplitMix64::new(seed);
+    let mut bytes = specimens[rng.below(specimens.len())].clone();
+    let edits = rng.range_incl(1, 4);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            break;
+        }
+        let at = rng.below(bytes.len());
+        match rng.below(4) {
+            // Overwrite with an arbitrary byte.
+            0 => bytes[at] = rng.next_u64() as u8,
+            // Single bit flip.
+            1 => bytes[at] ^= 1 << rng.below(8),
+            // Delete a short run (mid-write torn file).
+            2 => {
+                let n = rng.range_incl(1, 8).min(bytes.len() - at);
+                bytes.drain(at..at + n);
+            }
+            // Splice in garbage.
+            _ => {
+                let n = rng.range_incl(1, 8);
+                let junk: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+                for (k, b) in junk.into_iter().enumerate() {
+                    bytes.insert(at + k, b);
+                }
+            }
+        }
+    }
+    // Any outcome but a panic is acceptable: an edit in free text (e.g.
+    // inside the DTD's whitespace) can still satisfy every cross-check.
+    let _ = must_not_panic(&bytes, "a mutated artifact");
+}
+
+#[test]
+fn fuzz_mutated_artifacts_never_panic() {
+    let name = "fuzz_mutated_artifacts_never_panic";
+    let specimens = specimens();
+    if let Some(seed) = xproj_testkit::runner::parse_seed_env() {
+        run_case(seed, &specimens);
+        return;
+    }
+    let cases = std::env::var("TESTKIT_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(FUZZ_CASES);
+    for i in 0..cases {
+        let seed = case_seed(name, i as u32);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_case(seed, &specimens))) {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "artifact-corruption fuzzer failed at case {i}/{cases}:\n{msg}\n\
+                 [testkit] replay: TESTKIT_SEED={seed:#x} cargo test -p xproj-qc {name}"
+            );
+        }
+    }
+}

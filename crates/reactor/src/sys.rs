@@ -88,6 +88,13 @@ mod ffi {
         pub fn close(fd: i32) -> i32;
         pub fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
         pub fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+        pub fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const u8,
+            len: u32,
+        ) -> i32;
     }
 }
 
@@ -276,6 +283,37 @@ pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
     #[cfg(not(target_os = "linux"))]
     {
         let _ = want;
+        Err(unsupported())
+    }
+}
+
+/// Sets a socket's kernel send **and** receive buffers to `bytes` via
+/// `setsockopt(SOL_SOCKET, SO_{SND,RCV}BUF)`. Tests use this to shrink
+/// loopback buffers until flow control becomes observable at test-sized
+/// payloads; the kernel doubles the value internally and clamps it to
+/// the sysctl ceilings.
+pub fn set_socket_buffers(fd: i32, bytes: i32) -> io::Result<()> {
+    #[cfg(target_os = "linux")]
+    {
+        const SOL_SOCKET: i32 = 1;
+        const SO_SNDBUF: i32 = 7;
+        const SO_RCVBUF: i32 = 8;
+        let p = &bytes as *const i32 as *const u8;
+        let n = std::mem::size_of::<i32>() as u32;
+        // SAFETY: the pointer targets a live i32 for the duration of
+        // each call; the kernel copies, never retains it.
+        if unsafe { ffi::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, p, n) } < 0 {
+            return Err(last_err());
+        }
+        // SAFETY: as above.
+        if unsafe { ffi::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, p, n) } < 0 {
+            return Err(last_err());
+        }
+        Ok(())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (fd, bytes);
         Err(unsupported())
     }
 }

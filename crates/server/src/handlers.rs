@@ -190,6 +190,58 @@ pub(crate) fn analyze_reply(state: &ServerState, head: &RequestHead, body: &[u8]
     }
 }
 
+/// Builds the `POST /v1/independence` response: one JSON line per
+/// (query, update) pair from the request's parameters.
+pub(crate) fn independence_reply(state: &ServerState, head: &RequestHead) -> Reply {
+    let (_dtd_id, dtd) = match lookup_dtd(state, head) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    let mut queries = Vec::new();
+    let mut updates = Vec::new();
+    for (k, v) in head.query_params() {
+        if v.is_empty() {
+            continue;
+        }
+        match k.as_str() {
+            "query" => queries.push(v),
+            "update" => updates.push(v),
+            _ => {}
+        }
+    }
+    if queries.is_empty() {
+        return Reply::err(
+            400,
+            codes::BAD_REQUEST,
+            "at least one 'query' parameter (XPath/XQuery) is required",
+        );
+    }
+    if updates.is_empty() {
+        return Reply::err(
+            400,
+            codes::BAD_REQUEST,
+            "at least one 'update' parameter (insert/delete/replace) is required",
+        );
+    }
+    let mut body = String::new();
+    for q in &queries {
+        for u in &updates {
+            match xproj_analyzer::check_independence(&dtd, q, u) {
+                Ok(report) => {
+                    body.push_str(&xproj_analyzer::render_independence_json(&report));
+                    body.push('\n');
+                }
+                Err(e) => return Reply::err(400, e.code().as_str(), e.to_string()),
+            }
+        }
+    }
+    Reply::Ok {
+        status: 200,
+        content_type: "application/x-ndjson",
+        body,
+    }
+}
+
 /// Resolves `?dtd=<id>` to a registered DTD.
 fn lookup_dtd(
     state: &ServerState,
@@ -415,6 +467,7 @@ fn route(head: &RequestHead) -> Endpoint {
         "/v1/prune" => Endpoint::Prune,
         "/v1/query" => Endpoint::Query,
         "/v1/analyze" => Endpoint::Analyze,
+        "/v1/independence" => Endpoint::Independence,
         "/admin/shutdown" => Endpoint::Shutdown,
         _ => Endpoint::Other,
     }
@@ -440,6 +493,10 @@ fn handle(
         (Endpoint::Prune, "POST") => handle_prune(conn, head, state, scratch),
         (Endpoint::Query, "POST") => handle_query(conn, head, state, scratch),
         (Endpoint::Analyze, "POST") => handle_analyze(conn, head, state),
+        (Endpoint::Independence, "POST") => match drain_body(conn, head, state) {
+            Some(keep) => send_reply(conn, state, independence_reply(state, head), keep),
+            None => Handled::Close,
+        },
         (Endpoint::Shutdown, "POST") => {
             // Write the response first: this request itself must drain
             // cleanly before the trigger stops the accept loop.
@@ -537,7 +594,7 @@ fn handle_prune(
         keep_alive,
     );
     let mut body = BodyReader::new(conn, kind, state.config.max_body_bytes);
-    let mut pruner = ChunkedPruner::new(&dtd, &projector, &mut response);
+    let mut pruner = ChunkedPruner::new(&*dtd, &projector, &mut response);
     // The connection-lifetime read buffer, sized on first use (the
     // configured chunk size is fixed, so keep-alive requests after the
     // first allocate nothing here).

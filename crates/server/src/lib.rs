@@ -46,6 +46,7 @@
 //! println!("drained {} in-flight requests", report.drained);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod handlers;

@@ -29,6 +29,8 @@ pub enum Endpoint {
     Query,
     /// `POST /v1/analyze`
     Analyze,
+    /// `POST /v1/independence`
+    Independence,
     /// `POST /admin/shutdown`
     Shutdown,
     /// Anything unrouted.
@@ -45,18 +47,20 @@ impl Endpoint {
             Endpoint::Prune => "prune",
             Endpoint::Query => "query",
             Endpoint::Analyze => "analyze",
+            Endpoint::Independence => "independence",
             Endpoint::Shutdown => "shutdown",
             Endpoint::Other => "other",
         }
     }
 
-    const ALL: [Endpoint; 8] = [
+    const ALL: [Endpoint; 9] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Dtd,
         Endpoint::Prune,
         Endpoint::Query,
         Endpoint::Analyze,
+        Endpoint::Independence,
         Endpoint::Shutdown,
         Endpoint::Other,
     ];
@@ -69,8 +73,9 @@ impl Endpoint {
             Endpoint::Prune => 3,
             Endpoint::Query => 4,
             Endpoint::Analyze => 5,
-            Endpoint::Shutdown => 6,
-            Endpoint::Other => 7,
+            Endpoint::Independence => 6,
+            Endpoint::Shutdown => 7,
+            Endpoint::Other => 8,
         }
     }
 }
@@ -171,7 +176,7 @@ pub struct ServerMetrics {
     /// absent under `--threaded`.
     reactor: OnceLock<Arc<ReactorMetrics>>,
     engine: Mutex<EngineStats>,
-    latency: [LatencyHistogram; 8],
+    latency: [LatencyHistogram; 9],
 }
 
 impl ServerMetrics {
@@ -285,14 +290,15 @@ impl ServerMetrics {
         let _ = write!(
             out,
             "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"compiles\":{},\
-             \"compile_micros\":{},\"loads\":{},\"entries\":{},\"resident_bytes\":{},\
-             \"hit_rate\":{:.4}}},",
+             \"compile_micros\":{},\"loads\":{},\"invalidations\":{},\"entries\":{},\
+             \"resident_bytes\":{},\"hit_rate\":{:.4}}},",
             cache.hits,
             cache.misses,
             cache.evictions,
             cache.compiles,
             cache.compile_micros,
             cache.loads,
+            cache.invalidations,
             cache.entries,
             cache.resident_bytes,
             cache.hit_rate(),
@@ -394,6 +400,11 @@ impl ServerMetrics {
             "xmlpruned_cache_loads_total",
             "Artifacts restored from the on-disk artifact dir.",
             cache.loads,
+        );
+        counter(
+            "xmlpruned_cache_invalidations_total",
+            "Artifacts dropped because a document update overlapped their projector.",
+            cache.invalidations,
         );
         if let Some(r) = self.reactor() {
             counter(

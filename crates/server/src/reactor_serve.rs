@@ -45,7 +45,7 @@
 //! authoritative deadline moved re-arms itself lazily when it fires.
 
 use crate::handlers::{
-    analyze_reply, codes, dtd_reply, metrics_reply, prune_setup, query_setup,
+    analyze_reply, codes, dtd_reply, independence_reply, metrics_reply, prune_setup, query_setup,
     reply_for_engine_error, reply_for_http_error, reply_for_query_error, route_endpoint, Reply,
     HEALTHZ_BODY, SHUTDOWN_BODY,
 };
@@ -255,6 +255,8 @@ enum Job {
         head: RequestHead,
         body: Vec<u8>,
     },
+    /// Run the independence checker (parameters only; body is drained).
+    Independence { token: u64, head: RequestHead },
     /// Resolve DTD + projector for a prune (cache misses compute).
     Setup { token: u64, head: RequestHead },
     /// Resolve the compiled artifact for a query (cache misses compile).
@@ -273,6 +275,7 @@ fn job_token(job: &Job) -> u64 {
     match job {
         Job::Dtd { token, .. }
         | Job::Analyze { token, .. }
+        | Job::Independence { token, .. }
         | Job::Setup { token, .. }
         | Job::QuerySetup { token, .. }
         | Job::Prune { token, .. } => *token,
@@ -334,6 +337,13 @@ fn run_job(job: Job, state: &ServerState) -> Done {
         Job::Analyze { token, head, body } => {
             let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 analyze_reply(state, &head, &body)
+            }))
+            .unwrap_or_else(|_| Reply::internal_error());
+            Done::Reply { token, reply }
+        }
+        Job::Independence { token, head } => {
+            let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                independence_reply(state, &head)
             }))
             .unwrap_or_else(|_| Reply::internal_error());
             Done::Reply { token, reply }
@@ -949,7 +959,9 @@ impl EventLoop<'_> {
             (Endpoint::Healthz, "GET")
             | (Endpoint::Metrics, "GET")
             | (Endpoint::Shutdown, "POST") => self.enter_body(token, head, endpoint, true, now),
-            (Endpoint::Dtd, "POST") | (Endpoint::Analyze, "POST") => {
+            (Endpoint::Dtd, "POST")
+            | (Endpoint::Analyze, "POST")
+            | (Endpoint::Independence, "POST") => {
                 self.enter_body(token, head, endpoint, false, now)
             }
             (Endpoint::Prune, "POST") => {
@@ -1096,6 +1108,19 @@ impl EventLoop<'_> {
                     };
                 }
                 self.dispatch(Job::Analyze { token, head, body });
+                self.refresh_deadline(token, now);
+                self.refresh_interest(token);
+            }
+            Endpoint::Independence => {
+                if let Some(conn) = self.conns.get_mut(token) {
+                    conn.phase = Phase::Waiting {
+                        client_keep,
+                        unless_shutdown: true,
+                    };
+                }
+                // The body (if any) was already collected and is
+                // irrelevant: the checker reads only the parameters.
+                self.dispatch(Job::Independence { token, head });
                 self.refresh_deadline(token, now);
                 self.refresh_interest(token);
             }

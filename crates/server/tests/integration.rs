@@ -894,25 +894,7 @@ fn analyze_endpoint_reports_and_calibrates(mode: ServeMode) {
 /// into retransmission backoff.
 fn clamp_socket_buffers(stream: &std::net::TcpStream) {
     use std::os::fd::AsRawFd;
-    extern "C" {
-        fn setsockopt(
-            fd: i32,
-            level: i32,
-            name: i32,
-            value: *const std::ffi::c_void,
-            len: u32,
-        ) -> i32;
-    }
-    const SOL_SOCKET: i32 = 1;
-    const SO_SNDBUF: i32 = 7;
-    const SO_RCVBUF: i32 = 8;
-    let size: i32 = 128 * 1024;
-    let p = &size as *const i32 as *const std::ffi::c_void;
-    let n = std::mem::size_of::<i32>() as u32;
-    unsafe {
-        assert_eq!(setsockopt(stream.as_raw_fd(), SOL_SOCKET, SO_SNDBUF, p, n), 0);
-        assert_eq!(setsockopt(stream.as_raw_fd(), SOL_SOCKET, SO_RCVBUF, p, n), 0);
-    }
+    xproj_reactor::set_socket_buffers(stream.as_raw_fd(), 128 * 1024).unwrap();
 }
 
 /// A streaming prune against a client that writes a large body but

@@ -97,7 +97,7 @@ impl<T: Clone + Debug> Strategy for Just<T> {
     }
 }
 
-/// See [`StrategyExt::map`].
+/// See [`StrategyExt::prop_map`].
 pub struct Map<S, F> {
     inner: S,
     f: F,
@@ -110,7 +110,7 @@ impl<S: Strategy, T: Clone + Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F>
     }
 }
 
-/// See [`StrategyExt::filter`].
+/// See [`StrategyExt::prop_filter`].
 pub struct Filter<S, P> {
     inner: S,
     what: &'static str,

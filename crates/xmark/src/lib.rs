@@ -12,6 +12,7 @@
 //!   transcribed into the dialect of `xproj-xquery`/`xproj-xpath`
 //!   (deviations from the published texts are documented per query).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod auction;

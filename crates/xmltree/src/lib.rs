@@ -17,6 +17,7 @@
 //! * a pull-based SAX-style event reader ([`events::XmlReader`]) used by
 //!   the streaming pruner in `xproj-core`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod document;

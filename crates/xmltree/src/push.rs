@@ -17,10 +17,10 @@
 //! draining per token, so consuming a token is O(1). Two front-ends
 //! sit on top of the same scanner:
 //!
-//! * the owned [`Self::next_event`] stream of [`PushEvent`]s
+//! * the owned [`PushTokenizer::next_event`] stream of [`PushEvent`]s
 //!   (allocation per event — convenient, not hot), and
-//! * the raw [`Self::peek_token`] / [`Self::token_str`] /
-//!   [`Self::advance`] interface, which exposes each complete token as
+//! * the raw [`PushTokenizer::peek_token`] / [`PushTokenizer::token_str`] /
+//!   [`PushTokenizer::advance`] interface, which exposes each complete token as
 //!   a borrowed `&str` so a driver (the chunked pruning engine) can
 //!   copy whole runs to its output without per-event allocations.
 //!

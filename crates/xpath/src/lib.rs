@@ -16,6 +16,7 @@
 //!   the predicate path-extraction function **P** of §3.3 and the
 //!   sibling/`following`/`preceding` rewriting of §4.3.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod approx;

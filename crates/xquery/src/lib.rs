@@ -21,6 +21,7 @@
 //!   rewriting heuristic, producing the XPathℓ paths whose inferred
 //!   projectors are unioned into the query's projector.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

@@ -48,6 +48,7 @@ struct Opts {
     sample: Option<String>,
     diff_dtd: Option<String>,
     diff_root: Option<String>,
+    updates: Vec<String>,
     positional: Vec<String>,
 }
 
@@ -68,6 +69,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         sample: None,
         diff_dtd: None,
         diff_root: None,
+        updates: Vec::new(),
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -110,6 +112,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--stats" => o.stats = true,
             "--json" => o.json = true,
             "--sample" => o.sample = Some(it.next().ok_or("--sample needs a path")?.clone()),
+            "--update" | "-u" => o
+                .updates
+                .push(it.next().ok_or("--update needs an update")?.clone()),
             "--diff-dtd" => {
                 o.diff_dtd = Some(it.next().ok_or("--diff-dtd needs a path")?.clone())
             }
@@ -410,6 +415,46 @@ fn run_analyze(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `independence`: static query–update independence verdicts. Every
+/// (query, update) pair from the workload gets its own report; the
+/// process exits non-zero only on analysis *errors*, never on a
+/// may-conflict verdict (the verdict is the output, not a failure).
+fn run_independence(o: &Opts) -> Result<(), String> {
+    use xml_projection::analyzer::{self, AnalyzerError};
+
+    let queries: Vec<String> = o
+        .queries
+        .iter()
+        .chain(o.positional.iter())
+        .cloned()
+        .collect();
+    if queries.is_empty() {
+        return Err("independence: --query is required".to_string());
+    }
+    if o.updates.is_empty() {
+        return Err("independence: --update is required".to_string());
+    }
+    let (dtd, source) = resolve_dtd(o, None)?;
+    eprintln!("using {source} ({} names)", dtd.name_count());
+    let coded = |e: AnalyzerError| format!("independence: [{}] {e}", e.code().as_str());
+    let mut first = true;
+    for q in &queries {
+        for u in &o.updates {
+            let report = analyzer::check_independence(&dtd, q, u).map_err(coded)?;
+            if o.json {
+                println!("{}", analyzer::render_independence_json(&report));
+            } else {
+                if !first {
+                    println!();
+                }
+                print!("{}", analyzer::render_independence_text(&report));
+            }
+            first = false;
+        }
+    }
+    Ok(())
+}
+
 fn run(args: Vec<String>) -> Result<(), String> {
     let Some(cmd) = args.first().cloned() else {
         return Err(USAGE.trim().to_string());
@@ -417,6 +462,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let o = parse_opts(&args[1..])?;
     match cmd.as_str() {
         "analyze" => run_analyze(&o),
+        "independence" => run_independence(&o),
         "prune" => {
             if o.queries.is_empty() && o.projector.is_none() {
                 return Err("prune: --query or --projector is required".to_string());
@@ -532,6 +578,7 @@ usage:
   xmlprune analyze  --dtd FILE --root NAME [--json] [--sample FILE]
                     [--diff-dtd FILE [--diff-root NAME]] [--save PROJ]
                     QUERY [QUERY…]
+  xmlprune independence --dtd FILE --root NAME --query QUERY --update UPDATE [--json]
   xmlprune prune    [--dtd FILE --root NAME] (--query QUERY | --projector PROJ)
                     [--validate] [-o OUT] [INPUT.xml]
   xmlprune prune    --chunked --dtd FILE --root NAME (--query QUERY | --projector PROJ)
@@ -549,6 +596,12 @@ concrete witnesses, a predicted retention ratio, and lints. --json switches
 to machine-readable JSON lines. --sample FILE calibrates the retention
 model against a real document (and can stand in for --dtd). --diff-dtd
 compares the projector against a second DTD version.
+
+independence decides statically whether an update (the minimal
+XQuery-Update-style language: `insert <frag> into|before|after PATH`,
+`delete PATH`, `replace PATH with <frag>`) can ever change the query's
+answer on a valid document. Repeat --query/--update for a matrix of
+verdicts; --json prints one JSON object per pair.
 
 query evaluates XPath/XQuery. With --dtd/--root it compiles the query into
 an artifact and prunes AND answers in one streaming pass (the same compiled

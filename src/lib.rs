@@ -48,21 +48,30 @@
 //!   metrics;
 //! * [`server`] — `xmlpruned`, a zero-dependency HTTP/1.1 daemon that
 //!   serves streaming pruning with live metrics and graceful shutdown;
+//! * [`qc`] — the query compiler: `(DTD, query)` → immutable artifact
+//!   (projector tables + evaluator plan) with an LRU cache, on-disk
+//!   round-trip, and update-driven invalidation;
+//! * [`xupdate`] — a minimal XQuery-Update-style language (insert /
+//!   delete / replace) with a reference tree-update executor;
 //! * [`analyzer`] — static analysis of (DTD, workload) pairs: projector
 //!   provenance, Def. 4.3 witness diagnostics, retention estimation,
-//!   lints, and projector diffs across DTD versions.
+//!   lints, projector diffs across DTD versions, and query–update
+//!   independence checking.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use xproj_analyzer as analyzer;
 pub use xproj_core as core;
 pub use xproj_dtd as dtd;
 pub use xproj_engine as engine;
+pub use xproj_qc as qc;
 pub use xproj_server as server;
 pub use xproj_xmark as xmark;
 pub use xproj_xmltree as xmltree;
 pub use xproj_xpath as xpath;
 pub use xproj_xquery as xquery;
+pub use xproj_xupdate as xupdate;
 
 use xproj_core::{Projector, StaticAnalyzer};
 use xproj_dtd::{Dtd, Interpretation};
