@@ -9,8 +9,8 @@ cd "$(dirname "$0")"
 echo "== unsafe gate (grep: unsafe only in the two audited modules) =="
 # Every crate carries #![forbid(unsafe_code)] except the reactor and
 # the bench harness, which deny it crate-wide and scope an #[allow] to
-# exactly one audited module each: the raw epoll/eventfd/setsockopt
-# FFI (reactor/src/sys.rs) and the GlobalAlloc wrapper
+# exactly one audited module each: the raw epoll/eventfd/setsockopt/
+# writev/SO_REUSEPORT FFI (reactor/src/sys.rs) and the GlobalAlloc wrapper
 # (bench/src/counter.rs — allocator hooks cannot be safe Rust). This
 # gate fails if an `unsafe` expression/item appears anywhere else.
 if grep -rn --include='*.rs' -E 'unsafe (fn|impl|trait|\{)|unsafe\{' src crates \
@@ -100,17 +100,23 @@ cargo test -q --offline --locked -p xproj-server --test integration
 
 echo "== reactor sweep smoke (1k mostly-idle keep-alive connections) =="
 # Short run of the bench concurrency sweep at 1000 connections, both
-# fleet styles, with the bench's own cross-cell checks fatal
-# (XPROJ_BENCH_ASSERT=1): the reactor must drain with zero aborted
-# connections, sustain >= 5x the blocking core's requests/sec against
-# a pool-style idle fleet, and keep p99 no worse than the blocking
-# core's best case (shed-style fleet) — all ratios against the
-# --threaded run on the same machine, so the gate is
-# machine-independent.
+# fleet styles, single- and dual-loop reactors, with the bench's own
+# cross-cell checks fatal (XPROJ_BENCH_ASSERT=1): the reactor must
+# drain with zero aborted connections, sustain >= 5x the blocking
+# core's requests/sec against a pool-style idle fleet, and keep p99 no
+# worse than the blocking core's best case (shed-style fleet) — all
+# ratios against the --threaded run on the same machine, so the gate
+# is machine-independent. The reactor-thread axis gate is core-aware:
+# with >= 2 cores the 2-loop hot cell must serve at least as many
+# req/s as the 1-loop cell; on a single core the two loops only add
+# coordination, so the bench holds them to a no-regression band
+# instead.
 XPROJ_BENCH_SCALE=0.005 XPROJ_BENCH_CLIENTS=2 XPROJ_BENCH_REQUESTS=5 \
-XPROJ_BENCH_SWEEP=1000 XPROJ_BENCH_CELL_MS=2000 XPROJ_BENCH_ASSERT=1 \
+XPROJ_BENCH_SWEEP=1000 XPROJ_BENCH_REACTORS=1,2 XPROJ_BENCH_CELL_MS=2000 \
+XPROJ_BENCH_ASSERT=1 \
     ./target/release/server > /tmp/BENCH_server.smoke.jsonl
 grep -q '"bench":"sweep","mode":"reactor"' /tmp/BENCH_server.smoke.jsonl
+grep -q '"mode":"reactor".*"reactor_threads":2' /tmp/BENCH_server.smoke.jsonl
 
 echo "== pipeline bench smoke (fast-path + chunked throughput guards) =="
 # Smoke-mode run of the consolidated pipeline bench: the emitted JSON

@@ -37,6 +37,8 @@
 //! `XPROJ_BENCH_SWEEP` (comma list of connection counts, default
 //! `100,1000,10000`), `XPROJ_BENCH_HOT` (hot subset size, default 16),
 //! `XPROJ_BENCH_CELL_MS` (measurement window per cell, default 5000),
+//! `XPROJ_BENCH_REACTORS` (comma list of `--reactor-threads` values the
+//! reactor cells re-run at, default `1,2`),
 //! `XPROJ_BENCH_SWEEP_SCALE` (XMark scale of the hot-request document;
 //! 0, the default, substitutes a ~1 KiB hand-written auction snippet so
 //! the cell measures connection handling rather than prune CPU — the
@@ -44,6 +46,11 @@
 //! time to dominate on small machines), `XPROJ_BENCH_IDLE_BACKOFF_MS`
 //! (delay before re-opening a dropped idle connection, default 0 —
 //! a pool that wants N warm connections replaces drops immediately).
+//!
+//! Both socket ends of every connection live in this process, so sweep
+//! cells are clamped to `(nofile limit - 512) / 2` connections: a cell
+//! within a few fds of the limit measures the server's accept-stall
+//! (EMFILE) backoff path, not its serving capacity.
 
 use std::io::Read;
 use std::net::SocketAddr;
@@ -137,14 +144,16 @@ struct CellStats {
     aborted: u64,
 }
 
-/// One sweep cell: a fresh server in `mode`, `idle_target` maintained
-/// idle connections, `hot` clients hammering `target` for `cell_ms`.
-/// With `silent_reopen`, dropped idle connections are replaced without
-/// a warm-up request (`pool` fleet style); otherwise every replacement
+/// One sweep cell: a fresh server in `mode` (`reactor_threads` event
+/// loops when reactor), `idle_target` maintained idle connections,
+/// `hot` clients hammering `target` for `cell_ms`. With
+/// `silent_reopen`, dropped idle connections are replaced without a
+/// warm-up request (`pool` fleet style); otherwise every replacement
 /// is warmed first (`shed` style).
 #[allow(clippy::too_many_arguments)]
 fn run_cell(
     mode: ServeMode,
+    reactor_threads: usize,
     conns: usize,
     hot: usize,
     cell_ms: u64,
@@ -160,6 +169,7 @@ fn run_cell(
         addr: "127.0.0.1:0".to_string(),
         mode,
         workers,
+        reactor_threads,
         // Long enough that the reactor never expires a parked
         // connection mid-cell; warmed threaded connections yield on
         // pressure well before this.
@@ -367,6 +377,7 @@ fn run_cell(
     let p99 = quantile(&cell.latencies, 0.99).as_micros();
     println!(
         "{{\"group\":\"server\",\"bench\":\"sweep\",\"mode\":\"{}\",\"idle_style\":\"{}\",\
+         \"reactor_threads\":{reactor_threads},\
          \"conns\":{conns},\
          \"idle_target\":{idle_target},\"idle_at_start\":{idle_at_start},\
          \"idle_at_end\":{idle_at_end},\"idle_reconnects\":{},\
@@ -484,7 +495,7 @@ fn main() {
     // Concurrency sweep: reactor vs threaded under mostly-idle
     // keep-alive fleets.
     // ------------------------------------------------------------------
-    let sweep: Vec<usize> = std::env::var("XPROJ_BENCH_SWEEP")
+    let mut sweep: Vec<usize> = std::env::var("XPROJ_BENCH_SWEEP")
         .unwrap_or_else(|_| "100,1000,10000".to_string())
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
@@ -513,31 +524,55 @@ fn main() {
     };
     let query = "//keyword";
 
-    if let Some(max) = sweep.iter().max() {
+    if let Some(&max) = sweep.iter().max() {
         // Both socket ends of every connection live in this process.
         let want = (2 * max + 512) as u64;
         match xproj_reactor::raise_nofile_limit(want) {
             Ok(lim) if lim < want => {
-                eprintln!("# warning: fd limit {lim} < {want}; large cells may fail to connect")
+                // Running a cell within a handful of fds of the limit
+                // doesn't measure serving — it measures the accept-stall
+                // (EMFILE) path. Clamp cells to the budget instead.
+                let cap = (lim.saturating_sub(512) / 2) as usize;
+                for c in sweep.iter_mut() {
+                    if *c > cap.max(1) {
+                        eprintln!("# fd limit {lim}: clamping {c}-conn cell to {cap}");
+                        *c = cap.max(1);
+                    }
+                }
+                sweep.dedup();
             }
             Ok(_) => {}
             Err(e) => eprintln!("# warning: raise_nofile_limit: {e}"),
         }
     }
+    // The reactor-thread axis: each listed count re-runs the reactor
+    // cells with that many SO_REUSEPORT-sharded event loops. The
+    // threaded core has no loop to multiply and runs once per cell.
+    let reactors: Vec<usize> = std::env::var("XPROJ_BENCH_REACTORS")
+        .unwrap_or_else(|_| "1,2".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .collect();
+    let reactors = if reactors.is_empty() { vec![1] } else { reactors };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     eprintln!(
-        "# sweep: conns {sweep:?}, hot {hot}, {workers} workers, {cell_ms} ms cells, \
-         {:.1} KiB hot document",
+        "# sweep: conns {sweep:?}, reactor threads {reactors:?} ({cores} cores), hot {hot}, \
+         {workers} workers, {cell_ms} ms cells, {:.1} KiB hot document",
         sweep_xml.len() as f64 / 1024.0
     );
     let mut check_failures: Vec<String> = Vec::new();
     for &conns in &sweep {
-        let mut stats: Vec<(ServeMode, bool, CellStats)> = Vec::new();
+        let mut stats: Vec<(ServeMode, usize, bool, CellStats)> = Vec::new();
         for silent_reopen in [false, true] {
-            for mode in [ServeMode::Reactor, ServeMode::Threaded] {
-                let style = if silent_reopen { "pool" } else { "shed" };
-                eprintln!("# sweep cell: {} x {conns} conns ({style} fleet)", mode_name(mode));
+            let style = if silent_reopen { "pool" } else { "shed" };
+            for &nloops in &reactors {
+                eprintln!(
+                    "# sweep cell: reactor x{nloops} x {conns} conns ({style} fleet)"
+                );
                 let cell = run_cell(
-                    mode,
+                    ServeMode::Reactor,
+                    nloops,
                     conns,
                     hot,
                     cell_ms,
@@ -548,8 +583,23 @@ fn main() {
                     query,
                     &sweep_xml,
                 );
-                stats.push((mode, silent_reopen, cell));
+                stats.push((ServeMode::Reactor, nloops, silent_reopen, cell));
             }
+            eprintln!("# sweep cell: threaded x {conns} conns ({style} fleet)");
+            let cell = run_cell(
+                ServeMode::Threaded,
+                1,
+                conns,
+                hot,
+                cell_ms,
+                workers,
+                idle_backoff,
+                silent_reopen,
+                &dtd_text,
+                query,
+                &sweep_xml,
+            );
+            stats.push((ServeMode::Threaded, 1, silent_reopen, cell));
         }
 
         // Cross-cell checks at this connection count, enforced when
@@ -557,14 +607,52 @@ fn main() {
         // drain cleanly, beat the blocking core's collapse mode by a
         // wide margin, and stay no worse on tail latency even against
         // the blocking core's best case.
-        let get = |m: ServeMode, silent: bool| {
-            stats.iter().find(|(sm, ss, _)| *sm == m && *ss == silent).map(|(_, _, c)| c)
+        let get = |m: ServeMode, n: usize, silent: bool| {
+            stats
+                .iter()
+                .find(|(sm, sn, ss, _)| *sm == m && *sn == n && *ss == silent)
+                .map(|(_, _, _, c)| c)
         };
+        // Multi-reactor scaling on the hot (shed) cell: with real
+        // cores to spread over, more loops must not serve less; on a
+        // single core the loops only add coordination, so the gate
+        // degrades to a no-regression band.
+        let base_loops = *reactors.iter().min().unwrap();
+        for &nloops in &reactors {
+            if nloops == base_loops {
+                continue;
+            }
+            if let (Some(one), Some(many)) =
+                (get(ServeMode::Reactor, base_loops, false), get(ServeMode::Reactor, nloops, false))
+            {
+                let ratio = if one.rps > 0.0 { many.rps / one.rps } else { f64::INFINITY };
+                eprintln!(
+                    "# {conns} conns: reactor x{nloops} {:.0} rps vs x{base_loops} {:.0} rps \
+                     ({ratio:.2}x, {cores} cores)",
+                    many.rps, one.rps
+                );
+                // ">= single-loop" with a 5% measurement-noise
+                // allowance; single-core machines cannot scale at all,
+                // so they only guard against outright collapse.
+                let floor = if cores >= 2 { 0.95 } else { 0.80 };
+                if ratio < floor {
+                    check_failures.push(format!(
+                        "{conns} conns: reactor x{nloops} only {ratio:.2}x of x{base_loops} \
+                         (floor {floor:.2} at {cores} cores)"
+                    ));
+                }
+                if many.aborted != 0 {
+                    check_failures.push(format!(
+                        "{conns} conns: reactor x{nloops} aborted connections at shutdown"
+                    ));
+                }
+            }
+        }
         if let (Some(r_shed), Some(r_pool), Some(t_shed), Some(t_pool)) = (
-            get(ServeMode::Reactor, false),
-            get(ServeMode::Reactor, true),
-            get(ServeMode::Threaded, false),
-            get(ServeMode::Threaded, true),
+            get(ServeMode::Reactor, base_loops, false),
+            get(ServeMode::Reactor, base_loops, true),
+            get(ServeMode::Threaded, 1, false),
+            get(ServeMode::Threaded, 1, true),
         ) {
             let pool_ratio = if t_pool.rps > 0.0 { r_pool.rps / t_pool.rps } else { f64::INFINITY };
             eprintln!(

@@ -37,7 +37,7 @@ use std::time::Duration;
 mod sys;
 pub mod timer;
 
-pub use sys::{raise_nofile_limit, set_socket_buffers, supported};
+pub use sys::{bind_reuseport, raise_nofile_limit, set_socket_buffers, supported, writev};
 pub use timer::{TimerEntry, TimerWheel, DEFAULT_TICK};
 
 /// The token value the reactor reserves for its internal waker fd.

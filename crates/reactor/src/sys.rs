@@ -1,6 +1,7 @@
 //! The minimal FFI shim under the reactor: raw declarations of the
 //! handful of Linux syscall wrappers the event loop needs (`epoll_*`,
-//! `eventfd`, `setrlimit`) plus the kernel ABI structs they take.
+//! `eventfd`, `setrlimit`, `writev`, `SO_REUSEPORT` socket setup) plus
+//! the kernel ABI structs they take.
 //!
 //! The workspace rule is *no external crates*, so there is no `libc`
 //! here — `std` already links the platform C library on every supported
@@ -77,6 +78,35 @@ mod ffi {
 
     pub const RLIMIT_NOFILE: i32 = 7;
 
+    /// The kernel's `struct iovec`. `std::io::IoSlice` is documented to
+    /// be ABI-compatible with this layout on Unix, which is what lets
+    /// the safe [`super::writev`] wrapper pass a slice of `IoSlice`s
+    /// straight through.
+    #[repr(C)]
+    pub struct IoVec {
+        pub base: *const u8,
+        pub len: usize,
+    }
+
+    /// The kernel's `struct sockaddr_in` (fields in network byte order).
+    #[repr(C)]
+    pub struct SockaddrIn {
+        pub family: u16,
+        pub port: u16,
+        pub addr: u32,
+        pub zero: [u8; 8],
+    }
+
+    /// The kernel's `struct sockaddr_in6`.
+    #[repr(C)]
+    pub struct SockaddrIn6 {
+        pub family: u16,
+        pub port: u16,
+        pub flowinfo: u32,
+        pub addr: [u8; 16],
+        pub scope_id: u32,
+    }
+
     extern "C" {
         pub fn epoll_create1(flags: i32) -> i32;
         pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
@@ -85,7 +115,11 @@ mod ffi {
         pub fn eventfd(initval: u32, flags: i32) -> i32;
         pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
         pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn writev(fd: i32, iov: *const IoVec, iovcnt: i32) -> isize;
         pub fn close(fd: i32) -> i32;
+        pub fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        pub fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        pub fn listen(fd: i32, backlog: i32) -> i32;
         pub fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
         pub fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
         pub fn setsockopt(
@@ -283,6 +317,115 @@ pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
     #[cfg(not(target_os = "linux"))]
     {
         let _ = want;
+        Err(unsupported())
+    }
+}
+
+/// Gathered write: one `writev(2)` call over `bufs`, writing the slices
+/// back-to-back without first copying them into a contiguous buffer.
+/// Returns the byte count the kernel accepted (short writes are normal
+/// on a nonblocking socket).
+pub fn writev(fd: i32, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+    #[cfg(target_os = "linux")]
+    {
+        // Linux caps one call at IOV_MAX (1024) segments.
+        let cnt = bufs.len().min(1024) as i32;
+        // SAFETY: `std::io::IoSlice` is guaranteed ABI-compatible with
+        // the kernel's iovec on Unix; the slice stays live across the
+        // call and the kernel only reads through it.
+        let n = unsafe { ffi::writev(fd, bufs.as_ptr() as *const ffi::IoVec, cnt) };
+        if n < 0 {
+            return Err(last_err());
+        }
+        Ok(n as usize)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (fd, bufs);
+        Err(unsupported())
+    }
+}
+
+/// Binds a listening TCP socket with `SO_REUSEPORT` (and `SO_REUSEADDR`)
+/// set before `bind`, so several listeners in one process can share a
+/// port and the kernel shards incoming connections across their accept
+/// queues — no userspace accept lock. The returned listener owns the fd.
+pub fn bind_reuseport(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    #[cfg(target_os = "linux")]
+    {
+        use std::os::fd::FromRawFd;
+        const AF_INET: i32 = 2;
+        const AF_INET6: i32 = 10;
+        const SOCK_STREAM: i32 = 1;
+        const SOCK_CLOEXEC: i32 = 0o2000000;
+        const SOL_SOCKET: i32 = 1;
+        const SO_REUSEADDR: i32 = 2;
+        const SO_REUSEPORT: i32 = 15;
+
+        let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+        // SAFETY: plain syscall wrapper, no pointers involved.
+        let fd = unsafe { ffi::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(last_err());
+        }
+        let fail = |fd: i32| {
+            let e = last_err();
+            close(fd);
+            Err(e)
+        };
+        let one: i32 = 1;
+        let p = &one as *const i32 as *const u8;
+        let n = std::mem::size_of::<i32>() as u32;
+        // SAFETY: the pointer targets a live i32; the kernel copies it.
+        if unsafe { ffi::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, p, n) } < 0 {
+            return fail(fd);
+        }
+        // SAFETY: as above.
+        if unsafe { ffi::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, p, n) } < 0 {
+            return fail(fd);
+        }
+        let bound = match addr {
+            std::net::SocketAddr::V4(v4) => {
+                let sa = ffi::SockaddrIn {
+                    family: AF_INET as u16,
+                    port: v4.port().to_be(),
+                    // from_ne_bytes keeps the octets in memory order,
+                    // which *is* network byte order for an IPv4 address.
+                    addr: u32::from_ne_bytes(v4.ip().octets()),
+                    zero: [0; 8],
+                };
+                let len = std::mem::size_of::<ffi::SockaddrIn>() as u32;
+                // SAFETY: the pointer/len pair describes a live, fully
+                // initialized sockaddr_in; the kernel copies it.
+                unsafe { ffi::bind(fd, &sa as *const ffi::SockaddrIn as *const u8, len) }
+            }
+            std::net::SocketAddr::V6(v6) => {
+                let sa = ffi::SockaddrIn6 {
+                    family: AF_INET6 as u16,
+                    port: v6.port().to_be(),
+                    flowinfo: v6.flowinfo().to_be(),
+                    addr: v6.ip().octets(),
+                    scope_id: v6.scope_id(),
+                };
+                let len = std::mem::size_of::<ffi::SockaddrIn6>() as u32;
+                // SAFETY: as above, for sockaddr_in6.
+                unsafe { ffi::bind(fd, &sa as *const ffi::SockaddrIn6 as *const u8, len) }
+            }
+        };
+        if bound < 0 {
+            return fail(fd);
+        }
+        // SAFETY: plain syscall wrapper, no pointers involved.
+        if unsafe { ffi::listen(fd, 1024) } < 0 {
+            return fail(fd);
+        }
+        // SAFETY: `fd` is a fresh, owned, listening TCP socket;
+        // from_raw_fd transfers its ownership to the TcpListener.
+        Ok(unsafe { std::net::TcpListener::from_raw_fd(fd) })
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = addr;
         Err(unsupported())
     }
 }

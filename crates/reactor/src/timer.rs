@@ -174,6 +174,31 @@ mod tests {
     }
 
     #[test]
+    fn cancel_and_rearm_within_same_tick_fires_only_the_live_generation() {
+        // The slowloris pattern the multi-reactor audit worried about: a
+        // connection's deadline is cancelled and re-armed *within one
+        // tick* (client trickling bytes faster than the 25 ms wheel
+        // granularity), so both the stale and the live entry land in the
+        // same slot with the same absolute tick.
+        let mut w = TimerWheel::new(8, Duration::from_millis(10));
+        let t0 = Instant::now();
+        w.arm(t0 + Duration::from_millis(15), 7, 1);
+        // The owner cancels by bumping its live generation, then re-arms.
+        let live_gen = 2;
+        w.arm(t0 + Duration::from_millis(15), 7, live_gen);
+        assert_eq!(w.armed(), 2);
+        let mut fired = Vec::new();
+        w.advance(t0 + Duration::from_millis(40), &mut fired);
+        // The wheel hands back both entries (cancellation is lazy), each
+        // carrying the generation it was armed with — the owner's
+        // staleness compare must discard exactly the cancelled one.
+        assert_eq!(fired.len(), 2);
+        let live: Vec<&TimerEntry> = fired.iter().filter(|e| e.gen == live_gen).collect();
+        assert_eq!(live, vec![&TimerEntry { token: 7, gen: live_gen }]);
+        assert_eq!(w.armed(), 0);
+    }
+
+    #[test]
     fn next_timeout_tracks_armed_state() {
         let mut w = TimerWheel::new(8, Duration::from_millis(10));
         let now = Instant::now();

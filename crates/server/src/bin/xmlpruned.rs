@@ -1,11 +1,13 @@
 //! `xmlpruned` — the HTTP projection daemon.
 //!
 //! ```text
-//! xmlpruned [--addr HOST:PORT] [--workers N] [--chunk-size BYTES]
-//!           [--cache N] [--max-header-bytes N] [--max-body-bytes N]
-//!           [--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]
-//!           [--threaded] [--max-connections N] [--out-buffer-cap BYTES]
-//!           [--artifact-dir DIR] [--port-file PATH]
+//! xmlpruned [--addr HOST:PORT] [--workers N] [--reactor-threads N]
+//!           [--chunk-size BYTES] [--cache N] [--max-header-bytes N]
+//!           [--max-body-bytes N] [--read-timeout-ms N]
+//!           [--write-timeout-ms N] [--drain-ms N] [--threaded]
+//!           [--max-connections N] [--rate-limit RPS:BURST]
+//!           [--out-buffer-cap BYTES] [--artifact-dir DIR]
+//!           [--port-file PATH]
 //! ```
 //!
 //! Binds, prints `listening on HOST:PORT`, and serves until
@@ -83,6 +85,29 @@ fn run(args: &[String]) -> Result<(), String> {
                     Duration::from_millis(parse_num("--drain-ms", &next("--drain-ms")?)?)
             }
             "--threaded" => config.mode = ServeMode::Threaded,
+            "--reactor-threads" => {
+                config.reactor_threads =
+                    parse_num("--reactor-threads", &next("--reactor-threads")?)?.max(1) as usize
+            }
+            "--rate-limit" => {
+                let v = next("--rate-limit")?;
+                let (rps, burst) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--rate-limit: '{v}' is not RPS:BURST"))?;
+                let rps: f64 = rps
+                    .parse()
+                    .map_err(|_| format!("--rate-limit: '{rps}' is not a number"))?;
+                let burst: f64 = burst
+                    .parse()
+                    .map_err(|_| format!("--rate-limit: '{burst}' is not a number"))?;
+                let valid = rps.is_finite() && rps > 0.0 && burst.is_finite() && burst >= 1.0;
+                if !valid {
+                    return Err(format!(
+                        "--rate-limit: need RPS > 0 and BURST >= 1, got '{v}'"
+                    ));
+                }
+                config.rate_limit = Some((rps, burst));
+            }
             "--max-connections" => {
                 config.max_connections =
                     parse_num("--max-connections", &next("--max-connections")?)?.max(1) as usize
@@ -124,11 +149,13 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 const USAGE: &str = r#"
-usage: xmlpruned [--addr HOST:PORT] [--workers N] [--chunk-size BYTES]
-                 [--cache N] [--max-header-bytes N] [--max-body-bytes N]
-                 [--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]
-                 [--threaded] [--max-connections N] [--out-buffer-cap BYTES]
-                 [--artifact-dir DIR] [--port-file PATH]
+usage: xmlpruned [--addr HOST:PORT] [--workers N] [--reactor-threads N]
+                 [--chunk-size BYTES] [--cache N] [--max-header-bytes N]
+                 [--max-body-bytes N] [--read-timeout-ms N]
+                 [--write-timeout-ms N] [--drain-ms N] [--threaded]
+                 [--max-connections N] [--rate-limit RPS:BURST]
+                 [--out-buffer-cap BYTES] [--artifact-dir DIR]
+                 [--port-file PATH]
 
 Serves type-based XML projection over HTTP/1.1:
   POST /v1/dtd?root=NAME        register a DTD (body = DTD text) -> {"id":...}
@@ -147,11 +174,14 @@ repeat (DTD, query) pairs from the cache without recompiling.
 --port-file, written to PATH). --chunk-size sets the engine feed size for
 both request decoding and the response buffer threshold.
 
-By default connections are driven by the epoll reactor (one event-loop
-thread owning every connection; workers only execute CPU work), so
+By default connections are driven by epoll reactor event loops, so
 --workers bounds CPU parallelism while --max-connections bounds admission
-(over it: 503 + Retry-After). --out-buffer-cap bounds per-connection
-response residency against slow readers. --threaded selects the blocking
-accept-loop + worker-pool mode instead, where --workers is also the
-concurrent-connection limit.
+(over it: 503 + Retry-After). --reactor-threads spawns N loops, each with
+its own epoll instance, timer wheel, executor lane and SO_REUSEPORT
+listener (default: available cores, capped at 8); the kernel shards
+accepts across them. --rate-limit RPS:BURST arms a per-connection token
+bucket (over it: 429 + Retry-After, connection closed). --out-buffer-cap
+bounds per-connection response residency against slow readers. --threaded
+selects the blocking accept-loop + worker-pool mode instead, where
+--workers is also the concurrent-connection limit.
 "#;

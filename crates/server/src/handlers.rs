@@ -42,6 +42,8 @@ pub mod codes {
     pub const BODY_TOO_LARGE: &str = "body-too-large";
     /// A read deadline expired mid-request.
     pub const TIMEOUT: &str = "timeout";
+    /// The connection's token bucket ran dry (`--rate-limit`).
+    pub const RATE_LIMITED: &str = "rate-limited";
     /// The request used a transfer coding this server does not
     /// implement.
     pub const NOT_IMPLEMENTED: &str = "not-implemented";

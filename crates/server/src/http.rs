@@ -578,6 +578,7 @@ pub fn reason(status: u16) -> &'static str {
         408 => "Request Timeout",
         413 => "Content Too Large",
         422 => "Unprocessable Content",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
@@ -596,12 +597,32 @@ pub(crate) fn render_response(
     body: &[u8],
     keep_alive: bool,
 ) -> Vec<u8> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+    render_response_with(status, content_type, body, keep_alive, &[])
+}
+
+/// [`render_response`] with extra response headers (name, value) spliced
+/// in before the blank line — how `Retry-After` gets onto 429/503
+/// replies without hand-editing rendered bytes.
+pub(crate) fn render_response_with(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let mut out = Vec::with_capacity(head.len() + body.len());
     out.extend_from_slice(head.as_bytes());
     out.extend_from_slice(body);
@@ -611,11 +632,22 @@ pub(crate) fn render_response(
 /// Serializes the structured JSON error body:
 /// `{"error":{"code":"…","message":"…"}}` (always `connection: close`).
 pub(crate) fn render_json_error(status: u16, code: &str, message: &str) -> Vec<u8> {
+    render_json_error_with(status, code, message, &[])
+}
+
+/// [`render_json_error`] with extra response headers, e.g.
+/// `Retry-After` on overload (503) and rate-limit (429) replies.
+pub(crate) fn render_json_error_with(
+    status: u16,
+    code: &str,
+    message: &str,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
     let body = format!(
         "{{\"error\":{{\"code\":\"{code}\",\"message\":\"{}\"}}}}",
         json_escape(message)
     );
-    render_response(status, "application/json", body.as_bytes(), false)
+    render_response_with(status, "application/json", body.as_bytes(), false, extra_headers)
 }
 
 /// Writes a complete `Content-Length`-framed response.
@@ -826,6 +858,21 @@ mod tests {
         assert!(head.keep_alive());
         head.headers.push(("connection".to_string(), "close".to_string()));
         assert!(!head.keep_alive());
+    }
+
+    #[test]
+    fn extra_headers_land_before_the_blank_line() {
+        let bytes = render_json_error_with(503, "overloaded", "try later", &[("retry-after", "1")]);
+        let text = String::from_utf8(bytes).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{head}");
+        assert!(head.contains("\r\nretry-after: 1"), "{head}");
+        assert!(head.contains("\r\nconnection: close"), "{head}");
+        assert_eq!(body, "{\"error\":{\"code\":\"overloaded\",\"message\":\"try later\"}}");
+        // content-length frames the body exactly.
+        assert!(head.contains(&format!("content-length: {}", body.len())), "{head}");
+        // 429 has a proper reason phrase for the rate limiter.
+        assert_eq!(reason(429), "Too Many Requests");
     }
 
     #[test]

@@ -78,17 +78,21 @@ pub struct ShutdownReport {
 }
 
 /// A bound, not-yet-serving instance of `xmlpruned`.
+///
+/// Reactor mode with `reactor_threads > 1` binds one `SO_REUSEPORT`
+/// listener per event loop so the kernel shards accepts across them;
+/// every other configuration holds a single plain listener.
 pub struct Server {
-    listener: TcpListener,
+    listeners: Vec<TcpListener>,
     state: Arc<ServerState>,
 }
 
 impl Server {
-    /// Binds the listener and builds the shared state. The server does
-    /// not accept connections until [`Server::serve`] runs.
+    /// Binds the listener(s) and builds the shared state. The server
+    /// does not accept connections until [`Server::serve`] runs.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let local_addr = listener.local_addr()?;
+        let listeners = Self::bind_listeners(&config)?;
+        let local_addr = listeners[0].local_addr()?;
         let state = Arc::new(ServerState::new(config, local_addr));
         // Warm restart: previously-saved compiled artifacts come back
         // resident before the first request, so a repeat (DTD, query)
@@ -96,7 +100,39 @@ impl Server {
         if let Some(dir) = state.config.artifact_dir.clone() {
             state.cache.artifacts().load_dir(&dir)?;
         }
-        Ok(Server { listener, state })
+        Ok(Server { listeners, state })
+    }
+
+    /// One plain listener, or — reactor mode on Linux with more than
+    /// one loop — a group of `SO_REUSEPORT` listeners on the same port.
+    /// Port 0 resolves once (on the first bind); the rest of the group
+    /// binds the resolved port so the whole set shares it.
+    fn bind_listeners(config: &ServerConfig) -> std::io::Result<Vec<TcpListener>> {
+        #[cfg(target_os = "linux")]
+        {
+            let n = config.reactor_threads.max(1);
+            if config.mode == ServeMode::Reactor && n > 1 {
+                use std::net::ToSocketAddrs;
+                let addr = config
+                    .addr
+                    .to_socket_addrs()?
+                    .next()
+                    .ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "bind address resolved to nothing",
+                        )
+                    })?;
+                let first = xproj_reactor::bind_reuseport(addr)?;
+                let resolved = first.local_addr()?;
+                let mut listeners = vec![first];
+                for _ in 1..n {
+                    listeners.push(xproj_reactor::bind_reuseport(resolved)?);
+                }
+                return Ok(listeners);
+            }
+        }
+        Ok(vec![TcpListener::bind(&config.addr)?])
     }
 
     /// The bound address (resolves port 0 to the ephemeral port).
@@ -124,8 +160,8 @@ impl Server {
         let report = match self.state.config.mode {
             #[cfg(target_os = "linux")]
             ServeMode::Reactor => {
-                let Server { listener, state } = self;
-                reactor_serve::serve(listener, &state)
+                let Server { listeners, state } = self;
+                reactor_serve::serve(listeners, &state)
             }
             #[cfg(not(target_os = "linux"))]
             ServeMode::Reactor => self.serve_threaded(),
@@ -150,7 +186,9 @@ impl Server {
     /// drain deadline passes, remaining requests are counted *aborted*
     /// and their connections torn down via the hard-abort flag.
     fn serve_threaded(self) -> std::io::Result<ShutdownReport> {
-        let Server { listener, state } = self;
+        let Server { mut listeners, state } = self;
+        let listener = listeners.remove(0);
+        drop(listeners); // threaded mode drives a single listener
         let (tx, rx) = mpsc::channel::<std::net::TcpStream>();
         let rx = Mutex::new(rx);
         let aborted = std::thread::scope(|scope| {
@@ -189,7 +227,16 @@ impl Server {
                             break;
                         }
                     }
-                    Err(_) => break,
+                    Err(_) => {
+                        // Persistent accept errors (fd exhaustion,
+                        // typically) are survivable: back off and retry
+                        // instead of permanently killing the listener.
+                        if state.is_shutting_down() {
+                            break;
+                        }
+                        state.metrics.accept_stalls.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
                 }
             }
             // Close the queue: workers finish queued + in-flight work.

@@ -9,7 +9,7 @@
 use crate::http::json_escape;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use xproj_engine::{ArtifactCacheStats, CacheStats, EngineStats};
 use xproj_reactor::ReactorMetrics;
@@ -98,6 +98,9 @@ pub struct LatencyHistogram {
 impl LatencyHistogram {
     /// Records one observation.
     pub fn record(&self, d: Duration) {
+        // Sub-microsecond completions (cache-hit /healthz on loopback)
+        // truncate to `us == 0`, where the log₂ index `63 -
+        // leading_zeros` would underflow — they belong in bucket 0.
         let us = d.as_micros() as u64;
         let bucket = if us == 0 {
             0
@@ -162,6 +165,13 @@ pub struct ServerMetrics {
     /// Connections refused at admission (`503` + `Retry-After`) because
     /// `max_connections` was reached (reactor mode).
     pub admission_rejects: AtomicU64,
+    /// Requests refused by the per-connection token-bucket rate limiter
+    /// (`429` + `Retry-After`, reactor mode with `--rate-limit`).
+    pub rate_limited: AtomicU64,
+    /// Accept attempts that failed on a persistent error (fd
+    /// exhaustion, typically) and paused the listener for a backoff
+    /// instead of spinning on a level-triggered readiness storm.
+    pub accept_stalls: AtomicU64,
     /// CPU jobs handed to the executor pool (reactor mode).
     pub executor_jobs: AtomicU64,
     /// CPU jobs currently queued or running on the executor pool.
@@ -172,11 +182,29 @@ pub struct ServerMetrics {
     /// O(out_buffer_cap + chunk + document depth) regardless of
     /// document size or client behavior.
     pub max_conn_resident: AtomicU64,
-    /// The event loop's own counters, installed once by reactor mode;
-    /// absent under `--threaded`.
-    reactor: OnceLock<Arc<ReactorMetrics>>,
+    /// Every event loop's own counters, installed once by reactor mode
+    /// (one entry per reactor thread); empty under `--threaded`.
+    /// `/metrics` sums them at scrape time so the exported keys stay
+    /// identical whether one loop runs or eight do.
+    reactors: Mutex<Vec<Arc<ReactorMetrics>>>,
     engine: Mutex<EngineStats>,
     latency: [LatencyHistogram; 9],
+}
+
+/// Scrape-time sum of every reactor loop's counters.
+pub struct ReactorSnapshot {
+    /// Reactor event loops running.
+    pub loops: usize,
+    /// Currently registered fds across all loops.
+    pub registered: usize,
+    /// Readiness events delivered by epoll.
+    pub ready_events: u64,
+    /// `epoll_wait` calls that returned.
+    pub polls: u64,
+    /// eventfd waker interrupts observed.
+    pub wakes: u64,
+    /// Timer-wheel deadlines fired.
+    pub timer_fires: u64,
 }
 
 impl ServerMetrics {
@@ -191,24 +219,47 @@ impl ServerMetrics {
             drained: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
             admission_rejects: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            accept_stalls: AtomicU64::new(0),
             executor_jobs: AtomicU64::new(0),
             executor_queue_depth: AtomicUsize::new(0),
             max_conn_resident: AtomicU64::new(0),
-            reactor: OnceLock::new(),
+            reactors: Mutex::new(Vec::new()),
             engine: Mutex::new(EngineStats::default()),
             latency: Default::default(),
         }
     }
 
-    /// Links the event loop's counters into `/metrics` (reactor mode
-    /// calls this once at startup).
-    pub fn set_reactor(&self, metrics: Arc<ReactorMetrics>) {
-        let _ = self.reactor.set(metrics);
+    /// Links every event loop's counters into `/metrics` (reactor mode
+    /// calls this once at startup with one entry per reactor thread).
+    pub fn set_reactors(&self, metrics: Vec<Arc<ReactorMetrics>>) {
+        *self.reactors.lock().unwrap() = metrics;
     }
 
-    /// The event loop's counters, if this server runs the reactor.
-    pub fn reactor(&self) -> Option<&Arc<ReactorMetrics>> {
-        self.reactor.get()
+    /// Sums the per-loop reactor counters, if this server runs the
+    /// reactor. Each loop owns its counters without contention; the sum
+    /// happens here, once per scrape.
+    pub fn reactor_snapshot(&self) -> Option<ReactorSnapshot> {
+        let reactors = self.reactors.lock().unwrap();
+        if reactors.is_empty() {
+            return None;
+        }
+        let mut snap = ReactorSnapshot {
+            loops: reactors.len(),
+            registered: 0,
+            ready_events: 0,
+            polls: 0,
+            wakes: 0,
+            timer_fires: 0,
+        };
+        for r in reactors.iter() {
+            snap.registered += r.registered.load(Ordering::Relaxed);
+            snap.ready_events += r.ready_events.load(Ordering::Relaxed);
+            snap.polls += r.polls.load(Ordering::Relaxed);
+            snap.wakes += r.wakes.load(Ordering::Relaxed);
+            snap.timer_fires += r.timer_fires.load(Ordering::Relaxed);
+        }
+        Some(snap)
     }
 
     /// Folds one completed prune run into the aggregate.
@@ -242,7 +293,8 @@ impl ServerMetrics {
         let _ = write!(
             out,
             "{{\"server\":{{\"uptime_ms\":{},\"connections\":{},\"requests\":{},\"errors\":{},\
-             \"in_flight\":{},\"drained\":{},\"aborted\":{}}},",
+             \"in_flight\":{},\"drained\":{},\"aborted\":{},\"rate_limited\":{},\
+             \"accept_stalls\":{}}},",
             self.started.elapsed().as_millis(),
             self.connections.load(Ordering::Relaxed),
             self.requests.load(Ordering::Relaxed),
@@ -250,6 +302,8 @@ impl ServerMetrics {
             self.in_flight.load(Ordering::Relaxed),
             self.drained.load(Ordering::Relaxed),
             self.aborted.load(Ordering::Relaxed),
+            self.rate_limited.load(Ordering::Relaxed),
+            self.accept_stalls.load(Ordering::Relaxed),
         );
         let _ = write!(
             out,
@@ -269,18 +323,20 @@ impl ServerMetrics {
             engine.peak_resident_bytes,
             engine.max_token_bytes,
         );
-        if let Some(r) = self.reactor() {
+        if let Some(r) = self.reactor_snapshot() {
             let _ = write!(
                 out,
-                "\"reactor\":{{\"registered_fds\":{},\"ready_events\":{},\"polls\":{},\
+                "\"reactor\":{{\"reactor_threads\":{},\"registered_fds\":{},\
+                 \"ready_events\":{},\"polls\":{},\
                  \"wakes\":{},\"timer_fires\":{},\"executor_jobs\":{},\
                  \"executor_queue_depth\":{},\"admission_rejects\":{},\
                  \"max_conn_resident\":{}}},",
-                r.registered.load(Ordering::Relaxed),
-                r.ready_events.load(Ordering::Relaxed),
-                r.polls.load(Ordering::Relaxed),
-                r.wakes.load(Ordering::Relaxed),
-                r.timer_fires.load(Ordering::Relaxed),
+                r.loops,
+                r.registered,
+                r.ready_events,
+                r.polls,
+                r.wakes,
+                r.timer_fires,
                 self.executor_jobs.load(Ordering::Relaxed),
                 self.executor_queue_depth.load(Ordering::Relaxed),
                 self.admission_rejects.load(Ordering::Relaxed),
@@ -357,6 +413,11 @@ impl ServerMetrics {
             self.errors.load(Ordering::Relaxed),
         );
         counter(
+            "xmlpruned_accept_stalls_total",
+            "Accept errors (fd exhaustion) that paused the listener.",
+            self.accept_stalls.load(Ordering::Relaxed),
+        );
+        counter(
             "xmlpruned_engine_documents_total",
             "Documents pruned.",
             engine.documents,
@@ -406,26 +467,26 @@ impl ServerMetrics {
             "Artifacts dropped because a document update overlapped their projector.",
             cache.invalidations,
         );
-        if let Some(r) = self.reactor() {
+        if let Some(r) = self.reactor_snapshot() {
             counter(
                 "xmlpruned_reactor_ready_events_total",
-                "Readiness events delivered by epoll.",
-                r.ready_events.load(Ordering::Relaxed),
+                "Readiness events delivered by epoll (all loops).",
+                r.ready_events,
             );
             counter(
                 "xmlpruned_reactor_polls_total",
-                "epoll_wait calls that returned.",
-                r.polls.load(Ordering::Relaxed),
+                "epoll_wait calls that returned (all loops).",
+                r.polls,
             );
             counter(
                 "xmlpruned_reactor_wakes_total",
-                "eventfd waker interrupts observed.",
-                r.wakes.load(Ordering::Relaxed),
+                "eventfd waker interrupts observed (all loops).",
+                r.wakes,
             );
             counter(
                 "xmlpruned_reactor_timer_fires_total",
-                "Timer-wheel deadlines fired.",
-                r.timer_fires.load(Ordering::Relaxed),
+                "Timer-wheel deadlines fired (all loops).",
+                r.timer_fires,
             );
             counter(
                 "xmlpruned_executor_jobs_total",
@@ -436,6 +497,11 @@ impl ServerMetrics {
                 "xmlpruned_admission_rejects_total",
                 "Connections refused 503 at the admission limit.",
                 self.admission_rejects.load(Ordering::Relaxed),
+            );
+            counter(
+                "xmlpruned_rate_limited_total",
+                "Requests refused 429 by the token-bucket rate limiter.",
+                self.rate_limited.load(Ordering::Relaxed),
             );
         }
         let _ = write!(
@@ -450,16 +516,19 @@ impl ServerMetrics {
             cache.entries,
             cache.resident_bytes,
         );
-        if let Some(r) = self.reactor() {
+        if let Some(r) = self.reactor_snapshot() {
             let _ = write!(
                 out,
-                "# HELP xmlpruned_reactor_registered_fds Currently registered fds.\n\
+                "# HELP xmlpruned_reactor_threads Reactor event loops running.\n\
+                 # TYPE xmlpruned_reactor_threads gauge\nxmlpruned_reactor_threads {}\n\
+                 # HELP xmlpruned_reactor_registered_fds Currently registered fds (all loops).\n\
                  # TYPE xmlpruned_reactor_registered_fds gauge\nxmlpruned_reactor_registered_fds {}\n\
                  # HELP xmlpruned_executor_queue_depth CPU jobs queued or running.\n\
                  # TYPE xmlpruned_executor_queue_depth gauge\nxmlpruned_executor_queue_depth {}\n\
                  # HELP xmlpruned_max_conn_resident_bytes High-water per-connection residency.\n\
                  # TYPE xmlpruned_max_conn_resident_bytes gauge\nxmlpruned_max_conn_resident_bytes {}\n",
-                r.registered.load(Ordering::Relaxed),
+                r.loops,
+                r.registered,
                 self.executor_queue_depth.load(Ordering::Relaxed),
                 self.max_conn_resident.load(Ordering::Relaxed),
             );
@@ -530,6 +599,72 @@ mod tests {
         let p99 = h.quantile(0.99);
         assert!(p99 >= Duration::from_micros(5000) && p99 <= Duration::from_micros(16384));
         assert_eq!(h.max(), Duration::from_micros(5000));
+    }
+
+    #[test]
+    fn sub_microsecond_sample_lands_in_bucket_zero() {
+        // `Duration::as_micros()` truncates a 300 ns completion to 0;
+        // the bucket index must not underflow (debug builds would panic
+        // on `63 - 64`), and the sample must still be counted.
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(300));
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 2);
+        let p99 = h.quantile(0.99);
+        assert!(p99 > Duration::ZERO && p99 <= Duration::from_micros(2), "{p99:?}");
+        assert_eq!(h.max(), Duration::from_nanos(300));
+    }
+
+    #[test]
+    fn quantiles_stay_monotone_with_sub_microsecond_samples() {
+        let m = ServerMetrics::new();
+        // A mixture spanning bucket 0 through the millisecond range.
+        for d in [
+            Duration::from_nanos(300),
+            Duration::ZERO,
+            Duration::from_micros(3),
+            Duration::from_micros(90),
+            Duration::from_micros(90),
+            Duration::from_millis(2),
+        ] {
+            m.record_latency(Endpoint::Healthz, d);
+        }
+        let h = m.latency(Endpoint::Healthz);
+        assert!(h.quantile(0.5) <= h.quantile(0.99), "p50 must not exceed p99");
+        // The Prometheus summary renders both quantiles; parse them back
+        // and check the exposition itself is monotone and non-negative.
+        let prom = m.render_prometheus(ArtifactCacheStats::default());
+        let q = |needle: &str| -> f64 {
+            let line = prom
+                .lines()
+                .find(|l| l.contains(needle))
+                .unwrap_or_else(|| panic!("missing {needle}"));
+            line.rsplit(' ').next().unwrap().parse().unwrap()
+        };
+        let p50 = q("endpoint=\"healthz\",quantile=\"0.5\"");
+        let p99 = q("endpoint=\"healthz\",quantile=\"0.99\"");
+        assert!(p50 >= 0.0 && p99 >= 0.0);
+        assert!(p50 <= p99, "prometheus summary not monotone: {p50} > {p99}");
+    }
+
+    #[test]
+    fn reactor_counters_sum_across_loops() {
+        let m = ServerMetrics::new();
+        assert!(m.reactor_snapshot().is_none());
+        let a = Arc::new(ReactorMetrics::default());
+        let b = Arc::new(ReactorMetrics::default());
+        a.polls.fetch_add(5, Ordering::Relaxed);
+        b.polls.fetch_add(7, Ordering::Relaxed);
+        a.registered.fetch_add(2, Ordering::Relaxed);
+        b.registered.fetch_add(3, Ordering::Relaxed);
+        m.set_reactors(vec![a, b]);
+        let snap = m.reactor_snapshot().unwrap();
+        assert_eq!(snap.loops, 2);
+        assert_eq!(snap.polls, 12);
+        assert_eq!(snap.registered, 5);
+        let json = m.render_json(ArtifactCacheStats::default());
+        assert!(json.contains("\"reactor_threads\":2"), "{json}");
+        assert!(json.contains("\"polls\":12"), "{json}");
     }
 
     #[test]

@@ -4,13 +4,23 @@
 //!
 //! ## Shape
 //!
-//! One thread runs [`serve`]: an [`xproj_reactor::Reactor`] (epoll +
-//! eventfd waker), a [`TimerWheel`] for every connection deadline, and
-//! a slab of [`Conn`] state machines. `config.workers` scoped threads
-//! form the executor: they pull [`Job`]s (projector setup, DTD parses,
-//! analyzer runs, pruner feeds) off a bounded channel, run them, and
-//! push [`Done`] completions back through a queue + waker. The loop
-//! never blocks on anything but `epoll_wait`.
+//! [`serve`] spawns `config.reactor_threads` independent event loops.
+//! Each loop owns an [`xproj_reactor::Reactor`] (epoll + eventfd
+//! waker), a [`TimerWheel`] for every connection deadline, a slab of
+//! [`Conn`] state machines, its own `SO_REUSEPORT`-bound listener (the
+//! kernel shards accepts across the loops — no shared accept lock),
+//! and its own executor lane: scoped threads that pull [`Job`]s
+//! (projector setup, DTD parses, analyzer runs, pruner feeds) off a
+//! bounded channel, run them, and push [`Done`] completions back
+//! through a queue + waker. A loop never blocks on anything but
+//! `epoll_wait`. Everything cross-cutting — caches, the DTD registry,
+//! metrics, the admission count — lives behind the shared
+//! [`ServerState`]; `/admin/shutdown` fans out to every loop's waker.
+//!
+//! Response bytes are queued as a *frame list* ([`OutQueue`]) and
+//! written with gathered `writev`, so a multi-frame x-ndjson response
+//! is handed to the kernel without first being copied into one
+//! contiguous buffer.
 //!
 //! ## A connection's life
 //!
@@ -27,14 +37,19 @@
 //!   `pending_in` (decoded-but-unfed body bytes) reaches 2× the engine
 //!   chunk size. Wire bytes then queue in the kernel socket buffer,
 //!   where TCP flow control pushes back on the sender.
-//! * **Response output**: once `out_buf` holds `config.out_buffer_cap`
+//! * **Response output**: once the out queue holds `config.out_buffer_cap`
 //!   bytes for a client that is not reading, the connection stops
 //!   dispatching pruner feeds *and* stops reading. Per-connection
 //!   residency is therefore O(out_buffer_cap + chunk + depth),
 //!   independent of document size and client behavior.
-//! * **Admission**: past `config.max_connections` live connections, an
-//!   accepted socket gets `503` + `Retry-After: 1` and is closed
+//! * **Admission**: past `config.max_connections` live connections
+//!   (summed across every reactor loop), an accepted socket gets `503`
+//!   with `Retry-After: 1` and is closed after the reply flushes
 //!   (counted in `admission_rejects`).
+//! * **Rate limiting**: with `--rate-limit rps:burst`, each connection
+//!   carries a token bucket refilled at `rps`; a request arriving to an
+//!   empty bucket is answered `429` + `Retry-After` and the connection
+//!   closes (counted in `rate_limited`).
 //!
 //! ## Deadlines
 //!
@@ -50,21 +65,21 @@ use crate::handlers::{
     HEALTHZ_BODY, SHUTDOWN_BODY,
 };
 use crate::http::{
-    body_kind, buffered_prune_head, render_json_error, render_response, streaming_prune_head,
-    BodyKind, RequestHead,
+    body_kind, buffered_prune_head, render_json_error, render_json_error_with, render_response,
+    streaming_prune_head, BodyKind, RequestHead,
 };
 use crate::metrics::Endpoint;
 use crate::state::ServerState;
 use crate::wire::{parse_head, BodyDecoder};
 use crate::ShutdownReport;
 use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xproj_engine::{
     EngineError, EngineStats, PruneSession, QueryArtifact, QueryError, QueryMachine, QueryOutput,
 };
@@ -78,6 +93,83 @@ const WHEEL_SLOTS: usize = 512;
 /// Per-readable-event read budget, so one firehose connection cannot
 /// starve the rest of the loop (level-triggered epoll re-delivers).
 const READ_BUDGET: usize = 64 * 1024;
+/// Gather slices handed to one `writev` call (well under IOV_MAX).
+const MAX_WRITE_IOV: usize = 64;
+/// How long a loop parks its listener after accept fails persistently
+/// (fd exhaustion). Retrying on a clock instead of on readiness keeps a
+/// level-triggered listener from spinning the loop at 100% CPU while
+/// the process is out of descriptors.
+const ACCEPT_STALL_BACKOFF: Duration = Duration::from_millis(25);
+
+/// A connection's queued response bytes as a list of owned frames,
+/// flushed with gathered `writev`. Frames are queued by *move* — a
+/// rendered response, a chunk frame, a streamed x-ndjson batch — so
+/// nothing is copied into a contiguous staging buffer first.
+#[derive(Default)]
+struct OutQueue {
+    frames: VecDeque<Vec<u8>>,
+    /// Bytes of the front frame already on the wire.
+    head_pos: usize,
+    /// Unwritten bytes across all frames (cached).
+    len: usize,
+}
+
+impl OutQueue {
+    fn new() -> OutQueue {
+        OutQueue::default()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues one frame, taking ownership (empty frames are dropped).
+    fn push(&mut self, frame: Vec<u8>) {
+        if frame.is_empty() {
+            return;
+        }
+        self.len += frame.len();
+        self.frames.push_back(frame);
+    }
+
+    /// Fills `iov` with up to `iov.len()` gather slices starting at the
+    /// unwritten front; returns how many were filled.
+    fn gather<'a>(&'a self, iov: &mut [IoSlice<'a>]) -> usize {
+        let mut n = 0;
+        for (i, frame) in self.frames.iter().enumerate() {
+            if n >= iov.len() {
+                break;
+            }
+            let slice = if i == 0 { &frame[self.head_pos..] } else { &frame[..] };
+            iov[n] = IoSlice::new(slice);
+            n += 1;
+        }
+        n
+    }
+
+    /// Accounts `written` bytes as flushed, dropping completed frames.
+    fn consume(&mut self, written: usize) {
+        debug_assert!(written <= self.len);
+        self.len -= written;
+        let mut left = written;
+        while left > 0 {
+            let front = self.frames.front().expect("consume past queue end");
+            let rem = front.len() - self.head_pos;
+            if left >= rem {
+                left -= rem;
+                self.head_pos = 0;
+                self.frames.pop_front();
+            } else {
+                self.head_pos += left;
+                left = 0;
+            }
+        }
+    }
+}
 
 /// What a connection's single live deadline means when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,7 +299,7 @@ enum Phase {
     Setup,
     /// Streaming a prune: decode → feed jobs → response frames.
     Prune(Box<PruneState>),
-    /// Response queued; flush `out_buf`, then close.
+    /// Response queued; flush the out queue, then close.
     Closing,
 }
 
@@ -219,12 +311,17 @@ struct Conn {
     /// consumed prefix; pipelined requests simply stay here).
     in_buf: Vec<u8>,
     in_pos: usize,
-    /// Serialized response bytes not yet written (`out_pos` prefix is
-    /// already on the wire).
-    out_buf: Vec<u8>,
-    out_pos: usize,
+    /// Serialized response frames not yet written (gathered `writev`).
+    out: OutQueue,
     /// Interest currently registered with epoll.
     registered: Interest,
+    /// Counted in the server-wide `open_conns` admission gauge (false
+    /// for sockets only held open to flush a `503` reject).
+    admitted: bool,
+    /// Token-bucket level for `--rate-limit` (unused when disabled).
+    rl_tokens: f64,
+    /// When the bucket was last refilled.
+    rl_last: Instant,
     /// The peer sent EOF (half-close): no more request bytes will
     /// arrive, but responses may still flush.
     peer_eof: bool,
@@ -554,7 +651,7 @@ impl EventLoop<'_> {
         let Some(conn) = self.conns.get_mut(token) else {
             return;
         };
-        let (kind, deadline) = if conn.out_pos < conn.out_buf.len() {
+        let (kind, deadline) = if !conn.out.is_empty() {
             // Queued output for a (possibly) unreading client: the
             // write-stall clock dominates; re-armed on write progress.
             (DeadlineKind::Write, now + write_t)
@@ -585,7 +682,7 @@ impl EventLoop<'_> {
         let Some(conn) = self.conns.get_mut(token) else {
             return;
         };
-        let out_len = conn.out_buf.len() - conn.out_pos;
+        let out_len = conn.out.len();
         let backlog = conn.in_buf.len() - conn.in_pos;
         let readable = !conn.peer_eof
             && match &conn.phase {
@@ -621,36 +718,46 @@ impl EventLoop<'_> {
     fn close(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(token) {
             let _ = self.reactor.deregister(conn.stream.as_raw_fd());
+            if conn.admitted {
+                self.state.open_conns.fetch_sub(1, Ordering::Relaxed);
+            }
             if conn.active {
                 self.state.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Queues raw bytes (interim responses like `100 Continue`) and
-    /// pushes them toward the socket.
-    fn push_out(&mut self, token: u64, bytes: &[u8], now: Instant) {
+    /// Queues one response frame (interim responses like `100 Continue`,
+    /// streamed chunk batches) and pushes it toward the socket.
+    fn push_out(&mut self, token: u64, frame: Vec<u8>, now: Instant) {
         if let Some(conn) = self.conns.get_mut(token) {
-            conn.out_buf.extend_from_slice(bytes);
+            conn.out.push(frame);
         }
         self.try_write(token, now);
     }
 
-    /// Writes as much queued output as the socket accepts.
+    /// Writes as much queued output as the socket accepts, gathering
+    /// the frame list into `writev` calls.
     fn try_write(&mut self, token: u64, now: Instant) {
         let Some(conn) = self.conns.get_mut(token) else {
             return;
         };
+        let fd = conn.stream.as_raw_fd();
         let mut progressed = false;
         let mut dead = false;
-        while conn.out_pos < conn.out_buf.len() {
-            match conn.stream.write(&conn.out_buf[conn.out_pos..]) {
+        while !conn.out.is_empty() {
+            let res = {
+                let mut iov = [IoSlice::new(&[]); MAX_WRITE_IOV];
+                let n = conn.out.gather(&mut iov);
+                xproj_reactor::writev(fd, &iov[..n])
+            };
+            match res {
                 Ok(0) => {
                     dead = true;
                     break;
                 }
                 Ok(n) => {
-                    conn.out_pos += n;
+                    conn.out.consume(n);
                     progressed = true;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -661,14 +768,7 @@ impl EventLoop<'_> {
                 }
             }
         }
-        if conn.out_pos == conn.out_buf.len() {
-            conn.out_buf.clear();
-            conn.out_pos = 0;
-        } else if conn.out_pos > READ_BUDGET {
-            conn.out_buf.drain(..conn.out_pos);
-            conn.out_pos = 0;
-        }
-        let flushed = conn.out_buf.is_empty();
+        let flushed = conn.out.is_empty();
         let closing = matches!(conn.phase, Phase::Closing);
         if dead || (flushed && closing) {
             self.close(token);
@@ -677,7 +777,7 @@ impl EventLoop<'_> {
         if progressed || flushed {
             self.refresh_deadline(token, now);
             // Draining output is what unpauses an engine-side stall:
-            // when `out_buf` was at cap the prune pipeline stopped
+            // when the out queue was at cap the prune pipeline stopped
             // dispatching (and the backlog gate may have stopped
             // reads), so this write event is the only signal that can
             // restart it.
@@ -726,7 +826,7 @@ impl EventLoop<'_> {
             conn.phase = Phase::Closing;
             self.try_write(token, now);
             if let Some(c) = self.conns.get_mut(token) {
-                if c.out_buf.is_empty() {
+                if c.out.is_empty() {
                     self.close(token);
                 } else {
                     self.refresh_deadline(token, now);
@@ -759,9 +859,28 @@ impl EventLoop<'_> {
             }
         };
         if let Some(conn) = self.conns.get_mut(token) {
-            conn.out_buf.extend_from_slice(&bytes);
+            conn.out.push(bytes);
         }
         self.complete_request(token, conn_keep, now);
+        self.try_write(token, now);
+    }
+
+    /// Answers a request that exhausted its connection's token bucket:
+    /// `429` + `Retry-After` through the normal out-queue path, then
+    /// close-after-write (error replies never keep alive).
+    fn rate_limit_reject(&mut self, token: u64, retry_after: &str, now: Instant) {
+        self.state.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+        self.state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        let bytes = render_json_error_with(
+            429,
+            codes::RATE_LIMITED,
+            "per-connection rate limit exceeded, slow down",
+            &[("retry-after", retry_after)],
+        );
+        if let Some(conn) = self.conns.get_mut(token) {
+            conn.out.push(bytes);
+        }
+        self.complete_request(token, false, now);
         self.try_write(token, now);
     }
 
@@ -857,6 +976,25 @@ impl EventLoop<'_> {
                             conn.timing = Some((endpoint, Instant::now()));
                             self.state.metrics.requests.fetch_add(1, Ordering::Relaxed);
                             self.state.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+                            // Token-bucket rate limit: refill at `rps`
+                            // up to `burst`, spend one token per
+                            // request, refuse on an empty bucket.
+                            let mut limited = None;
+                            if let Some((rps, burst)) = self.state.config.rate_limit {
+                                let dt = now.duration_since(conn.rl_last).as_secs_f64();
+                                conn.rl_last = now;
+                                conn.rl_tokens = (conn.rl_tokens + dt * rps).min(burst);
+                                if conn.rl_tokens >= 1.0 {
+                                    conn.rl_tokens -= 1.0;
+                                } else {
+                                    let wait = ((1.0 - conn.rl_tokens) / rps).ceil().max(1.0);
+                                    limited = Some((wait as u64).to_string());
+                                }
+                            }
+                            if let Some(retry) = limited {
+                                self.rate_limit_reject(token, &retry, now);
+                                return;
+                            }
                             self.route_request(token, head, endpoint, now);
                             // Loop: the route may have completed the
                             // request and pipelined bytes may follow.
@@ -1026,7 +1164,7 @@ impl EventLoop<'_> {
             }
         };
         if !discard && kind != BodyKind::None && head.expects_continue() {
-            self.push_out(token, b"HTTP/1.1 100 Continue\r\n\r\n", now);
+            self.push_out(token, b"HTTP/1.1 100 Continue\r\n\r\n".to_vec(), now);
         }
         let decoder = BodyDecoder::new(kind, self.state.config.max_body_bytes);
         if let Some(conn) = self.conns.get_mut(token) {
@@ -1078,7 +1216,7 @@ impl EventLoop<'_> {
                 let bytes =
                     render_response(200, "application/json", SHUTDOWN_BODY.as_bytes(), keep);
                 if let Some(conn) = self.conns.get_mut(token) {
-                    conn.out_buf.extend_from_slice(&bytes);
+                    conn.out.push(bytes);
                 }
                 self.state.trigger_shutdown();
                 // Completion runs with the shutdown flag set: the
@@ -1194,7 +1332,7 @@ impl EventLoop<'_> {
             return;
         }
         if head.expects_continue() {
-            self.push_out(token, b"HTTP/1.1 100 Continue\r\n\r\n", now);
+            self.push_out(token, b"HTTP/1.1 100 Continue\r\n\r\n".to_vec(), now);
         }
         let keep_alive = head.keep_alive() && !self.state.is_shutting_down();
         let max_body = self.state.config.max_body_bytes;
@@ -1225,7 +1363,7 @@ impl EventLoop<'_> {
         let Some(conn) = self.conns.get_mut(token) else {
             return;
         };
-        let out_len = conn.out_buf.len() - conn.out_pos;
+        let out_len = conn.out.len();
         let Phase::Prune(p) = &mut conn.phase else {
             return;
         };
@@ -1289,7 +1427,7 @@ impl EventLoop<'_> {
         }
         // 3. Dispatch engine work when the session is home and there
         //    is something to do — unless the client is not draining
-        //    the response (out_buf at cap), which pauses the pipeline.
+        //    the response (out queue at cap), which pauses the pipeline.
         let want_feed = !p.pending_in.is_empty();
         let want_finish = p.body_done && !p.finishing;
         if p.session.is_some() && !p.job_out && (want_feed || want_finish) && out_len < out_cap {
@@ -1368,14 +1506,14 @@ impl EventLoop<'_> {
             }
             Ok(None) => {
                 if !frames.is_empty() {
-                    self.push_out(token, &frames, now);
+                    self.push_out(token, frames, now);
                 }
                 self.pump_prune(token, now);
             }
             Err(fail) => {
                 if headers_sent {
                     if !frames.is_empty() {
-                        self.push_out(token, &frames, now);
+                        self.push_out(token, frames, now);
                     }
                     self.state.metrics.errors.fetch_add(1, Ordering::Relaxed);
                     self.abort_streaming(token, now);
@@ -1410,14 +1548,16 @@ impl EventLoop<'_> {
         };
         match std::mem::replace(&mut p.resp, RespFraming::Streaming) {
             RespFraming::Buffering(buf) => {
-                // Everything fit: Content-Length framing.
+                // Everything fit: Content-Length framing. Head and body
+                // are two gathered frames — the body is moved, not
+                // copied.
                 let head = buffered_prune_head(content_type, buf.len(), keep);
-                conn.out_buf.extend_from_slice(head.as_bytes());
-                conn.out_buf.extend_from_slice(&buf);
+                conn.out.push(head.into_bytes());
+                conn.out.push(buf);
             }
             RespFraming::Streaming => {
-                conn.out_buf.extend_from_slice(&frames);
-                conn.out_buf.extend_from_slice(b"0\r\n\r\n");
+                conn.out.push(frames);
+                conn.out.push(b"0\r\n\r\n".to_vec());
             }
         }
         self.complete_request(token, keep, now);
@@ -1441,7 +1581,7 @@ impl EventLoop<'_> {
         conn.phase = Phase::Closing;
         self.try_write(token, now);
         if let Some(c) = self.conns.get_mut(token) {
-            if c.out_buf.is_empty() {
+            if c.out.is_empty() {
                 self.close(token);
             } else {
                 self.refresh_deadline(token, now);
@@ -1519,61 +1659,128 @@ impl EventLoop<'_> {
         }
     }
 
+    /// Inserts a freshly-accepted socket into the slab and registers it
+    /// with this loop's reactor. `admitted` distinguishes a real
+    /// connection (counted in the server-wide admission gauge) from a
+    /// socket held open only to flush a `503` reject.
+    fn install_conn(&mut self, stream: TcpStream, admitted: bool, now: Instant) -> Option<u64> {
+        if stream.set_nonblocking(true).is_err() {
+            return None;
+        }
+        let _ = stream.set_nodelay(true);
+        let fd = stream.as_raw_fd();
+        let read_t = self.state.config.read_timeout;
+        let burst = self.state.config.rate_limit.map_or(0.0, |(_, b)| b);
+        let token = self.conns.insert(Conn {
+            stream,
+            phase: Phase::Head,
+            in_buf: Vec::new(),
+            in_pos: 0,
+            out: OutQueue::new(),
+            registered: Interest::READABLE,
+            admitted,
+            // A fresh connection starts with a full bucket.
+            rl_tokens: burst,
+            rl_last: now,
+            peer_eof: false,
+            active: false,
+            timing: None,
+            deadline: now + read_t,
+            deadline_kind: DeadlineKind::Idle,
+            timer_gen: 0,
+            timer_armed_at: None,
+            head_deadline: None,
+        });
+        if admitted {
+            self.state.open_conns.fetch_add(1, Ordering::Relaxed);
+        }
+        if self
+            .reactor
+            .register(fd, Token(token), Interest::READABLE, Mode::Level)
+            .is_err()
+        {
+            if let Some(conn) = self.conns.remove(token) {
+                drop(conn);
+                if admitted {
+                    self.state.open_conns.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            return None;
+        }
+        Some(token)
+    }
+
     /// Accepts until the listener would block. Over the admission
-    /// limit: `503` + `Retry-After` best-effort and close.
-    fn accept_ready(&mut self, listener: &TcpListener, now: Instant) {
+    /// limit: `503` + `Retry-After` through the normal out-queue/write
+    /// path (so a full socket buffer never truncates it), then close.
+    ///
+    /// Returns `true` when accept failed with a persistent error (fd
+    /// exhaustion, typically). The pending connection then stays in the
+    /// backlog, so a level-triggered listener would re-fire on every
+    /// poll and spin the loop flat out — the caller must deregister the
+    /// listener and retry after [`ACCEPT_STALL_BACKOFF`] instead.
+    fn accept_ready(&mut self, listener: &TcpListener, now: Instant) -> bool {
         loop {
             match listener.accept() {
                 Ok((stream, _)) => {
                     if self.state.is_shutting_down() {
                         continue; // raced with shutdown: drop it
                     }
-                    if self.conns.len() >= self.state.config.max_connections {
+                    if self.state.open_conns.load(Ordering::Relaxed)
+                        >= self.state.config.max_connections
+                    {
                         self.state
                             .metrics
                             .admission_rejects
                             .fetch_add(1, Ordering::Relaxed);
-                        reject_overloaded(stream);
+                        self.reject_overloaded(stream, now);
                         continue;
                     }
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
-                    }
-                    let _ = stream.set_nodelay(true);
                     self.state.metrics.connections.fetch_add(1, Ordering::Relaxed);
-                    let fd = stream.as_raw_fd();
-                    let read_t = self.state.config.read_timeout;
-                    let token = self.conns.insert(Conn {
-                        stream,
-                        phase: Phase::Head,
-                        in_buf: Vec::new(),
-                        in_pos: 0,
-                        out_buf: Vec::new(),
-                        out_pos: 0,
-                        registered: Interest::READABLE,
-                        peer_eof: false,
-                        active: false,
-                        timing: None,
-                        deadline: now + read_t,
-                        deadline_kind: DeadlineKind::Idle,
-                        timer_gen: 0,
-                        timer_armed_at: None,
-                        head_deadline: None,
-                    });
-                    if self
-                        .reactor
-                        .register(fd, Token(token), Interest::READABLE, Mode::Level)
-                        .is_err()
-                    {
-                        self.conns.remove(token);
-                        continue;
+                    if let Some(token) = self.install_conn(stream, true, now) {
+                        let read_t = self.state.config.read_timeout;
+                        self.set_deadline(token, DeadlineKind::Idle, now + read_t);
                     }
-                    self.set_deadline(token, DeadlineKind::Idle, now + read_t);
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return false,
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return,
+                // The handshake died before we got to it (ECONNABORTED):
+                // the slot was consumed, keep accepting.
+                Err(e) if e.kind() == ErrorKind::ConnectionAborted => {}
+                Err(_) => {
+                    self.state
+                        .metrics
+                        .accept_stalls
+                        .fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
             }
+        }
+    }
+
+    /// A connection refused at the admission limit: queue the full
+    /// `503` + `Retry-After` reply and let the ordinary write machinery
+    /// flush it (close-after-write; the write-stall deadline bounds how
+    /// long the socket lingers).
+    fn reject_overloaded(&mut self, stream: TcpStream, now: Instant) {
+        let bytes = render_json_error_with(
+            503,
+            "overloaded",
+            "connection limit reached, retry shortly",
+            &[("retry-after", "1")],
+        );
+        let Some(token) = self.install_conn(stream, false, now) else {
+            return;
+        };
+        if let Some(conn) = self.conns.get_mut(token) {
+            conn.phase = Phase::Closing;
+            conn.out.push(bytes);
+        }
+        let write_t = self.state.config.write_timeout;
+        self.set_deadline(token, DeadlineKind::Write, now + write_t);
+        self.try_write(token, now);
+        if self.conns.get_mut(token).is_some() {
+            self.refresh_interest(token);
         }
     }
 
@@ -1674,7 +1881,7 @@ impl EventLoop<'_> {
         let Some(conn) = self.conns.get_mut(token) else {
             return;
         };
-        let mut bytes = conn.in_buf.len() + conn.out_buf.len();
+        let mut bytes = conn.in_buf.len() + conn.out.len();
         match &conn.phase {
             Phase::Body { body, .. } => bytes += body.len(),
             Phase::Prune(p) => {
@@ -1706,41 +1913,78 @@ fn push_chunk_frame(out: &mut Vec<u8>, data: &[u8]) {
     out.extend_from_slice(b"\r\n");
 }
 
-/// Best-effort `503` to a connection refused at the admission limit.
-fn reject_overloaded(mut stream: TcpStream) {
-    let body = render_json_error(503, "overloaded", "connection limit reached, retry shortly");
-    // Splice the Retry-After header in before the blank line.
-    let text =
-        String::from_utf8_lossy(&body).replacen("\r\n\r\n", "\r\nretry-after: 1\r\n\r\n", 1);
-    let _ = stream.set_nonblocking(true);
-    let _ = stream.write(text.as_bytes());
-}
-
-/// The reactor serve loop. Mirrors the contract of the threaded
-/// `Server::serve`: blocks until shutdown, drains in-flight requests
-/// up to the deadline, reports drained/aborted.
+/// The multi-reactor serve entry point. Mirrors the contract of the
+/// threaded `Server::serve` — blocks until shutdown, drains in-flight
+/// requests up to the deadline, reports drained/aborted — but spawns
+/// one [`run_loop`] per listener (each `SO_REUSEPORT`-bound to the same
+/// port) and fans the shutdown wake out to every loop's waker.
 pub(crate) fn serve(
-    listener: TcpListener,
+    listeners: Vec<TcpListener>,
     state: &Arc<ServerState>,
 ) -> std::io::Result<ShutdownReport> {
+    let nloops = listeners.len().max(1);
+    let mut reactors = Vec::with_capacity(nloops);
+    for _ in 0..nloops {
+        reactors.push(Reactor::new()?);
+    }
+    let wakers: Vec<_> = reactors.iter().map(|r| r.waker()).collect();
+    state
+        .metrics
+        .set_reactors(reactors.iter().map(|r| r.metrics()).collect());
+    {
+        let hooks = wakers;
+        state.set_wake_hook(Box::new(move || {
+            for w in &hooks {
+                let _ = w.wake();
+            }
+        }));
+    }
+    // Split the executor pool across the loops (at least one lane
+    // each); the total stays close to `config.workers`.
+    let per_loop_workers = state.config.workers.max(1).div_ceil(nloops).max(1);
+
+    let results: Vec<std::io::Result<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .zip(reactors)
+            .map(|(listener, reactor)| {
+                scope.spawn(move || run_loop(listener, reactor, state, per_loop_workers))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reactor loop thread panicked"))
+            .collect()
+    });
+    let mut aborted = 0;
+    for r in results {
+        aborted += r?;
+    }
+
+    Ok(ShutdownReport {
+        drained: state.metrics.drained.load(Ordering::Relaxed),
+        aborted,
+        requests: state.metrics.requests.load(Ordering::Relaxed),
+    })
+}
+
+/// One reactor event loop: owns its listener, epoll instance, timer
+/// wheel, connection slab, and executor lane. Returns how many in-
+/// flight requests this loop aborted at the drain deadline.
+fn run_loop(
+    listener: TcpListener,
+    reactor: Reactor,
+    state: &Arc<ServerState>,
+    workers: usize,
+) -> std::io::Result<u64> {
     listener.set_nonblocking(true)?;
-    let reactor = Reactor::new()?;
     reactor.register(
         listener.as_raw_fd(),
         Token(LISTENER_TOKEN),
         Interest::READABLE,
         Mode::Level,
     )?;
-    state.metrics.set_reactor(reactor.metrics());
     let waker = reactor.waker();
-    {
-        let hook = waker.clone();
-        state.set_wake_hook(Box::new(move || {
-            let _ = hook.wake();
-        }));
-    }
-
-    let workers = state.config.workers.max(1);
     let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(workers * 2);
     let jobs_rx = Mutex::new(jobs_rx);
     let dones: Mutex<VecDeque<Done>> = Mutex::new(VecDeque::new());
@@ -1773,6 +2017,10 @@ pub(crate) fn serve(
         let mut events: Vec<Event> = Vec::new();
         let mut fired: Vec<TimerEntry> = Vec::new();
         let mut listener_open = true;
+        // While `Some`, the listener is deregistered because accept hit
+        // a persistent error (fd exhaustion): retried at the deadline
+        // rather than spinning on level-triggered readiness.
+        let mut accept_paused_until: Option<Instant> = None;
         let mut drain_deadline: Option<Instant> = None;
 
         let aborted = loop {
@@ -1780,7 +2028,9 @@ pub(crate) fn serve(
             // Shutdown transition: close the listener, start the drain
             // clock, drop idle connections.
             if state.is_shutting_down() && listener_open {
-                let _ = lp.reactor.deregister(listener.as_raw_fd());
+                if accept_paused_until.take().is_none() {
+                    let _ = lp.reactor.deregister(listener.as_raw_fd());
+                }
                 listener_open = false;
                 drain_deadline = Some(now + state.config.drain_deadline);
                 for token in lp.conns.tokens() {
@@ -1789,7 +2039,7 @@ pub(crate) fn serve(
                             matches!(c.phase, Phase::Head)
                                 && !c.active
                                 && c.in_pos >= c.in_buf.len()
-                                && c.out_buf.is_empty()
+                                && c.out.is_empty()
                         }
                         None => false,
                     };
@@ -1805,8 +2055,16 @@ pub(crate) fn serve(
                 if let Some(dd) = drain_deadline {
                     if now >= dd {
                         // Drain deadline passed: everything still in
-                        // flight is aborted.
-                        let aborting = state.metrics.in_flight.load(Ordering::Relaxed) as u64;
+                        // flight *on this loop* is aborted. (Counting
+                        // our own slab — not the global in-flight
+                        // gauge — keeps the sum correct when several
+                        // loops hit their deadlines concurrently.)
+                        let mut aborting = 0u64;
+                        for t in lp.conns.tokens() {
+                            if lp.conns.get_mut(t).is_some_and(|c| c.active) {
+                                aborting += 1;
+                            }
+                        }
                         state.metrics.aborted.fetch_add(aborting, Ordering::Relaxed);
                         state.hard_abort();
                         for token in lp.conns.tokens() {
@@ -1817,11 +2075,33 @@ pub(crate) fn serve(
                 }
             }
 
+            // An accept stall backoff that has run out: put the
+            // listener back; if registration itself fails (still out of
+            // fds), stay paused another round.
+            if let Some(until) = accept_paused_until {
+                if listener_open && now >= until {
+                    match lp.reactor.register(
+                        listener.as_raw_fd(),
+                        Token(LISTENER_TOKEN),
+                        Interest::READABLE,
+                        Mode::Level,
+                    ) {
+                        Ok(()) => accept_paused_until = None,
+                        Err(_) => accept_paused_until = Some(now + ACCEPT_STALL_BACKOFF),
+                    }
+                }
+            }
+
             // Poll timeout: next wheel tick, bounded by the drain
-            // deadline while shutting down.
+            // deadline while shutting down and by an accept-stall
+            // backoff while the listener is parked.
             let mut timeout = lp.wheel.next_timeout(now);
             if let Some(dd) = drain_deadline {
                 let until = dd.saturating_duration_since(now);
+                timeout = Some(timeout.map_or(until, |t| t.min(until)));
+            }
+            if let Some(pu) = accept_paused_until {
+                let until = pu.saturating_duration_since(now);
                 timeout = Some(timeout.map_or(until, |t| t.min(until)));
             }
             events.clear();
@@ -1834,8 +2114,9 @@ pub(crate) fn serve(
 
             for ev in &events {
                 if ev.token.0 == LISTENER_TOKEN {
-                    if listener_open {
-                        lp.accept_ready(&listener, now);
+                    if listener_open && lp.accept_ready(&listener, now) {
+                        let _ = lp.reactor.deregister(listener.as_raw_fd());
+                        accept_paused_until = Some(now + ACCEPT_STALL_BACKOFF);
                     }
                 } else {
                     lp.handle_event(ev, now);
@@ -1872,9 +2153,5 @@ pub(crate) fn serve(
         Ok::<u64, std::io::Error>(aborted)
     })?;
 
-    Ok(ShutdownReport {
-        drained: state.metrics.drained.load(Ordering::Relaxed),
-        aborted,
-        requests: state.metrics.requests.load(Ordering::Relaxed),
-    })
+    Ok(aborted)
 }

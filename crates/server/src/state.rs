@@ -55,6 +55,17 @@ pub struct ServerConfig {
     pub drain_deadline: Duration,
     /// Connection driving strategy (reactor vs blocking pool).
     pub mode: ServeMode,
+    /// Reactor-mode event-loop count (`--reactor-threads`). Each loop
+    /// owns its own epoll instance, timer wheel, executor lane, and
+    /// `SO_REUSEPORT`-bound listener; the kernel shards accepts across
+    /// them. Defaults to the available cores, capped at 8. Ignored by
+    /// the threaded mode.
+    pub reactor_threads: usize,
+    /// Per-connection token-bucket rate limit as `(requests/second,
+    /// burst)` (`--rate-limit rps:burst`). A connection that exhausts
+    /// its bucket is answered `429` + `Retry-After` and closed.
+    /// `None` (the default) disables the limiter. Reactor mode only.
+    pub rate_limit: Option<(f64, f64)>,
     /// Reactor-mode admission limit: connections past this many are
     /// answered `503` + `Retry-After` and closed. (The threaded mode's
     /// admission limit is implicitly its worker count.)
@@ -86,11 +97,22 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             drain_deadline: Duration::from_secs(5),
             mode: ServeMode::default(),
+            reactor_threads: default_reactor_threads(),
+            rate_limit: None,
             max_connections: 16 * 1024,
             out_buffer_cap: 256 * 1024,
             artifact_dir: None,
         }
     }
+}
+
+/// The default `--reactor-threads`: every available core, capped so a
+/// big machine does not spawn dozens of loops for a small service.
+pub fn default_reactor_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// Everything the worker pool shares.
@@ -105,6 +127,10 @@ pub struct ServerState {
     /// connections watch this and yield their worker when it is
     /// nonzero (see [`crate::http::Conn::yield_to_waiters`]).
     pub(crate) queued: AtomicUsize,
+    /// Admitted connections currently open across *all* reactor loops —
+    /// the `max_connections` admission gate stays a whole-server bound
+    /// even with `SO_REUSEPORT` sharding accepts over several loops.
+    pub(crate) open_conns: AtomicUsize,
     dtds: Mutex<HashMap<u64, Arc<Dtd>>>,
     flags: ConnFlags,
     local_addr: SocketAddr,
@@ -123,6 +149,7 @@ impl ServerState {
             metrics: ServerMetrics::new(),
             cache,
             queued: AtomicUsize::new(0),
+            open_conns: AtomicUsize::new(0),
             dtds: Mutex::new(HashMap::new()),
             flags: ConnFlags::new(),
             local_addr,

@@ -37,9 +37,29 @@ struct TestServer {
     handle: thread::JoinHandle<ShutdownReport>,
 }
 
+thread_local! {
+    /// Overrides `ServerConfig::reactor_threads` for every server the
+    /// current test starts; lets the mode matrix re-run reactor cases
+    /// against a sharded multi-loop server without threading a knob
+    /// through every test body.
+    static TEST_REACTOR_THREADS: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Runs `f` with every started server forced to `n` reactor loops.
+fn with_reactor_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    TEST_REACTOR_THREADS.with(|c| c.set(Some(n)));
+    let out = f();
+    TEST_REACTOR_THREADS.with(|c| c.set(None));
+    out
+}
+
 impl TestServer {
     fn start(mut config: ServerConfig) -> TestServer {
         config.addr = "127.0.0.1:0".to_string();
+        if let Some(n) = TEST_REACTOR_THREADS.with(|c| c.get()) {
+            config.reactor_threads = n;
+        }
         let server = Server::bind(config).expect("bind ephemeral port");
         let addr = server.local_addr();
         let state = server.state();
@@ -1061,6 +1081,33 @@ mode_matrix!(
     slow_reader_backpressure_bounds_residency,
 );
 
+/// The hardest reactor cases re-run against a 2-loop server
+/// (`--reactor-threads 2`): the kernel shards accepts over two
+/// `SO_REUSEPORT` listeners, so drain, slowloris deadlines, and
+/// backpressure must hold with connections spread across loops.
+mod multi_reactor_mode {
+    use super::*;
+
+    #[test]
+    fn graceful_shutdown_drains_in_flight_load() {
+        with_reactor_threads(2, || {
+            super::graceful_shutdown_drains_in_flight_load(ServeMode::Reactor)
+        });
+    }
+
+    #[test]
+    fn slowloris_head_times_out_408() {
+        with_reactor_threads(2, super::slowloris_head_times_out_408_impl);
+    }
+
+    #[test]
+    fn slow_reader_backpressure_bounds_residency() {
+        with_reactor_threads(2, || {
+            super::slow_reader_backpressure_bounds_residency(ServeMode::Reactor)
+        });
+    }
+}
+
 /// Slowloris regression (reactor only: the blocking mode's per-read
 /// socket deadline cannot see a trickle): a head arriving one byte at
 /// a time must get `408` once the *absolute* head deadline passes —
@@ -1068,6 +1115,10 @@ mode_matrix!(
 /// trickle's pace.
 #[test]
 fn slowloris_head_times_out_408() {
+    slowloris_head_times_out_408_impl();
+}
+
+fn slowloris_head_times_out_408_impl() {
     use std::io::{Read, Write};
     let read_timeout = Duration::from_millis(600);
     let config = ServerConfig {
@@ -1187,4 +1238,294 @@ fn shutdown_wakes_idle_reactor_promptly() {
     );
     assert_eq!(report.aborted, 0);
     drop(parked);
+}
+
+/// With accepts sharded across two reactor loops, `/metrics` must
+/// still account for every request exactly once: per-loop counters are
+/// summed at scrape time, so after 1000 requests over many
+/// connections the aggregate is exact — nothing lost to a loop-local
+/// view, nothing double-counted by the aggregation.
+#[test]
+fn metrics_counters_sum_exactly_across_reactors() {
+    let srv = with_reactor_threads(2, || TestServer::start(small_config(ServeMode::Reactor)));
+    const CONNS: usize = 20;
+    const REQS: usize = 50;
+    for _ in 0..CONNS {
+        let mut c = srv.client();
+        for _ in 0..REQS {
+            let resp = c.request("GET", "/healthz", &[], None).unwrap();
+            assert_eq!(resp.status, 200);
+        }
+    }
+    let mut c = srv.client();
+    let resp = c.request("GET", "/metrics", &[], None).unwrap();
+    assert_eq!(resp.status, 200);
+    let body = resp.body_str();
+    // 1000 healthz + this metrics request itself, counted at head
+    // parse before the body renders.
+    let expected = format!("\"requests\":{}", CONNS * REQS + 1);
+    assert!(body.contains(&expected), "exact request count lost in aggregation: {body}");
+    assert!(body.contains("\"reactor_threads\":2"), "{body}");
+
+    let resp = c.request("GET", "/metrics?format=prometheus", &[], None).unwrap();
+    let text = resp.body_str();
+    assert!(text.contains("xmlpruned_reactor_threads 2"), "{text}");
+
+    let report = srv.shutdown();
+    assert_eq!(report.aborted, 0);
+    assert_eq!(report.requests, (CONNS * REQS) as u64 + 3);
+}
+
+/// The overload reply regression: at `--max-connections 1` the `503`
+/// must arrive through the normal buffered write path as a complete,
+/// well-framed response — status line, `Retry-After`, content-length
+/// and the full JSON body — not a truncated best-effort splice.
+#[test]
+fn overload_503_delivers_complete_body_at_max_connections_1() {
+    let config = ServerConfig {
+        max_connections: 1,
+        ..small_config(ServeMode::Reactor)
+    };
+    let srv = TestServer::start(config);
+    let mut c1 = srv.client();
+    assert_eq!(c1.request("GET", "/healthz", &[], None).unwrap().status, 200);
+
+    let mut c2 = srv.client();
+    let resp = c2.read_response().expect("full 503 response");
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "overloaded");
+    assert!(
+        resp.body_str().contains("retry shortly"),
+        "message truncated: {}",
+        resp.body_str()
+    );
+    // The reject closes the socket after the flush: EOF, not a hang.
+    use std::io::Read;
+    let mut rest = Vec::new();
+    (&mut c2.stream_ref()).read_to_end(&mut rest).expect("clean close after 503");
+    assert!(rest.is_empty(), "bytes after the framed 503: {rest:?}");
+
+    // Free the single admission slot so the shutdown request itself is
+    // not refused (the server notices the hangup via epoll).
+    drop(c1);
+    drop(c2);
+    thread::sleep(Duration::from_millis(100));
+    let report = srv.shutdown();
+    assert_eq!(report.aborted, 0);
+}
+
+/// `--rate-limit rps:burst`: a connection gets `burst` requests up
+/// front, then a `429` with a `Retry-After` derived from the refill
+/// rate, and the limiter shows up in both metric formats.
+#[test]
+fn rate_limit_429_after_burst_with_retry_after() {
+    let config = ServerConfig {
+        rate_limit: Some((0.5, 2.0)),
+        ..small_config(ServeMode::Reactor)
+    };
+    let srv = TestServer::start(config);
+    let mut c = srv.client();
+    // The burst: two immediate requests pass.
+    assert_eq!(c.request("GET", "/healthz", &[], None).unwrap().status, 200);
+    assert_eq!(c.request("GET", "/healthz", &[], None).unwrap().status, 200);
+    // The bucket is dry: the third is refused and the connection
+    // closes after the reply.
+    let resp = c.request("GET", "/healthz", &[], None).unwrap();
+    assert_eq!(resp.status, 429, "{}", resp.body_str());
+    assert_eq!(extract_json_str(&resp.body_str(), "code"), "rate-limited");
+    let retry: u64 = resp
+        .header("retry-after")
+        .expect("429 must carry retry-after")
+        .parse()
+        .expect("retry-after is whole seconds");
+    // One token at 0.5 rps is 2 s away.
+    assert!((1..=3).contains(&retry), "retry-after {retry} out of range");
+
+    // A fresh connection has a fresh bucket, and the refusal counted.
+    let mut c = srv.client();
+    let resp = c.request("GET", "/metrics", &[], None).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_str().contains("\"rate_limited\":1"), "{}", resp.body_str());
+    let resp = c.request("GET", "/metrics?format=prometheus", &[], None).unwrap();
+    assert!(
+        resp.body_str().contains("xmlpruned_rate_limited_total 1"),
+        "{}",
+        resp.body_str()
+    );
+
+    let report = srv.shutdown();
+    assert_eq!(report.aborted, 0);
+}
+
+/// Accept must survive fd exhaustion (EMFILE) in both serving cores.
+/// The server runs in a child process under a tiny `ulimit -n`, and a
+/// connection flood exhausts its descriptors: a reactor loop must park
+/// its listener for a backoff instead of spinning on level-triggered
+/// readiness, and the threaded acceptor must back off and retry instead
+/// of permanently exiting its accept loop. In both modes, pre-existing
+/// connections keep answering during the stall, the stall is counted in
+/// `/metrics`, and once the flood closes the listener serves fresh
+/// connections again.
+#[cfg(target_os = "linux")]
+fn accept_survives_fd_exhaustion(extra: &[&str]) {
+    use std::process::{Command, Stdio};
+
+    let bin = env!("CARGO_BIN_EXE_xmlpruned");
+    let tag: String = extra.concat().chars().filter(char::is_ascii_alphanumeric).collect();
+    let port_file = std::env::temp_dir().join(format!(
+        "xproj-emfile-{}-{tag}.port",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&port_file);
+    let child = Command::new("sh")
+        .arg("-c")
+        .arg(format!(
+            "ulimit -n 48 && exec '{bin}' --addr 127.0.0.1:0 --workers 2 {} --port-file '{}'",
+            extra.join(" "),
+            port_file.display()
+        ))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn xmlpruned under a tight fd limit");
+    // Reap the child even when an assertion below panics.
+    struct Reap(std::process::Child);
+    impl Drop for Reap {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+    let mut child = Reap(child);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let port: u16 = loop {
+        if let Some(p) = std::fs::read_to_string(&port_file)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+        {
+            break p;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "child never wrote its port file"
+        );
+        thread::sleep(Duration::from_millis(20));
+    };
+    let _ = std::fs::remove_file(&port_file);
+    let addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+
+    let mut keep = HttpClient::connect(addr).expect("pre-flood connection");
+    keep.set_timeout(Duration::from_secs(5)).expect("set timeout");
+    assert_eq!(keep.request("GET", "/healthz", &[], None).unwrap().status, 200);
+
+    // Exhaust the child's descriptors: its budget under `ulimit -n 48`
+    // is a few dozen sockets, so 80 queued handshakes guarantee accept
+    // sees EMFILE. (connect() succeeds client-side once the handshake
+    // reaches the backlog, whether or not the server ever accepts it.)
+    let flood: Vec<std::net::TcpStream> = (0..80)
+        .filter_map(|_| std::net::TcpStream::connect(addr).ok())
+        .collect();
+    assert!(flood.len() >= 40, "flood fizzled: {} connects", flood.len());
+    thread::sleep(Duration::from_millis(300));
+
+    // A stalled reactor listener must not take established connections
+    // with it. (The threaded core sheds idle keep-alive connections
+    // under pressure by design, so only the reactor makes this
+    // guarantee.)
+    let threaded = extra.contains(&"--threaded");
+    if !threaded {
+        let resp = keep
+            .request("GET", "/metrics", &[], None)
+            .expect("metrics during fd exhaustion");
+        assert_eq!(resp.status, 200);
+        assert!(
+            accept_stalls_in(&resp.body_str()) >= 1,
+            "accept stall not detected: {}",
+            resp.body_str()
+        );
+    }
+
+    // Free the descriptors: the backoff must re-arm the listener, and
+    // the stall counter must have registered the episode. The threaded
+    // core may shed a fresh keep-alive connection while it churns
+    // through the flood's backlogged handshakes, so each probe retries
+    // on a new connection rather than trusting one to stay open.
+    drop(flood);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stalls = HttpClient::connect(addr).ok().and_then(|mut c| {
+            c.set_timeout(Duration::from_secs(2)).ok()?;
+            let resp = c.request("GET", "/metrics", &[], None).ok()?;
+            (resp.status == 200).then(|| accept_stalls_in(&resp.body_str()))
+        });
+        if let Some(stalls) = stalls {
+            assert!(stalls >= 1, "accept stall never counted");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "listener never recovered after the flood closed"
+        );
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    // Shut down (retrying shed connections the same way) and require a
+    // clean exit: nothing in flight was lost to the stall episode.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let down = HttpClient::connect(addr).ok().and_then(|mut c| {
+            c.set_timeout(Duration::from_secs(2)).ok()?;
+            Some(c.request("POST", "/admin/shutdown", &[], None).ok()?.status == 200)
+        });
+        // A lost response with the shutdown already under way shows up
+        // as the child exiting rather than a 200.
+        if down == Some(true) || child.0.try_wait().expect("wait on child").is_some() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shutdown request never got through"
+        );
+        thread::sleep(Duration::from_millis(50));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    loop {
+        match child.0.try_wait().expect("wait on child") {
+            Some(status) => {
+                assert!(status.success(), "child exited with {status}");
+                break;
+            }
+            None => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "child did not exit after shutdown"
+                );
+                thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Extracts the `accept_stalls` counter from a `/metrics` JSON body.
+#[cfg(target_os = "linux")]
+fn accept_stalls_in(body: &str) -> u64 {
+    body.split("\"accept_stalls\":")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .expect("accept_stalls counter in /metrics")
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn accept_fd_exhaustion_pauses_reactor_listener() {
+    accept_survives_fd_exhaustion(&["--reactor-threads", "2"]);
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn accept_fd_exhaustion_keeps_threaded_acceptor_alive() {
+    accept_survives_fd_exhaustion(&["--threaded"]);
 }
